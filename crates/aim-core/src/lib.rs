@@ -1,0 +1,42 @@
+//! # aim-core — the AIM contribution
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! substrate crates (`ir-model`, `nn-quant`, `pim-sim`, `workloads`):
+//!
+//! * [`metrics`] — the architecture-level indicators `Rtog` (Eq. 1) and `HR`
+//!   (Eq. 3), the `sup(Rtog) = HR` bound (Eq. 4) and the correlation helpers
+//!   used to validate them (paper Figs. 4/5).
+//! * [`booster`] — IR-Booster: safe-level selection from the worst offline HR
+//!   of a macro group (§5.5.1), the aggressive-level state machine of
+//!   Algorithm 2 with its `β` trade-off, sprint / low-power operating modes,
+//!   and the set-frequency synchronisation rule.  It plugs into the chip
+//!   simulator through the [`pim_sim::chip::VfController`] trait.
+//! * [`mapping`] — operator segmentation and task-to-macro mapping:
+//!   sequential / random / zigzag baselines and the HR-aware simulated
+//!   annealing of Algorithm 3, scored by the lightweight statistical
+//!   evaluator the paper describes.
+//! * [`pipeline`] — the end-to-end AIM flow (paper Fig. 6): LHR-aware
+//!   quantization, WDS, HR extraction, task mapping, IR-Booster-driven chip
+//!   simulation, and the report consumed by every evaluation experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use aim_core::metrics::hamming_rate_i8;
+//!
+//! let hr = hamming_rate_i8(&[0, 8, -8, 1]);
+//! assert!(hr > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod booster;
+pub mod mapping;
+pub mod metrics;
+pub mod pipeline;
+
+pub use booster::{BoosterConfig, IrBoosterController};
+pub use mapping::{MappingOutcome, MappingStrategy};
+pub use metrics::{hamming_rate_i8, pearson_correlation, rtog_cycle};
+pub use pipeline::{AimConfig, AimReport};

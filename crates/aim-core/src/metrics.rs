@@ -1,0 +1,182 @@
+//! Architecture-level IR-drop indicators: `Rtog` (Eq. 1) and `HR` (Eq. 3).
+//!
+//! `Rtog` is the cycle-to-cycle toggle rate of the bitstreams travelling from
+//! the SRAM cells to a bank's adder: a partial-product wire toggles when its
+//! stored weight bit is 1 *and* the corresponding input bit changed.  `HR` is
+//! the fraction of stored 1-bits and therefore (Eq. 4) the supremum of
+//! `Rtog` over all possible input streams: even if every input bit flips
+//! every cycle, only the stored 1-bits can contribute a toggle.
+//!
+//! These two metrics are the bridge between workloads and IR-drop that the
+//! whole of AIM stands on, so this module also carries the statistical
+//! helpers used to validate the bridge (the Pearson correlation of Fig. 4).
+
+use pim_sim::bank::Bank;
+use pim_sim::stream::InputStream;
+
+/// `Rtog` of one cycle transition (Eq. 1): given the weight bits of a bank
+/// and the input bits at cycles `t` and `t + 1`, the fraction of stored bits
+/// that produce a toggle.
+///
+/// `weights[k]` is the k-th stored weight; `inputs_t[k]` / `inputs_t1[k]` are
+/// the input bits applied to it at cycles `t` and `t + 1`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `weight_bits` is outside
+/// `2..=8`.
+#[must_use]
+pub fn rtog_cycle(weights: &[i8], weight_bits: u32, inputs_t: &[bool], inputs_t1: &[bool]) -> f64 {
+    assert!((2..=8).contains(&weight_bits), "weight bits must be in 2..=8");
+    assert_eq!(weights.len(), inputs_t.len(), "input length mismatch");
+    assert_eq!(weights.len(), inputs_t1.len(), "input length mismatch");
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let mask = (1u32 << weight_bits) - 1;
+    let mut toggles = 0u64;
+    for (k, &w) in weights.iter().enumerate() {
+        if inputs_t[k] != inputs_t1[k] {
+            toggles += u64::from(((w as u8) as u32 & mask).count_ones());
+        }
+    }
+    toggles as f64 / (weights.len() as f64 * f64::from(weight_bits))
+}
+
+/// Hamming rate of INT8 weights (Eq. 3) — re-exported here because `HR` is
+/// one of the paper's two headline metrics.
+#[must_use]
+pub fn hamming_rate_i8(weights: &[i8]) -> f64 {
+    nn_quant::hamming::hamming_rate_i8(weights)
+}
+
+/// Hamming rate at an arbitrary precision (INT4 values stored in `i8`, etc.).
+#[must_use]
+pub fn hamming_rate(weights: &[i8], bits: u32) -> f64 {
+    nn_quant::hamming::hamming_rate(weights, bits)
+}
+
+/// Streams an input batch through a bank and returns
+/// `(per-cycle Rtog, peak Rtog, HR)` — the quantities compared in Fig. 5.
+#[must_use]
+pub fn bank_rtog_profile(bank: &Bank, inputs: &InputStream) -> (Vec<f64>, f64, f64) {
+    let result = bank.mac(inputs);
+    let per_cycle = result.rtog_per_cycle();
+    let peak = result.peak_rtog();
+    (per_cycle, peak, bank.hamming_rate())
+}
+
+/// Pearson correlation coefficient between two series.
+///
+/// Returns 0 when either series is constant or the lengths are below 2.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+#[must_use]
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean_x = xs.iter().sum::<f64>() / n as f64;
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x <= f64::EPSILON || var_y <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_model::irdrop::IrDropModel;
+    use ir_model::process::ProcessParams;
+
+    #[test]
+    fn rtog_cycle_counts_only_flipping_lanes_with_set_bits() {
+        // Weight 0b0000_0011 (2 ones) flips, weight -1 (8 ones) does not.
+        let weights = [3i8, -1];
+        let t0 = [true, true];
+        let t1 = [false, true];
+        let r = rtog_cycle(&weights, 8, &t0, &t1);
+        assert!((r - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtog_cycle_is_bounded_by_hr() {
+        let weights = [3i8, -1, 17, -90];
+        let all_flip = [true; 4];
+        let none = [false; 4];
+        let r = rtog_cycle(&weights, 8, &all_flip, &none);
+        assert!((r - hamming_rate_i8(&weights)).abs() < 1e-12, "all lanes flipping hits the bound");
+    }
+
+    #[test]
+    fn empty_bank_has_zero_rtog() {
+        assert_eq!(rtog_cycle(&[], 8, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bank_profile_respects_the_hr_bound() {
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+        let bank = Bank::new(&weights, 8);
+        let inputs = InputStream::random(64, 8, 11);
+        let (per_cycle, peak, hr) = bank_rtog_profile(&bank, &inputs);
+        assert_eq!(per_cycle.len(), 7);
+        assert!(peak <= hr + 1e-12);
+        assert!(per_cycle.iter().all(|&r| r <= hr + 1e-12));
+    }
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -0.5 * x).collect();
+        assert!((pearson_correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_series_is_zero() {
+        assert_eq!(pearson_correlation(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn rtog_correlates_strongly_with_modelled_irdrop() {
+        // The Fig. 4 validation in miniature: macros with different HR see
+        // droop that correlates almost perfectly with their peak Rtog.
+        let model = IrDropModel::new(ProcessParams::dpim_7nm());
+        let mut rtogs = Vec::new();
+        let mut droops = Vec::new();
+        for m in 0..40 {
+            let hr_target = 0.15 + 0.02 * f64::from(m);
+            let ones_per_weight = (hr_target * 8.0).round() as u32;
+            let weight = ((1u32 << ones_per_weight) - 1) as u8 as i8;
+            let weights = vec![weight; 64];
+            let bank = Bank::new(&weights, 8);
+            let inputs = InputStream::random(64, 8, 400 + m as u64);
+            let (_, peak, _) = bank_rtog_profile(&bank, &inputs);
+            rtogs.push(peak);
+            droops.push(model.irdrop_mv(peak, 0.75, 1.0));
+        }
+        let r = pearson_correlation(&rtogs, &droops);
+        assert!(r > 0.97, "Rtog/IR-drop correlation should be ≈0.98, got {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson_correlation(&[1.0], &[1.0, 2.0]);
+    }
+}

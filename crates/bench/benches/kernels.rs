@@ -1,0 +1,68 @@
+//! Criterion benches for the core kernels behind every experiment:
+//! HR / Rtog computation, the interpolated-HR gradient, one LHR-QAT epoch,
+//! a WDS pass and the IR-drop evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aim_core::metrics::hamming_rate_i8;
+use ir_model::irdrop::IrDropModel;
+use ir_model::process::ProcessParams;
+use nn_quant::hamming::{smoothed_hr_gradient, HrTable};
+use nn_quant::qat::{train_layer, QatConfig};
+use nn_quant::tensor::Tensor;
+use nn_quant::wds::{apply_wds, WdsConfig};
+use pim_sim::bank::Bank;
+use pim_sim::stream::InputStream;
+
+fn bench_hamming_rate(c: &mut Criterion) {
+    let weights: Vec<i8> = (0..16_384).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+    c.bench_function("hamming_rate_16k_weights", |b| {
+        b.iter(|| hamming_rate_i8(black_box(&weights)))
+    });
+}
+
+fn bench_bank_mac(c: &mut Criterion) {
+    let weights: Vec<i8> = (0..64).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+    let bank = Bank::new(&weights, 8);
+    let inputs = InputStream::random(64, 8, 7);
+    c.bench_function("bank_mac_64x8bit", |b| b.iter(|| bank.mac(black_box(&inputs))));
+}
+
+fn bench_interpolated_gradient(c: &mut Criterion) {
+    let table = HrTable::new(8);
+    c.bench_function("smoothed_hr_gradient_r4", |b| {
+        b.iter(|| smoothed_hr_gradient(black_box(-3.7), 1.0, &table, 4))
+    });
+}
+
+fn bench_lhr_qat_epoch(c: &mut Criterion) {
+    let tensor = Tensor::randn(vec![4096], 0.04, 3);
+    let config = QatConfig { epochs: 1, ..QatConfig::with_lhr(8) };
+    c.bench_function("lhr_qat_single_epoch_4k", |b| {
+        b.iter(|| train_layer("bench", black_box(&tensor), &config))
+    });
+}
+
+fn bench_wds_pass(c: &mut Criterion) {
+    let weights: Vec<i8> = (0..16_384).map(|i| ((i * 91 % 255) as i16 - 127) as i8).collect();
+    let config = WdsConfig::int8_default();
+    c.bench_function("wds_pass_16k", |b| b.iter(|| apply_wds(black_box(&weights), &config)));
+}
+
+fn bench_irdrop_eval(c: &mut Criterion) {
+    let model = IrDropModel::new(ProcessParams::dpim_7nm());
+    c.bench_function("irdrop_eval", |b| {
+        b.iter(|| model.irdrop_mv(black_box(0.37), black_box(0.675), black_box(1.05)))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_hamming_rate,
+    bench_bank_mac,
+    bench_interpolated_gradient,
+    bench_lhr_qat_epoch,
+    bench_wds_pass,
+    bench_irdrop_eval
+);
+criterion_main!(kernels);

@@ -1,0 +1,39 @@
+//! Criterion benches of the task-mapping machinery: the lightweight mapping
+//! evaluator and a full HR-aware simulated-annealing search (the compile-time
+//! cost the paper warns about in §5.2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aim_core::mapping::{map_tasks, operator_mix, AnnealingConfig, MappingStrategy};
+use ir_model::process::ProcessParams;
+use ir_model::vf::OperatingMode;
+
+fn bench_sequential_mapping(c: &mut Criterion) {
+    let params = ProcessParams::dpim_7nm();
+    let slices = operator_mix(("conv", 0.27, false), ("qkt", 0.52, true), 24, 200);
+    c.bench_function("mapping_sequential_eval", |b| {
+        b.iter(|| map_tasks(&slices, &params, OperatingMode::LowPower, MappingStrategy::Sequential))
+    });
+}
+
+fn bench_hr_aware_annealing(c: &mut Criterion) {
+    let params = ProcessParams::dpim_7nm();
+    let slices = operator_mix(("conv", 0.27, false), ("qkt", 0.52, true), 24, 200);
+    c.bench_function("mapping_hr_aware_annealing_500_steps", |b| {
+        b.iter(|| {
+            map_tasks(
+                &slices,
+                &params,
+                OperatingMode::LowPower,
+                MappingStrategy::HrAware(AnnealingConfig::default()),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = mapping;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sequential_mapping, bench_hr_aware_annealing
+}
+criterion_main!(mapping);

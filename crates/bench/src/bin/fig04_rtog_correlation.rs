@@ -1,0 +1,79 @@
+//! Fig. 4 — Correlation between per-macro IR-drop and peak Rtog.
+//!
+//! Builds 40 bit-exact macros holding weight slices with a spread of Hamming
+//! rates (drawn from ResNet18 and ViT layers plus synthetic fillers), streams
+//! random inputs through them, and reports peak Rtog, modelled droop and the
+//! Pearson correlation between the two series.
+
+use aim_bench::{dump_json, header};
+use aim_core::metrics::{bank_rtog_profile, pearson_correlation};
+use ir_model::irdrop::IrDropModel;
+use ir_model::process::ProcessParams;
+use nn_quant::quant::QuantizedLayer;
+use pim_sim::bank::Bank;
+use pim_sim::stream::InputStream;
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct MacroPoint {
+    macro_id: usize,
+    layer: String,
+    hamming_rate: f64,
+    peak_rtog: f64,
+    irdrop_mv: f64,
+}
+
+fn main() {
+    header(
+        "Fig. 4 — correlation of IR-drop and Rtog across macros",
+        "paper Fig. 4: linear correlation, coefficient 0.977 (DPIM)",
+    );
+    let params = ProcessParams::dpim_7nm();
+    let model = IrDropModel::new(params);
+    let cells = params.cells_per_bank;
+
+    // 40 macros: weight slices from real layer specs of ResNet18 and ViT.
+    let mut sources = Vec::new();
+    for m in [Model::resnet18(), Model::vit_base()] {
+        for op in m.offline_operators() {
+            sources.push((m.name().to_string(), op.clone()));
+        }
+    }
+    let mut points = Vec::new();
+    println!(
+        "{:<6} {:<26} {:>8} {:>10} {:>12}",
+        "macro", "layer", "HR", "peak Rtog", "droop (mV)"
+    );
+    for i in 0..40 {
+        let (model_name, op) = &sources[i * sources.len() / 40];
+        let layer = QuantizedLayer::from_tensor(&op.name, &op.synthetic_weights(), 8);
+        let slice: Vec<i8> = layer.weights.iter().copied().take(cells).collect();
+        let bank = Bank::new(&slice, 8);
+        let inputs = InputStream::random(slice.len(), 8, 0xF16_4 + i as u64);
+        let (_, peak, hr) = bank_rtog_profile(&bank, &inputs);
+        let droop = model.irdrop_mv(peak, params.nominal_voltage, params.nominal_frequency_ghz);
+        println!(
+            "{:<6} {:<26} {:>8.3} {:>10.3} {:>12.1}",
+            i,
+            format!("{model_name}:{}", op.name),
+            hr,
+            peak,
+            droop
+        );
+        points.push(MacroPoint {
+            macro_id: i,
+            layer: op.name.clone(),
+            hamming_rate: hr,
+            peak_rtog: peak,
+            irdrop_mv: droop,
+        });
+    }
+
+    let rtogs: Vec<f64> = points.iter().map(|p| p.peak_rtog).collect();
+    let droops: Vec<f64> = points.iter().map(|p| p.irdrop_mv).collect();
+    let correlation = pearson_correlation(&rtogs, &droops);
+    println!("\nPearson correlation (peak Rtog vs IR-drop): {correlation:.4}");
+    println!("Expected shape (paper): ≈ 0.977 for the DPIM macro.");
+    dump_json("fig04_rtog_correlation", &(points, correlation));
+}

@@ -1,0 +1,107 @@
+//! Fig. 5 — Rtog distribution over many cycles versus the HR bound, with and
+//! without HR optimisation.
+//!
+//! Profiles two of the paper's layers — `ResNet18 layer3.0.conv1` and
+//! `ViT blocks.6.mlp.fc1` — over 50 000 bit-serial cycles, with weights
+//! quantized by the baseline recipe and by LHR(+WDS), and prints the Rtog
+//! histogram, the observed maximum and the HR bound.
+
+use aim_bench::{dump_json, header};
+use nn_quant::qat::{train_layer, QatConfig};
+use nn_quant::wds::apply_wds_to_layer;
+use pim_sim::bank::Bank;
+use pim_sim::stream::InputStream;
+use serde::Serialize;
+use workloads::inputs::{activation_batch, InputClass};
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct Distribution {
+    layer: String,
+    config: String,
+    hamming_rate: f64,
+    max_rtog: f64,
+    mean_rtog: f64,
+    histogram: Vec<(f64, usize)>,
+}
+
+const CYCLES: usize = 50_000;
+const BANK_CELLS: usize = 64;
+
+fn profile(layer_name: &str, weights: &[i8], class: InputClass, seed: u64) -> (f64, f64, f64, Vec<(f64, usize)>) {
+    let slice: Vec<i8> = weights.iter().copied().take(BANK_CELLS).collect();
+    let bank = Bank::new(&slice, 8);
+    let hr = bank.hamming_rate();
+    let mut all_rtog = Vec::new();
+    // 50 000 cycles = many 8-bit bit-serial passes over fresh input batches.
+    let passes = CYCLES / 8;
+    for p in 0..passes {
+        let batch = activation_batch(class, BANK_CELLS, seed + p as u64);
+        let inputs = InputStream::from_values(&batch.values, 8);
+        let result = bank.mac(&inputs);
+        all_rtog.extend(result.rtog_per_cycle());
+    }
+    let max = all_rtog.iter().copied().fold(0.0f64, f64::max);
+    let mean = all_rtog.iter().sum::<f64>() / all_rtog.len() as f64;
+    // Histogram with 2.5 % bins.
+    let mut histogram = vec![0usize; 41];
+    for &r in &all_rtog {
+        histogram[(r / 0.025).floor() as usize] += 1;
+    }
+    let hist: Vec<(f64, usize)> =
+        histogram.into_iter().enumerate().map(|(i, c)| (i as f64 * 0.025, c)).collect();
+    let _ = layer_name;
+    (hr, max, mean, hist)
+}
+
+fn main() {
+    header(
+        "Fig. 5 — Rtog distribution vs the HR bound",
+        "paper Fig. 5: max(Rtog) never exceeds HR; HR optimisation lowers the whole distribution",
+    );
+
+    let resnet = Model::resnet18();
+    let vit = Model::vit_base();
+    let cases = [
+        (&resnet, "layer3.0.conv1", InputClass::ImageLike),
+        (&vit, "blocks.6.mlp.fc1", InputClass::ImageLike),
+    ];
+
+    let mut results = Vec::new();
+    for (model, layer_name, class) in cases {
+        let spec = model
+            .operators()
+            .iter()
+            .find(|o| o.name == layer_name)
+            .expect("layer exists in the zoo");
+        let weights = spec.synthetic_weights();
+        let baseline = train_layer(layer_name, &weights, &QatConfig::baseline(8));
+        let lhr = train_layer(layer_name, &weights, &QatConfig::with_lhr(8));
+        let (wds_layer, _) = apply_wds_to_layer(&lhr.layer, 8);
+
+        println!("{} :: {layer_name}", model.name());
+        println!("{:<18} {:>8} {:>12} {:>12}", "config", "HR", "max Rtog", "mean Rtog");
+        for (config, w) in [
+            ("baseline", baseline.layer.weights.clone()),
+            ("HR-opt (LHR+WDS)", wds_layer.weights.clone()),
+        ] {
+            let (hr, max, mean, hist) = profile(layer_name, &w, class, 0x515);
+            println!("{config:<18} {hr:>8.3} {max:>12.3} {mean:>12.3}");
+            assert!(max <= hr + 1e-12, "Eq. 4 violated");
+            results.push(Distribution {
+                layer: format!("{}:{layer_name}", model.name()),
+                config: config.to_string(),
+                hamming_rate: hr,
+                max_rtog: max,
+                mean_rtog: mean,
+                histogram: hist,
+            });
+        }
+        println!();
+    }
+    dump_json("fig05_rtog_distribution", &results);
+    println!(
+        "Expected shape (paper): the observed peak Rtog stays below the HR bound with\n\
+         a visible margin, and HR optimisation shifts the whole distribution left."
+    );
+}

@@ -1,0 +1,109 @@
+//! Fig. 16 — Layout-level voltage-supply map before and after AIM.
+//!
+//! Runs a ResNet18 batch on the chip simulator with tracing enabled, takes a
+//! representative trace sample from the busiest phase, evaluates the spatial
+//! PDN grid for it, and prints an ASCII heat map of the die voltage before
+//! and after AIM (baseline vs full stack).
+
+use aim_bench::{dump_json, header, quick_pipeline};
+use aim_core::booster::{BoosterConfig, IrBoosterController};
+use aim_core::mapping::map_tasks;
+use aim_core::pipeline::{build_batches, optimize_model, AimConfig};
+use ir_model::layout::LayoutGrid;
+use ir_model::process::ProcessParams;
+use pim_sim::chip::{ChipConfig, ChipSimulator, StaticController, TraceSample};
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct HeatMap {
+    label: String,
+    width: usize,
+    height: usize,
+    min_voltage: f64,
+    max_voltage: f64,
+    voltages: Vec<f64>,
+}
+
+fn busiest_sample(trace: &[TraceSample]) -> &TraceSample {
+    trace
+        .iter()
+        .max_by(|a, b| a.worst_droop_mv.partial_cmp(&b.worst_droop_mv).unwrap())
+        .expect("trace is not empty")
+}
+
+fn ascii_map(map: &HeatMap) {
+    // Darker glyph = deeper droop.
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let lo = map.min_voltage;
+    let hi = map.max_voltage;
+    for y in 0..map.height {
+        let mut line = String::new();
+        for x in 0..map.width {
+            let v = map.voltages[y * map.width + x];
+            let norm = if hi > lo { (hi - v) / (hi - lo) } else { 0.0 };
+            let idx = ((norm * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1);
+            line.push(glyphs[idx]);
+        }
+        println!("  {line}");
+    }
+}
+
+fn run_case(label: &str, aim: bool) -> HeatMap {
+    let params = ProcessParams::dpim_7nm();
+    let model = Model::resnet18();
+    let config = if aim {
+        quick_pipeline(AimConfig::full_low_power(), 3)
+    } else {
+        quick_pipeline(AimConfig::baseline(), 3)
+    };
+    let ops = optimize_model(&model, &config);
+    let batches = build_batches(&ops, &params);
+    let batch = &batches[0];
+    let mapping = map_tasks(batch, &params, config.mode, config.mapping);
+    let sim = ChipSimulator::new(
+        ChipConfig { trace_interval: 25, flip_sequence_len: 256, ..ChipConfig::default() },
+        mapping.to_macro_tasks(batch),
+    );
+    let report = if aim {
+        let mut booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());
+        sim.run(&mut booster, 100_000)
+    } else {
+        let mut ctrl = StaticController::nominal(&params);
+        sim.run(&mut ctrl, 100_000)
+    };
+    let sample = busiest_sample(&report.trace);
+    let grid = LayoutGrid::standard(params);
+    let map = grid.voltage_map(&sample.macro_rtog, &sample.macro_voltage, &sample.macro_frequency_ghz);
+    HeatMap {
+        label: label.to_string(),
+        width: map.width,
+        height: map.height,
+        min_voltage: map.min_voltage(),
+        max_voltage: map.max_voltage(),
+        voltages: map.voltages,
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 16 — voltage-supply map before/after AIM",
+        "paper Fig. 16: droop hotspots sit in the macro region and shrink under AIM",
+    );
+    let before = run_case("before AIM (baseline)", false);
+    let after = run_case("after AIM (LHR+WDS+IR-Booster)", true);
+    for map in [&before, &after] {
+        println!(
+            "{}: min {:.3} V, max {:.3} V (darker = deeper droop)",
+            map.label, map.min_voltage, map.max_voltage
+        );
+        ascii_map(map);
+        println!();
+    }
+    println!(
+        "Worst on-die droop: {:.1} mV before vs {:.1} mV after AIM",
+        1e3 * (0.75 - before.min_voltage),
+        1e3 * (0.75 - after.min_voltage)
+    );
+    dump_json("fig16_layout_heatmap", &[before, after]);
+}

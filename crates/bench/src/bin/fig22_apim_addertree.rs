@@ -1,0 +1,141 @@
+//! Fig. 22 — AIM applied to an analog PIM macro and to a stand-alone
+//! bit-serial adder tree.
+//!
+//! (a) The 28 nm APIM macro: normalised IR-drop with and without AIM
+//!     (weights HR-optimised + booster-selected operating point), expected to
+//!     land near 50 % mitigation — lower than DPIM.
+//! (b) A pure adder tree in the 7 nm process: the same comparison, showing
+//!     the mechanism carries over to conventional digital MAC arrays.
+
+use aim_bench::{dump_json, header, percent};
+use aim_core::metrics::bank_rtog_profile;
+use ir_model::irdrop::IrDropModel;
+use ir_model::process::ProcessParams;
+use ir_model::vf::{OperatingMode, VfTable};
+use nn_quant::qat::{train_layer, QatConfig};
+use nn_quant::wds::apply_wds_to_layer;
+use pim_sim::apim::AnalogMacro;
+use pim_sim::bank::Bank;
+use pim_sim::stream::InputStream;
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct Fig22Row {
+    target: String,
+    workload: String,
+    droop_without_aim_mv: f64,
+    droop_with_aim_mv: f64,
+    mitigation: f64,
+    analog_error_without: Option<f64>,
+    analog_error_with: Option<f64>,
+}
+
+fn optimised_weights(model: &Model, take: usize) -> (Vec<i8>, Vec<i8>) {
+    // Baseline vs LHR+WDS weights for a representative layer of the model.
+    let spec = model
+        .offline_operators()
+        .into_iter()
+        .find(|o| o.logical_elements() >= take)
+        .expect("layer large enough");
+    let weights = spec.synthetic_weights();
+    let base = train_layer(&spec.name, &weights, &QatConfig::baseline(8));
+    let lhr = train_layer(&spec.name, &weights, &QatConfig::with_lhr(8));
+    let (wds, _) = apply_wds_to_layer(&lhr.layer, 8);
+    (
+        base.layer.weights.into_iter().take(take).collect(),
+        wds.weights.into_iter().take(take).collect(),
+    )
+}
+
+fn apim_case(model: &Model) -> Fig22Row {
+    let params = ProcessParams::apim_28nm();
+    let (base_w, aim_w) = optimised_weights(model, params.cells_per_bank);
+    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF16_22);
+
+    let before = AnalogMacro::new(&base_w, 8);
+    let after = AnalogMacro::new(&aim_w, 8);
+    let r_before = before.evaluate(&inputs, params.nominal_voltage, params.nominal_frequency_ghz);
+    // Under AIM the booster also lowers the APIM supply to the level's pair.
+    let table = VfTable::derive_default(&params);
+    let level = table.level_for_rtog(after.hamming_rate());
+    let point = table.select(level, OperatingMode::LowPower).expect("pair exists");
+    let r_after = after.evaluate(&inputs, point.voltage, point.frequency_ghz);
+    Fig22Row {
+        target: "APIM 28nm".into(),
+        workload: model.name().to_string(),
+        droop_without_aim_mv: r_before.effective_droop_mv,
+        droop_with_aim_mv: r_after.effective_droop_mv,
+        mitigation: 1.0 - r_after.effective_droop_mv / r_before.effective_droop_mv,
+        analog_error_without: Some(r_before.relative_error),
+        analog_error_with: Some(r_after.relative_error),
+    }
+}
+
+fn adder_tree_case(model: &Model) -> Fig22Row {
+    let params = ProcessParams::adder_tree_7nm();
+    let irdrop = IrDropModel::new(params);
+    let (base_w, aim_w) = optimised_weights(model, params.cells_per_bank);
+    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF16_23);
+
+    let peak = |w: &[i8]| {
+        let bank = Bank::new(w, 8);
+        let (_, peak, _) = bank_rtog_profile(&bank, &inputs);
+        peak
+    };
+    let before = irdrop.irdrop_mv(peak(&base_w), params.nominal_voltage, params.nominal_frequency_ghz);
+    let table = VfTable::derive_default(&params);
+    let hr_after = Bank::new(&aim_w, 8).hamming_rate();
+    let point = table
+        .select(table.level_for_rtog(hr_after), OperatingMode::LowPower)
+        .expect("pair exists");
+    let after = irdrop.irdrop_mv(peak(&aim_w), point.voltage, point.frequency_ghz);
+    Fig22Row {
+        target: "adder tree 7nm".into(),
+        workload: model.name().to_string(),
+        droop_without_aim_mv: before,
+        droop_with_aim_mv: after,
+        mitigation: 1.0 - after / before,
+        analog_error_without: None,
+        analog_error_with: None,
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 22 — AIM on APIM and on a pure adder tree",
+        "paper Fig. 22: ≈50 % mitigation on APIM, notable mitigation on the adder tree",
+    );
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:<10} {:>14} {:>14} {:>12}",
+        "target", "workload", "droop w/o AIM", "droop w/ AIM", "mitigation"
+    );
+    for model in [Model::vit_base(), Model::resnet18()] {
+        for row in [apim_case(&model), adder_tree_case(&model)] {
+            println!(
+                "{:<16} {:<10} {:>11.1} mV {:>11.1} mV {:>12}",
+                row.target,
+                row.workload,
+                row.droop_without_aim_mv,
+                row.droop_with_aim_mv,
+                percent(row.mitigation)
+            );
+            rows.push(row);
+        }
+    }
+    for r in &rows {
+        if let (Some(e0), Some(e1)) = (r.analog_error_without, r.analog_error_with) {
+            println!(
+                "  APIM ({}) relative compute error: {:.4} -> {:.4}",
+                r.workload, e0, e1
+            );
+        }
+    }
+    dump_json("fig22_apim_addertree", &rows);
+    println!(
+        "\nExpected shape (paper): AIM mitigates roughly half the APIM droop (less than\n\
+         the 58-69 % achieved on DPIM) and still helps the pure adder tree, hinting at\n\
+         applicability to other digital MAC-heavy accelerators."
+    );
+}

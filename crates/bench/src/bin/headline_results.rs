@@ -1,0 +1,87 @@
+//! §6.6 headline results — IR-drop mitigation, energy efficiency and speedup
+//! of the full AIM stack on the 7 nm 256-TOPS DPIM design.
+//!
+//! Paper anchors: 140 mV → 58.1–43.2 mV (58.5–69.2 % mitigation),
+//! 4.2978 mW → 2.243–1.876 mW per macro (1.91–2.29×), 256 → 289–295 TOPS
+//! (1.129–1.152×) in low-power / sprint mode.
+
+use aim_bench::{dump_json, header, percent, quick_pipeline, ratio};
+use aim_core::pipeline::{run_model, AimConfig, AimReport};
+use ir_model::irdrop::IrDropModel;
+use ir_model::process::ProcessParams;
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct Headline {
+    model: String,
+    mode: String,
+    worst_irdrop_mv: f64,
+    mitigation: f64,
+    macro_power_mw: f64,
+    energy_efficiency: f64,
+    effective_tops: f64,
+    speedup: f64,
+    failures: u64,
+}
+
+fn row(model: &str, mode: &str, report: &AimReport, baseline: &AimReport) -> Headline {
+    Headline {
+        model: model.to_string(),
+        mode: mode.to_string(),
+        worst_irdrop_mv: report.worst_irdrop_mv,
+        mitigation: report.mitigation_vs_signoff,
+        macro_power_mw: report.avg_macro_power_mw,
+        energy_efficiency: report.energy_efficiency_vs(baseline),
+        effective_tops: report.effective_tops,
+        speedup: report.speedup_vs(baseline),
+        failures: report.failures,
+    }
+}
+
+fn main() {
+    header(
+        "§6.6 headline results — full AIM on the 7 nm 256-TOPS DPIM design",
+        "paper §6.6: up to 69.2 % mitigation, 2.29x energy efficiency, 1.152x speedup",
+    );
+    let signoff = IrDropModel::new(ProcessParams::dpim_7nm()).signoff_worst_case_mv();
+    println!("sign-off worst-case droop: {signoff:.1} mV\n");
+
+    let mut rows = Vec::new();
+    for model in [Model::resnet18(), Model::vit_base()] {
+        let stride = if model.operators().len() > 60 { 4 } else { 2 };
+        let baseline = run_model(&model, &quick_pipeline(AimConfig::baseline(), stride));
+        let low = run_model(&model, &quick_pipeline(AimConfig::full_low_power(), stride));
+        let sprint = run_model(&model, &quick_pipeline(AimConfig::full_sprint(), stride));
+        println!(
+            "{} — baseline: droop {:.1} mV, {:.3} mW/macro, {:.1} TOPS",
+            model.name(),
+            baseline.worst_irdrop_mv,
+            baseline.avg_macro_power_mw,
+            baseline.effective_tops
+        );
+        for (mode, report) in [("low-power", &low), ("sprint", &sprint)] {
+            let r = row(model.name(), mode, report, &baseline);
+            println!(
+                "  AIM {:<10} droop {:>6.1} mV ({} mitigation)   {:>6.3} mW/macro ({} EE)   {:>6.1} TOPS ({} speedup)   {} IRFailures",
+                r.mode,
+                r.worst_irdrop_mv,
+                percent(r.mitigation),
+                r.macro_power_mw,
+                ratio(r.energy_efficiency),
+                r.effective_tops,
+                format!("{:.3}x", r.speedup),
+                r.failures
+            );
+            rows.push(r);
+        }
+        println!();
+    }
+    dump_json("headline_results", &rows);
+    println!(
+        "Expected shape (paper): droop falls from the 100+ mV regime to the 40-60 mV\n\
+         regime (≈55-70 % mitigation), per-macro power roughly halves (≈1.9-2.3x) and\n\
+         throughput improves by ≈1.1-1.15x, with sprint mode favouring TOPS and\n\
+         low-power mode favouring mW."
+    );
+}

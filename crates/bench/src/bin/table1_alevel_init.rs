@@ -1,0 +1,40 @@
+//! Table 1 — Safe level and the corresponding initialised aggressive level.
+//!
+//! Prints the implemented safe-level → initial-a-level table and verifies two
+//! structural properties the paper's profiling is based on: the a-level is
+//! never less aggressive than the safe level, and higher safe levels leave
+//! more optimisation headroom (a larger gap).
+
+use aim_bench::{dump_json, header};
+use aim_core::booster::initial_aggressive_level;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    safe_level: u8,
+    initial_a_level: u8,
+    headroom: i16,
+}
+
+fn main() {
+    header(
+        "Table 1 — safe level vs initialised aggressive level",
+        "paper Table 1",
+    );
+    let safe_levels: [u8; 10] = [100, 60, 55, 50, 45, 40, 35, 30, 25, 20];
+    let mut rows = Vec::new();
+    println!("{:<12} {:>12} {:>12}", "safe level", "a-level_0", "headroom");
+    for &safe in &safe_levels {
+        let a0 = initial_aggressive_level(safe);
+        let headroom = i16::from(safe) - i16::from(a0);
+        println!("{safe:<12} {a0:>12} {headroom:>12}");
+        assert!(a0 <= safe, "the initial a-level must be at least as aggressive as the safe level");
+        rows.push(Row { safe_level: safe, initial_a_level: a0, headroom });
+    }
+    // Headroom shrinks monotonically as the safe level drops.
+    for pair in rows.windows(2) {
+        assert!(pair[0].headroom >= pair[1].headroom);
+    }
+    dump_json("table1_alevel_init", &rows);
+    println!("\nExpected shape (paper): a-level_0 = 60/40/35/35/35/30/30/25/20/20.");
+}

@@ -1,0 +1,93 @@
+//! Table 3 — Combining LHR with post-training quantization (PTQ).
+//!
+//! OmniQuant-style PTQ on the language models (GPT2, Llama3.2-1B) and
+//! BRECQ-style PTQ on the conv classifiers (ResNet18, MobileNetV2), with and
+//! without HR-aware rounding (the PTQ-compatible form of LHR).  Reports
+//! HRaverage and the predicted quality from the accuracy proxy.
+
+use aim_bench::{dump_json, header};
+use nn_quant::ptq::{quantize_ptq, quantize_ptq_with_lhr, PtqMethod};
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct PtqRow {
+    method: String,
+    model: String,
+    hr_without_lhr: f64,
+    hr_with_lhr: f64,
+    quality_without_lhr: f64,
+    quality_with_lhr: f64,
+    metric: String,
+}
+
+fn main() {
+    header(
+        "Table 3 — HRaverage and accuracy impact of LHR on PTQ methods",
+        "paper Table 3 (OmniQuant / BRECQ)",
+    );
+    let cases = [
+        (PtqMethod::OmniQuant, Model::gpt2()),
+        (PtqMethod::OmniQuant, Model::llama32_1b()),
+        (PtqMethod::Brecq, Model::resnet18()),
+        (PtqMethod::Brecq, Model::mobilenet_v2()),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<11} {:<13} {:>10} {:>10} {:>14} {:>14}",
+        "PTQ", "model", "HR w/o", "HR w/", "quality w/o", "quality w/"
+    );
+    for (method, model) in cases {
+        let stride = if model.operators().len() > 60 { 4 } else { 1 };
+        let specs: Vec<_> = model
+            .offline_operators()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let mut hr_plain = Vec::new();
+        let mut hr_lhr = Vec::new();
+        let mut err_plain = Vec::new();
+        let mut err_lhr = Vec::new();
+        for spec in &specs {
+            let weights = spec.synthetic_weights();
+            let plain = quantize_ptq(&spec.name, &weights, 8);
+            let lhr = quantize_ptq_with_lhr(&spec.name, &weights, 8, method);
+            hr_plain.push(plain.hr);
+            hr_lhr.push(lhr.hr);
+            // PTQ quality proxy input: extra rounding error relative to the
+            // weight spread.
+            let std = f64::from(weights.std()).max(1e-9);
+            err_plain.push(plain.mean_abs_error / std);
+            err_lhr.push(lhr.mean_abs_error / std);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let proxy = model.accuracy_proxy();
+        let row = PtqRow {
+            method: format!("{method:?}"),
+            model: model.name().to_string(),
+            hr_without_lhr: avg(&hr_plain),
+            hr_with_lhr: avg(&hr_lhr),
+            quality_without_lhr: proxy.quality(avg(&err_plain)),
+            quality_with_lhr: proxy.quality(avg(&err_lhr)),
+            metric: format!("{:?}", proxy.metric),
+        };
+        println!(
+            "{:<11} {:<13} {:>10.3} {:>10.3} {:>14.2} {:>14.2}",
+            row.method,
+            row.model,
+            row.hr_without_lhr,
+            row.hr_with_lhr,
+            row.quality_without_lhr,
+            row.quality_with_lhr
+        );
+        rows.push(row);
+    }
+    dump_json("table3_ptq_lhr", &rows);
+    println!(
+        "\nExpected shape (paper): LHR lowers HR by a few points even under PTQ\n\
+         (less than with full QAT) while quality moves by well under one point / 0.3 ppl."
+    );
+}

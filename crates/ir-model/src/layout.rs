@@ -1,0 +1,360 @@
+//! Coarse spatial PDN grid for layout-level IR-drop maps and bump traces.
+//!
+//! The paper's Fig. 16 shows the voltage-supply map of the 7 nm chip before
+//! and after AIM: droop hotspots concentrate in the PIM macro region, while
+//! the RISC-V cores and on-chip memories see comparatively little droop.
+//! Fig. 17 shows the demanded drive current and the current/voltage at the
+//! package bumps over time.
+//!
+//! This module provides the spatial substrate for both: a rectangular grid of
+//! tiles, each assigned to a floorplan region ([`Region`]) and (for macro
+//! tiles) to a specific macro index.  Evaluating the grid with a per-macro
+//! Rtog vector yields a per-tile voltage map; bump traces follow from the
+//! total demanded current and an RLC-less lumped package model (resistive
+//! share per bump).
+
+use serde::{Deserialize, Serialize};
+
+use crate::irdrop::IrDropModel;
+use crate::process::ProcessParams;
+
+/// Floorplan region a layout tile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// RISC-V control cores.
+    RiscvCore,
+    /// On-chip SRAM buffers (non-PIM).
+    Memory,
+    /// PIM macro area; payload is the flat macro index.
+    PimMacro(usize),
+    /// Power-delivery / IO ring; carries no switching activity.
+    PowerDelivery,
+}
+
+/// One tile of the layout grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Region this tile belongs to.
+    pub region: Region,
+    /// Local PDN resistance multiplier relative to the macro-region nominal
+    /// (the centre of the macro array is farther from the bumps, so > 1).
+    pub resistance_scale: f64,
+}
+
+/// Rectangular layout grid of the modelled chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutGrid {
+    width: usize,
+    height: usize,
+    tiles: Vec<Tile>,
+    params: ProcessParams,
+}
+
+/// Per-tile voltage map produced by [`LayoutGrid::voltage_map`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageMap {
+    /// Grid width in tiles.
+    pub width: usize,
+    /// Grid height in tiles.
+    pub height: usize,
+    /// Row-major effective voltage per tile (V).
+    pub voltages: Vec<f64>,
+}
+
+impl VoltageMap {
+    /// Minimum (worst) voltage anywhere on the die.
+    #[must_use]
+    pub fn min_voltage(&self) -> f64 {
+        self.voltages.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum voltage anywhere on the die.
+    #[must_use]
+    pub fn max_voltage(&self) -> f64 {
+        self.voltages.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Voltage at a tile coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "tile out of bounds");
+        self.voltages[y * self.width + x]
+    }
+}
+
+impl LayoutGrid {
+    /// Builds the default floorplan of the 7 nm DPIM chip.
+    ///
+    /// Layout (matching the rough proportions of the paper's die photo):
+    /// the left eighth of the die is the RISC-V + IO column, the next eighth
+    /// is shared SRAM buffer, and the remaining three quarters hold the
+    /// 16 × 4 macro array arranged in a `macro_groups × macros_per_group`
+    /// raster.  PDN resistance grows towards the centre of the macro array.
+    #[must_use]
+    pub fn standard(params: ProcessParams) -> Self {
+        // One tile per macro column-slice gives a fine enough heat map while
+        // staying cheap: 32 x 16 tiles.
+        let width = 32usize;
+        let height = 16usize;
+        let macro_cols = width * 3 / 4; // right three quarters
+        let macro_col_start = width - macro_cols;
+        let total_macros = params.total_macros();
+        let mut tiles = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let region = if x < width / 8 {
+                    if y < height / 2 {
+                        Region::RiscvCore
+                    } else {
+                        Region::PowerDelivery
+                    }
+                } else if x < macro_col_start {
+                    Region::Memory
+                } else {
+                    // Map the tile into the macro raster.
+                    let mx = (x - macro_col_start) * params.macro_groups / macro_cols;
+                    let my = y * params.macros_per_group / height;
+                    let idx = (mx * params.macros_per_group + my).min(total_macros - 1);
+                    Region::PimMacro(idx)
+                };
+                // Distance from the die edge (bumps ring the die): centre
+                // tiles see a longer PDN path.
+                let cx = (x as f64 / (width - 1) as f64 - 0.5).abs();
+                let cy = (y as f64 / (height - 1) as f64 - 0.5).abs();
+                let centrality = 1.0 - (cx.max(cy)) * 2.0; // 1 at centre, 0 at edge
+                let resistance_scale = 0.85 + 0.3 * centrality;
+                tiles.push(Tile { region, resistance_scale });
+            }
+        }
+        Self { width, height, tiles, params }
+    }
+
+    /// Grid width in tiles.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in tiles.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The tile at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[must_use]
+    pub fn tile(&self, x: usize, y: usize) -> &Tile {
+        assert!(x < self.width && y < self.height, "tile out of bounds");
+        &self.tiles[y * self.width + x]
+    }
+
+    /// Iterates over all tiles row-major.
+    pub fn tiles(&self) -> impl Iterator<Item = &Tile> {
+        self.tiles.iter()
+    }
+
+    /// Evaluates the voltage map for a per-macro activity snapshot.
+    ///
+    /// * `macro_rtog` — instantaneous toggle rate of each macro (length must
+    ///   equal `params.total_macros()`); idle macros should carry 0.
+    /// * `macro_voltage` / `macro_frequency_ghz` — operating point of each
+    ///   macro's group.
+    ///
+    /// Non-macro regions are modelled with fixed light activity (the RISC-V
+    /// core and buffers contribute little droop, as the paper observes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the macro count.
+    #[must_use]
+    pub fn voltage_map(
+        &self,
+        macro_rtog: &[f64],
+        macro_voltage: &[f64],
+        macro_frequency_ghz: &[f64],
+    ) -> VoltageMap {
+        let n = self.params.total_macros();
+        assert_eq!(macro_rtog.len(), n, "macro_rtog length mismatch");
+        assert_eq!(macro_voltage.len(), n, "macro_voltage length mismatch");
+        assert_eq!(macro_frequency_ghz.len(), n, "macro_frequency length mismatch");
+        let model = IrDropModel::new(self.params);
+        let nominal_v = self.params.nominal_voltage;
+        let voltages = self
+            .tiles
+            .iter()
+            .map(|tile| match tile.region {
+                Region::PimMacro(idx) => {
+                    let droop_mv = model.irdrop_mv(
+                        macro_rtog[idx],
+                        macro_voltage[idx],
+                        macro_frequency_ghz[idx],
+                    ) * tile.resistance_scale;
+                    macro_voltage[idx] - droop_mv * 1e-3
+                }
+                Region::RiscvCore => {
+                    // Light, constant activity.
+                    let droop_mv = model.irdrop_mv(0.10, nominal_v, 1.0) * tile.resistance_scale;
+                    nominal_v - droop_mv * 1e-3
+                }
+                Region::Memory => {
+                    let droop_mv = model.irdrop_mv(0.05, nominal_v, 1.0) * tile.resistance_scale;
+                    nominal_v - droop_mv * 1e-3
+                }
+                Region::PowerDelivery => nominal_v,
+            })
+            .collect();
+        VoltageMap { width: self.width, height: self.height, voltages }
+    }
+
+    /// Total demanded drive current (A) of the die for a per-macro snapshot,
+    /// used by the bump-trace experiment (paper Fig. 17-(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the macro count.
+    #[must_use]
+    pub fn demanded_current(
+        &self,
+        macro_rtog: &[f64],
+        macro_voltage: &[f64],
+        macro_frequency_ghz: &[f64],
+    ) -> f64 {
+        let n = self.params.total_macros();
+        assert_eq!(macro_rtog.len(), n);
+        assert_eq!(macro_voltage.len(), n);
+        assert_eq!(macro_frequency_ghz.len(), n);
+        let model = IrDropModel::new(self.params);
+        let macro_current: f64 = (0..n)
+            .map(|i| model.demanded_current(macro_rtog[i], macro_voltage[i], macro_frequency_ghz[i]))
+            .sum();
+        // Non-macro logic contributes a small constant share.
+        macro_current + 0.25
+    }
+
+    /// Voltage and current at one package bump for a per-macro snapshot,
+    /// assuming the demanded current spreads evenly over `bump_count` bumps
+    /// with series resistance `bump_resistance` each (paper Fig. 17-(b)/(c)).
+    #[must_use]
+    pub fn bump_sample(
+        &self,
+        macro_rtog: &[f64],
+        macro_voltage: &[f64],
+        macro_frequency_ghz: &[f64],
+        bump_count: usize,
+        bump_resistance: f64,
+    ) -> (f64, f64) {
+        let total = self.demanded_current(macro_rtog, macro_voltage, macro_frequency_ghz);
+        let per_bump = total / bump_count.max(1) as f64;
+        let bump_voltage = self.params.nominal_voltage - per_bump * bump_resistance;
+        (bump_voltage, per_bump)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> LayoutGrid {
+        LayoutGrid::standard(ProcessParams::dpim_7nm())
+    }
+
+    fn uniform(n: usize, v: f64) -> Vec<f64> {
+        vec![v; n]
+    }
+
+    #[test]
+    fn standard_floorplan_covers_all_macros() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let mut seen = vec![false; n];
+        for t in g.tiles() {
+            if let Region::PimMacro(i) = t.region {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every macro must own at least one tile");
+    }
+
+    #[test]
+    fn hotspots_are_in_the_macro_region() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let map = g.voltage_map(&uniform(n, 0.9), &uniform(n, 0.75), &uniform(n, 1.0));
+        // Find the worst tile and confirm it is a macro tile.
+        let (worst_idx, _) = map
+            .voltages
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let worst_tile = &g.tiles[worst_idx];
+        assert!(matches!(worst_tile.region, Region::PimMacro(_)));
+        // RISC-V tiles stay close to nominal.
+        for (i, t) in g.tiles().enumerate() {
+            if matches!(t.region, Region::RiscvCore) {
+                assert!(map.voltages[i] > 0.72);
+            }
+        }
+    }
+
+    #[test]
+    fn reducing_activity_raises_every_macro_tile_voltage() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let busy = g.voltage_map(&uniform(n, 0.9), &uniform(n, 0.75), &uniform(n, 1.0));
+        let calm = g.voltage_map(&uniform(n, 0.25), &uniform(n, 0.75), &uniform(n, 1.0));
+        for (i, t) in g.tiles().enumerate() {
+            if matches!(t.region, Region::PimMacro(_)) {
+                assert!(calm.voltages[i] > busy.voltages[i]);
+            }
+        }
+        assert!(calm.min_voltage() > busy.min_voltage());
+    }
+
+    #[test]
+    fn demanded_current_scales_with_activity() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let busy = g.demanded_current(&uniform(n, 1.0), &uniform(n, 0.75), &uniform(n, 1.0));
+        let idle = g.demanded_current(&uniform(n, 0.0), &uniform(n, 0.75), &uniform(n, 1.0));
+        assert!(busy > 2.0 * idle);
+    }
+
+    #[test]
+    fn bump_voltage_drops_under_load() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let (v_idle, i_idle) =
+            g.bump_sample(&uniform(n, 0.0), &uniform(n, 0.75), &uniform(n, 1.0), 200, 0.5);
+        let (v_busy, i_busy) =
+            g.bump_sample(&uniform(n, 1.0), &uniform(n, 0.75), &uniform(n, 1.0), 200, 0.5);
+        assert!(v_busy < v_idle);
+        assert!(i_busy > i_idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_macro_vector_is_rejected() {
+        let g = grid();
+        let _ = g.voltage_map(&[0.5; 3], &[0.75; 3], &[1.0; 3]);
+    }
+
+    #[test]
+    fn voltage_map_indexing() {
+        let g = grid();
+        let n = g.params.total_macros();
+        let map = g.voltage_map(&uniform(n, 0.5), &uniform(n, 0.75), &uniform(n, 1.0));
+        assert_eq!(map.voltages.len(), g.width() * g.height());
+        let v = map.at(0, 0);
+        assert!(v > 0.0 && v <= 0.75 + 1e-12);
+        assert!(map.max_voltage() >= map.min_voltage());
+    }
+}

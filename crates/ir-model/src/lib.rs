@@ -1,0 +1,60 @@
+//! # ir-model — PDN, IR-drop, power, timing and V-f models
+//!
+//! This crate provides the electrical substrate of the AIM reproduction: the
+//! analytical models that replace the post-layout sign-off flow
+//! (RedHawk / HSPICE) used by the original paper.
+//!
+//! The paper reduces IR-drop to an architecture-level expression (its Eq. 2):
+//! a static component driven by leakage plus a dynamic component proportional
+//! to the instantaneous toggle rate `Rtog` of the PIM bank.  Everything in
+//! this crate is built around that expression:
+//!
+//! * [`process`] — process/electrical constants for the modelled 7 nm DPIM
+//!   chip and the 28 nm APIM macro, calibrated against the two anchor points
+//!   the paper reports (140 mV sign-off worst case at 0.75 V; 58.1–43.2 mV
+//!   after AIM).
+//! * [`irdrop`] — the IR-drop model itself ([`irdrop::IrDropModel`]).
+//! * [`timing`] — an alpha-power-law timing-margin model that converts an
+//!   effective (post-droop) supply voltage into a maximum safe clock
+//!   frequency and back.
+//! * [`vf`] — voltage–frequency pair tables.  A pair is admissible at an
+//!   Rtog *level* iff the droop at that level still leaves enough voltage to
+//!   meet timing; the classic DVFS table is the special case `level = 100 %`.
+//! * [`power`] — CV²f + leakage power model, per-macro energy efficiency and
+//!   chip-level effective TOPS.
+//! * [`monitor`] — the VCO-based IR monitor that raises `IRFailure` when the
+//!   observed supply voltage crosses the failure threshold.
+//! * [`layout`] — a coarse spatial PDN grid used to regenerate the layout
+//!   heat map (paper Fig. 16) and per-bump current/voltage traces (Fig. 17).
+//!
+//! # Example
+//!
+//! ```
+//! use ir_model::process::ProcessParams;
+//! use ir_model::irdrop::IrDropModel;
+//!
+//! let params = ProcessParams::dpim_7nm();
+//! let model = IrDropModel::new(params);
+//! // Sign-off worst case: every bitstream toggles every cycle (Rtog = 1.0).
+//! let worst = model.irdrop_mv(1.0, params.nominal_voltage, params.nominal_frequency_ghz);
+//! assert!((worst - 140.0).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod irdrop;
+pub mod layout;
+pub mod monitor;
+pub mod power;
+pub mod process;
+pub mod timing;
+pub mod vf;
+
+pub use irdrop::IrDropModel;
+pub use layout::LayoutGrid;
+pub use monitor::{IrMonitor, MonitorSample};
+pub use power::{EnergyReport, PowerModel};
+pub use process::ProcessParams;
+pub use timing::TimingModel;
+pub use vf::{DvfsTable, VfPair, VfTable};

@@ -1,0 +1,395 @@
+//! Two's-complement Hamming utilities and the interpolated HR of Eq. 5.
+//!
+//! The Hamming Rate (HR) of a set of quantized weights is the fraction of
+//! 1-bits among all stored bits (Eq. 3 of the paper); it upper-bounds the
+//! instantaneous toggle rate `Rtog` of a PIM bank (Eq. 4) because a stored
+//! 0-bit can never contribute a toggle on the partial-product wire.
+//!
+//! HR of an integer is not differentiable, so the LHR regularizer relies on
+//! the *interpolated* HR of a floating-point weight (Eq. 5): linear
+//! interpolation between the HR of the two integers adjacent to `w / s`.
+//! The gradient of that interpolation is the slope of the segment, which is
+//! what pulls weights towards local HR minima during training.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of 1-bits in the two's-complement representation of `v` using
+/// `bits` bits (`bits` in 2..=8).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=8` or `v` is not representable.
+#[must_use]
+pub fn hamming_value(v: i32, bits: u32) -> u32 {
+    assert!((2..=8).contains(&bits), "bits must be in 2..=8, got {bits}");
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    assert!(
+        (min..=max).contains(&v),
+        "value {v} not representable in {bits}-bit two's complement"
+    );
+    let mask = (1u32 << bits) - 1;
+    ((v as u32) & mask).count_ones()
+}
+
+/// Hamming value (total number of 1-bits) of an INT8 slice.
+#[must_use]
+pub fn hamming_value_i8(weights: &[i8]) -> u64 {
+    weights.iter().map(|&w| u64::from((w as u8).count_ones())).sum()
+}
+
+/// Hamming rate of an INT8 slice: 1-bits divided by total bits (Eq. 3).
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn hamming_rate_i8(weights: &[i8]) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    hamming_value_i8(weights) as f64 / (weights.len() as f64 * 8.0)
+}
+
+/// Hamming rate of a slice interpreted at an arbitrary precision
+/// (e.g. INT4 values stored in `i8`).
+///
+/// # Panics
+///
+/// Panics if any value is not representable at that precision.
+#[must_use]
+pub fn hamming_rate(weights: &[i8], bits: u32) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let ones: u64 = weights
+        .iter()
+        .map(|&w| u64::from(hamming_value(i32::from(w), bits)))
+        .sum();
+    ones as f64 / (weights.len() as f64 * f64::from(bits))
+}
+
+/// Per-integer HR lookup table for a given precision.
+///
+/// `table[i]` is the HR (in `[0, 1]`) of the integer `i + min_value`, i.e.
+/// the table is indexed from the most negative representable value upward.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HrTable {
+    bits: u32,
+    values: Vec<f64>,
+}
+
+impl HrTable {
+    /// Builds the table for `bits`-bit two's complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+        let min = -(1i32 << (bits - 1));
+        let max = (1i32 << (bits - 1)) - 1;
+        let values = (min..=max)
+            .map(|v| f64::from(hamming_value(v, bits)) / f64::from(bits))
+            .collect();
+        Self { bits, values }
+    }
+
+    /// Precision of the table in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Most negative representable integer.
+    #[must_use]
+    pub fn min_value(&self) -> i32 {
+        -(1i32 << (self.bits - 1))
+    }
+
+    /// Most positive representable integer.
+    #[must_use]
+    pub fn max_value(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// HR of an integer, clamping out-of-range values to the nearest
+    /// representable integer (matching the quantizer's clamping behaviour).
+    #[must_use]
+    pub fn hr(&self, v: i32) -> f64 {
+        let clamped = v.clamp(self.min_value(), self.max_value());
+        self.values[(clamped - self.min_value()) as usize]
+    }
+
+    /// Integers that are local minima of the HR function (lower HR than both
+    /// neighbours, with ties counting as minima).  These are the attractors
+    /// LHR pulls weights towards (0, ±8, ±16 … for INT8).
+    #[must_use]
+    pub fn local_minima(&self) -> Vec<i32> {
+        let mut out = Vec::new();
+        for v in self.min_value()..=self.max_value() {
+            let here = self.hr(v);
+            let left = if v == self.min_value() { f64::INFINITY } else { self.hr(v - 1) };
+            let right = if v == self.max_value() { f64::INFINITY } else { self.hr(v + 1) };
+            if here <= left && here <= right {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Result of evaluating the interpolated HR of a floating-point weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterpolatedHr {
+    /// Interpolated HR value in `[0, 1]`.
+    pub value: f64,
+    /// Gradient of the interpolated HR with respect to the *float* weight
+    /// (i.e. already divided by the quantization scale).
+    pub gradient: f64,
+}
+
+/// Interpolated HR of a floating-point weight `w` under scale `s` (Eq. 5).
+///
+/// `low = ⌊w/s⌋`, `high = ⌈w/s⌉`, `p = w/s − low`, and
+/// `HR(w) = (1−p)·HR[low] + p·HR[high]`.  The gradient is the segment slope
+/// `(HR[high] − HR[low]) / s`; at exact integers the gradient is defined as 0
+/// (the weight already sits on a lattice point).
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn interpolated_hr(w: f64, scale: f64, table: &HrTable) -> InterpolatedHr {
+    assert!(scale > 0.0, "quantization scale must be positive");
+    let x = w / scale;
+    let low = x.floor();
+    let high = x.ceil();
+    if (low - high).abs() < f64::EPSILON {
+        return InterpolatedHr { value: table.hr(low as i32), gradient: 0.0 };
+    }
+    let p = x - low;
+    let hr_low = table.hr(low as i32);
+    let hr_high = table.hr(high as i32);
+    InterpolatedHr {
+        value: (1.0 - p) * hr_low + p * hr_high,
+        gradient: (hr_high - hr_low) / scale,
+    }
+}
+
+/// Gradient (per float unit) of a *box-smoothed* interpolated HR.
+///
+/// The exact interpolated HR of Eq. 5 only sees the two integers adjacent to
+/// the weight, so a deterministic full-batch optimiser can never carry a
+/// weight across a lattice point where the HR is locally flat.  Real QAT runs
+/// do cross such points because stochastic task gradients jitter the weights
+/// between steps.  To recover that basin-hopping ability without stochastic
+/// noise, the training loop may use the gradient of the smoothed landscape
+/// `S(w) = mean_{k=-R..R} HR_interp(w + k·s)`, whose minima coincide with the
+/// wide low-HR basins (0, ±8, ±16 …) the paper's Fig. 7 shows the weights
+/// concentrating in.  `radius_lsb = 0` degenerates to the exact Eq. 5 slope.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn smoothed_hr_gradient(w: f64, scale: f64, table: &HrTable, radius_lsb: u32) -> f64 {
+    assert!(scale > 0.0, "quantization scale must be positive");
+    let r = i64::from(radius_lsb);
+    let mut sum = 0.0;
+    for k in -r..=r {
+        sum += interpolated_hr(w + k as f64 * scale, scale, table).gradient;
+    }
+    sum / (2 * r + 1) as f64
+}
+
+/// Mean interpolated HR of a float slice together with its per-element
+/// gradients (used by the LHR loss).
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn layer_interpolated_hr(weights: &[f32], scale: f64, table: &HrTable) -> (f64, Vec<f64>) {
+    if weights.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let n = weights.len() as f64;
+    let mut sum = 0.0;
+    let mut grads = Vec::with_capacity(weights.len());
+    for &w in weights {
+        let h = interpolated_hr(f64::from(w), scale, table);
+        sum += h.value;
+        grads.push(h.gradient / n);
+    }
+    (sum / n, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_value_matches_twos_complement() {
+        assert_eq!(hamming_value(0, 8), 0);
+        assert_eq!(hamming_value(8, 8), 1);
+        assert_eq!(hamming_value(-8, 8), 5); // 1111_1000
+        assert_eq!(hamming_value(-1, 8), 8); // 1111_1111
+        assert_eq!(hamming_value(127, 8), 7);
+        assert_eq!(hamming_value(-128, 8), 1); // 1000_0000
+        assert_eq!(hamming_value(-1, 4), 4); // 1111
+        assert_eq!(hamming_value(7, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn out_of_range_value_panics() {
+        let _ = hamming_value(8, 4);
+    }
+
+    #[test]
+    fn hamming_rate_i8_of_known_patterns() {
+        assert_eq!(hamming_rate_i8(&[]), 0.0);
+        assert_eq!(hamming_rate_i8(&[0, 0, 0]), 0.0);
+        assert_eq!(hamming_rate_i8(&[-1, -1]), 1.0);
+        // 0x0F and 0xF0 patterns: exactly half the bits set.
+        assert_eq!(hamming_rate_i8(&[15, 15]), 0.5);
+    }
+
+    #[test]
+    fn small_negatives_have_high_hr_small_positives_low_hr() {
+        // The asymmetry WDS exploits: |w| small and negative ⇒ many 1s.
+        for w in 1i8..=7 {
+            let pos = hamming_rate_i8(&[w]);
+            let neg = hamming_rate_i8(&[-w]);
+            assert!(neg > pos, "HR(-{w}) should exceed HR({w})");
+        }
+    }
+
+    #[test]
+    fn int8_table_minima_include_the_papers_attractors() {
+        let table = HrTable::new(8);
+        let minima = table.local_minima();
+        for attractor in [-8, 0, 8, 16] {
+            assert!(minima.contains(&attractor), "{attractor} should be a local HR minimum");
+        }
+        // Small negative odd values are never minima.
+        assert!(!minima.contains(&-3));
+    }
+
+    #[test]
+    fn table_clamps_out_of_range_queries() {
+        let table = HrTable::new(8);
+        assert_eq!(table.hr(300), table.hr(127));
+        assert_eq!(table.hr(-300), table.hr(-128));
+    }
+
+    #[test]
+    fn interpolated_hr_matches_paper_examples() {
+        // Paper Fig. 7-(b): HR(-0.62) = 0.62 and HR(6.4) = 0.3, each with a
+        // segment slope of magnitude 1 and 0.125 respectively.  The paper
+        // quotes the slopes as descent directions; here `gradient` is the
+        // true derivative dHR/dw, so the signs are flipped relative to the
+        // figure caption but the descent behaviour is identical.
+        let table = HrTable::new(8);
+        let a = interpolated_hr(-0.62, 1.0, &table);
+        assert!((a.value - 0.62).abs() < 1e-9, "value {}", a.value);
+        assert!((a.gradient.abs() - 1.0).abs() < 1e-9, "gradient {}", a.gradient);
+        assert!(a.gradient < 0.0, "HR falls as the weight moves towards 0");
+        let b = interpolated_hr(6.4, 1.0, &table);
+        assert!((b.value - 0.3).abs() < 1e-9, "value {}", b.value);
+        assert!((b.gradient.abs() - 0.125).abs() < 1e-9, "gradient {}", b.gradient);
+        assert!(b.gradient > 0.0, "HR falls as the weight moves towards 6");
+    }
+
+    #[test]
+    fn interpolated_hr_at_integers_has_zero_gradient() {
+        let table = HrTable::new(8);
+        let h = interpolated_hr(8.0, 1.0, &table);
+        assert_eq!(h.gradient, 0.0);
+        assert!((h.value - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_hr_scales_with_quant_scale() {
+        let table = HrTable::new(8);
+        // Same lattice position, different scale: value equal, gradient scaled.
+        let a = interpolated_hr(0.31, 0.5, &table);
+        let b = interpolated_hr(0.62, 1.0, &table);
+        assert!((a.value - b.value).abs() < 1e-9);
+        assert!((a.gradient - 2.0 * b.gradient).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_descends_towards_local_minimum() {
+        // Starting between -1 (HR 1.0) and 0 (HR 0.0), following the negative
+        // gradient must move the weight towards 0.
+        let table = HrTable::new(8);
+        let mut w = -0.4f64;
+        for _ in 0..100 {
+            let h = interpolated_hr(w, 1.0, &table);
+            w -= 0.01 * h.gradient;
+        }
+        assert!(w > -0.4, "weight should have moved towards 0, got {w}");
+        let final_hr = interpolated_hr(w, 1.0, &table).value;
+        assert!(final_hr < 0.4);
+    }
+
+    #[test]
+    fn smoothed_gradient_with_zero_radius_matches_eq5() {
+        let table = HrTable::new(8);
+        for w in [-3.4f64, -0.62, 2.1, 6.4] {
+            let exact = interpolated_hr(w, 1.0, &table).gradient;
+            let smoothed = smoothed_hr_gradient(w, 1.0, &table, 0);
+            assert!((exact - smoothed).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoothed_gradient_sees_across_flat_segments() {
+        // Between -3 and -2 the exact HR is flat (both have 7 one-bits), so
+        // Eq. 5 gives zero gradient; the smoothed landscape still points
+        // towards the wide basin at 0.
+        let table = HrTable::new(8);
+        let exact = interpolated_hr(-2.5, 1.0, &table).gradient;
+        assert_eq!(exact, 0.0);
+        let smoothed = smoothed_hr_gradient(-2.5, 1.0, &table, 4);
+        assert!(smoothed < 0.0, "smoothed gradient should pull -2.5 towards 0, got {smoothed}");
+    }
+
+    #[test]
+    fn smoothed_gradient_descent_reaches_a_wide_basin() {
+        let table = HrTable::new(8);
+        let mut w = -5.3f64;
+        for _ in 0..1500 {
+            w -= 0.2 * smoothed_hr_gradient(w, 1.0, &table, 4);
+        }
+        let hr = table.hr(w.round() as i32);
+        assert!(hr <= 0.625, "weight should have reached a low-HR basin, ended at {w} (HR {hr})");
+    }
+
+    #[test]
+    fn layer_interpolated_hr_averages_elementwise_values() {
+        let table = HrTable::new(8);
+        let weights = [0.0f32, 8.0, -8.0];
+        let (mean, grads) = layer_interpolated_hr(&weights, 1.0, &table);
+        let expected = (0.0 + 0.125 + 0.625) / 3.0;
+        assert!((mean - expected).abs() < 1e-9);
+        assert_eq!(grads.len(), 3);
+        assert!(grads.iter().all(|g| g.abs() < 1e-12), "integer weights have zero gradient");
+    }
+
+    #[test]
+    fn empty_layer_is_well_behaved() {
+        let table = HrTable::new(8);
+        let (mean, grads) = layer_interpolated_hr(&[], 1.0, &table);
+        assert_eq!(mean, 0.0);
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn int4_hamming_rate() {
+        // -1 in INT4 = 1111 ⇒ HR 1.0; 1 = 0001 ⇒ HR 0.25.
+        assert_eq!(hamming_rate(&[-1], 4), 1.0);
+        assert_eq!(hamming_rate(&[1], 4), 0.25);
+        assert_eq!(hamming_rate(&[-1, 1], 4), 0.625);
+    }
+}

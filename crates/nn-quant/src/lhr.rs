@@ -1,0 +1,170 @@
+//! LHR — the Lower-Hamming-Rate regularization term (Eq. 6 of the paper).
+//!
+//! LHR adds a penalty to the training loss that drives quantized weights
+//! towards local minima of the Hamming function (0, ±8, ±16 … for INT8),
+//! lowering the network's HR — and therefore its worst-case IR-drop — while
+//! the task loss keeps the weights close to values that preserve accuracy.
+//!
+//! The penalty is the sum over layers of the *squared* mean HR, so layers
+//! with the highest HR receive the steepest gradient: the paper emphasises
+//! reducing the peak per-layer HR, not only the network average, because the
+//! worst macro in a group decides the group's safe V-f level.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hamming::{layer_interpolated_hr, HrTable};
+
+/// Configuration of the LHR regularizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LhrConfig {
+    /// Regularization strength `λ` balancing HR reduction against task loss.
+    pub lambda: f64,
+}
+
+impl LhrConfig {
+    /// A default strength that, with the weight-regression proxy task, yields
+    /// HR reductions in the 20–30 % band the paper reports for QAT.
+    #[must_use]
+    pub const fn default_strength() -> Self {
+        Self { lambda: 4.0 }
+    }
+
+    /// Creates a configuration with an explicit `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        Self { lambda }
+    }
+}
+
+impl Default for LhrConfig {
+    fn default() -> Self {
+        Self::default_strength()
+    }
+}
+
+/// The LHR loss of one layer together with per-weight gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LhrLayerLoss {
+    /// Mean interpolated HR of the layer.
+    pub mean_hr: f64,
+    /// Contribution of this layer to `L_HR` (i.e. `mean_hr²`).
+    pub loss: f64,
+    /// Gradient of `L_HR` with respect to each float weight of the layer.
+    pub gradients: Vec<f64>,
+}
+
+/// Evaluates the LHR loss for one layer of float weights under a scale.
+///
+/// `L_HR(layer) = HR(layer)²`, so the per-weight gradient is
+/// `2·HR(layer) · ∂HR/∂w_i` with `∂HR/∂w_i` coming from the interpolated HR
+/// of Eq. 5.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn lhr_layer_loss(weights: &[f32], scale: f64, table: &HrTable) -> LhrLayerLoss {
+    let (mean_hr, hr_grads) = layer_interpolated_hr(weights, scale, table);
+    let loss = mean_hr * mean_hr;
+    let gradients = hr_grads.iter().map(|g| 2.0 * mean_hr * g).collect();
+    LhrLayerLoss { mean_hr, loss, gradients }
+}
+
+/// Network-level LHR loss: the sum of per-layer squared mean HR.
+///
+/// Accepts `(weights, scale)` pairs, one per layer; the `HrTable` is shared
+/// because every layer of one network is quantized at the same precision.
+#[must_use]
+pub fn lhr_network_loss(layers: &[(&[f32], f64)], table: &HrTable) -> f64 {
+    layers
+        .iter()
+        .map(|(w, s)| lhr_layer_loss(w, *s, table).loss)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn default_lambda_is_positive() {
+        assert!(LhrConfig::default().lambda > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be non-negative")]
+    fn negative_lambda_is_rejected() {
+        let _ = LhrConfig::new(-0.1);
+    }
+
+    #[test]
+    fn loss_is_squared_mean_hr() {
+        let table = HrTable::new(8);
+        // Weights exactly on integers: -1 has HR 1.0, 0 has HR 0.0.
+        let weights = [0.0f32, -1.0];
+        let l = lhr_layer_loss(&weights, 1.0, &table);
+        assert!((l.mean_hr - 0.5).abs() < 1e-12);
+        assert!((l.loss - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_scales_with_mean_hr() {
+        let table = HrTable::new(8);
+        // Two layers with the same fractional weight but different company:
+        // the layer with higher overall HR gets a steeper gradient on the
+        // shared weight — exactly the "penalise the worst layers" behaviour.
+        let low_hr_layer = [0.4f32, 0.0, 8.0];
+        let high_hr_layer = [0.4f32, -1.0, -3.0];
+        let low = lhr_layer_loss(&low_hr_layer, 1.0, &table);
+        let high = lhr_layer_loss(&high_hr_layer, 1.0, &table);
+        assert!(high.mean_hr > low.mean_hr);
+        assert!(high.gradients[0].abs() > low.gradients[0].abs());
+    }
+
+    #[test]
+    fn descending_the_lhr_gradient_reduces_hr() {
+        let table = HrTable::new(8);
+        let t = Tensor::randn(vec![2048], 8.0, 21);
+        let mut weights: Vec<f32> = t.data().to_vec();
+        let before = lhr_layer_loss(&weights, 1.0, &table).mean_hr;
+        let n = weights.len() as f64;
+        for _ in 0..200 {
+            let l = lhr_layer_loss(&weights, 1.0, &table);
+            for (w, g) in weights.iter_mut().zip(&l.gradients) {
+                // The per-weight gradient is normalised by layer size, so
+                // scale the step accordingly.
+                *w -= (0.5 * n * g) as f32;
+            }
+        }
+        let after = lhr_layer_loss(&weights, 1.0, &table).mean_hr;
+        assert!(
+            after < before - 0.05,
+            "pure LHR descent should cut HR markedly: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn network_loss_sums_layers() {
+        let table = HrTable::new(8);
+        let a = [0.0f32, -1.0];
+        let b = [8.0f32, 8.0];
+        let sum = lhr_network_loss(&[(&a, 1.0), (&b, 1.0)], &table);
+        let expected =
+            lhr_layer_loss(&a, 1.0, &table).loss + lhr_layer_loss(&b, 1.0, &table).loss;
+        assert!((sum - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_layer_contributes_nothing() {
+        let table = HrTable::new(8);
+        let l = lhr_layer_loss(&[], 1.0, &table);
+        assert_eq!(l.loss, 0.0);
+        assert!(l.gradients.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! # nn-quant — quantization stack, LHR regularizer and WDS
+//!
+//! This crate reproduces the *software* half of AIM: the quantization-time
+//! machinery that lowers the Hamming Rate (HR) of the weights a PIM chip will
+//! hold in its SRAM arrays.
+//!
+//! The original paper integrates its methods into PyTorch on real networks
+//! (ResNet18, MobileNetV2, YOLOv5, ViT, Llama3.2-1B, GPT2).  Neither the
+//! framework nor the datasets are available here, so the crate implements a
+//! self-contained substitute:
+//!
+//! * [`tensor`] — a minimal dense tensor with the random initialisers needed
+//!   to generate weight distributions with realistic statistics.
+//! * [`hamming`] — two's-complement Hamming utilities: per-integer HR tables,
+//!   the interpolated differentiable HR of Eq. 5 and its gradient.
+//! * [`quant`] — symmetric INT4/INT8 quantization (scales, clamping,
+//!   round-to-nearest, dequantization).
+//! * [`qat`] — a quantization-aware-training loop using a
+//!   weight-regression proxy task (stay close to the float weights) with a
+//!   straight-through estimator; the baseline corresponds to the white-paper
+//!   QAT recipe the paper compares against.
+//! * [`lhr`] — the LHR regularization term of Eq. 6 (squared per-layer HR,
+//!   penalising the worst layers hardest) plugged into the QAT loop.
+//! * [`wds`] — Weight Distribution Shift (Algorithm 1): the +δ shift with
+//!   overflow clamping and the exact shift-compensation identity.
+//! * [`ptq`] — post-training-quantization emulations (OmniQuant-like for
+//!   LLM layers, BRECQ-like for conv layers) and their combination with LHR.
+//! * [`pruning`] — gradual magnitude pruning, for the comparison/combination
+//!   experiment (paper Fig. 15).
+//! * [`mlp`] — a genuinely trainable two-layer MLP on synthetic clustered
+//!   data: the one place where accuracy is *measured*, not modelled, so the
+//!   claim "LHR costs almost no accuracy" can be checked end-to-end.
+//! * [`accuracy`] — the documented accuracy/perplexity proxy used for the
+//!   large-network tables (Table 2/3, Fig. 13/15), mapping weight
+//!   perturbation to an accuracy delta.
+//!
+//! # Example
+//!
+//! ```
+//! use nn_quant::hamming::hamming_rate_i8;
+//! use nn_quant::wds::{apply_wds, WdsConfig};
+//!
+//! // Small negative INT8 values carry many 1-bits...
+//! let weights = vec![-3i8, -2, -1, 1, 2, 3];
+//! let before = hamming_rate_i8(&weights);
+//! // ...and shifting the distribution by +8 removes most of them.
+//! let shifted = apply_wds(&weights, &WdsConfig::int8_default());
+//! let after = hamming_rate_i8(&shifted.weights);
+//! assert!(after < before);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod hamming;
+pub mod lhr;
+pub mod mlp;
+pub mod pruning;
+pub mod ptq;
+pub mod qat;
+pub mod quant;
+pub mod tensor;
+pub mod wds;
+
+pub use hamming::{hamming_rate_i8, hamming_value_i8, interpolated_hr, InterpolatedHr};
+pub use lhr::LhrConfig;
+pub use qat::{QatConfig, QatOutcome};
+pub use quant::{QuantScheme, QuantizedLayer};
+pub use tensor::Tensor;
+pub use wds::{apply_wds, WdsConfig, WdsOutcome};

@@ -1,0 +1,319 @@
+//! A genuinely trainable MLP classifier on synthetic data.
+//!
+//! Every accuracy number for the large networks in this reproduction goes
+//! through a documented proxy model (see [`crate::accuracy`]).  To keep that
+//! proxy honest, this module provides one place where accuracy is *measured*
+//! end-to-end: a small two-layer MLP trained with plain SGD on synthetic
+//! Gaussian clusters, then quantized with and without LHR and WDS.  The
+//! integration tests assert that the measured accuracy drop from LHR/WDS is
+//! small — the same qualitative claim the paper makes for ImageNet-scale
+//! models.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::quant::QuantScheme;
+use crate::tensor::Tensor;
+
+/// A synthetic classification dataset: Gaussian clusters, one per class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticDataset {
+    /// Flattened feature vectors, `samples × features` row-major.
+    pub features: Vec<f32>,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SyntheticDataset {
+    /// Generates `samples_per_class` points for each of `classes` Gaussian
+    /// clusters in `feature_dim` dimensions.
+    #[must_use]
+    pub fn generate(classes: usize, samples_per_class: usize, feature_dim: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Cluster centres drawn once, spread enough to be separable but with
+        // overlap so accuracy is not trivially 100 %.
+        let centres: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..feature_dim).map(|_| rng.gen_range(-1.5..1.5)).collect())
+            .collect();
+        let mut features = Vec::with_capacity(classes * samples_per_class * feature_dim);
+        let mut labels = Vec::with_capacity(classes * samples_per_class);
+        let mut order: Vec<(usize, usize)> = (0..classes)
+            .flat_map(|c| (0..samples_per_class).map(move |s| (c, s)))
+            .collect();
+        order.shuffle(&mut rng);
+        for (class, _) in order {
+            for d in 0..feature_dim {
+                let noise: f32 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                features.push(centres[class][d] + 0.45 * noise);
+            }
+            labels.push(class);
+        }
+        Self { features, labels, feature_dim, classes }
+    }
+
+    /// Splits the dataset into a training part holding `train_fraction` of
+    /// the samples and a test part holding the rest.  Samples are already
+    /// shuffled at generation time, so a prefix split is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Self, Self) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let take = |range: std::ops::Range<usize>| Self {
+            features: self.features[range.start * self.feature_dim..range.end * self.feature_dim]
+                .to_vec(),
+            labels: self.labels[range.clone()].to_vec(),
+            feature_dim: self.feature_dim,
+            classes: self.classes,
+        };
+        (take(0..cut), take(cut..self.len()))
+    }
+
+    /// Number of samples in the dataset.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature vector of sample `i`.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+}
+
+/// A two-layer MLP: `features → hidden (ReLU) → classes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// First-layer weights, `hidden × features` row-major.
+    pub w1: Vec<f32>,
+    /// First-layer bias.
+    pub b1: Vec<f32>,
+    /// Second-layer weights, `classes × hidden` row-major.
+    pub w2: Vec<f32>,
+    /// Second-layer bias.
+    pub b2: Vec<f32>,
+    /// Input dimensionality.
+    pub features: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Mlp {
+    /// Creates a randomly initialised MLP.
+    #[must_use]
+    pub fn new(features: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let w1 = Tensor::randn(vec![hidden * features], (2.0 / features as f32).sqrt(), seed)
+            .data()
+            .to_vec();
+        let w2 =
+            Tensor::randn(vec![classes * hidden], (2.0 / hidden as f32).sqrt(), seed ^ 0x9e37)
+                .data()
+                .to_vec();
+        Self { w1, b1: vec![0.0; hidden], w2, b2: vec![0.0; classes], features, hidden, classes }
+    }
+
+    /// Forward pass returning the hidden activations and the logits.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut h = vec![0.0f32; self.hidden];
+        for j in 0..self.hidden {
+            let mut acc = self.b1[j];
+            for (d, &xv) in x.iter().enumerate() {
+                acc += self.w1[j * self.features + d] * xv;
+            }
+            h[j] = acc.max(0.0);
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for (c, logit) in logits.iter_mut().enumerate() {
+            let mut acc = self.b2[c];
+            for (j, &hv) in h.iter().enumerate() {
+                acc += self.w2[c * self.hidden + j] * hv;
+            }
+            *logit = acc;
+        }
+        (h, logits)
+    }
+
+    /// Predicted class for one feature vector.
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let (_, logits) = self.forward(x);
+        argmax(&logits)
+    }
+
+    /// Classification accuracy over a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &SyntheticDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.sample(i)) == data.labels[i])
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Trains the MLP with plain SGD and a softmax cross-entropy loss.
+    pub fn train(&mut self, data: &SyntheticDataset, epochs: usize, lr: f32, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = data.sample(i);
+                let label = data.labels[i];
+                let (h, logits) = self.forward(x);
+                let probs = softmax(&logits);
+                // Output-layer gradient: p - one_hot(label).
+                let mut dlogits = probs;
+                dlogits[label] -= 1.0;
+                // Backprop into w2/b2 and the hidden layer.
+                let mut dh = vec![0.0f32; self.hidden];
+                for c in 0..self.classes {
+                    for j in 0..self.hidden {
+                        dh[j] += dlogits[c] * self.w2[c * self.hidden + j];
+                        self.w2[c * self.hidden + j] -= lr * dlogits[c] * h[j];
+                    }
+                    self.b2[c] -= lr * dlogits[c];
+                }
+                for j in 0..self.hidden {
+                    if h[j] <= 0.0 {
+                        continue;
+                    }
+                    for (d, &xv) in x.iter().enumerate() {
+                        self.w1[j * self.features + d] -= lr * dh[j] * xv;
+                    }
+                    self.b1[j] -= lr * dh[j];
+                }
+            }
+        }
+    }
+
+    /// Returns a copy of the model with both weight matrices replaced by the
+    /// provided float buffers (biases untouched).  Used to evaluate the
+    /// accuracy of quantized / HR-optimised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match.
+    #[must_use]
+    pub fn with_weights(&self, w1: Vec<f32>, w2: Vec<f32>) -> Self {
+        assert_eq!(w1.len(), self.w1.len(), "w1 length mismatch");
+        assert_eq!(w2.len(), self.w2.len(), "w2 length mismatch");
+        Self { w1, w2, ..self.clone() }
+    }
+
+    /// Evaluates accuracy after fake-quantizing both layers at `bits`.
+    #[must_use]
+    pub fn quantized_accuracy(&self, data: &SyntheticDataset, bits: u32) -> f64 {
+        let t1 = Tensor::from_vec(vec![self.w1.len()], self.w1.clone());
+        let t2 = Tensor::from_vec(vec![self.w2.len()], self.w2.clone());
+        let s1 = QuantScheme::fit(&t1, bits);
+        let s2 = QuantScheme::fit(&t2, bits);
+        let q1: Vec<f32> = self.w1.iter().map(|&w| s1.fake_quantize(w)).collect();
+        let q2: Vec<f32> = self.w2.iter().map(|&w| s2.fake_quantize(w)).collect();
+        self.with_weights(q1, q2).accuracy(data)
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_setup() -> (Mlp, SyntheticDataset, SyntheticDataset) {
+        let full = SyntheticDataset::generate(4, 180, 12, 11);
+        let (train, test) = full.split(0.7);
+        let mut mlp = Mlp::new(12, 24, 4, 5);
+        mlp.train(&train, 20, 0.01, 99);
+        (mlp, train, test)
+    }
+
+    #[test]
+    fn dataset_shapes_are_consistent() {
+        let d = SyntheticDataset::generate(3, 10, 5, 1);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.sample(0).len(), 5);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn training_beats_chance_by_a_wide_margin() {
+        let (mlp, _train, test) = trained_setup();
+        let acc = mlp.accuracy(&test);
+        assert!(acc > 0.70, "trained accuracy should be well above 25 % chance, got {acc}");
+    }
+
+    #[test]
+    fn int8_quantization_costs_little_accuracy() {
+        let (mlp, _train, test) = trained_setup();
+        let float_acc = mlp.accuracy(&test);
+        let q_acc = mlp.quantized_accuracy(&test, 8);
+        assert!(float_acc - q_acc < 0.03, "float {float_acc}, int8 {q_acc}");
+    }
+
+    #[test]
+    fn int4_quantization_costs_more_than_int8() {
+        let (mlp, _train, test) = trained_setup();
+        let q8 = mlp.quantized_accuracy(&test, 8);
+        let q4 = mlp.quantized_accuracy(&test, 4);
+        assert!(q4 <= q8 + 0.02);
+    }
+
+    #[test]
+    fn with_weights_checks_lengths() {
+        let mlp = Mlp::new(4, 8, 2, 1);
+        let ok = mlp.with_weights(mlp.w1.clone(), mlp.w2.clone());
+        assert_eq!(ok.w1, mlp.w1);
+    }
+
+    #[test]
+    #[should_panic(expected = "w1 length mismatch")]
+    fn wrong_weight_length_panics() {
+        let mlp = Mlp::new(4, 8, 2, 1);
+        let _ = mlp.with_weights(vec![0.0; 3], mlp.w2.clone());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_argmax_matches() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(argmax(&p), 2);
+    }
+}

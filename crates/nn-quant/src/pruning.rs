@@ -1,0 +1,177 @@
+//! Gradual magnitude pruning (GMP) for the comparison experiment (Fig. 15).
+//!
+//! The paper compares LHR/WDS against network pruning: zeroing weights also
+//! lowers HR (a zero contributes no 1-bits), but at higher sparsity targets
+//! it starts to cost accuracy, whereas LHR moves weights only locally.  The
+//! two are orthogonal and can be combined.
+//!
+//! This module implements the standard gradual-magnitude schedule: the
+//! sparsity target ramps up over a number of steps, and at each step the
+//! smallest-magnitude weights are zeroed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hamming::hamming_rate;
+use crate::quant::QuantizedLayer;
+use crate::tensor::Tensor;
+
+/// Configuration of a gradual magnitude pruning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// Final fraction of weights to zero, in `[0, 1)`.
+    pub target_sparsity: f64,
+    /// Number of pruning steps over which the target ramps up (cubic
+    /// schedule, as in the GMP reference implementation).
+    pub steps: usize,
+}
+
+impl PruningConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target sparsity is outside `[0, 1)` or `steps` is zero.
+    #[must_use]
+    pub fn new(target_sparsity: f64, steps: usize) -> Self {
+        assert!((0.0..1.0).contains(&target_sparsity), "sparsity must be in [0,1)");
+        assert!(steps > 0, "at least one pruning step is required");
+        Self { target_sparsity, steps }
+    }
+}
+
+/// Outcome of pruning one float layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruningOutcome {
+    /// The pruned float weights.
+    pub weights: Vec<f32>,
+    /// Achieved sparsity (fraction of exact zeros).
+    pub sparsity: f64,
+    /// RMS change relative to the original weights, normalised by the
+    /// original standard deviation (accuracy-risk proxy, same convention as
+    /// [`crate::qat::QatOutcome::relative_weight_shift`]).
+    pub relative_weight_shift: f64,
+}
+
+/// Prunes a float tensor to the target sparsity with a cubic GMP schedule.
+#[must_use]
+pub fn prune_tensor(tensor: &Tensor, config: &PruningConfig) -> PruningOutcome {
+    let mut weights: Vec<f32> = tensor.data().to_vec();
+    let n = weights.len();
+    if n == 0 {
+        return PruningOutcome { weights, sparsity: 0.0, relative_weight_shift: 0.0 };
+    }
+    for step in 1..=config.steps {
+        // Cubic ramp: s_t = s_f * (1 - (1 - t/T)^3).
+        let t = step as f64 / config.steps as f64;
+        let sparsity_now = config.target_sparsity * (1.0 - (1.0 - t).powi(3));
+        let prune_count = (sparsity_now * n as f64).round() as usize;
+        if prune_count == 0 {
+            continue;
+        }
+        // Find the magnitude threshold for this step.
+        let mut magnitudes: Vec<f32> = weights.iter().map(|w| w.abs()).collect();
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let threshold = magnitudes[(prune_count - 1).min(n - 1)];
+        for w in &mut weights {
+            if w.abs() <= threshold {
+                *w = 0.0;
+            }
+        }
+    }
+    let zeros = weights.iter().filter(|w| **w == 0.0).count();
+    let pruned = Tensor::from_vec(tensor.shape().to_vec(), weights.clone());
+    let shift = f64::from(pruned.rms_diff(tensor)) / f64::from(tensor.std().max(1e-12));
+    PruningOutcome { weights, sparsity: zeros as f64 / n as f64, relative_weight_shift: shift }
+}
+
+/// Prunes and then quantizes a layer, returning the layer and its HR.
+#[must_use]
+pub fn prune_and_quantize(
+    name: &str,
+    tensor: &Tensor,
+    config: &PruningConfig,
+    bits: u32,
+) -> (QuantizedLayer, PruningOutcome) {
+    let outcome = prune_tensor(tensor, config);
+    let pruned = Tensor::from_vec(tensor.shape().to_vec(), outcome.weights.clone());
+    let layer = QuantizedLayer::from_tensor(name, &pruned, bits);
+    (layer, outcome)
+}
+
+/// HR of a pruned-and-quantized weight set, for quick comparisons.
+#[must_use]
+pub fn pruned_hr(tensor: &Tensor, config: &PruningConfig, bits: u32) -> f64 {
+    let (layer, _) = prune_and_quantize("tmp", tensor, config, bits);
+    hamming_rate(&layer.weights, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_tensor(seed: u64) -> Tensor {
+        Tensor::randn(vec![8192], 0.04, seed)
+    }
+
+    #[test]
+    fn pruning_hits_the_target_sparsity() {
+        let t = layer_tensor(1);
+        for target in [0.1, 0.3, 0.5] {
+            let out = prune_tensor(&t, &PruningConfig::new(target, 10));
+            assert!(
+                (out.sparsity - target).abs() < 0.02,
+                "target {target}, achieved {}",
+                out.sparsity
+            );
+        }
+    }
+
+    #[test]
+    fn higher_sparsity_means_lower_hr_but_larger_shift() {
+        let t = layer_tensor(2);
+        let light = prune_tensor(&t, &PruningConfig::new(0.1, 10));
+        let heavy = prune_tensor(&t, &PruningConfig::new(0.5, 10));
+        assert!(heavy.relative_weight_shift > light.relative_weight_shift);
+        let hr_light = pruned_hr(&t, &PruningConfig::new(0.1, 10), 8);
+        let hr_heavy = pruned_hr(&t, &PruningConfig::new(0.5, 10), 8);
+        assert!(hr_heavy < hr_light);
+    }
+
+    #[test]
+    fn pruning_reduces_hr_relative_to_unpruned() {
+        let t = layer_tensor(3);
+        let unpruned = QuantizedLayer::from_tensor("l", &t, 8).hamming_rate();
+        let pruned = pruned_hr(&t, &PruningConfig::new(0.3, 10), 8);
+        assert!(pruned < unpruned);
+    }
+
+    #[test]
+    fn pruned_weights_are_exactly_zero() {
+        let t = layer_tensor(4);
+        let (layer, out) = prune_and_quantize("l", &t, &PruningConfig::new(0.4, 8), 8);
+        let zero_q = layer.weights.iter().filter(|&&w| w == 0).count();
+        // Every pruned weight quantizes to 0 (other weights may too).
+        assert!(zero_q as f64 / layer.len() as f64 >= out.sparsity - 1e-9);
+    }
+
+    #[test]
+    fn single_step_schedule_prunes_in_one_shot() {
+        let t = layer_tensor(5);
+        let out = prune_tensor(&t, &PruningConfig::new(0.25, 1));
+        assert!((out.sparsity - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn full_sparsity_is_rejected() {
+        let _ = PruningConfig::new(1.0, 10);
+    }
+
+    #[test]
+    fn empty_tensor_is_handled() {
+        let t = Tensor::zeros(vec![0]);
+        let out = prune_tensor(&t, &PruningConfig::new(0.5, 4));
+        assert_eq!(out.sparsity, 0.0);
+        assert!(out.weights.is_empty());
+    }
+}

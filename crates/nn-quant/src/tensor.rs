@@ -1,0 +1,236 @@
+//! Minimal dense tensor used throughout the quantization stack.
+//!
+//! The reproduction does not need a full ML framework — only flat weight
+//! buffers with shape metadata, Gaussian/Laplace initialisers that mimic the
+//! statistics of trained conv and transformer layers, and a handful of
+//! element-wise helpers used by the training loops.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `f32` tensor with a row-major shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the product of the shape.
+    #[must_use]
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a zero-filled tensor.
+    #[must_use]
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self { shape, data: vec![0.0; len] }
+    }
+
+    /// Samples a tensor from a zero-mean Gaussian with the given standard
+    /// deviation, using a deterministic seed.
+    ///
+    /// Trained convolution and linear layers are well approximated by a
+    /// zero-mean bell-shaped weight distribution, which is the property the
+    /// LHR/WDS analysis relies on (paper Fig. 7).
+    #[must_use]
+    pub fn randn(shape: Vec<usize>, std: f32, seed: u64) -> Self {
+        let len: usize = shape.iter().product();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..len).map(|_| gaussian(&mut rng) * std).collect();
+        Self { shape, data }
+    }
+
+    /// Samples a tensor from a zero-mean Laplace distribution (heavier tails
+    /// than Gaussian), typical of transformer MLP/projection layers.
+    #[must_use]
+    pub fn rand_laplace(shape: Vec<usize>, scale: f32, seed: u64) -> Self {
+        let len: usize = shape.iter().product();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..len)
+            .map(|_| {
+                let u: f32 = rng.gen_range(-0.5..0.5);
+                -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+            })
+            .collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Arithmetic mean (0 for an empty tensor).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Population standard deviation (0 for an empty tensor).
+    #[must_use]
+    pub fn std(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var =
+            self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.data.len() as f32;
+        var.sqrt()
+    }
+
+    /// Root-mean-square difference to another tensor of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors have different lengths.
+    #[must_use]
+    pub fn rms_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.len(), other.len(), "rms_diff requires equal lengths");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.len() as f32).sqrt()
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0; 6]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.shape(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::from_vec(vec![2, 3], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(vec![128], 0.05, 7);
+        let b = Tensor::randn(vec![128], 0.05, 7);
+        let c = Tensor::randn(vec![128], 0.05, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_statistics_are_plausible() {
+        let t = Tensor::randn(vec![50_000], 0.1, 42);
+        assert!(t.mean().abs() < 0.005, "mean {}", t.mean());
+        assert!((t.std() - 0.1).abs() < 0.01, "std {}", t.std());
+    }
+
+    #[test]
+    fn laplace_has_heavier_tails_than_gaussian() {
+        let g = Tensor::randn(vec![50_000], 0.1, 1);
+        let l = Tensor::rand_laplace(vec![50_000], 0.1 / std::f32::consts::SQRT_2, 1);
+        // Same variance target, but Laplace has a larger max.
+        assert!(l.max_abs() > g.max_abs());
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        let z = Tensor::zeros(vec![4, 4]);
+        assert_eq!(z.max_abs(), 0.0);
+        let e = Tensor::zeros(vec![0]);
+        assert!(e.is_empty());
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.std(), 0.0);
+    }
+
+    #[test]
+    fn rms_diff_of_identical_tensors_is_zero() {
+        let t = Tensor::randn(vec![64], 0.2, 3);
+        assert_eq!(t.rms_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn rms_diff_grows_with_perturbation() {
+        let t = Tensor::randn(vec![64], 0.2, 3);
+        let mut p = t.clone();
+        for v in p.data_mut() {
+            *v += 0.01;
+        }
+        let small = t.rms_diff(&p);
+        for v in p.data_mut() {
+            *v += 0.04;
+        }
+        let large = t.rms_diff(&p);
+        assert!(small > 0.0);
+        assert!(large > small);
+    }
+}

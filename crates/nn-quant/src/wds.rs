@@ -1,0 +1,349 @@
+//! WDS — Weight Distribution Shift (Algorithm 1 of the paper).
+//!
+//! After quantization (with or without LHR) weights remain roughly
+//! zero-centred, so many of them are *small negative* integers — exactly the
+//! values with the highest two's-complement Hamming weight (e.g. `-1` is all
+//! ones).  WDS adds a constant `δ` to every weight of a layer *offline*, so
+//! the matrix multiplication on the critical path runs with low-HR operands,
+//! and then corrects the result afterwards:
+//!
+//! ```text
+//! (W + δ)·x  −  δ·Σx   =   W·x
+//! ```
+//!
+//! The correction is exact except for weights that clamp at the top of the
+//! integer range (the paper measures < 1 % of weights overflowing, and those
+//! clamp rather than wrap, trading a bounded numerical error for correctness
+//! of sign).  `δ` must be a power of two so that the hardware shift
+//! compensator can multiply by shifting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hamming::hamming_rate;
+use crate::quant::QuantizedLayer;
+
+/// Configuration of a WDS pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WdsConfig {
+    /// The shift constant `δ` added to every weight (must be a power of two).
+    pub delta: i8,
+    /// Weight precision in bits (8 or 4).
+    pub bits: u32,
+}
+
+impl WdsConfig {
+    /// The paper's default for INT8 weights: `δ = 8`.
+    #[must_use]
+    pub const fn int8_default() -> Self {
+        Self { delta: 8, bits: 8 }
+    }
+
+    /// The stronger INT8 setting evaluated in Table 2: `δ = 16`.
+    #[must_use]
+    pub const fn int8_strong() -> Self {
+        Self { delta: 16, bits: 8 }
+    }
+
+    /// The paper's recommendation for INT4 weights: `δ = 2`.
+    #[must_use]
+    pub const fn int4_default() -> Self {
+        Self { delta: 2, bits: 4 }
+    }
+
+    /// Creates a configuration, validating the power-of-two requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not a positive power of two representable at the
+    /// given precision, or `bits` is outside `2..=8`.
+    #[must_use]
+    pub fn new(delta: i8, bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+        assert!(delta > 0, "delta must be positive");
+        assert!(delta.count_ones() == 1, "delta must be a power of two for the shift compensator");
+        let qmax = (1i16 << (bits - 1)) - 1;
+        assert!(i16::from(delta) <= qmax, "delta {delta} not representable in {bits} bits");
+        Self { delta, bits }
+    }
+
+    /// The shift amount `k = log2(δ)` the hardware compensator uses.
+    #[must_use]
+    pub fn shift_amount(&self) -> u32 {
+        self.delta.trailing_zeros()
+    }
+}
+
+/// Result of applying WDS to a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WdsOutcome {
+    /// The shifted weights (same order as the input).
+    pub weights: Vec<i8>,
+    /// HR before the shift.
+    pub hr_before: f64,
+    /// HR after the shift.
+    pub hr_after: f64,
+    /// Number of weights that clamped at the top of the range.
+    pub overflow_count: usize,
+    /// The configuration used.
+    pub config: WdsConfig,
+}
+
+impl WdsOutcome {
+    /// Fraction of weights that clamped.
+    #[must_use]
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.overflow_count as f64 / self.weights.len() as f64
+        }
+    }
+
+    /// Relative HR reduction achieved, clamped at 0.
+    #[must_use]
+    pub fn hr_reduction(&self) -> f64 {
+        if self.hr_before <= 0.0 {
+            0.0
+        } else {
+            ((self.hr_before - self.hr_after) / self.hr_before).max(0.0)
+        }
+    }
+}
+
+/// Applies WDS to a slice of quantized weights (Algorithm 1, offline part).
+#[must_use]
+pub fn apply_wds(weights: &[i8], config: &WdsConfig) -> WdsOutcome {
+    let qmax = ((1i16 << (config.bits - 1)) - 1) as i8;
+    let hr_before = hamming_rate(weights, config.bits);
+    let mut overflow_count = 0usize;
+    let shifted: Vec<i8> = weights
+        .iter()
+        .map(|&w| {
+            let v = i16::from(w) + i16::from(config.delta);
+            if v > i16::from(qmax) {
+                overflow_count += 1;
+                qmax
+            } else {
+                v as i8
+            }
+        })
+        .collect();
+    let hr_after = hamming_rate(&shifted, config.bits);
+    WdsOutcome { weights: shifted, hr_before, hr_after, overflow_count, config: *config }
+}
+
+/// Applies WDS to a [`QuantizedLayer`], returning the shifted layer and the
+/// outcome statistics.  The layer's scheme is unchanged: the shift is a pure
+/// integer-domain transformation undone by the compensator.
+#[must_use]
+pub fn apply_wds_to_layer(layer: &QuantizedLayer, delta: i8) -> (QuantizedLayer, WdsOutcome) {
+    let config = WdsConfig::new(delta, layer.scheme.bits());
+    let outcome = apply_wds(&layer.weights, &config);
+    let shifted = QuantizedLayer {
+        name: layer.name.clone(),
+        weights: outcome.weights.clone(),
+        scheme: layer.scheme,
+    };
+    (shifted, outcome)
+}
+
+/// The exact shift-compensation identity (Algorithm 1, lines 7–9), evaluated
+/// in integer arithmetic: computes `(W+δ)·x − δ·Σx` for one output.
+///
+/// When no weight clamped, this equals `W·x` exactly; the difference for
+/// clamped weights is bounded by `(overflow) · max|x|`.
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+#[must_use]
+pub fn compensated_dot(shifted_weights: &[i8], inputs: &[i32], delta: i8) -> i64 {
+    assert_eq!(shifted_weights.len(), inputs.len(), "operand length mismatch");
+    let raw: i64 = shifted_weights
+        .iter()
+        .zip(inputs)
+        .map(|(&w, &x)| i64::from(w) * i64::from(x))
+        .sum();
+    let input_sum: i64 = inputs.iter().map(|&x| i64::from(x)).sum();
+    raw - i64::from(delta) * input_sum
+}
+
+/// Plain integer dot product, for checking the compensation identity.
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+#[must_use]
+pub fn plain_dot(weights: &[i8], inputs: &[i32]) -> i64 {
+    assert_eq!(weights.len(), inputs.len(), "operand length mismatch");
+    weights
+        .iter()
+        .zip(inputs)
+        .map(|(&w, &x)| i64::from(w) * i64::from(x))
+        .sum()
+}
+
+/// Sweeps candidate `δ` values and reports the resulting HR, normalised to
+/// the unshifted HR — the data series behind the paper's Fig. 14.
+///
+/// Returns `(delta, normalized_hr)` pairs for `delta = 0..=max_delta`.
+/// Non-power-of-two deltas are evaluated too (they are what the figure shows
+/// going *wrong*), but [`WdsConfig::new`] still rejects them for production
+/// use.
+#[must_use]
+pub fn delta_sweep(weights: &[i8], bits: u32, max_delta: i8) -> Vec<(i8, f64)> {
+    let qmax = ((1i16 << (bits - 1)) - 1) as i8;
+    let base_hr = hamming_rate(weights, bits).max(1e-12);
+    (0..=max_delta)
+        .map(|delta| {
+            let shifted: Vec<i8> = weights
+                .iter()
+                .map(|&w| (i16::from(w) + i16::from(delta)).min(i16::from(qmax)) as i8)
+                .collect();
+            (delta, hamming_rate(&shifted, bits) / base_hr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantScheme;
+    use crate::tensor::Tensor;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn gaussian_int8_weights(seed: u64, n: usize) -> Vec<i8> {
+        let t = Tensor::randn(vec![n], 0.04, seed);
+        let scheme = QuantScheme::fit(&t, 8);
+        scheme.quantize_tensor(&t)
+    }
+
+    #[test]
+    fn delta8_reduces_hr_on_gaussian_weights() {
+        let w = gaussian_int8_weights(1, 8192);
+        let out = apply_wds(&w, &WdsConfig::int8_default());
+        assert!(out.hr_after < out.hr_before, "WDS must reduce HR");
+        assert!(out.hr_reduction() > 0.05);
+    }
+
+    #[test]
+    fn delta16_reduces_hr_at_least_as_much_as_delta8_on_narrow_distributions() {
+        // With LHR-style narrow distributions (most mass within ±16 LSB),
+        // δ=16 clears even more of the negative half-plane.
+        let w = gaussian_int8_weights(2, 8192);
+        let d8 = apply_wds(&w, &WdsConfig::int8_default());
+        let d16 = apply_wds(&w, &WdsConfig::int8_strong());
+        assert!(d16.hr_after <= d8.hr_after + 0.02);
+    }
+
+    #[test]
+    fn overflow_stays_rare_for_realistic_distributions() {
+        let w = gaussian_int8_weights(3, 8192);
+        let out = apply_wds(&w, &WdsConfig::int8_strong());
+        assert!(
+            out.overflow_fraction() < 0.01,
+            "paper reports <1 % overflow, got {}",
+            out.overflow_fraction()
+        );
+    }
+
+    #[test]
+    fn compensation_identity_is_exact_without_overflow() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let weights: Vec<i8> = (0..256).map(|_| rng.gen_range(-100..=100)).collect();
+        let inputs: Vec<i32> = (0..256).map(|_| rng.gen_range(-128..=127)).collect();
+        let config = WdsConfig::int8_default();
+        let out = apply_wds(&weights, &config);
+        assert_eq!(out.overflow_count, 0, "test distribution must not overflow");
+        let original = plain_dot(&weights, &inputs);
+        let compensated = compensated_dot(&out.weights, &inputs, config.delta);
+        assert_eq!(original, compensated, "WDS compensation must be exact");
+    }
+
+    #[test]
+    fn compensation_error_is_bounded_by_overflow_amount() {
+        // Force overflow with weights at the top of the range.
+        let weights = vec![120i8, 125, 127, -3];
+        let inputs = vec![1i32, 1, 1, 1];
+        let config = WdsConfig::int8_default();
+        let out = apply_wds(&weights, &config);
+        assert!(out.overflow_count > 0);
+        let original = plain_dot(&weights, &inputs);
+        let compensated = compensated_dot(&out.weights, &inputs, config.delta);
+        // Each clamped weight loses at most delta per unit input.
+        let bound = i64::from(config.delta) * out.overflow_count as i64;
+        assert!((original - compensated).abs() <= bound);
+    }
+
+    #[test]
+    fn power_of_two_deltas_give_local_minima_in_the_sweep() {
+        // Fig. 14: the sweep is taken on weights that already went through
+        // LHR, so the distribution is concentrated at the low-HR lattice
+        // points (0, ±8) with a narrow residual spread.  On that shape only
+        // δ ∈ {8, 16} reduce HR; every other shift increases it.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let w: Vec<i8> = (0..8192)
+            .map(|_| {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                if r < 0.55 {
+                    0i8
+                } else if r < 0.70 {
+                    8
+                } else if r < 0.85 {
+                    -8
+                } else {
+                    rng.gen_range(-12..=12)
+                }
+            })
+            .collect();
+        let sweep = delta_sweep(&w, 8, 16);
+        let hr_at = |d: i8| sweep.iter().find(|(x, _)| *x == d).unwrap().1;
+        assert!(hr_at(8) < 1.0);
+        assert!(hr_at(16) < 1.0);
+        assert!(hr_at(7) > hr_at(8));
+        assert!(hr_at(9) > hr_at(8));
+        assert!(hr_at(3) > 1.0, "small odd shifts increase HR");
+        assert!(hr_at(8) < hr_at(16), "δ=8 is the best shift for this spread");
+    }
+
+    #[test]
+    fn layer_wrapper_preserves_scheme_and_name() {
+        let t = Tensor::randn(vec![1024], 0.04, 5);
+        let layer = QuantizedLayer::from_tensor("conv1", &t, 8);
+        let (shifted, out) = apply_wds_to_layer(&layer, 8);
+        assert_eq!(shifted.name, "conv1");
+        assert_eq!(shifted.scheme, layer.scheme);
+        assert_eq!(shifted.weights.len(), layer.weights.len());
+        assert!(out.hr_after <= out.hr_before);
+    }
+
+    #[test]
+    fn int4_default_delta_reduces_hr() {
+        let t = Tensor::randn(vec![4096], 0.04, 6);
+        let scheme = QuantScheme::fit(&t, 4);
+        let w = scheme.quantize_tensor(&t);
+        let out = apply_wds(&w, &WdsConfig::int4_default());
+        assert!(out.hr_after < out.hr_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_delta_is_rejected() {
+        let _ = WdsConfig::new(6, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn too_large_delta_is_rejected() {
+        let _ = WdsConfig::new(16, 4);
+    }
+
+    #[test]
+    fn shift_amount_is_log2_delta() {
+        assert_eq!(WdsConfig::int8_default().shift_amount(), 3);
+        assert_eq!(WdsConfig::int8_strong().shift_amount(), 4);
+        assert_eq!(WdsConfig::int4_default().shift_amount(), 1);
+    }
+}

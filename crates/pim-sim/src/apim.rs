@@ -1,0 +1,199 @@
+//! Behavioural model of an analog PIM (APIM) macro.
+//!
+//! In APIM the partial products accumulate as an analog bit-line voltage that
+//! an ADC converts back to digits.  IR-drop on the supply directly perturbs
+//! the bit-line swing, so unlike DPIM — where droop costs timing margin —
+//! droop in APIM costs *computational accuracy* and energy efficiency.
+//!
+//! The paper's discussion section (Fig. 22-(a)) applies AIM to a 28 nm
+//! 128×32 APIM macro and reports ≈50 % IR-drop mitigation, less than the
+//! 58.5–69.2 % achieved on DPIM because the analog path is less sensitive to
+//! the mitigation levers.  This model reproduces that asymmetry: the droop
+//! seen by the analog front-end is a damped version of the digital droop.
+
+use serde::{Deserialize, Serialize};
+
+use ir_model::irdrop::IrDropModel;
+use ir_model::process::ProcessParams;
+
+use crate::bank::Bank;
+use crate::stream::InputStream;
+
+/// Behavioural analog PIM macro: one bank array plus an ADC model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogMacro {
+    bank: Bank,
+    params: ProcessParams,
+    /// ADC resolution in bits.
+    adc_bits: u32,
+    /// Fraction of the digital droop that reaches the analog bit-line path
+    /// (< 1: the analog path is partially isolated from the logic supply).
+    droop_coupling: f64,
+}
+
+/// Result of evaluating one input batch on the analog macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogResult {
+    /// The ideal (error-free) MAC output.
+    pub ideal: i64,
+    /// The output actually produced under the given droop.
+    pub observed: i64,
+    /// Relative computational error introduced by the droop and the ADC.
+    pub relative_error: f64,
+    /// The droop (mV) the analog path experienced.
+    pub effective_droop_mv: f64,
+}
+
+impl AnalogMacro {
+    /// Default fraction of digital droop coupling into the analog path.
+    pub const DEFAULT_DROOP_COUPLING: f64 = 0.72;
+
+    /// Creates an analog macro holding the given weights.
+    #[must_use]
+    pub fn new(weights: &[i8], weight_bits: u32) -> Self {
+        Self {
+            bank: Bank::new(weights, weight_bits),
+            params: ProcessParams::apim_28nm(),
+            adc_bits: 8,
+            droop_coupling: Self::DEFAULT_DROOP_COUPLING,
+        }
+    }
+
+    /// Overrides the ADC resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adc_bits` is outside `4..=12`.
+    #[must_use]
+    pub fn with_adc_bits(mut self, adc_bits: u32) -> Self {
+        assert!((4..=12).contains(&adc_bits), "ADC resolution must be 4..=12 bits");
+        self.adc_bits = adc_bits;
+        self
+    }
+
+    /// The underlying bank.
+    #[must_use]
+    pub fn bank(&self) -> &Bank {
+        &self.bank
+    }
+
+    /// Average Hamming rate of the stored weights.
+    #[must_use]
+    pub fn hamming_rate(&self) -> f64 {
+        self.bank.hamming_rate()
+    }
+
+    /// Droop (mV) experienced by the analog path for a given toggle rate at
+    /// an operating point — a damped version of the digital droop.
+    #[must_use]
+    pub fn analog_droop_mv(&self, rtog: f64, voltage: f64, frequency_ghz: f64) -> f64 {
+        let model = IrDropModel::new(self.params);
+        model.irdrop_mv(rtog, voltage, frequency_ghz) * self.droop_coupling
+    }
+
+    /// Evaluates one input batch at an operating point.
+    ///
+    /// The bit-line swing available for the ADC shrinks with the droop, which
+    /// manifests as a multiplicative gain error plus quantization error.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        inputs: &InputStream,
+        voltage: f64,
+        frequency_ghz: f64,
+    ) -> AnalogResult {
+        let mac = self.bank.mac(inputs);
+        let ideal = mac.output;
+        let rtog = mac.mean_rtog();
+        let droop_mv = self.analog_droop_mv(rtog, voltage, frequency_ghz);
+        // Gain error: the usable swing is (V - droop) / V of the ideal one.
+        let gain = 1.0 - (droop_mv * 1e-3) / voltage;
+        let scaled = ideal as f64 * gain;
+        // ADC quantization relative to the largest representable output.
+        let full_scale = (self.bank.len() as f64)
+            * f64::from((1i32 << (self.bank.weight_bits() - 1)) - 1)
+            * f64::from((1i32 << inputs.bits()) - 1);
+        let lsb = (2.0 * full_scale / f64::from(1u32 << self.adc_bits)).max(1.0);
+        let observed = ((scaled / lsb).round() * lsb) as i64;
+        let relative_error = if ideal == 0 {
+            (observed - ideal).unsigned_abs() as f64 / full_scale.max(1.0)
+        } else {
+            ((observed - ideal).abs() as f64) / (ideal.abs() as f64)
+        };
+        AnalogResult { ideal, observed, relative_error, effective_droop_mv: droop_mv }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(seed: i64, n: usize) -> Vec<i8> {
+        (0..n).map(|i| (((seed + i as i64 * 41) % 200) - 100) as i8).collect()
+    }
+
+    #[test]
+    fn droop_scales_with_activity_but_is_damped() {
+        let m = AnalogMacro::new(&weights(1, 128), 8);
+        let idle = m.analog_droop_mv(0.1, 0.9, 0.4);
+        let busy = m.analog_droop_mv(0.9, 0.9, 0.4);
+        assert!(busy > idle);
+        // Damping: analog droop is below the raw digital model's droop.
+        let digital = IrDropModel::new(ProcessParams::apim_28nm()).irdrop_mv(0.9, 0.9, 0.4);
+        assert!(busy < digital);
+    }
+
+    #[test]
+    fn error_grows_with_droop() {
+        let m = AnalogMacro::new(&weights(2, 128), 8).with_adc_bits(10);
+        let inputs = InputStream::random(128, 8, 3);
+        // Same workload, artificially higher frequency ⇒ more droop ⇒ more error.
+        let calm = m.evaluate(&inputs, 0.9, 0.3);
+        let strained = m.evaluate(&inputs, 0.9, 0.5);
+        assert!(strained.effective_droop_mv > calm.effective_droop_mv);
+        assert!(strained.relative_error >= calm.relative_error);
+    }
+
+    #[test]
+    fn lower_hr_weights_reduce_droop_and_error() {
+        // Mitigation story on APIM: lower-HR weights (e.g. after LHR+WDS)
+        // lower the droop and therefore the analog error.
+        let high_hr: Vec<i8> = (0..128).map(|i| if i % 2 == 0 { -3 } else { -5 }).collect();
+        let low_hr: Vec<i8> = (0..128).map(|i| if i % 2 == 0 { 8 } else { 0 }).collect();
+        let m_high = AnalogMacro::new(&high_hr, 8);
+        let m_low = AnalogMacro::new(&low_hr, 8);
+        assert!(m_low.hamming_rate() < m_high.hamming_rate());
+        let inputs = InputStream::random(128, 8, 4);
+        let r_high = m_high.evaluate(&inputs, 0.9, 0.4);
+        let r_low = m_low.evaluate(&inputs, 0.9, 0.4);
+        assert!(r_low.effective_droop_mv < r_high.effective_droop_mv);
+    }
+
+    #[test]
+    fn ideal_output_matches_digital_reference() {
+        let w = weights(5, 64);
+        let m = AnalogMacro::new(&w, 8);
+        let inputs = InputStream::random(64, 8, 6);
+        let expected: i64 = w
+            .iter()
+            .zip(inputs.values())
+            .map(|(&w, &x)| i64::from(w) * i64::from(x))
+            .sum();
+        assert_eq!(m.evaluate(&inputs, 0.9, 0.4).ideal, expected);
+    }
+
+    #[test]
+    fn finer_adc_reduces_error_at_low_droop() {
+        let w = weights(7, 128);
+        let inputs = InputStream::random(128, 8, 8);
+        let coarse = AnalogMacro::new(&w, 8).with_adc_bits(6).evaluate(&inputs, 0.9, 0.3);
+        let fine = AnalogMacro::new(&w, 8).with_adc_bits(12).evaluate(&inputs, 0.9, 0.3);
+        assert!(fine.relative_error <= coarse.relative_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC resolution")]
+    fn silly_adc_resolution_is_rejected() {
+        let _ = AnalogMacro::new(&weights(1, 16), 8).with_adc_bits(2);
+    }
+}

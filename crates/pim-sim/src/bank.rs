@@ -1,0 +1,301 @@
+//! Bit-exact simulation of one PIM bank.
+//!
+//! A bank holds `n` two's-complement weights in its SRAM cells.  An input
+//! batch is streamed bit-serially: in cycle `t` the bit `t` of every input is
+//! applied on the word lines, each SRAM cell ANDs its stored bit with the
+//! input bit, and the adder tree reduces the partial products; a shift-adder
+//! accumulates the per-cycle sums into the final multiply-accumulate result.
+//!
+//! Besides the functional result, the simulator records the paper's Rtog
+//! numerator exactly: the number of partial-product wires (`weight bit = 1`
+//! AND `input bit changed`) that toggled between consecutive cycles (Eq. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::InputStream;
+
+/// One PIM bank: `n` weights of `q` bits each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    weights: Vec<i8>,
+    weight_bits: u32,
+}
+
+/// Result of streaming one input batch through a bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacResult {
+    /// The multiply-accumulate output `Σ_k W_k · I_k`.
+    pub output: i64,
+    /// Exact per-cycle toggle counts of the partial-product wires: entry `t`
+    /// counts toggles between input cycles `t` and `t + 1`, so the vector has
+    /// `input_bits − 1` entries.
+    pub toggles_per_cycle: Vec<u64>,
+    /// Total number of partial-product bits per cycle (`n · q`), the
+    /// normaliser of Eq. 1.
+    pub bits_per_cycle: u64,
+}
+
+impl MacResult {
+    /// Per-cycle Rtog values (Eq. 1): toggles divided by `n · q`.
+    #[must_use]
+    pub fn rtog_per_cycle(&self) -> Vec<f64> {
+        self.toggles_per_cycle
+            .iter()
+            .map(|&t| t as f64 / self.bits_per_cycle.max(1) as f64)
+            .collect()
+    }
+
+    /// Maximum per-cycle Rtog observed while streaming this batch.
+    #[must_use]
+    pub fn peak_rtog(&self) -> f64 {
+        self.rtog_per_cycle().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Mean per-cycle Rtog over the batch.
+    #[must_use]
+    pub fn mean_rtog(&self) -> f64 {
+        let r = self.rtog_per_cycle();
+        if r.is_empty() {
+            0.0
+        } else {
+            r.iter().sum::<f64>() / r.len() as f64
+        }
+    }
+}
+
+impl Bank {
+    /// Creates a bank from quantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is outside `2..=8` or a weight is not
+    /// representable at that precision.
+    #[must_use]
+    pub fn new(weights: &[i8], weight_bits: u32) -> Self {
+        assert!((2..=8).contains(&weight_bits), "weight bits must be in 2..=8");
+        let min = -(1i16 << (weight_bits - 1));
+        let max = (1i16 << (weight_bits - 1)) - 1;
+        for &w in weights {
+            assert!(
+                (min..=max).contains(&i16::from(w)),
+                "weight {w} not representable in {weight_bits} bits"
+            );
+        }
+        Self { weights: weights.to_vec(), weight_bits }
+    }
+
+    /// The stored weights.
+    #[must_use]
+    pub fn weights(&self) -> &[i8] {
+        &self.weights
+    }
+
+    /// Weight precision in bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Number of weight cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the bank holds no weights.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Hamming rate of the stored weights (Eq. 3).
+    #[must_use]
+    pub fn hamming_rate(&self) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        let mask = (1u32 << self.weight_bits) - 1;
+        let ones: u64 = self
+            .weights
+            .iter()
+            .map(|&w| u64::from(((w as u8) as u32 & mask).count_ones()))
+            .sum();
+        ones as f64 / (self.weights.len() as f64 * f64::from(self.weight_bits))
+    }
+
+    /// Bit `i` of weight `k` in two's complement (0 = LSB).
+    fn weight_bit(&self, k: usize, i: u32) -> bool {
+        ((self.weights[k] as u8) >> i) & 1 == 1
+    }
+
+    /// Streams one input batch through the bank, producing the MAC output and
+    /// the exact per-cycle toggle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lane count differs from the weight count.
+    #[must_use]
+    pub fn mac(&self, inputs: &InputStream) -> MacResult {
+        assert_eq!(
+            inputs.len(),
+            self.weights.len(),
+            "input lanes ({}) must match weight cells ({})",
+            inputs.len(),
+            self.weights.len()
+        );
+        let n = self.weights.len();
+        let q = self.weight_bits;
+        // Functional result: the bit-serial shift-add reproduces Σ W_k · I_k.
+        let mut output: i64 = 0;
+        for t in 0..inputs.bits() {
+            let mut cycle_sum: i64 = 0;
+            for k in 0..n {
+                if inputs.bit(k, t) {
+                    cycle_sum += i64::from(self.weights[k]);
+                }
+            }
+            output += cycle_sum << t;
+        }
+        // Toggle accounting (Eq. 1): a partial-product wire toggles when its
+        // weight bit is 1 and the corresponding input bit changed.
+        let mut toggles_per_cycle = Vec::new();
+        if inputs.bits() >= 2 {
+            for t in 0..inputs.bits() - 1 {
+                let mut toggles: u64 = 0;
+                for k in 0..n {
+                    if inputs.bit(k, t) != inputs.bit(k, t + 1) {
+                        for i in 0..q {
+                            if self.weight_bit(k, i) {
+                                toggles += 1;
+                            }
+                        }
+                    }
+                }
+                toggles_per_cycle.push(toggles);
+            }
+        }
+        MacResult {
+            output,
+            toggles_per_cycle,
+            bits_per_cycle: (n as u64) * u64::from(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_matches_reference_dot_product() {
+        let weights = [13i8, -7, 0, 127, -128, 5];
+        let bank = Bank::new(&weights, 8);
+        let inputs = InputStream::from_values(&[9, 200, 33, 1, 255, 0], 8);
+        let expected: i64 = weights
+            .iter()
+            .zip(inputs.values())
+            .map(|(&w, &x)| i64::from(w) * i64::from(x))
+            .sum();
+        assert_eq!(bank.mac(&inputs).output, expected);
+    }
+
+    #[test]
+    fn mac_with_random_operands_matches_reference() {
+        for seed in 0..5u64 {
+            let stream = InputStream::random(64, 8, seed);
+            let weights: Vec<i8> = (0..64)
+                .map(|i| (((seed as i64 * 31 + i as i64 * 17) % 255) - 127) as i8)
+                .collect();
+            let bank = Bank::new(&weights, 8);
+            let expected: i64 = weights
+                .iter()
+                .zip(stream.values())
+                .map(|(&w, &x)| i64::from(w) * i64::from(x))
+                .sum();
+            assert_eq!(bank.mac(&stream).output, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_toggle() {
+        let bank = Bank::new(&[0i8; 16], 8);
+        let inputs = InputStream::random(16, 8, 1);
+        let result = bank.mac(&inputs);
+        assert_eq!(result.output, 0);
+        assert!(result.toggles_per_cycle.iter().all(|&t| t == 0));
+        assert_eq!(result.peak_rtog(), 0.0);
+    }
+
+    #[test]
+    fn constant_inputs_never_toggle() {
+        let bank = Bank::new(&[-1i8; 16], 8);
+        // All-zero and all-one inputs have no bit transitions.
+        let all_ones = InputStream::from_values(&[0xFF; 16], 8);
+        let result = bank.mac(&all_ones);
+        assert!(result.toggles_per_cycle.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn peak_rtog_is_bounded_by_hamming_rate() {
+        // Eq. 4: sup(Rtog) = HR.  Check on many random banks/inputs.
+        for seed in 0..10u64 {
+            let weights: Vec<i8> = (0..64)
+                .map(|i| (((seed as i64 * 131 + i as i64 * 29) % 255) - 127) as i8)
+                .collect();
+            let bank = Bank::new(&weights, 8);
+            let inputs = InputStream::random(64, 8, seed + 100);
+            let result = bank.mac(&inputs);
+            assert!(
+                result.peak_rtog() <= bank.hamming_rate() + 1e-12,
+                "seed {seed}: peak {} > HR {}",
+                result.peak_rtog(),
+                bank.hamming_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_inputs_reach_the_hr_bound() {
+        // Inputs alternating 0101…/1010… flip every lane every cycle, so the
+        // toggle count equals the weight Hamming value exactly.
+        let weights = [3i8, -5, 100, -100];
+        let bank = Bank::new(&weights, 8);
+        let inputs = InputStream::from_values(&[0b0101_0101; 4], 8);
+        let result = bank.mac(&inputs);
+        let hr = bank.hamming_rate();
+        for &r in &result.rtog_per_cycle() {
+            assert!((r - hr).abs() < 1e-12, "every cycle should hit the HR bound");
+        }
+    }
+
+    #[test]
+    fn hamming_rate_matches_manual_count() {
+        let bank = Bank::new(&[0, -1, 8], 8);
+        // 0 ones + 8 ones + 1 one = 9 of 24 bits.
+        assert!((bank.hamming_rate() - 9.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int4_bank_rejects_out_of_range_weights() {
+        let ok = Bank::new(&[-8, 7, 0], 4);
+        assert_eq!(ok.weight_bits(), 4);
+        assert!(std::panic::catch_unwind(|| Bank::new(&[8], 4)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match weight cells")]
+    fn mismatched_input_length_panics() {
+        let bank = Bank::new(&[1, 2, 3], 8);
+        let inputs = InputStream::from_values(&[1, 2], 8);
+        let _ = bank.mac(&inputs);
+    }
+
+    #[test]
+    fn single_bit_input_produces_no_toggle_entries() {
+        let bank = Bank::new(&[1, 2], 8);
+        let inputs = InputStream::from_values(&[1, 1], 1);
+        let r = bank.mac(&inputs);
+        assert!(r.toggles_per_cycle.is_empty());
+        assert_eq!(r.mean_rtog(), 0.0);
+    }
+}

@@ -1,0 +1,689 @@
+//! Statistical chip-level simulator: 16 macro groups × 4 macros executing
+//! mapped tasks under a pluggable V-f controller.
+//!
+//! This is the engine behind every end-to-end experiment (paper Figs. 3, 16,
+//! 17, 18, 19, 20, 21 and the §6.6 headline numbers).  Each simulated cycle:
+//!
+//! 1. every active macro samples its instantaneous toggle rate
+//!    `Rtog = HR × flip_fraction` from its task's weight HR and an input
+//!    flip-fraction sequence (the statistical fidelity described in
+//!    DESIGN.md);
+//! 2. the group's IR-drop is evaluated for its worst macro and checked by the
+//!    voltage monitor at the group's current operating point;
+//! 3. an `IRFailure` suspends the failing macro's logical set and charges the
+//!    recompute penalty (paper Fig. 11);
+//! 4. the [`VfController`] — the DVFS baseline here, AIM's IR-Booster in
+//!    `aim-core` — picks each group's operating point for the next cycle;
+//! 5. energy, droop and progress statistics are accumulated.
+//!
+//! The controller abstraction keeps this crate free of AIM policy: the chip
+//! provides mechanisms (droop, monitoring, stalls, recompute, accounting),
+//! the controller provides policy (which V-f pair to run).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use ir_model::irdrop::IrDropModel;
+use ir_model::monitor::IrMonitor;
+use ir_model::power::PowerModel;
+use ir_model::process::ProcessParams;
+use ir_model::timing::TimingModel;
+use ir_model::vf::VfPair;
+
+use crate::group::{group_of, GroupId, MacroId, MacroSet, SetId};
+use crate::stream::FlipSequence;
+
+/// Configuration of a chip simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Electrical/architectural constants of the chip.
+    pub params: ProcessParams,
+    /// Cycles a failing macro spends re-adjusting V-f and recomputing after
+    /// an `IRFailure` (its set mates stall for the same duration).
+    pub recompute_penalty_cycles: u64,
+    /// Mean of the input flip-fraction distribution.
+    pub flip_mean: f64,
+    /// Standard deviation of the input flip-fraction distribution.
+    pub flip_std: f64,
+    /// Length of each macro's flip sequence (wrapped if the run is longer).
+    pub flip_sequence_len: usize,
+    /// Base random seed; each macro derives its own stream from it.
+    pub seed: u64,
+    /// Record a trace sample every this many cycles (0 disables tracing).
+    pub trace_interval: u64,
+    /// Margin (V) below the timing-closure voltage before the monitor raises
+    /// `IRFailure`.  Real designs keep setup margin between the sign-off
+    /// timing limit and the point where paths actually start failing; small
+    /// excursions past a level therefore do not immediately corrupt results.
+    pub failure_margin_v: f64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            params: ProcessParams::dpim_7nm(),
+            recompute_penalty_cycles: 6,
+            flip_mean: 0.5,
+            flip_std: 0.15,
+            flip_sequence_len: 1024,
+            seed: 0xA1A1,
+            trace_interval: 0,
+            failure_margin_v: 0.008,
+        }
+    }
+}
+
+/// A task mapped onto one macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroTask {
+    /// Human-readable name (operator and slice).
+    pub name: String,
+    /// Hamming rate of the weights loaded into the macro — the value the
+    /// runtime toggle rate is drawn against (Eq. 4: `Rtog ≤ HR`).
+    pub weight_hr: f64,
+    /// Whether the operator's in-memory data is produced at runtime (QKT/SV
+    /// in attention): the controller then cannot rely on an offline HR.
+    pub input_determined: bool,
+    /// Useful cycles of work the task needs.
+    pub cycles: u64,
+    /// Logical set this slice belongs to (one set per operator).
+    pub set_id: SetId,
+}
+
+impl MacroTask {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_hr` is outside `[0, 1]` or `cycles` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, weight_hr: f64, cycles: u64, set_id: SetId) -> Self {
+        assert!((0.0..=1.0).contains(&weight_hr), "weight HR must be in [0,1]");
+        assert!(cycles > 0, "a task needs at least one cycle of work");
+        Self { name: name.into(), weight_hr, input_determined: false, cycles, set_id }
+    }
+
+    /// Marks the task as input-determined (QKT / SV style).
+    #[must_use]
+    pub fn input_determined(mut self) -> Self {
+        self.input_determined = true;
+        self
+    }
+}
+
+/// What the controller learns about one group at the end of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupObservation {
+    /// Group identifier.
+    pub group: GroupId,
+    /// Whether the group's monitor raised `IRFailure` this cycle.
+    pub failure: bool,
+    /// Whether any macro of the group still has work.
+    pub active: bool,
+    /// Worst (highest) offline-known weight HR over the group's active
+    /// macros; `None` when any active macro runs an input-determined task.
+    pub worst_known_hr: Option<f64>,
+    /// The operating point the group ran this cycle.
+    pub point: VfPair,
+}
+
+/// The controller's decision for one group for the next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerDecision {
+    /// Operating point to apply.
+    pub point: VfPair,
+    /// The Rtog level (percent) the point was selected for (bookkeeping).
+    pub level_percent: u8,
+}
+
+/// Policy hook deciding each group's V-f point every cycle.
+pub trait VfController {
+    /// Returns one decision per group, in group order.
+    fn decide(&mut self, cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision>;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str {
+        "controller"
+    }
+}
+
+/// The conventional baseline: every group runs a fixed signed-off point
+/// (DVFS would move along the signed-off curve between workloads, but within
+/// one inference it stays put — exactly what the paper compares against).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticController {
+    point: VfPair,
+}
+
+impl StaticController {
+    /// Runs every group at the chip's nominal operating point.
+    #[must_use]
+    pub fn nominal(params: &ProcessParams) -> Self {
+        Self { point: VfPair::new(params.nominal_voltage, params.nominal_frequency_ghz) }
+    }
+
+    /// Runs every group at an explicit point.
+    #[must_use]
+    pub fn fixed(point: VfPair) -> Self {
+        Self { point }
+    }
+}
+
+impl VfController for StaticController {
+    fn decide(&mut self, _cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision> {
+        observations
+            .iter()
+            .map(|_| ControllerDecision { point: self.point, level_percent: 100 })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "static-dvfs"
+    }
+}
+
+/// One downsampled trace point (for the Fig. 16/17 experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Cycle index of the sample.
+    pub cycle: u64,
+    /// Per-macro instantaneous toggle rate.
+    pub macro_rtog: Vec<f64>,
+    /// Per-macro supply voltage.
+    pub macro_voltage: Vec<f64>,
+    /// Per-macro clock frequency (GHz).
+    pub macro_frequency_ghz: Vec<f64>,
+    /// Worst droop (mV) across the chip this cycle.
+    pub worst_droop_mv: f64,
+}
+
+/// Aggregated outcome of one chip simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunReport {
+    /// Total simulated cycles until every task finished.
+    pub total_cycles: u64,
+    /// Macro-cycles spent doing useful work.
+    pub useful_macro_cycles: u64,
+    /// Macro-cycles lost to stalls caused by set mates recomputing.
+    pub stall_macro_cycles: u64,
+    /// Macro-cycles lost to V-f adjustment and recomputation.
+    pub recompute_macro_cycles: u64,
+    /// Macro-cycles spent idle (no task or task finished).
+    pub idle_macro_cycles: u64,
+    /// Number of IRFailures raised.
+    pub failures: u64,
+    /// Mean per-macro power over the run (mW), averaged over busy macros.
+    pub avg_macro_power_mw: f64,
+    /// Worst instantaneous droop observed anywhere (mV).
+    pub worst_irdrop_mv: f64,
+    /// Mean droop over busy macros and cycles (mV).
+    pub mean_irdrop_mv: f64,
+    /// Effective chip throughput over the run (TOPS).
+    pub effective_tops: f64,
+    /// Optional downsampled trace.
+    pub trace: Vec<TraceSample>,
+    /// Per-macro cycles spent stalled on behalf of a recomputing set mate.
+    pub per_macro_stall_cycles: Vec<u64>,
+}
+
+impl RunReport {
+    /// Per-macro cycles spent stalled because a set mate was recomputing.
+    /// Indexed by flat macro id; empty if the run never started.
+    pub fn per_macro_stalls(&self) -> &[u64] {
+        &self.per_macro_stall_cycles
+    }
+
+    /// Fraction of macro-cycles lost to stalls and recomputation.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        let busy = self.useful_macro_cycles + self.stall_macro_cycles + self.recompute_macro_cycles;
+        if busy == 0 {
+            0.0
+        } else {
+            (self.stall_macro_cycles + self.recompute_macro_cycles) as f64 / busy as f64
+        }
+    }
+}
+
+/// The chip simulator: geometry, tasks and per-macro runtime state.
+#[derive(Debug, Clone)]
+pub struct ChipSimulator {
+    config: ChipConfig,
+    tasks: Vec<Option<MacroTask>>,
+    sets: Vec<MacroSet>,
+    flip_sequences: Vec<FlipSequence>,
+    irdrop: IrDropModel,
+    power: PowerModel,
+    timing: TimingModel,
+}
+
+impl ChipSimulator {
+    /// Builds a simulator for a task mapping.
+    ///
+    /// `tasks[m]` is the task mapped onto flat macro `m` (or `None` for an
+    /// idle macro); the vector length must equal the chip's macro count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task vector length does not match the macro count.
+    #[must_use]
+    pub fn new(config: ChipConfig, tasks: Vec<Option<MacroTask>>) -> Self {
+        let total = config.params.total_macros();
+        assert_eq!(tasks.len(), total, "need one task slot per macro ({total})");
+        // Derive the logical sets from the tasks.
+        let mut set_ids: Vec<SetId> = tasks
+            .iter()
+            .flatten()
+            .map(|t| t.set_id)
+            .collect();
+        set_ids.sort_unstable();
+        set_ids.dedup();
+        let sets = set_ids
+            .into_iter()
+            .map(|sid| {
+                let members: Vec<MacroId> = tasks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(m, t)| t.as_ref().filter(|t| t.set_id == sid).map(|_| m))
+                    .collect();
+                MacroSet::new(sid, members)
+            })
+            .collect();
+        let flip_sequences = (0..total)
+            .map(|m| {
+                FlipSequence::normal(
+                    config.flip_sequence_len,
+                    config.flip_mean,
+                    config.flip_std,
+                    config.seed.wrapping_add(m as u64 * 7919),
+                )
+            })
+            .collect();
+        let irdrop = IrDropModel::new(config.params);
+        let power = PowerModel::new(config.params);
+        let timing = TimingModel::from_process(&config.params);
+        Self { config, tasks, sets, flip_sequences, irdrop, power, timing }
+    }
+
+    /// The simulator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The logical sets derived from the mapping.
+    #[must_use]
+    pub fn sets(&self) -> &[MacroSet] {
+        &self.sets
+    }
+
+    /// The task mapped on each macro.
+    #[must_use]
+    pub fn tasks(&self) -> &[Option<MacroTask>] {
+        &self.tasks
+    }
+
+    /// Worst offline-known HR per group (the HRG of §5.5.1), or `None` for
+    /// groups containing an input-determined task or no task at all.
+    #[must_use]
+    pub fn group_worst_hr(&self) -> Vec<Option<f64>> {
+        let mpg = self.config.params.macros_per_group;
+        (0..self.config.params.macro_groups)
+            .map(|g| {
+                let members = (g * mpg)..((g + 1) * mpg);
+                let mut worst: Option<f64> = None;
+                for m in members {
+                    if let Some(task) = &self.tasks[m] {
+                        if task.input_determined {
+                            return None;
+                        }
+                        worst = Some(worst.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)));
+                    }
+                }
+                worst
+            })
+            .collect()
+    }
+
+    /// Runs the simulation until every task completes (or `max_cycles` is
+    /// reached), driving the given controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller returns the wrong number of decisions.
+    pub fn run(&self, controller: &mut dyn VfController, max_cycles: u64) -> RunReport {
+        let params = &self.config.params;
+        let total_macros = params.total_macros();
+        let groups = params.macro_groups;
+        let mpg = params.macros_per_group;
+
+        let mut remaining: Vec<u64> =
+            self.tasks.iter().map(|t| t.as_ref().map_or(0, |t| t.cycles)).collect();
+        let mut penalty_until: Vec<u64> = vec![0; total_macros]; // recompute penalty (failing macro)
+        let mut stall_until: Vec<u64> = vec![0; total_macros]; // set-mate stalls
+        let mut points: Vec<VfPair> =
+            vec![VfPair::new(params.nominal_voltage, params.nominal_frequency_ghz); groups];
+
+        let mut monitor = IrMonitor::new(params);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x5EED);
+
+        let mut report = RunReport::default();
+        report.per_macro_stall_cycles = vec![0; total_macros];
+        let mut power_accum = 0.0f64;
+        let mut power_samples = 0u64;
+        let mut droop_accum = 0.0f64;
+        let mut droop_samples = 0u64;
+        let mut freq_weighted_useful = 0.0f64;
+
+        let mut cycle: u64 = 0;
+        while cycle < max_cycles && remaining.iter().any(|&r| r > 0) {
+            // --- per-macro activity this cycle ---------------------------------
+            let mut rtog = vec![0.0f64; total_macros];
+            let mut busy = vec![false; total_macros];
+            for m in 0..total_macros {
+                if remaining[m] == 0 {
+                    report.idle_macro_cycles += 1;
+                    continue;
+                }
+                busy[m] = true;
+                // A macro that is recomputing (V-f adjustment) or stalled by a
+                // set mate is not streaming inputs, so its bitstreams do not
+                // toggle this cycle.
+                if cycle < penalty_until[m] || cycle < stall_until[m] {
+                    continue;
+                }
+                let task = self.tasks[m].as_ref().expect("busy macro must have a task");
+                let flip = self.flip_sequences[m].at(cycle);
+                // Input-determined operators have no offline HR; their
+                // runtime toggle behaviour is still bounded by the actual
+                // operand Hamming rate, modelled with a small jitter.
+                let hr = if task.input_determined {
+                    (task.weight_hr + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0)
+                } else {
+                    task.weight_hr
+                };
+                rtog[m] = (hr * flip).clamp(0.0, 1.0);
+            }
+
+            // --- group-level droop, monitoring and failure handling ------------
+            let mut observations = Vec::with_capacity(groups);
+            let mut worst_droop_this_cycle = 0.0f64;
+            for g in 0..groups {
+                let point = points[g];
+                let members = (g * mpg)..((g + 1) * mpg);
+                let mut group_active = false;
+                let mut worst_macro = None;
+                let mut worst_droop = 0.0f64;
+                for m in members.clone() {
+                    if !busy[m] {
+                        continue;
+                    }
+                    group_active = true;
+                    let droop =
+                        self.irdrop.irdrop_mv(rtog[m], point.voltage, point.frequency_ghz);
+                    droop_accum += droop;
+                    droop_samples += 1;
+                    if droop > worst_droop {
+                        worst_droop = droop;
+                        worst_macro = Some(m);
+                    }
+                }
+                report.worst_irdrop_mv = report.worst_irdrop_mv.max(worst_droop);
+                worst_droop_this_cycle = worst_droop_this_cycle.max(worst_droop);
+
+                // The monitor threshold tracks the group's current frequency,
+                // minus the configured setup margin.
+                monitor.set_threshold(
+                    self.timing.vmin(point.frequency_ghz) - self.config.failure_margin_v,
+                );
+                let v_eff = point.voltage - worst_droop * 1e-3;
+                let failure = group_active && monitor.is_failure(v_eff);
+                if failure {
+                    report.failures += 1;
+                    if let Some(fm) = worst_macro {
+                        let until = cycle + self.config.recompute_penalty_cycles;
+                        penalty_until[fm] = penalty_until[fm].max(until);
+                        // Stall every other member of the failing macro's set
+                        // (partial sums must stay consistent, Fig. 11)...
+                        let set_id = self.tasks[fm].as_ref().map(|t| t.set_id);
+                        if let Some(sid) = set_id {
+                            if let Some(set) = self.sets.iter().find(|s| s.id == sid) {
+                                for &mate in &set.members {
+                                    if mate != fm && remaining[mate] > 0 {
+                                        stall_until[mate] = stall_until[mate].max(until);
+                                    }
+                                }
+                            }
+                        }
+                        // ...and every other macro of the failing group: the
+                        // group shares one LDO/PLL, so its V-f re-adjustment
+                        // pauses all of them — the interference that makes
+                        // mixing unrelated tasks in one group expensive.
+                        for mate in g * mpg..(g + 1) * mpg {
+                            if mate != fm && remaining[mate] > 0 {
+                                stall_until[mate] = stall_until[mate].max(until);
+                            }
+                        }
+                    }
+                }
+
+                // Worst offline-known HR for the controller's safe-level logic.
+                let mut worst_known: Option<f64> = None;
+                let mut unknown = false;
+                for m in members {
+                    if !busy[m] {
+                        continue;
+                    }
+                    let task = self.tasks[m].as_ref().expect("busy macro must have a task");
+                    if task.input_determined {
+                        unknown = true;
+                    } else {
+                        worst_known =
+                            Some(worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)));
+                    }
+                }
+                observations.push(GroupObservation {
+                    group: g,
+                    failure,
+                    active: group_active,
+                    worst_known_hr: if unknown { None } else { worst_known },
+                    point,
+                });
+            }
+
+            // --- progress, power and accounting ---------------------------------
+            for m in 0..total_macros {
+                if !busy[m] {
+                    continue;
+                }
+                let g = group_of(m, mpg);
+                let point = points[g];
+                let in_penalty = cycle < penalty_until[m];
+                let in_stall = cycle < stall_until[m];
+                let (toggle, progressed) = if in_penalty {
+                    (0.0, false)
+                } else if in_stall {
+                    (0.0, false)
+                } else {
+                    (rtog[m], true)
+                };
+                if progressed {
+                    remaining[m] -= 1;
+                    report.useful_macro_cycles += 1;
+                    freq_weighted_useful += point.frequency_ghz;
+                } else if in_penalty {
+                    report.recompute_macro_cycles += 1;
+                } else {
+                    report.stall_macro_cycles += 1;
+                    report.per_macro_stall_cycles[m] += 1;
+                }
+                let p = self.power.macro_power(toggle, point.voltage, point.frequency_ghz, true);
+                power_accum += p.total_mw();
+                power_samples += 1;
+            }
+
+            // --- optional trace --------------------------------------------------
+            if self.config.trace_interval > 0 && cycle % self.config.trace_interval == 0 {
+                let macro_voltage: Vec<f64> =
+                    (0..total_macros).map(|m| points[group_of(m, mpg)].voltage).collect();
+                let macro_frequency: Vec<f64> =
+                    (0..total_macros).map(|m| points[group_of(m, mpg)].frequency_ghz).collect();
+                report.trace.push(TraceSample {
+                    cycle,
+                    macro_rtog: rtog.clone(),
+                    macro_voltage,
+                    macro_frequency_ghz: macro_frequency,
+                    worst_droop_mv: worst_droop_this_cycle,
+                });
+            }
+
+            // --- controller decides the next cycle's operating points ------------
+            let decisions = controller.decide(cycle, &observations);
+            assert_eq!(decisions.len(), groups, "controller must return one decision per group");
+            for (g, d) in decisions.iter().enumerate() {
+                points[g] = d.point;
+            }
+
+            cycle += 1;
+        }
+
+        report.total_cycles = cycle;
+        report.avg_macro_power_mw =
+            if power_samples == 0 { 0.0 } else { power_accum / power_samples as f64 };
+        report.mean_irdrop_mv =
+            if droop_samples == 0 { 0.0 } else { droop_accum / droop_samples as f64 };
+        // Effective TOPS: useful macro-cycles at their actual frequencies,
+        // spread over the wall-clock cycles of the run and all macros.
+        let denom = (cycle as f64) * total_macros as f64;
+        report.effective_tops = if denom > 0.0 {
+            params.peak_tops() * (freq_weighted_useful / params.nominal_frequency_ghz) / denom
+        } else {
+            0.0
+        };
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tasks(hr: f64, cycles: u64) -> Vec<Option<MacroTask>> {
+        let params = ProcessParams::dpim_7nm();
+        (0..params.total_macros())
+            .map(|m| Some(MacroTask::new(format!("conv-slice-{m}"), hr, cycles, m % 8)))
+            .collect()
+    }
+
+    fn config() -> ChipConfig {
+        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() }
+    }
+
+    #[test]
+    fn nominal_static_controller_never_fails() {
+        let sim = ChipSimulator::new(config(), uniform_tasks(0.9, 500));
+        let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+        let report = sim.run(&mut ctrl, 2_000);
+        assert_eq!(report.failures, 0, "sign-off point must never raise IRFailure");
+        assert_eq!(report.stall_macro_cycles, 0);
+        assert_eq!(report.recompute_macro_cycles, 0);
+        assert_eq!(report.useful_macro_cycles, 500 * 64);
+    }
+
+    #[test]
+    fn run_finishes_exactly_when_tasks_complete() {
+        let sim = ChipSimulator::new(config(), uniform_tasks(0.5, 300));
+        let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+        let report = sim.run(&mut ctrl, 10_000);
+        assert_eq!(report.total_cycles, 300);
+        assert!((report.effective_tops - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggressive_undervolting_causes_failures_and_overhead() {
+        let sim = ChipSimulator::new(config(), uniform_tasks(0.9, 400));
+        // Run at the minimum voltage while keeping nominal frequency: the
+        // droop of a 90 % HR workload violates timing.
+        let mut ctrl = StaticController::fixed(VfPair::new(0.60, 1.0));
+        let report = sim.run(&mut ctrl, 20_000);
+        assert!(report.failures > 0, "undervolted high-HR workload must fail");
+        assert!(report.recompute_macro_cycles > 0);
+        assert!(report.total_cycles > 400, "recompute must extend the run");
+        assert!(report.overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn low_hr_workload_survives_lower_voltage() {
+        let low = ChipSimulator::new(config(), uniform_tasks(0.25, 400));
+        let mut ctrl = StaticController::fixed(VfPair::new(0.66, 1.0));
+        let report = low.run(&mut ctrl, 20_000);
+        assert_eq!(report.failures, 0, "low-HR workload should tolerate 0.66 V");
+        // The same point with a high-HR workload fails.
+        let high = ChipSimulator::new(config(), uniform_tasks(0.95, 400));
+        let mut ctrl = StaticController::fixed(VfPair::new(0.66, 1.0));
+        let report_high = high.run(&mut ctrl, 20_000);
+        assert!(report_high.failures > 0);
+    }
+
+    #[test]
+    fn lower_hr_draws_less_power_and_droop() {
+        let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+        let high = ChipSimulator::new(config(), uniform_tasks(0.9, 300)).run(&mut ctrl, 5_000);
+        let low = ChipSimulator::new(config(), uniform_tasks(0.3, 300)).run(&mut ctrl, 5_000);
+        assert!(low.avg_macro_power_mw < high.avg_macro_power_mw);
+        assert!(low.mean_irdrop_mv < high.mean_irdrop_mv);
+        assert!(low.worst_irdrop_mv < high.worst_irdrop_mv);
+    }
+
+    #[test]
+    fn group_worst_hr_reflects_mapping() {
+        let params = ProcessParams::dpim_7nm();
+        let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
+        tasks[0] = Some(MacroTask::new("a", 0.3, 100, 0));
+        tasks[1] = Some(MacroTask::new("b", 0.45, 100, 0));
+        tasks[4] = Some(MacroTask::new("qkt", 0.5, 100, 1).input_determined());
+        let sim = ChipSimulator::new(config(), tasks);
+        let hrg = sim.group_worst_hr();
+        assert_eq!(hrg[0], Some(0.45));
+        assert_eq!(hrg[1], None, "input-determined task hides the group HR");
+        assert_eq!(hrg[2], None, "empty group has no HR");
+    }
+
+    #[test]
+    fn trace_is_recorded_at_the_requested_interval() {
+        let cfg = ChipConfig { trace_interval: 50, ..config() };
+        let sim = ChipSimulator::new(cfg, uniform_tasks(0.5, 200));
+        let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+        let report = sim.run(&mut ctrl, 1_000);
+        assert_eq!(report.trace.len(), 4);
+        assert!(report.trace.iter().all(|s| s.macro_rtog.len() == 64));
+    }
+
+    #[test]
+    fn idle_macros_accumulate_idle_cycles() {
+        let params = ProcessParams::dpim_7nm();
+        let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
+        tasks[0] = Some(MacroTask::new("only", 0.4, 100, 0));
+        let sim = ChipSimulator::new(config(), tasks);
+        let mut ctrl = StaticController::nominal(&params);
+        let report = sim.run(&mut ctrl, 1_000);
+        assert_eq!(report.useful_macro_cycles, 100);
+        // The other 63 macros idle for the whole 100-cycle run.
+        assert_eq!(report.idle_macro_cycles, 63 * 100);
+        assert!(report.effective_tops < 256.0 / 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one task slot per macro")]
+    fn wrong_task_vector_length_is_rejected() {
+        let _ = ChipSimulator::new(config(), vec![None; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight HR must be in")]
+    fn invalid_task_hr_is_rejected() {
+        let _ = MacroTask::new("x", 1.5, 10, 0);
+    }
+}

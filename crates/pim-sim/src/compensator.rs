@@ -1,0 +1,147 @@
+//! The WDS shift compensator (paper §5.4.2, Fig. 8).
+//!
+//! When a layer's weights have been shifted by `+δ` (WDS), every MAC output
+//! contains an extra `δ · Σ inputs` term that must be removed.  The hardware
+//! block that does this sits next to the macro banks and performs three
+//! steps:
+//!
+//! 1. **Correction calculation** — sum the inputs, multiply by `δ` (a shift,
+//!    since `δ` is a power of two) and negate;
+//! 2. **Broadcast** — all banks of a macro share the same inputs and `δ`, so
+//!    one correction term serves every bank;
+//! 3. **Pipelined correcting** — the correction is registered and added to
+//!    the MAC output one cycle later, keeping it off the critical path.
+//!
+//! The model below reproduces the arithmetic exactly and tracks the pipeline
+//! latency so the chip-level simulator can account for it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::stream::InputStream;
+
+/// Pipelined shift compensator shared by all banks of one macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftCompensator {
+    /// The WDS shift constant δ (power of two).
+    delta: i8,
+    /// Shift amount `k = log2(δ)`.
+    shift: u32,
+}
+
+impl ShiftCompensator {
+    /// Extra pipeline latency introduced by the registered correction stage.
+    pub const PIPELINE_LATENCY_CYCLES: u64 = 1;
+
+    /// Creates a compensator for a given `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δ` is not a positive power of two.
+    #[must_use]
+    pub fn new(delta: i8) -> Self {
+        assert!(delta > 0 && delta.count_ones() == 1, "delta must be a positive power of two");
+        Self { delta, shift: delta.trailing_zeros() }
+    }
+
+    /// The shift constant δ.
+    #[must_use]
+    pub fn delta(&self) -> i8 {
+        self.delta
+    }
+
+    /// Step ❶: the correction term `−(Σ inputs) · δ`, computed with a left
+    /// shift exactly as the hardware does.
+    #[must_use]
+    pub fn correction(&self, inputs: &InputStream) -> i64 {
+        let sum: i64 = inputs.values().iter().map(|&x| i64::from(x)).sum();
+        -(sum << self.shift)
+    }
+
+    /// Steps ❷+❸: applies the (broadcast) correction to one bank's raw MAC
+    /// output.
+    #[must_use]
+    pub fn correct(&self, raw_output: i64, correction: i64) -> i64 {
+        raw_output + correction
+    }
+
+    /// Convenience: runs a shifted bank against the inputs and returns the
+    /// corrected output, i.e. the full WDS datapath for one bank.
+    #[must_use]
+    pub fn corrected_mac(&self, shifted_bank: &Bank, inputs: &InputStream) -> i64 {
+        let raw = shifted_bank.mac(inputs).output;
+        self.correct(raw, self.correction(inputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_quant::wds::{apply_wds, WdsConfig};
+
+    fn reference_dot(weights: &[i8], inputs: &InputStream) -> i64 {
+        weights
+            .iter()
+            .zip(inputs.values())
+            .map(|(&w, &x)| i64::from(w) * i64::from(x))
+            .sum()
+    }
+
+    #[test]
+    fn corrected_output_equals_unshifted_mac() {
+        // End-to-end WDS correctness: quantized weights, shift by δ=8,
+        // compute with the shifted bank, correct, compare with the original.
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 37 % 127) as i8) - 60).collect();
+        let config = WdsConfig::int8_default();
+        let shifted = apply_wds(&weights, &config);
+        assert_eq!(shifted.overflow_count, 0);
+        let bank = Bank::new(&shifted.weights, 8);
+        let comp = ShiftCompensator::new(config.delta);
+        for seed in 0..5 {
+            let inputs = InputStream::random(64, 8, seed);
+            let corrected = comp.corrected_mac(&bank, &inputs);
+            assert_eq!(corrected, reference_dot(&weights, &inputs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn correction_is_shared_across_banks() {
+        // One correction term serves any bank fed by the same inputs.
+        let comp = ShiftCompensator::new(8);
+        let inputs = InputStream::random(32, 8, 7);
+        let correction = comp.correction(&inputs);
+        let weights_a: Vec<i8> = (0..32).map(|i| (i % 17) as i8).collect();
+        let weights_b: Vec<i8> = (0..32).map(|i| -((i % 13) as i8)).collect();
+        for weights in [weights_a, weights_b] {
+            let shifted = apply_wds(&weights, &WdsConfig::int8_default());
+            let bank = Bank::new(&shifted.weights, 8);
+            let corrected = comp.correct(bank.mac(&inputs).output, correction);
+            assert_eq!(corrected, reference_dot(&weights, &inputs));
+        }
+    }
+
+    #[test]
+    fn correction_uses_a_shift_not_a_multiply() {
+        let comp = ShiftCompensator::new(16);
+        let inputs = InputStream::from_values(&[3, 5, 7], 8);
+        // Σ = 15, δ = 16 ⇒ correction = −240, and 15 << 4 = 240.
+        assert_eq!(comp.correction(&inputs), -(15 << 4));
+    }
+
+    #[test]
+    fn pipeline_latency_is_one_cycle() {
+        assert_eq!(ShiftCompensator::PIPELINE_LATENCY_CYCLES, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_delta_is_rejected() {
+        let _ = ShiftCompensator::new(12);
+    }
+
+    #[test]
+    fn delta_accessor_round_trips() {
+        assert_eq!(ShiftCompensator::new(8).delta(), 8);
+        assert_eq!(ShiftCompensator::new(2).delta(), 2);
+    }
+}

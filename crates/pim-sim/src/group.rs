@@ -1,0 +1,138 @@
+//! Macro groups (physical, shared power/frequency) and macro sets (logical,
+//! one per operator).
+//!
+//! The modelled chip integrates four macros per group behind a shared LDO and
+//! clock, so V-f decisions are taken per group (paper Fig. 10-(a)).  During
+//! inference an operator is split over macros drawn from *different* groups;
+//! those macros form a logical **set** and must run at the same frequency so
+//! their partial sums line up (paper Fig. 11-(b)).  When one macro of a set
+//! recomputes after an `IRFailure`, every other macro of that set stalls.
+
+use serde::{Deserialize, Serialize};
+
+use ir_model::vf::VfPair;
+
+/// Identifier of a physical macro group.
+pub type GroupId = usize;
+/// Identifier of a logical macro set (one per mapped operator slice).
+pub type SetId = usize;
+/// Flat identifier of a macro on the chip.
+pub type MacroId = usize;
+
+/// Runtime state of one physical macro group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupState {
+    /// Group identifier.
+    pub id: GroupId,
+    /// Macros belonging to this group.
+    pub macros: Vec<MacroId>,
+    /// The operating point the group currently runs at.
+    pub operating_point: VfPair,
+    /// The Rtog level (percent) the current operating point was chosen for.
+    pub level_percent: u8,
+    /// Cycles this group has spent recomputing after IRFailures.
+    pub recompute_cycles: u64,
+    /// Number of IRFailures observed so far.
+    pub failures: u64,
+}
+
+impl GroupState {
+    /// Creates the initial state for a group running at the given point.
+    #[must_use]
+    pub fn new(id: GroupId, macros: Vec<MacroId>, operating_point: VfPair) -> Self {
+        Self {
+            id,
+            macros,
+            operating_point,
+            level_percent: 100,
+            recompute_cycles: 0,
+            failures: 0,
+        }
+    }
+}
+
+/// A logical macro set: the macros cooperating on one operator slice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroSet {
+    /// Set identifier.
+    pub id: SetId,
+    /// Members of the set (flat macro ids).
+    pub members: Vec<MacroId>,
+}
+
+impl MacroSet {
+    /// Creates a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member list is empty.
+    #[must_use]
+    pub fn new(id: SetId, members: Vec<MacroId>) -> Self {
+        assert!(!members.is_empty(), "a macro set needs at least one member");
+        Self { id, members }
+    }
+
+    /// Whether the given macro belongs to this set.
+    #[must_use]
+    pub fn contains(&self, macro_id: MacroId) -> bool {
+        self.members.contains(&macro_id)
+    }
+
+    /// The groups this set spans, given the chip's group size.
+    #[must_use]
+    pub fn groups(&self, macros_per_group: usize) -> Vec<GroupId> {
+        let mut groups: Vec<GroupId> =
+            self.members.iter().map(|m| m / macros_per_group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+    }
+}
+
+/// Maps a flat macro id to its group for a given chip geometry.
+#[must_use]
+pub fn group_of(macro_id: MacroId, macros_per_group: usize) -> GroupId {
+    macro_id / macros_per_group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_of_uses_row_major_layout() {
+        assert_eq!(group_of(0, 4), 0);
+        assert_eq!(group_of(3, 4), 0);
+        assert_eq!(group_of(4, 4), 1);
+        assert_eq!(group_of(63, 4), 15);
+    }
+
+    #[test]
+    fn set_membership_and_groups() {
+        let set = MacroSet::new(0, vec![0, 5, 9, 13]);
+        assert!(set.contains(5));
+        assert!(!set.contains(4));
+        assert_eq!(set.groups(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn set_spanning_one_group() {
+        let set = MacroSet::new(1, vec![8, 9]);
+        assert_eq!(set.groups(4), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_set_is_rejected() {
+        let _ = MacroSet::new(0, Vec::new());
+    }
+
+    #[test]
+    fn group_state_starts_clean() {
+        let s = GroupState::new(2, vec![8, 9, 10, 11], VfPair::new(0.75, 1.0));
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.recompute_cycles, 0);
+        assert_eq!(s.level_percent, 100);
+        assert_eq!(s.macros.len(), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! # pim-sim — bit-serial SRAM-PIM macro, group and chip simulator
+//!
+//! The paper evaluates AIM on a commercial 7 nm 256-TOPS SRAM-PIM chip whose
+//! netlist is not available; this crate implements the simulation substrate
+//! that stands in for it, at two fidelities:
+//!
+//! * **Bit-exact bank/macro level** ([`stream`], [`bank`], [`pim_macro`],
+//!   [`compensator`], [`apim`]): SRAM cells hold two's-complement weights,
+//!   inputs are loaded bit-serially, partial products feed an adder tree, and
+//!   every cycle the simulator counts exactly which partial-product wires
+//!   toggled — the numerator of the paper's `Rtog` metric.  The WDS shift
+//!   compensator and the analog (APIM) accumulation path are modelled here
+//!   too.
+//! * **Statistical chip level** ([`chip`], [`group`]): 16 macro groups × 4
+//!   macros execute mapped tasks for hundreds of thousands of cycles.  Each
+//!   macro's per-cycle toggle rate is sampled from its task's weight HR and
+//!   an input flip-fraction distribution; IR-drop, the voltage monitor, V-f
+//!   control (via the [`chip::VfController`] trait, implemented by AIM's
+//!   IR-Booster in the `aim-core` crate), stall/recompute bookkeeping, energy
+//!   and effective-TOPS accounting all happen per cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_sim::bank::Bank;
+//! use pim_sim::stream::InputStream;
+//!
+//! // A bank holding four INT8 weights multiplies a bit-serial input batch.
+//! let bank = Bank::new(&[3, -5, 8, 0], 8);
+//! let inputs = InputStream::from_values(&[1, 2, 3, 4], 8);
+//! let result = bank.mac(&inputs);
+//! assert_eq!(result.output, 3 * 1 + (-5) * 2 + 8 * 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apim;
+pub mod bank;
+pub mod chip;
+pub mod compensator;
+pub mod group;
+pub mod pim_macro;
+pub mod stream;
+
+pub use bank::{Bank, MacResult};
+pub use chip::{ChipConfig, ChipSimulator, MacroTask, RunReport, StaticController, VfController};
+pub use compensator::ShiftCompensator;
+pub use group::{GroupState, MacroSet};
+pub use pim_macro::{DigitalMacro, MacroActivity};
+pub use stream::InputStream;

@@ -1,0 +1,220 @@
+//! Bit-exact digital PIM macro: a collection of banks plus statistics.
+//!
+//! A DPIM macro groups many banks (32 in the modelled 7 nm design) behind a
+//! shared input port and an optional WDS shift compensator.  The macro-level
+//! `Rtog` that correlates with IR-drop is the average of the per-bank toggle
+//! rates, since all banks share the macro's power-delivery region.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::compensator::ShiftCompensator;
+use crate::stream::InputStream;
+
+/// A digital PIM macro made of several banks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigitalMacro {
+    banks: Vec<Bank>,
+    compensator: Option<ShiftCompensator>,
+}
+
+/// Activity statistics from streaming one input batch through a macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroActivity {
+    /// Per-bank MAC outputs (after WDS correction when a compensator is set).
+    pub outputs: Vec<i64>,
+    /// Macro-level Rtog per cycle: mean of the per-bank Rtog values.
+    pub rtog_per_cycle: Vec<f64>,
+    /// Peak macro-level Rtog over the batch.
+    pub peak_rtog: f64,
+    /// Mean macro-level Rtog over the batch.
+    pub mean_rtog: f64,
+}
+
+impl DigitalMacro {
+    /// Creates a macro from banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or the banks disagree on size/precision.
+    #[must_use]
+    pub fn new(banks: Vec<Bank>) -> Self {
+        assert!(!banks.is_empty(), "a macro needs at least one bank");
+        let len = banks[0].len();
+        let bits = banks[0].weight_bits();
+        for b in &banks {
+            assert_eq!(b.len(), len, "all banks must hold the same number of weights");
+            assert_eq!(b.weight_bits(), bits, "all banks must use the same precision");
+        }
+        Self { banks, compensator: None }
+    }
+
+    /// Attaches a WDS shift compensator (the stored weights are then expected
+    /// to be the *shifted* weights).
+    #[must_use]
+    pub fn with_compensator(mut self, compensator: ShiftCompensator) -> Self {
+        self.compensator = Some(compensator);
+        self
+    }
+
+    /// The banks of this macro.
+    #[must_use]
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Average Hamming rate of all stored weights (Eq. 3 over the macro).
+    #[must_use]
+    pub fn hamming_rate(&self) -> f64 {
+        self.banks.iter().map(Bank::hamming_rate).sum::<f64>() / self.banks.len() as f64
+    }
+
+    /// Streams one input batch through every bank, returning outputs and the
+    /// macro-level toggle statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lane count does not match the banks' weight count.
+    #[must_use]
+    pub fn process(&self, inputs: &InputStream) -> MacroActivity {
+        let correction = self.compensator.map(|c| c.correction(inputs));
+        let mut outputs = Vec::with_capacity(self.banks.len());
+        let mut per_cycle_sum: Vec<f64> = Vec::new();
+        for bank in &self.banks {
+            let result = bank.mac(inputs);
+            let corrected = match (self.compensator, correction) {
+                (Some(c), Some(corr)) => c.correct(result.output, corr),
+                _ => result.output,
+            };
+            outputs.push(corrected);
+            let rtog = result.rtog_per_cycle();
+            if per_cycle_sum.is_empty() {
+                per_cycle_sum = rtog;
+            } else {
+                for (acc, r) in per_cycle_sum.iter_mut().zip(rtog) {
+                    *acc += r;
+                }
+            }
+        }
+        let n = self.banks.len() as f64;
+        let rtog_per_cycle: Vec<f64> = per_cycle_sum.into_iter().map(|s| s / n).collect();
+        let peak_rtog = rtog_per_cycle.iter().copied().fold(0.0, f64::max);
+        let mean_rtog = if rtog_per_cycle.is_empty() {
+            0.0
+        } else {
+            rtog_per_cycle.iter().sum::<f64>() / rtog_per_cycle.len() as f64
+        };
+        MacroActivity { outputs, rtog_per_cycle, peak_rtog, mean_rtog }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_quant::wds::{apply_wds, WdsConfig};
+
+    fn make_banks(bank_count: usize, cells: usize, seed: i64) -> Vec<Bank> {
+        (0..bank_count)
+            .map(|b| {
+                let weights: Vec<i8> = (0..cells)
+                    .map(|i| (((seed + b as i64 * 131 + i as i64 * 37) % 255) - 127) as i8)
+                    .collect();
+                Bank::new(&weights, 8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outputs_match_per_bank_reference() {
+        let banks = make_banks(4, 32, 3);
+        let m = DigitalMacro::new(banks.clone());
+        let inputs = InputStream::random(32, 8, 9);
+        let activity = m.process(&inputs);
+        for (bank, &out) in banks.iter().zip(&activity.outputs) {
+            let expected: i64 = bank
+                .weights()
+                .iter()
+                .zip(inputs.values())
+                .map(|(&w, &x)| i64::from(w) * i64::from(x))
+                .sum();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn macro_rtog_is_mean_of_bank_rtog() {
+        let banks = make_banks(3, 16, 5);
+        let m = DigitalMacro::new(banks.clone());
+        let inputs = InputStream::random(16, 8, 2);
+        let activity = m.process(&inputs);
+        let manual: Vec<f64> = (0..7)
+            .map(|t| {
+                banks.iter().map(|b| b.mac(&inputs).rtog_per_cycle()[t]).sum::<f64>() / 3.0
+            })
+            .collect();
+        for (a, b) in activity.rtog_per_cycle.iter().zip(manual) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(activity.peak_rtog <= m.hamming_rate() + 1e-12, "Eq. 4 at macro level");
+    }
+
+    #[test]
+    fn compensated_macro_reproduces_unshifted_outputs() {
+        let cells = 48;
+        let original: Vec<Vec<i8>> = (0..4i32)
+            .map(|b| {
+                (0..cells as i32)
+                    .map(|i| (((b * 53 + i * 29) % 200) - 100) as i8)
+                    .collect()
+            })
+            .collect();
+        let config = WdsConfig::int8_default();
+        let shifted_banks: Vec<Bank> = original
+            .iter()
+            .map(|w| Bank::new(&apply_wds(w, &config).weights, 8))
+            .collect();
+        let m = DigitalMacro::new(shifted_banks).with_compensator(ShiftCompensator::new(config.delta));
+        let inputs = InputStream::random(cells, 8, 4);
+        let activity = m.process(&inputs);
+        for (w, &out) in original.iter().zip(&activity.outputs) {
+            let expected: i64 = w
+                .iter()
+                .zip(inputs.values())
+                .map(|(&w, &x)| i64::from(w) * i64::from(x))
+                .sum();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn wds_shift_lowers_macro_hamming_rate_and_peak_rtog() {
+        let cells = 64;
+        let original: Vec<i8> = (0..cells).map(|i| ((i * 7 % 21) as i8) - 10).collect();
+        let plain = DigitalMacro::new(vec![Bank::new(&original, 8)]);
+        let config = WdsConfig::int8_default();
+        let shifted = apply_wds(&original, &config);
+        let wds = DigitalMacro::new(vec![Bank::new(&shifted.weights, 8)])
+            .with_compensator(ShiftCompensator::new(config.delta));
+        assert!(wds.hamming_rate() < plain.hamming_rate());
+        let inputs = InputStream::from_values(&vec![0b0101_0101; cells], 8);
+        assert!(wds.process(&inputs).peak_rtog < plain.process(&inputs).peak_rtog);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn empty_macro_is_rejected() {
+        let _ = DigitalMacro::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of weights")]
+    fn inconsistent_bank_sizes_are_rejected() {
+        let _ = DigitalMacro::new(vec![Bank::new(&[1, 2], 8), Bank::new(&[1, 2, 3], 8)]);
+    }
+}

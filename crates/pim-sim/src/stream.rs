@@ -1,0 +1,278 @@
+//! Bit-serial input streams and statistical flip-fraction generators.
+//!
+//! In SRAM PIM the in-memory data (weights) stays put while the input
+//! operands are fed one bit per cycle on the word lines.  Two views of that
+//! input are needed:
+//!
+//! * the **bit-exact** view ([`InputStream`]): the actual bits of each input
+//!   value, cycle by cycle, used by the bank-level simulator to compute MAC
+//!   results and exact toggle counts;
+//! * the **statistical** view ([`FlipSequence`]): the fraction of input bits
+//!   that toggled in each cycle, used by the chip-level simulator and by the
+//!   lightweight simulator inside the HR-aware task mapper (the paper samples
+//!   a 100-step flip sequence from a normal distribution).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A batch of input values presented bit-serially to a PIM bank.
+///
+/// `values[k]` is the input multiplied with weight `k`; bit `t` of every
+/// value is applied in cycle `t` (LSB first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputStream {
+    values: Vec<i32>,
+    bits: u32,
+}
+
+impl InputStream {
+    /// Creates a stream from unsigned input magnitudes.
+    ///
+    /// Inputs are treated as unsigned `bits`-wide integers (activations after
+    /// ReLU are non-negative in the common PIM dataflow); signed inputs can
+    /// be handled by the caller via offset encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or any value does not fit.
+    #[must_use]
+    pub fn from_values(values: &[i32], bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 16, "input bits must be in 1..=16");
+        let max = (1i64 << bits) - 1;
+        for &v in values {
+            assert!(
+                i64::from(v) >= 0 && i64::from(v) <= max,
+                "input value {v} does not fit in {bits} unsigned bits"
+            );
+        }
+        Self { values: values.to_vec(), bits }
+    }
+
+    /// Generates a random stream with values uniform in `[0, 2^bits)`.
+    #[must_use]
+    pub fn random(len: usize, bits: u32, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let max = (1i64 << bits) as i32;
+        let values = (0..len).map(|_| rng.gen_range(0..max)).collect::<Vec<_>>();
+        Self::from_values(&values, bits)
+    }
+
+    /// Number of input lanes (= number of weights in the bank).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the stream has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Bit-serial depth (number of cycles needed to stream one batch).
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The full input values.
+    #[must_use]
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Bit `cycle` (LSB-first) of input lane `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `cycle` is out of range.
+    #[must_use]
+    pub fn bit(&self, k: usize, cycle: u32) -> bool {
+        assert!(cycle < self.bits, "cycle {cycle} out of range");
+        (self.values[k] >> cycle) & 1 == 1
+    }
+
+    /// Fraction of lanes whose bit changed between `cycle` and `cycle + 1`.
+    ///
+    /// Returns 0 for the last cycle (there is no next bit to compare with) or
+    /// for an empty stream.
+    #[must_use]
+    pub fn flip_fraction(&self, cycle: u32) -> f64 {
+        if self.is_empty() || cycle + 1 >= self.bits {
+            return 0.0;
+        }
+        let flips = (0..self.len())
+            .filter(|&k| self.bit(k, cycle) != self.bit(k, cycle + 1))
+            .count();
+        flips as f64 / self.len() as f64
+    }
+}
+
+/// A statistical per-cycle input flip-fraction sequence.
+///
+/// The chip-level simulator and the task-mapping evaluator do not need the
+/// actual input bits — only how many word lines toggled each cycle.  The
+/// paper's lightweight simulator samples this from a normal distribution;
+/// [`FlipSequence::normal`] reproduces that, and
+/// [`FlipSequence::from_stream`] extracts the exact sequence from a bit-exact
+/// stream when one is available.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipSequence {
+    fractions: Vec<f64>,
+}
+
+impl FlipSequence {
+    /// Samples `len` flip fractions from a clamped normal distribution.
+    ///
+    /// The defaults used throughout the reproduction are `mean = 0.5`,
+    /// `std = 0.15`, matching the profiled behaviour of image/token inputs.
+    #[must_use]
+    pub fn normal(len: usize, mean: f64, std: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fractions = (0..len)
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mean + std * z).clamp(0.0, 1.0)
+            })
+            .collect();
+        Self { fractions }
+    }
+
+    /// Extracts the exact flip sequence of a bit-exact stream.
+    #[must_use]
+    pub fn from_stream(stream: &InputStream) -> Self {
+        let fractions = (0..stream.bits().saturating_sub(1))
+            .map(|c| stream.flip_fraction(c))
+            .collect();
+        Self { fractions }
+    }
+
+    /// Creates a sequence from explicit fractions (each clamped to `[0, 1]`).
+    #[must_use]
+    pub fn from_fractions(fractions: &[f64]) -> Self {
+        Self { fractions: fractions.iter().map(|f| f.clamp(0.0, 1.0)).collect() }
+    }
+
+    /// Number of cycles in the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// Flip fraction at `cycle`, wrapping around for longer simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    #[must_use]
+    pub fn at(&self, cycle: u64) -> f64 {
+        assert!(!self.is_empty(), "flip sequence is empty");
+        self.fractions[(cycle % self.fractions.len() as u64) as usize]
+    }
+
+    /// Mean flip fraction.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.fractions.iter().sum::<f64>() / self.fractions.len() as f64
+    }
+
+    /// Maximum flip fraction.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.fractions.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_are_lsb_first() {
+        let s = InputStream::from_values(&[0b1011_0010], 8);
+        assert!(!s.bit(0, 0));
+        assert!(s.bit(0, 1));
+        assert!(!s.bit(0, 2));
+        assert!(s.bit(0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_is_rejected() {
+        let _ = InputStream::from_values(&[256], 8);
+    }
+
+    #[test]
+    fn flip_fraction_counts_changed_lanes() {
+        // lane 0: bits 0,1 -> 1,0 = flip; lane 1: 1,1 = no flip.
+        let s = InputStream::from_values(&[0b01, 0b11], 2);
+        assert!((s.flip_fraction(0) - 0.5).abs() < 1e-12);
+        // Last cycle has no successor.
+        assert_eq!(s.flip_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn random_stream_is_deterministic_per_seed() {
+        let a = InputStream::random(64, 8, 3);
+        let b = InputStream::random(64, 8, 3);
+        let c = InputStream::random(64, 8, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.values().iter().all(|&v| (0..256).contains(&v)));
+    }
+
+    #[test]
+    fn normal_flip_sequence_stays_in_unit_interval() {
+        let f = FlipSequence::normal(1000, 0.5, 0.15, 9);
+        assert_eq!(f.len(), 1000);
+        assert!(f.max() <= 1.0);
+        assert!((f.mean() - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn flip_sequence_wraps_around() {
+        let f = FlipSequence::from_fractions(&[0.1, 0.9]);
+        assert_eq!(f.at(0), 0.1);
+        assert_eq!(f.at(1), 0.9);
+        assert_eq!(f.at(2), 0.1);
+        assert_eq!(f.at(101), 0.9);
+    }
+
+    #[test]
+    fn from_stream_matches_manual_fractions() {
+        let s = InputStream::random(128, 8, 5);
+        let f = FlipSequence::from_stream(&s);
+        assert_eq!(f.len(), 7);
+        for c in 0..7u32 {
+            assert!((f.at(u64::from(c)) - s.flip_fraction(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_fractions_are_clamped() {
+        let f = FlipSequence::from_fractions(&[-0.2, 1.7]);
+        assert_eq!(f.at(0), 0.0);
+        assert_eq!(f.at(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip sequence is empty")]
+    fn empty_sequence_at_panics() {
+        let f = FlipSequence::from_fractions(&[]);
+        let _ = f.at(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic input streams and their toggle statistics.
+//!
+//! The datasets the paper uses (ImageNet, COCO, Wikitext2) are replaced by
+//! synthetic generators whose *bit-level activity* matches the real data
+//! classes:
+//!
+//! * **image-like features** are spatially correlated — neighbouring
+//!   activations differ by small amounts, so consecutive bit-serial inputs
+//!   flip fewer bits (lower flip fractions, lower variance);
+//! * **token-like features** (embeddings of text tokens) are nearly
+//!   uncorrelated between positions — consecutive inputs flip close to half
+//!   of their bits, with higher variance.
+//!
+//! The chip-level experiments only consume the per-cycle flip fractions; the
+//! bit-exact experiments (Figs. 4/5) consume the raw activation values.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The class of input data feeding a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputClass {
+    /// Spatially-correlated image features (ImageNet / COCO stand-in).
+    ImageLike,
+    /// Token-embedding features (Wikitext2 stand-in).
+    TokenLike,
+}
+
+impl InputClass {
+    /// Mean per-cycle flip fraction of the class.
+    #[must_use]
+    pub fn flip_mean(self) -> f64 {
+        match self {
+            Self::ImageLike => 0.42,
+            Self::TokenLike => 0.50,
+        }
+    }
+
+    /// Standard deviation of the per-cycle flip fraction.
+    #[must_use]
+    pub fn flip_std(self) -> f64 {
+        match self {
+            Self::ImageLike => 0.12,
+            Self::TokenLike => 0.16,
+        }
+    }
+}
+
+/// A batch of unsigned 8-bit activation values for bit-exact experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationBatch {
+    /// Activation values in `[0, 255]`.
+    pub values: Vec<i32>,
+    /// The class the batch was generated for.
+    pub class: InputClass,
+}
+
+/// Generates one activation batch of the given class.
+///
+/// Image-like batches are produced by a smoothed random walk (neighbouring
+/// values are close); token-like batches are i.i.d. uniform.
+#[must_use]
+pub fn activation_batch(class: InputClass, len: usize, seed: u64) -> ActivationBatch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let values = match class {
+        InputClass::ImageLike => {
+            let mut v = Vec::with_capacity(len);
+            let mut current: i32 = rng.gen_range(40..216);
+            for _ in 0..len {
+                // Small correlated steps, clamped to the 8-bit range.
+                current = (current + rng.gen_range(-18..=18)).clamp(0, 255);
+                v.push(current);
+            }
+            v
+        }
+        InputClass::TokenLike => (0..len).map(|_| rng.gen_range(0..256)).collect(),
+    };
+    ActivationBatch { values, class }
+}
+
+/// Per-cycle flip fractions for a workload of the given class, sampled from
+/// the class statistics (the chip-level fidelity).
+#[must_use]
+pub fn flip_fractions(class: InputClass, cycles: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..cycles)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (class.flip_mean() + class.flip_std() * z).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// Empirical bit-flip fraction between consecutive values of a batch when
+/// streamed bit-serially (averaged over all 8 bit positions).
+#[must_use]
+pub fn empirical_flip_fraction(batch: &ActivationBatch) -> f64 {
+    if batch.values.len() < 2 {
+        return 0.0;
+    }
+    let mut flips = 0u64;
+    let mut total = 0u64;
+    for pair in batch.values.windows(2) {
+        let diff = (pair[0] ^ pair[1]) as u32;
+        flips += u64::from(diff.count_ones());
+        total += 8;
+    }
+    flips as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_like_batches_flip_less_than_token_like() {
+        let img = activation_batch(InputClass::ImageLike, 4096, 1);
+        let tok = activation_batch(InputClass::TokenLike, 4096, 1);
+        let f_img = empirical_flip_fraction(&img);
+        let f_tok = empirical_flip_fraction(&tok);
+        assert!(
+            f_img < f_tok,
+            "correlated image features must flip fewer bits ({f_img} vs {f_tok})"
+        );
+        assert!(f_tok > 0.4 && f_tok < 0.6);
+    }
+
+    #[test]
+    fn batches_stay_in_8bit_range() {
+        for class in [InputClass::ImageLike, InputClass::TokenLike] {
+            let b = activation_batch(class, 1000, 7);
+            assert!(b.values.iter().all(|&v| (0..=255).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn flip_fractions_follow_class_statistics() {
+        for class in [InputClass::ImageLike, InputClass::TokenLike] {
+            let f = flip_fractions(class, 20_000, 3);
+            let mean = f.iter().sum::<f64>() / f.len() as f64;
+            assert!((mean - class.flip_mean()).abs() < 0.01, "{class:?} mean {mean}");
+            assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = activation_batch(InputClass::ImageLike, 64, 5);
+        let b = activation_batch(InputClass::ImageLike, 64, 5);
+        let c = activation_batch(InputClass::ImageLike, 64, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_batches_are_handled() {
+        let b = ActivationBatch { values: vec![7], class: InputClass::TokenLike };
+        assert_eq!(empirical_flip_fraction(&b), 0.0);
+    }
+}

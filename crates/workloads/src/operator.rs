@@ -1,0 +1,203 @@
+//! Operator kinds and per-operator specifications.
+//!
+//! A PIM compiler decomposes a network into operators whose weight matrices
+//! are loaded into macros (in-memory data) while the activations stream in
+//! bit-serially.  What matters for AIM is captured here:
+//!
+//! * the operator's **kind**, which decides whether its in-memory operand is
+//!   known offline (conv / linear / Q-K-V generation) or produced at runtime
+//!   (QKᵀ and SV inside attention — the "input-determined" operators of
+//!   §5.5.1 that always fall back to the 100 % safe level);
+//! * the **shape** of the in-memory operand, which decides how many macros
+//!   the operator occupies and how long its slices run;
+//! * the distribution family its trained weights follow, which the synthetic
+//!   weight generator reproduces.
+
+use nn_quant::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a network operator, as the PIM compiler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Standard convolution (weights are in-memory data).
+    Conv,
+    /// Depthwise convolution (MobileNet-style).
+    DepthwiseConv,
+    /// Fully-connected / linear projection layer.
+    Linear,
+    /// Q/K/V generation projections of an attention block.
+    QkvGeneration,
+    /// The QKᵀ product inside attention: both operands are runtime data.
+    QkT,
+    /// The S·V product inside attention: both operands are runtime data.
+    Sv,
+    /// Transformer MLP (feed-forward) layer.
+    Mlp,
+}
+
+impl OperatorKind {
+    /// Whether the in-memory operand is produced at runtime, so its HR cannot
+    /// be known offline (QKᵀ and SV).
+    #[must_use]
+    pub fn input_determined(self) -> bool {
+        matches!(self, Self::QkT | Self::Sv)
+    }
+
+    /// Whether trained weights of this kind are better modelled by a
+    /// heavy-tailed (Laplace) distribution rather than a Gaussian.
+    #[must_use]
+    pub fn heavy_tailed(self) -> bool {
+        matches!(self, Self::Mlp | Self::QkvGeneration | Self::Linear)
+    }
+}
+
+/// Specification of one operator instance inside a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Layer name, e.g. `"layer3.0.conv1"`.
+    pub name: String,
+    /// Operator kind.
+    pub kind: OperatorKind,
+    /// Rows of the in-memory operand (output channels / heads × head dim).
+    pub rows: usize,
+    /// Columns of the in-memory operand (input channels × kernel area, etc.).
+    pub cols: usize,
+    /// Relative weight-magnitude spread of the trained layer (standard
+    /// deviation of the float weights).
+    pub weight_std: f32,
+    /// Seed offset so every layer gets distinct, reproducible weights.
+    pub seed: u64,
+}
+
+impl OperatorSpec {
+    /// Largest number of weight elements sampled per operator for HR
+    /// statistics.  Full-size tensors of billion-parameter models are not
+    /// materialised; a 16 Ki sample gives HR estimates with sampling error
+    /// well below 1 % while keeping every experiment laptop-sized.
+    pub const MAX_SAMPLED_ELEMENTS: usize = 16_384;
+
+    /// Creates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is degenerate or the weight spread non-positive.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        kind: OperatorKind,
+        rows: usize,
+        cols: usize,
+        weight_std: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "operator shape must be non-degenerate");
+        assert!(weight_std > 0.0, "weight spread must be positive");
+        Self { name: name.into(), kind, rows, cols, weight_std, seed }
+    }
+
+    /// Total logical number of weight elements.
+    #[must_use]
+    pub fn logical_elements(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of weight elements actually sampled for statistics.
+    #[must_use]
+    pub fn sampled_elements(&self) -> usize {
+        self.logical_elements().min(Self::MAX_SAMPLED_ELEMENTS)
+    }
+
+    /// Whether the operator's in-memory operand is runtime-produced.
+    #[must_use]
+    pub fn input_determined(&self) -> bool {
+        self.kind.input_determined()
+    }
+
+    /// Deterministic synthetic float weights for this operator (sampled when
+    /// the logical tensor is larger than [`Self::MAX_SAMPLED_ELEMENTS`]).
+    #[must_use]
+    pub fn synthetic_weights(&self) -> Tensor {
+        crate::weights::synthetic_weights(self)
+    }
+
+    /// Estimated number of macros needed to hold the full logical operand,
+    /// given a macro capacity in weight elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macro_capacity` is zero.
+    #[must_use]
+    pub fn macros_needed(&self, macro_capacity: usize) -> usize {
+        assert!(macro_capacity > 0, "macro capacity must be positive");
+        self.logical_elements().div_ceil(macro_capacity)
+    }
+
+    /// Nominal execution cycles of one macro-sized slice of this operator:
+    /// one bit-serial pass per input activation column, assuming 8-bit
+    /// activations.
+    #[must_use]
+    pub fn slice_cycles(&self) -> u64 {
+        // One bit-serial pass (8 cycles) per group of input activations; a
+        // macro-sized slice re-streams inputs for each occupied row block.
+        let passes = (self.cols as u64).div_ceil(64).max(1);
+        passes * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_products_are_input_determined() {
+        assert!(OperatorKind::QkT.input_determined());
+        assert!(OperatorKind::Sv.input_determined());
+        assert!(!OperatorKind::Conv.input_determined());
+        assert!(!OperatorKind::QkvGeneration.input_determined());
+    }
+
+    #[test]
+    fn transformer_projections_are_heavy_tailed() {
+        assert!(OperatorKind::Mlp.heavy_tailed());
+        assert!(!OperatorKind::Conv.heavy_tailed());
+    }
+
+    #[test]
+    fn sampling_caps_large_layers() {
+        let spec = OperatorSpec::new("big", OperatorKind::Linear, 4096, 4096, 0.02, 1);
+        assert_eq!(spec.logical_elements(), 16_777_216);
+        assert_eq!(spec.sampled_elements(), OperatorSpec::MAX_SAMPLED_ELEMENTS);
+        let small = OperatorSpec::new("small", OperatorKind::Conv, 64, 64, 0.02, 2);
+        assert_eq!(small.sampled_elements(), 4096);
+    }
+
+    #[test]
+    fn synthetic_weights_are_deterministic_and_sized() {
+        let spec = OperatorSpec::new("conv1", OperatorKind::Conv, 64, 147, 0.05, 3);
+        let a = spec.synthetic_weights();
+        let b = spec.synthetic_weights();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.sampled_elements());
+    }
+
+    #[test]
+    fn macros_needed_rounds_up() {
+        let spec = OperatorSpec::new("x", OperatorKind::Conv, 100, 100, 0.05, 4);
+        assert_eq!(spec.macros_needed(2048), 5);
+        assert_eq!(spec.macros_needed(10_000), 1);
+    }
+
+    #[test]
+    fn slice_cycles_scale_with_columns() {
+        let narrow = OperatorSpec::new("n", OperatorKind::Conv, 64, 64, 0.05, 5);
+        let wide = OperatorSpec::new("w", OperatorKind::Conv, 64, 4096, 0.05, 6);
+        assert!(wide.slice_cycles() > narrow.slice_cycles());
+        assert_eq!(narrow.slice_cycles(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn zero_shape_is_rejected() {
+        let _ = OperatorSpec::new("bad", OperatorKind::Conv, 0, 10, 0.05, 7);
+    }
+}

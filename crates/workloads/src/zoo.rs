@@ -1,0 +1,595 @@
+//! The model zoo: the six networks of the paper's evaluation, described as
+//! ordered lists of operator specifications with representative shapes.
+//!
+//! The layer lists are *representative*, not checkpoint-accurate: they follow
+//! the publicly documented architecture shapes (channel widths, block counts,
+//! hidden sizes) closely enough that per-layer HR statistics, macro
+//! occupancy and operator mix match the real networks, which is all the AIM
+//! experiments depend on.  Quality baselines are the INT8 figures the
+//! accuracy proxy is anchored to.
+
+use nn_quant::accuracy::AccuracyProxy;
+use serde::{Deserialize, Serialize};
+
+use crate::inputs::InputClass;
+use crate::operator::{OperatorKind, OperatorSpec};
+
+/// The architectural family a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Convolutional classifier (ResNet18, MobileNetV2).
+    ConvClassifier,
+    /// Convolutional detector (YOLOv5).
+    Detector,
+    /// Vision transformer classifier (ViT).
+    VisionTransformer,
+    /// Causal language model (GPT2, Llama3.2-1B).
+    LanguageModel,
+}
+
+/// One modelled network: operators plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    family: ModelFamily,
+    operators: Vec<OperatorSpec>,
+    baseline_quality: f64,
+}
+
+impl Model {
+    /// All six networks of the paper's evaluation, in Table 2 order.
+    #[must_use]
+    pub fn all() -> Vec<Model> {
+        vec![
+            Self::resnet18(),
+            Self::mobilenet_v2(),
+            Self::yolov5(),
+            Self::vit_base(),
+            Self::llama32_1b(),
+            Self::gpt2(),
+        ]
+    }
+
+    /// The model's name as used in the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model's architectural family.
+    #[must_use]
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// The ordered operator list.
+    #[must_use]
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// Baseline quality of the INT8-quantized model (accuracy % or ppl).
+    #[must_use]
+    pub fn baseline_quality(&self) -> f64 {
+        self.baseline_quality
+    }
+
+    /// The input class feeding this model.
+    #[must_use]
+    pub fn input_class(&self) -> InputClass {
+        match self.family {
+            ModelFamily::ConvClassifier | ModelFamily::Detector | ModelFamily::VisionTransformer => {
+                InputClass::ImageLike
+            }
+            ModelFamily::LanguageModel => InputClass::TokenLike,
+        }
+    }
+
+    /// The accuracy proxy matching this model's family and baseline.
+    #[must_use]
+    pub fn accuracy_proxy(&self) -> AccuracyProxy {
+        match self.family {
+            ModelFamily::ConvClassifier => AccuracyProxy::conv_classifier(self.baseline_quality),
+            ModelFamily::Detector => AccuracyProxy::detector(self.baseline_quality),
+            ModelFamily::VisionTransformer => {
+                AccuracyProxy::transformer_classifier(self.baseline_quality)
+            }
+            ModelFamily::LanguageModel => AccuracyProxy::language_model(self.baseline_quality),
+        }
+    }
+
+    /// Operators whose weights can be optimised offline (everything except
+    /// the runtime-produced QKᵀ / SV products).
+    #[must_use]
+    pub fn offline_operators(&self) -> Vec<&OperatorSpec> {
+        self.operators.iter().filter(|o| !o.input_determined()).collect()
+    }
+
+    /// ResNet18: 7×7 stem, four stages of two residual blocks each, FC head.
+    #[must_use]
+    pub fn resnet18() -> Model {
+        let mut ops = Vec::new();
+        ops.push(OperatorSpec::new("conv1", OperatorKind::Conv, 64, 3 * 49, 0.08, 1));
+        let stages: [(usize, &str); 4] =
+            [(64, "layer1"), (128, "layer2"), (256, "layer3"), (512, "layer4")];
+        let mut seed = 2;
+        for (stage_idx, (ch, stage)) in stages.iter().enumerate() {
+            for block in 0..2 {
+                let in_ch = if block == 0 && stage_idx > 0 { ch / 2 } else { *ch };
+                ops.push(OperatorSpec::new(
+                    format!("{stage}.{block}.conv1"),
+                    OperatorKind::Conv,
+                    *ch,
+                    in_ch * 9,
+                    0.045,
+                    seed,
+                ));
+                seed += 1;
+                ops.push(OperatorSpec::new(
+                    format!("{stage}.{block}.conv2"),
+                    OperatorKind::Conv,
+                    *ch,
+                    ch * 9,
+                    0.04,
+                    seed,
+                ));
+                seed += 1;
+                if block == 0 && stage_idx > 0 {
+                    ops.push(OperatorSpec::new(
+                        format!("{stage}.{block}.downsample"),
+                        OperatorKind::Conv,
+                        *ch,
+                        ch / 2,
+                        0.05,
+                        seed,
+                    ));
+                    seed += 1;
+                }
+            }
+        }
+        ops.push(OperatorSpec::new("fc", OperatorKind::Linear, 1000, 512, 0.03, seed));
+        Model {
+            name: "ResNet18".into(),
+            family: ModelFamily::ConvClassifier,
+            operators: ops,
+            baseline_quality: 71.0,
+        }
+    }
+
+    /// MobileNetV2: inverted-residual bottlenecks (expand / depthwise / project).
+    #[must_use]
+    pub fn mobilenet_v2() -> Model {
+        let mut ops = Vec::new();
+        ops.push(OperatorSpec::new("features.0", OperatorKind::Conv, 32, 27, 0.09, 100));
+        // (expansion, out_channels, repeats) per bottleneck stage.
+        let stages: [(usize, usize, usize); 7] = [
+            (1, 16, 1),
+            (6, 24, 2),
+            (6, 32, 3),
+            (6, 64, 4),
+            (6, 96, 3),
+            (6, 160, 3),
+            (6, 320, 1),
+        ];
+        let mut in_ch = 32usize;
+        let mut seed = 101;
+        for (stage_idx, (expand, out_ch, repeats)) in stages.iter().enumerate() {
+            for r in 0..*repeats {
+                let hidden = in_ch * expand;
+                if *expand != 1 {
+                    ops.push(OperatorSpec::new(
+                        format!("bottleneck{stage_idx}.{r}.expand"),
+                        OperatorKind::Conv,
+                        hidden,
+                        in_ch,
+                        0.05,
+                        seed,
+                    ));
+                    seed += 1;
+                }
+                ops.push(OperatorSpec::new(
+                    format!("bottleneck{stage_idx}.{r}.depthwise"),
+                    OperatorKind::DepthwiseConv,
+                    hidden,
+                    9,
+                    0.06,
+                    seed,
+                ));
+                seed += 1;
+                ops.push(OperatorSpec::new(
+                    format!("bottleneck{stage_idx}.{r}.project"),
+                    OperatorKind::Conv,
+                    *out_ch,
+                    hidden,
+                    0.045,
+                    seed,
+                ));
+                seed += 1;
+                in_ch = *out_ch;
+            }
+        }
+        ops.push(OperatorSpec::new("features.last", OperatorKind::Conv, 1280, 320, 0.04, seed));
+        ops.push(OperatorSpec::new("classifier", OperatorKind::Linear, 1000, 1280, 0.03, seed + 1));
+        Model {
+            name: "MobileNetV2".into(),
+            family: ModelFamily::ConvClassifier,
+            operators: ops,
+            baseline_quality: 71.8,
+        }
+    }
+
+    /// YOLOv5s-like detector: CSP backbone, neck and detection heads.
+    #[must_use]
+    pub fn yolov5() -> Model {
+        let mut ops = Vec::new();
+        let mut seed = 200;
+        let backbone: [(usize, usize); 5] = [(64, 12), (128, 64), (256, 128), (512, 256), (1024, 512)];
+        for (i, (out_ch, in_ch)) in backbone.iter().enumerate() {
+            ops.push(OperatorSpec::new(
+                format!("backbone.{i}.conv"),
+                OperatorKind::Conv,
+                *out_ch,
+                in_ch * 9,
+                0.05,
+                seed,
+            ));
+            seed += 1;
+            // CSP bottlenecks: two 1×1 and one 3×3 per stage.
+            ops.push(OperatorSpec::new(
+                format!("backbone.{i}.csp.cv1"),
+                OperatorKind::Conv,
+                out_ch / 2,
+                *out_ch,
+                0.05,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("backbone.{i}.csp.cv2"),
+                OperatorKind::Conv,
+                out_ch / 2,
+                *out_ch,
+                0.05,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("backbone.{i}.csp.m"),
+                OperatorKind::Conv,
+                out_ch / 2,
+                (out_ch / 2) * 9,
+                0.045,
+                seed,
+            ));
+            seed += 1;
+        }
+        for (i, ch) in [512usize, 256, 256, 512].iter().enumerate() {
+            ops.push(OperatorSpec::new(
+                format!("neck.{i}"),
+                OperatorKind::Conv,
+                *ch,
+                ch * 9,
+                0.045,
+                seed,
+            ));
+            seed += 1;
+        }
+        for (i, ch) in [128usize, 256, 512].iter().enumerate() {
+            ops.push(OperatorSpec::new(
+                format!("head.{i}"),
+                OperatorKind::Conv,
+                255,
+                *ch,
+                0.04,
+                seed,
+            ));
+            seed += 1;
+        }
+        Model {
+            name: "YOLOv5".into(),
+            family: ModelFamily::Detector,
+            operators: ops,
+            baseline_quality: 37.0,
+        }
+    }
+
+    /// ViT-Base/16: patch embedding plus 12 transformer blocks.
+    #[must_use]
+    pub fn vit_base() -> Model {
+        let d = 768usize;
+        let mut ops = Vec::new();
+        ops.push(OperatorSpec::new("patch_embed", OperatorKind::Conv, d, 3 * 256, 0.03, 300));
+        let mut seed = 301;
+        for b in 0..12 {
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.attn.qkv"),
+                OperatorKind::QkvGeneration,
+                3 * d,
+                d,
+                0.03,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.attn.qkt"),
+                OperatorKind::QkT,
+                197,
+                64,
+                0.12,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.attn.sv"),
+                OperatorKind::Sv,
+                197,
+                197,
+                0.10,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.attn.proj"),
+                OperatorKind::Linear,
+                d,
+                d,
+                0.03,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.mlp.fc1"),
+                OperatorKind::Mlp,
+                4 * d,
+                d,
+                0.03,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("blocks.{b}.mlp.fc2"),
+                OperatorKind::Mlp,
+                d,
+                4 * d,
+                0.03,
+                seed,
+            ));
+            seed += 1;
+        }
+        ops.push(OperatorSpec::new("head", OperatorKind::Linear, 1000, d, 0.025, seed));
+        Model {
+            name: "ViT".into(),
+            family: ModelFamily::VisionTransformer,
+            operators: ops,
+            baseline_quality: 81.0,
+        }
+    }
+
+    /// Llama-3.2-1B-like causal LM: 16 blocks, hidden 2048, GQA attention,
+    /// gated MLP with intermediate 8192.
+    #[must_use]
+    pub fn llama32_1b() -> Model {
+        let d = 2048usize;
+        let kv = 512usize;
+        let inter = 8192usize;
+        let mut ops = Vec::new();
+        let mut seed = 400;
+        for b in 0..16 {
+            for (suffix, rows, cols) in [
+                ("attn.q_proj", d, d),
+                ("attn.k_proj", kv, d),
+                ("attn.v_proj", kv, d),
+                ("attn.o_proj", d, d),
+            ] {
+                ops.push(OperatorSpec::new(
+                    format!("layers.{b}.{suffix}"),
+                    OperatorKind::QkvGeneration,
+                    rows,
+                    cols,
+                    0.022,
+                    seed,
+                ));
+                seed += 1;
+            }
+            ops.push(OperatorSpec::new(
+                format!("layers.{b}.attn.qkt"),
+                OperatorKind::QkT,
+                512,
+                64,
+                0.12,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("layers.{b}.attn.sv"),
+                OperatorKind::Sv,
+                512,
+                512,
+                0.10,
+                seed,
+            ));
+            seed += 1;
+            for (suffix, rows, cols) in [
+                ("mlp.gate_proj", inter, d),
+                ("mlp.up_proj", inter, d),
+                ("mlp.down_proj", d, inter),
+            ] {
+                ops.push(OperatorSpec::new(
+                    format!("layers.{b}.{suffix}"),
+                    OperatorKind::Mlp,
+                    rows,
+                    cols,
+                    0.02,
+                    seed,
+                ));
+                seed += 1;
+            }
+        }
+        ops.push(OperatorSpec::new("lm_head", OperatorKind::Linear, 32_000, d, 0.02, seed));
+        Model {
+            name: "Llama3".into(),
+            family: ModelFamily::LanguageModel,
+            operators: ops,
+            baseline_quality: 11.16,
+        }
+    }
+
+    /// GPT2 (small): 12 blocks, hidden 768.
+    #[must_use]
+    pub fn gpt2() -> Model {
+        let d = 768usize;
+        let mut ops = Vec::new();
+        let mut seed = 600;
+        for b in 0..12 {
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.attn.c_attn"),
+                OperatorKind::QkvGeneration,
+                3 * d,
+                d,
+                0.028,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.attn.qkt"),
+                OperatorKind::QkT,
+                1024,
+                64,
+                0.12,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.attn.sv"),
+                OperatorKind::Sv,
+                1024,
+                1024,
+                0.10,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.attn.c_proj"),
+                OperatorKind::Linear,
+                d,
+                d,
+                0.028,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.mlp.c_fc"),
+                OperatorKind::Mlp,
+                4 * d,
+                d,
+                0.028,
+                seed,
+            ));
+            seed += 1;
+            ops.push(OperatorSpec::new(
+                format!("h.{b}.mlp.c_proj"),
+                OperatorKind::Mlp,
+                d,
+                4 * d,
+                0.028,
+                seed,
+            ));
+            seed += 1;
+        }
+        ops.push(OperatorSpec::new("lm_head", OperatorKind::Linear, 50_257, d, 0.02, seed));
+        Model {
+            name: "GPT2".into(),
+            family: ModelFamily::LanguageModel,
+            operators: ops,
+            baseline_quality: 28.69,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_returns_the_six_paper_models() {
+        let models = Model::all();
+        let names: Vec<&str> = models.iter().map(Model::name).collect();
+        assert_eq!(names, ["ResNet18", "MobileNetV2", "YOLOv5", "ViT", "Llama3", "GPT2"]);
+    }
+
+    #[test]
+    fn resnet18_has_the_expected_structure() {
+        let m = Model::resnet18();
+        // 1 stem + 4 stages × (2 blocks × 2 convs) + 3 downsample + 1 fc = 21.
+        assert_eq!(m.operators().len(), 21);
+        assert!(m.operators().iter().all(|o| !o.input_determined()));
+        assert!(m
+            .operators()
+            .iter()
+            .any(|o| o.name == "layer3.0.conv1"), "the Fig. 5 layer must exist");
+    }
+
+    #[test]
+    fn transformer_models_contain_input_determined_operators() {
+        for m in [Model::vit_base(), Model::gpt2(), Model::llama32_1b()] {
+            let total = m.operators().len();
+            let offline = m.offline_operators().len();
+            assert!(offline < total, "{} must have QKT/SV operators", m.name());
+        }
+        // Conv models do not.
+        assert_eq!(
+            Model::resnet18().offline_operators().len(),
+            Model::resnet18().operators().len()
+        );
+    }
+
+    #[test]
+    fn language_models_use_perplexity_and_token_inputs() {
+        let gpt2 = Model::gpt2();
+        assert_eq!(gpt2.input_class(), InputClass::TokenLike);
+        assert!(gpt2.baseline_quality() > 20.0);
+        let resnet = Model::resnet18();
+        assert_eq!(resnet.input_class(), InputClass::ImageLike);
+    }
+
+    #[test]
+    fn operator_names_are_unique_within_each_model() {
+        for m in Model::all() {
+            let mut names: Vec<&str> = m.operators().iter().map(|o| o.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate operator names in {}", m.name());
+        }
+    }
+
+    #[test]
+    fn llama_is_much_larger_than_gpt2() {
+        let llama: usize = Model::llama32_1b()
+            .operators()
+            .iter()
+            .map(OperatorSpec::logical_elements)
+            .sum();
+        let gpt2: usize = Model::gpt2().operators().iter().map(OperatorSpec::logical_elements).sum();
+        assert!(llama > 2 * gpt2);
+        assert!(llama > 800_000_000, "Llama3.2-1B should have ~1e9 logical weights, got {llama}");
+    }
+
+    #[test]
+    fn accuracy_proxies_match_families() {
+        for m in Model::all() {
+            let proxy = m.accuracy_proxy();
+            assert!((proxy.baseline - m.baseline_quality()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_offline_operator_generates_weights() {
+        for m in Model::all() {
+            for op in m.offline_operators() {
+                let w = op.synthetic_weights();
+                assert!(!w.is_empty(), "{}::{} produced no weights", m.name(), op.name);
+            }
+        }
+    }
+}

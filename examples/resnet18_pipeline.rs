@@ -1,0 +1,64 @@
+//! End-to-end AIM on a convolutional workload (ResNet18).
+//!
+//! Runs the full pipeline twice — the pre-AIM baseline and the complete AIM
+//! stack (LHR + WDS + IR-Booster + HR-aware mapping) — and prints the
+//! headline comparison the paper reports in §6.6: IR-drop mitigation,
+//! per-macro power / energy efficiency and effective throughput.
+//!
+//! Run with: `cargo run --release --example resnet18_pipeline`
+
+use aim::core::pipeline::{run_model, AimConfig};
+use aim::wl::zoo::Model;
+
+fn main() {
+    let model = Model::resnet18();
+    // Stride over the operator list to keep the example under a minute;
+    // drop `operator_stride` for the full network.
+    let quick = |config: AimConfig| AimConfig {
+        operator_stride: Some(3),
+        cycles_per_slice: 120,
+        ..config
+    };
+
+    println!("=== AIM end-to-end on {} ===\n", model.name());
+    let baseline = run_model(&model, &quick(AimConfig::baseline()));
+    let low_power = run_model(&model, &quick(AimConfig::full_low_power()));
+    let sprint = run_model(&model, &quick(AimConfig::full_sprint()));
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>12} {:>12}",
+        "configuration", "HR avg", "droop (mV)", "mW/macro", "TOPS"
+    );
+    for (name, r) in [
+        ("baseline (sign-off)", &baseline),
+        ("AIM low-power mode", &low_power),
+        ("AIM sprint mode", &sprint),
+    ] {
+        println!(
+            "{name:<26} {:>10.3} {:>12.1} {:>12.3} {:>12.1}",
+            r.hr_average, r.worst_irdrop_mv, r.avg_macro_power_mw, r.effective_tops
+        );
+    }
+
+    println!();
+    println!(
+        "IR-drop mitigation:      {:>5.1} % (low-power) / {:>5.1} % (sprint)",
+        100.0 * low_power.mitigation_vs_signoff,
+        100.0 * sprint.mitigation_vs_signoff
+    );
+    println!(
+        "Energy efficiency:       {:.2}x (low-power) / {:.2}x (sprint)",
+        low_power.energy_efficiency_vs(&baseline),
+        sprint.energy_efficiency_vs(&baseline)
+    );
+    println!(
+        "Speedup:                 {:.3}x (low-power) / {:.3}x (sprint)",
+        low_power.speedup_vs(&baseline),
+        sprint.speedup_vs(&baseline)
+    );
+    println!(
+        "Predicted accuracy:      {:.2} % → {:.2} % (baseline → AIM)",
+        baseline.predicted_quality, low_power.predicted_quality
+    );
+    println!("IRFailures under AIM:    {} (handled by recompute)", low_power.failures);
+}

@@ -1,0 +1,34 @@
+//! # AIM — Architecture-level IR-drop Mitigation for High-performance PIM
+//!
+//! Facade crate for the Rust reproduction of the ISCA 2025 paper
+//! *"AIM: Software and Hardware Co-design for Architecture-level IR-drop
+//! Mitigation in High-performance PIM"*.
+//!
+//! The workspace is split into focused crates; this crate simply re-exports
+//! them under a single namespace so that examples, integration tests and
+//! downstream users can write `use aim::...`.
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`ir`] | PDN / IR-drop model, power and timing models, V-f tables, IR monitor |
+//! | [`nn`] | Quantization stack: QAT/PTQ, LHR regularizer, WDS, pruning |
+//! | [`pim`] | Bit-serial SRAM-PIM macro and chip simulator |
+//! | [`wl`] | Workload model zoo and synthetic input generators |
+//! | [`core`] | The AIM contribution: Rtog/HR metrics, IR-Booster, HR-aware mapping |
+//!
+//! # Quick start
+//!
+//! ```
+//! use aim::core::metrics::hamming_rate_i8;
+//!
+//! // HR of a small INT8 weight set (Eq. 3 of the paper).
+//! let weights = [0i8, 8, -8, 16];
+//! let hr = hamming_rate_i8(&weights);
+//! assert!(hr > 0.0 && hr < 1.0);
+//! ```
+
+pub use aim_core as core;
+pub use ir_model as ir;
+pub use nn_quant as nn;
+pub use pim_sim as pim;
+pub use workloads as wl;

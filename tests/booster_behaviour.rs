@@ -1,0 +1,122 @@
+//! Integration tests of the IR-Booster behaviour on the chip simulator:
+//! the β trade-off, failure handling and set-level interference.
+
+use aim::core::booster::{BoosterConfig, IrBoosterController};
+use aim::ir::process::ProcessParams;
+use aim::ir::vf::OperatingMode;
+use aim::pim::chip::{ChipConfig, ChipSimulator, MacroTask};
+
+fn chip_config() -> ChipConfig {
+    ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() }
+}
+
+fn uniform_tasks(hr: f64, cycles: u64, sets: usize) -> Vec<Option<MacroTask>> {
+    let params = ProcessParams::dpim_7nm();
+    (0..params.total_macros())
+        .map(|m| Some(MacroTask::new(format!("op-{m}"), hr, cycles, m % sets)))
+        .collect()
+}
+
+#[test]
+fn smaller_beta_gives_more_mitigation_but_more_failures() {
+    // The Fig. 18 trade-off: a tighter adjustment window reacts faster (more
+    // aggressive levels reached sooner ⇒ better droop/power) but triggers
+    // more IRFailures and therefore more recompute cycles.
+    let sim = ChipSimulator::new(chip_config(), uniform_tasks(0.45, 1_200, 8));
+    let run = |beta: u64| {
+        let mut booster = IrBoosterController::for_simulator(
+            &sim,
+            BoosterConfig::sprint().with_beta(beta),
+        );
+        sim.run(&mut booster, 400_000)
+    };
+    let tight = run(10);
+    let loose = run(90);
+    assert!(
+        tight.failures >= loose.failures,
+        "β=10 should fail at least as often as β=90 ({} vs {})",
+        tight.failures,
+        loose.failures
+    );
+    assert!(
+        tight.recompute_macro_cycles + tight.stall_macro_cycles
+            >= loose.recompute_macro_cycles + loose.stall_macro_cycles
+    );
+}
+
+#[test]
+fn failures_only_stall_the_failing_set() {
+    // Two sets: set 0 runs a moderately hot workload whose safe level is set
+    // one notch too aggressive (so IRFailures do occur), set 1 runs a calm
+    // workload at an honest safe level.  Failures must stall only set 0.
+    let params = ProcessParams::dpim_7nm();
+    let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
+    // Set 0 on groups 0..8 (macros 0..32): HR 0.55.
+    for m in 0..32 {
+        tasks[m] = Some(MacroTask::new(format!("hot-{m}"), 0.55, 1_000, 0));
+    }
+    // Set 1 on groups 8..16 (macros 32..64): HR 0.25.
+    for m in 32..64 {
+        tasks[m] = Some(MacroTask::new(format!("cool-{m}"), 0.25, 1_000, 1));
+    }
+    let sim = ChipSimulator::new(chip_config(), tasks);
+    // Explicit safe levels: 40 % for the hot groups (below their HR ⇒ the
+    // aggressive gamble occasionally fails), 30 % for the cool groups.
+    let mut safe_levels = vec![40u8; 8];
+    safe_levels.extend(vec![30u8; 8]);
+    let set_groups = vec![(0..8).collect::<Vec<_>>(), (8..16).collect::<Vec<_>>()];
+    let mut booster = IrBoosterController::new(
+        &params,
+        BoosterConfig::low_power().with_beta(20),
+        &safe_levels,
+        set_groups,
+    );
+    let report = sim.run(&mut booster, 400_000);
+    assert!(report.failures > 0, "the hot set must trigger IRFailures");
+    assert_eq!(report.useful_macro_cycles, 64 * 1_000, "all work must still complete");
+    assert!(report.total_cycles > 1_000, "recompute must stretch the run");
+    // Stalls are confined to the failing set's macros.
+    let hot_stalls: u64 = report.per_macro_stalls()[..32].iter().sum();
+    let cool_stalls: u64 = report.per_macro_stalls()[32..].iter().sum();
+    assert!(hot_stalls > 0, "set mates of the failing macro must stall");
+    assert_eq!(cool_stalls, 0, "the calm set must never be stalled by set 0's failures");
+}
+
+#[test]
+fn input_determined_groups_run_at_the_dvfs_level() {
+    let params = ProcessParams::dpim_7nm();
+    let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
+    for m in 0..4 {
+        tasks[m] = Some(MacroTask::new(format!("qkt-{m}"), 0.5, 500, 0).input_determined());
+    }
+    for m in 4..8 {
+        tasks[m] = Some(MacroTask::new(format!("conv-{m}"), 0.27, 500, 1));
+    }
+    let sim = ChipSimulator::new(chip_config(), tasks);
+    let booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());
+    let safe = booster.safe_levels();
+    assert_eq!(safe[0], 100, "QKT group must default to the sign-off level");
+    assert_eq!(safe[1], 30, "conv group uses its offline HR");
+}
+
+#[test]
+fn booster_matches_static_throughput_on_clean_workloads() {
+    // When the safe level is honest (HR known, low), the booster should not
+    // lose measurable throughput to failures in either mode.
+    let sim = ChipSimulator::new(chip_config(), uniform_tasks(0.30, 800, 8));
+    let mut static_ctrl = aim::pim::chip::StaticController::nominal(&ProcessParams::dpim_7nm());
+    let baseline = sim.run(&mut static_ctrl, 100_000);
+    for mode in [OperatingMode::LowPower, OperatingMode::Sprint] {
+        let mut booster = IrBoosterController::for_simulator(
+            &sim,
+            BoosterConfig { mode, ..BoosterConfig::low_power() },
+        );
+        let boosted = sim.run(&mut booster, 100_000);
+        assert!(
+            boosted.effective_tops >= baseline.effective_tops * 0.95,
+            "{mode:?}: booster should not lose throughput ({} vs {})",
+            boosted.effective_tops,
+            baseline.effective_tops
+        );
+    }
+}

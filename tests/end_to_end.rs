@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the full AIM flow from workload model to
+//! chip report, exercised through the public facade crate.
+
+use aim::core::booster::{BoosterConfig, IrBoosterController};
+use aim::core::mapping::{map_tasks, operator_mix, AnnealingConfig, MappingStrategy};
+use aim::core::pipeline::{build_batches, optimize_model, run_model, AimConfig};
+use aim::ir::irdrop::IrDropModel;
+use aim::ir::process::ProcessParams;
+use aim::ir::vf::OperatingMode;
+use aim::pim::chip::{ChipConfig, ChipSimulator, StaticController};
+use aim::wl::zoo::Model;
+
+/// Keep integration runs small enough for CI while still spanning every
+/// crate: a handful of operators per model, short slices.
+fn quick(config: AimConfig) -> AimConfig {
+    AimConfig { operator_stride: Some(6), cycles_per_slice: 80, ..config }
+}
+
+#[test]
+fn headline_shape_holds_for_a_conv_workload() {
+    let model = Model::resnet18();
+    let baseline = run_model(&model, &quick(AimConfig::baseline()));
+    let aim = run_model(&model, &quick(AimConfig::full_low_power()));
+
+    // Who wins and by roughly what factor (paper §6.6): substantial IR-drop
+    // mitigation, >1.5x energy efficiency, throughput preserved or improved.
+    assert!(aim.worst_irdrop_mv < baseline.worst_irdrop_mv);
+    assert!(aim.mitigation_vs_signoff > 0.4, "mitigation {}", aim.mitigation_vs_signoff);
+    assert!(aim.energy_efficiency_vs(&baseline) > 1.5);
+    assert!(aim.speedup_vs(&baseline) > 0.9);
+    // Accuracy proxy must stay within a point of the baseline.
+    assert!((baseline.predicted_quality - aim.predicted_quality).abs() < 1.0);
+}
+
+#[test]
+fn software_stack_reduces_hr_for_every_model_family() {
+    for model in [Model::resnet18(), Model::vit_base(), Model::gpt2()] {
+        let base = optimize_model(&model, &quick(AimConfig::baseline()));
+        let opt = optimize_model(
+            &model,
+            &quick(AimConfig { use_lhr: true, wds_delta: Some(16), ..AimConfig::baseline() }),
+        );
+        let mean_hr = |ops: &[aim::core::pipeline::OperatorOutcome]| {
+            let offline: Vec<_> = ops.iter().filter(|o| !o.input_determined).collect();
+            offline.iter().map(|o| o.hr).sum::<f64>() / offline.len() as f64
+        };
+        let before = mean_hr(&base);
+        let after = mean_hr(&opt);
+        assert!(
+            after < before * 0.8,
+            "{}: expected >20 % HR reduction, got {before:.3} -> {after:.3}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn batches_cover_all_slices_and_fit_the_chip() {
+    let params = ProcessParams::dpim_7nm();
+    for model in Model::all() {
+        let config = AimConfig { operator_stride: Some(10), ..AimConfig::baseline() };
+        let ops = optimize_model(&model, &config);
+        let batches = build_batches(&ops, &params);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        let expected: usize = ops.iter().map(|o| o.slices).sum();
+        assert_eq!(total, expected, "{} lost slices in batching", model.name());
+        assert!(batches.iter().all(|b| b.len() <= params.total_macros()));
+    }
+}
+
+#[test]
+fn booster_outperforms_static_controller_on_a_mixed_mapping() {
+    let params = ProcessParams::dpim_7nm();
+    let slices = operator_mix(("conv", 0.28, false), ("linear", 0.35, false), 28, 200);
+    let mapping = map_tasks(
+        &slices,
+        &params,
+        OperatingMode::LowPower,
+        MappingStrategy::HrAware(AnnealingConfig::default()),
+    );
+    let tasks = mapping.to_macro_tasks(&slices);
+    let sim = ChipSimulator::new(
+        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() },
+        tasks,
+    );
+
+    let mut static_ctrl = StaticController::nominal(&params);
+    let baseline = sim.run(&mut static_ctrl, 100_000);
+    let mut booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());
+    let boosted = sim.run(&mut booster, 100_000);
+
+    assert!(boosted.avg_macro_power_mw < baseline.avg_macro_power_mw);
+    assert!(boosted.worst_irdrop_mv < baseline.worst_irdrop_mv);
+    // Recompute overhead must stay small for a well-chosen safe level.
+    assert!(boosted.overhead_fraction() < 0.10);
+}
+
+#[test]
+fn workload_irdrop_stays_well_below_signoff_worst_case() {
+    // The Fig. 3 observation: real workloads never reach the sign-off
+    // worst-case droop, even without any AIM optimisation.
+    let params = ProcessParams::dpim_7nm();
+    let irdrop = IrDropModel::new(params);
+    for model in [Model::resnet18(), Model::vit_base()] {
+        let report = run_model(&model, &quick(AimConfig::baseline()));
+        let ratio = report.worst_irdrop_mv / irdrop.signoff_worst_case_mv();
+        assert!(
+            ratio < 0.75,
+            "{}: workload worst droop should sit well below sign-off, got {ratio:.2}",
+            model.name()
+        );
+        assert!(ratio > 0.2, "{}: droop ratio suspiciously low: {ratio:.2}", model.name());
+    }
+}
+
+#[test]
+fn facade_crate_re_exports_are_usable_together() {
+    // Compile-time integration check across the facade: quantize with
+    // nn-quant, wrap in a pim-sim bank, measure with aim-core metrics.
+    let tensor = aim::nn::tensor::Tensor::randn(vec![64], 0.05, 3);
+    let layer = aim::nn::quant::QuantizedLayer::from_tensor("l", &tensor, 8);
+    let bank = aim::pim::bank::Bank::new(&layer.weights, 8);
+    let inputs = aim::pim::stream::InputStream::random(64, 8, 4);
+    let (_, peak, hr) = aim::core::metrics::bank_rtog_profile(&bank, &inputs);
+    assert!(peak <= hr + 1e-12);
+    assert!((hr - layer.hamming_rate()).abs() < 1e-12);
+}
