@@ -42,19 +42,31 @@ impl BoosterConfig {
     /// The paper's reference configuration: `β = 50`, sprint mode.
     #[must_use]
     pub const fn sprint() -> Self {
-        Self { beta: 50, mode: OperatingMode::Sprint, aggressive: true }
+        Self {
+            beta: 50,
+            mode: OperatingMode::Sprint,
+            aggressive: true,
+        }
     }
 
     /// The paper's low-power configuration: `β = 50`, low-power mode.
     #[must_use]
     pub const fn low_power() -> Self {
-        Self { beta: 50, mode: OperatingMode::LowPower, aggressive: true }
+        Self {
+            beta: 50,
+            mode: OperatingMode::LowPower,
+            aggressive: true,
+        }
     }
 
     /// Safe-level-only operation (no aggressive adjustment).
     #[must_use]
     pub const fn safe_only(mode: OperatingMode) -> Self {
-        Self { beta: 50, mode, aggressive: false }
+        Self {
+            beta: 50,
+            mode,
+            aggressive: false,
+        }
     }
 
     /// Overrides `β`.
@@ -110,8 +122,17 @@ struct GroupBoostState {
 
 impl GroupBoostState {
     fn new(safe_level: LevelPercent, aggressive: bool) -> Self {
-        let a_level = if aggressive { initial_aggressive_level(safe_level) } else { safe_level };
-        Self { safe_level, a_level, level: a_level, safe_counter: 0 }
+        let a_level = if aggressive {
+            initial_aggressive_level(safe_level)
+        } else {
+            safe_level
+        };
+        Self {
+            safe_level,
+            a_level,
+            level: a_level,
+            safe_counter: 0,
+        }
     }
 }
 
@@ -125,6 +146,10 @@ pub struct IrBoosterController {
     set_groups: Vec<Vec<GroupId>>,
     /// Running count of IRFailures handled (for reports/tests).
     failures_seen: u64,
+    /// Per-group preferred pair, reused every cycle (allocation-free path).
+    preferred: Vec<VfPair>,
+    /// Per-group set-synchronisation frequency cap, reused every cycle.
+    freq_cap: Vec<f64>,
 }
 
 impl IrBoosterController {
@@ -158,11 +183,20 @@ impl IrBoosterController {
         set_groups: Vec<Vec<GroupId>>,
     ) -> Self {
         let table = VfTable::derive_default(params);
-        let states = group_safe_levels
+        let states: Vec<GroupBoostState> = group_safe_levels
             .iter()
             .map(|&lvl| GroupBoostState::new(lvl, config.aggressive))
             .collect();
-        Self { config, table, states, set_groups, failures_seen: 0 }
+        let groups = states.len();
+        Self {
+            config,
+            table,
+            states,
+            set_groups,
+            failures_seen: 0,
+            preferred: Vec::with_capacity(groups),
+            freq_cap: vec![f64::INFINITY; groups],
+        }
     }
 
     /// The configuration in force.
@@ -205,7 +239,10 @@ impl IrBoosterController {
 
     fn level_up(&self, state: &GroupBoostState) -> LevelPercent {
         // "Up" = more aggressive = lower Rtog assumption, bounded below.
-        state.a_level.saturating_sub(Self::LEVEL_STEP).max(Self::MIN_LEVEL)
+        state
+            .a_level
+            .saturating_sub(Self::LEVEL_STEP)
+            .max(Self::MIN_LEVEL)
     }
 
     /// Applies Algorithm 2 to one group for one cycle.
@@ -239,40 +276,43 @@ impl IrBoosterController {
         self.states[g] = st;
     }
 
-    /// Picks the concrete pair for a group's level, honouring the set
+    /// Picks the concrete pair for each group's level, honouring the set
     /// frequency constraint: every group hosting members of one logical set
     /// must run the same frequency, so each group is capped at the minimum
-    /// frequency its sets can reach.
-    fn select_points(&self) -> Vec<(VfPair, LevelPercent)> {
-        let groups = self.states.len();
+    /// frequency its sets can reach.  Appends the decisions to `out` using
+    /// only the controller's internal scratch buffers.
+    fn select_points_into(&mut self, out: &mut Vec<ControllerDecision>) {
+        let table = &self.table;
+        let states = &self.states;
+        let mode = self.config.mode;
         // Preferred pair per group from its level and the operating mode.
-        let mut preferred: Vec<VfPair> = (0..groups)
-            .map(|g| {
-                self.table
-                    .select(self.states[g].level, self.config.mode)
-                    .expect("every level has at least the sign-off pair")
-            })
-            .collect();
+        self.preferred.clear();
+        self.preferred.extend(states.iter().map(|s| {
+            table
+                .select(s.level, mode)
+                .expect("every level has at least the sign-off pair")
+        }));
         // Frequency cap per group = min preferred frequency over each set
         // that spans it.
-        let mut cap = vec![f64::INFINITY; groups];
+        self.freq_cap.fill(f64::INFINITY);
         for set in &self.set_groups {
             let min_f = set
                 .iter()
-                .map(|&g| preferred[g].frequency_ghz)
+                .map(|&g| self.preferred[g].frequency_ghz)
                 .fold(f64::INFINITY, f64::min);
             for &g in set {
-                cap[g] = cap[g].min(min_f);
+                self.freq_cap[g] = self.freq_cap[g].min(min_f);
             }
         }
-        for (g, pref) in preferred.iter_mut().enumerate() {
-            if cap[g].is_finite() && pref.frequency_ghz > cap[g] + 1e-12 {
+        for (g, pref) in self.preferred.iter_mut().enumerate() {
+            let cap = self.freq_cap[g];
+            if cap.is_finite() && pref.frequency_ghz > cap + 1e-12 {
                 // Re-select among the level's pairs at the capped frequency:
                 // lowest voltage that still reaches the cap.
-                let pairs = self.table.pairs_for_level(self.states[g].level);
+                let pairs = table.pairs_for_level(states[g].level);
                 let candidate = pairs
                     .iter()
-                    .filter(|p| p.frequency_ghz <= cap[g] + 1e-12)
+                    .filter(|p| p.frequency_ghz <= cap + 1e-12)
                     .max_by(|a, b| {
                         a.frequency_ghz
                             .partial_cmp(&b.frequency_ghz)
@@ -284,23 +324,31 @@ impl IrBoosterController {
                 }
             }
         }
-        preferred
-            .into_iter()
-            .zip(self.states.iter().map(|s| s.level))
-            .collect()
+        out.extend(self.preferred.iter().zip(states.iter()).map(|(&point, s)| {
+            ControllerDecision {
+                point,
+                level_percent: s.level,
+            }
+        }));
     }
 }
 
 impl VfController for IrBoosterController {
-    fn decide(&mut self, _cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision> {
-        assert_eq!(observations.len(), self.states.len(), "group count mismatch");
+    fn decide_into(
+        &mut self,
+        _cycle: u64,
+        observations: &[GroupObservation],
+        out: &mut Vec<ControllerDecision>,
+    ) {
+        assert_eq!(
+            observations.len(),
+            self.states.len(),
+            "group count mismatch"
+        );
         for obs in observations {
             self.step_group(obs.group, obs.failure);
         }
-        self.select_points()
-            .into_iter()
-            .map(|(point, level_percent)| ControllerDecision { point, level_percent })
-            .collect()
+        self.select_points_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -389,13 +437,19 @@ mod tests {
         c.decide(0, &[obs(true)]);
         assert_eq!(c.current_levels(), vec![50]);
         let a_after_first = c.states[0].a_level;
-        assert_eq!(a_after_first, 40, "a-level backs off from 35 towards the safe level");
+        assert_eq!(
+            a_after_first, 40,
+            "a-level backs off from 35 towards the safe level"
+        );
         // A second immediate failure backs off again, clamped at safe level.
         c.decide(1, &[obs(true)]);
         assert_eq!(c.states[0].a_level, 45);
         c.decide(2, &[obs(true)]);
         c.decide(3, &[obs(true)]);
-        assert_eq!(c.states[0].a_level, 50, "a-level never regresses past the safe level");
+        assert_eq!(
+            c.states[0].a_level, 50,
+            "a-level never regresses past the safe level"
+        );
     }
 
     #[test]
@@ -414,7 +468,10 @@ mod tests {
         for cycle in 0..(5 * beta) {
             c.decide(cycle, &[obs]);
         }
-        assert!(c.states[0].a_level < 35, "a-level should have become more aggressive");
+        assert!(
+            c.states[0].a_level < 35,
+            "a-level should have become more aggressive"
+        );
         assert!(c.states[0].a_level >= IrBoosterController::MIN_LEVEL);
     }
 
@@ -487,7 +544,10 @@ mod tests {
         let sim = ChipSimulator::new(ChipConfig::default(), tasks);
         let c = IrBoosterController::for_simulator(&sim, BoosterConfig::sprint());
         let safe = c.safe_levels();
-        assert_eq!(safe[0], 30, "group 0 gets its safe level from the 27 % HR task");
+        assert_eq!(
+            safe[0], 30,
+            "group 0 gets its safe level from the 27 % HR task"
+        );
         assert_eq!(safe[1], 100, "input-determined group falls back to DVFS");
         assert_eq!(safe[2], 100, "idle group defaults to DVFS");
     }
@@ -501,7 +561,10 @@ mod tests {
         let tasks: Vec<Option<MacroTask>> = (0..params.total_macros())
             .map(|m| Some(MacroTask::new(format!("conv-{m}"), 0.30, 400, m % 8)))
             .collect();
-        let cfg = ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() };
+        let cfg = ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        };
         let sim = ChipSimulator::new(cfg, tasks);
 
         let mut static_ctrl = pim_sim::chip::StaticController::nominal(&params);

@@ -122,8 +122,7 @@ impl MappingOutcome {
             .map(|slot| {
                 slot.map(|idx| {
                     let s = &slices[idx];
-                    let mut task =
-                        MacroTask::new(s.operator.clone(), s.hr, s.cycles, s.set_id);
+                    let mut task = MacroTask::new(s.operator.clone(), s.hr, s.cycles, s.set_id);
                     if s.input_determined {
                         task = task.input_determined();
                     }
@@ -173,9 +172,7 @@ pub fn map_tasks(
             }
             single(assignment, slices, params, &table, mode, &flips)
         }
-        MappingStrategy::HrAware(config) => {
-            anneal(slices, params, &table, mode, &flips, &config)
-        }
+        MappingStrategy::HrAware(config) => anneal(slices, params, &table, mode, &flips, &config),
     }
 }
 
@@ -188,11 +185,17 @@ fn single(
     flips: &FlipSequence,
 ) -> MappingOutcome {
     let evaluation = evaluate_mapping(&assignment, slices, params, table, mode, flips);
-    MappingOutcome { assignment, evaluation, evaluations: 1 }
+    MappingOutcome {
+        assignment,
+        evaluation,
+        evaluations: 1,
+    }
 }
 
 fn sequential_assignment(n_slices: usize, total: usize) -> Vec<Option<usize>> {
-    (0..total).map(|m| if m < n_slices { Some(m) } else { None }).collect()
+    (0..total)
+        .map(|m| if m < n_slices { Some(m) } else { None })
+        .collect()
 }
 
 fn zigzag_assignment(n_slices: usize, params: &ProcessParams) -> Vec<Option<usize>> {
@@ -239,11 +242,11 @@ pub fn evaluate_mapping(
 
     // Worst HR per group (input-determined or unknown ⇒ DVFS level).
     let mut group_level = vec![100u8; groups];
-    for g in 0..groups {
+    for (g, level) in group_level.iter_mut().enumerate() {
         let mut worst: Option<f64> = None;
         let mut unknown = false;
-        for m in g * mpg..(g + 1) * mpg {
-            if let Some(idx) = assignment[m] {
+        for slot in &assignment[g * mpg..(g + 1) * mpg] {
+            if let Some(idx) = *slot {
                 let s = &slices[idx];
                 if s.input_determined {
                     unknown = true;
@@ -252,7 +255,7 @@ pub fn evaluate_mapping(
                 }
             }
         }
-        group_level[g] = if unknown {
+        *level = if unknown {
             100
         } else {
             worst.map_or(100, |hr| table.level_for_rtog(hr))
@@ -289,7 +292,10 @@ pub fn evaluate_mapping(
     let delay_cycles: f64 = set_cycles
         .iter()
         .map(|(sid, &cycles)| {
-            let f = set_freq.get(sid).copied().unwrap_or(params.nominal_frequency_ghz);
+            let f = set_freq
+                .get(sid)
+                .copied()
+                .unwrap_or(params.nominal_frequency_ghz);
             cycles as f64 * params.nominal_frequency_ghz / f
         })
         .sum();
@@ -308,13 +314,21 @@ pub fn evaluate_mapping(
             mapped += 1;
         }
     }
-    let avg_power_mw = if mapped == 0 { 0.0 } else { power_sum / mapped as f64 };
+    let avg_power_mw = if mapped == 0 {
+        0.0
+    } else {
+        power_sum / mapped as f64
+    };
 
     let score = match mode {
         OperatingMode::LowPower => avg_power_mw,
         OperatingMode::Sprint => delay_cycles,
     };
-    MappingEvaluation { avg_power_mw, delay_cycles, score }
+    MappingEvaluation {
+        avg_power_mw,
+        delay_cycles,
+        score,
+    }
 }
 
 /// Algorithm 3: simulated annealing over macro-pair swaps.
@@ -377,7 +391,11 @@ fn anneal(
         }
     }
 
-    MappingOutcome { assignment: best, evaluation: best_eval, evaluations }
+    MappingOutcome {
+        assignment: best,
+        evaluation: best_eval,
+        evaluations,
+    }
 }
 
 /// Builds the standard Fig. 21 operator-mix batches: pairs of operators with
@@ -420,7 +438,12 @@ mod tests {
 
     #[test]
     fn sequential_fills_macros_in_order() {
-        let out = map_tasks(&mixed_slices(), &params(), OperatingMode::LowPower, MappingStrategy::Sequential);
+        let out = map_tasks(
+            &mixed_slices(),
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Sequential,
+        );
         assert_eq!(out.assignment[0], Some(0));
         assert_eq!(out.assignment[47], Some(47));
         assert_eq!(out.assignment[48], None);
@@ -430,8 +453,18 @@ mod tests {
     #[test]
     fn zigzag_differs_from_sequential_but_maps_everything() {
         let slices = mixed_slices();
-        let seq = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Sequential);
-        let zig = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Zigzag);
+        let seq = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Sequential,
+        );
+        let zig = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Zigzag,
+        );
         assert_ne!(seq.assignment, zig.assignment);
         let count = |a: &Vec<Option<usize>>| a.iter().flatten().count();
         assert_eq!(count(&seq.assignment), slices.len());
@@ -441,9 +474,24 @@ mod tests {
     #[test]
     fn random_mapping_is_seed_deterministic() {
         let slices = mixed_slices();
-        let a = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Random { seed: 1 });
-        let b = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Random { seed: 1 });
-        let c = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Random { seed: 2 });
+        let a = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Random { seed: 1 },
+        );
+        let b = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Random { seed: 1 },
+        );
+        let c = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Random { seed: 2 },
+        );
         assert_eq!(a.assignment, b.assignment);
         assert_ne!(a.assignment, c.assignment);
     }
@@ -475,7 +523,12 @@ mod tests {
         // With identical HR everywhere there is nothing to separate.
         let slices = operator_mix(("conv_a", 0.30, false), ("conv_b", 0.30, false), 24, 160);
         let p = params();
-        let seq = map_tasks(&slices, &p, OperatingMode::LowPower, MappingStrategy::Sequential);
+        let seq = map_tasks(
+            &slices,
+            &p,
+            OperatingMode::LowPower,
+            MappingStrategy::Sequential,
+        );
         let aware = map_tasks(
             &slices,
             &p,
@@ -483,7 +536,10 @@ mod tests {
             MappingStrategy::HrAware(AnnealingConfig::default()),
         );
         let gain = (seq.evaluation.score - aware.evaluation.score) / seq.evaluation.score;
-        assert!(gain < 0.02, "uniform workload should not benefit, gain {gain}");
+        assert!(
+            gain < 0.02,
+            "uniform workload should not benefit, gain {gain}"
+        );
     }
 
     #[test]
@@ -505,8 +561,22 @@ mod tests {
             interleaved[2 * i] = Some(i);
             interleaved[2 * i + 1] = Some(24 + i);
         }
-        let sep = evaluate_mapping(&separated, &slices, &p, &table, OperatingMode::LowPower, &flips);
-        let mix = evaluate_mapping(&interleaved, &slices, &p, &table, OperatingMode::LowPower, &flips);
+        let sep = evaluate_mapping(
+            &separated,
+            &slices,
+            &p,
+            &table,
+            OperatingMode::LowPower,
+            &flips,
+        );
+        let mix = evaluate_mapping(
+            &interleaved,
+            &slices,
+            &p,
+            &table,
+            OperatingMode::LowPower,
+            &flips,
+        );
         assert!(
             sep.avg_power_mw < mix.avg_power_mw,
             "separating HR classes must save power ({} vs {})",
@@ -518,7 +588,12 @@ mod tests {
     #[test]
     fn to_macro_tasks_round_trips_slice_metadata() {
         let slices = mixed_slices();
-        let out = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Sequential);
+        let out = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Sequential,
+        );
         let tasks = out.to_macro_tasks(&slices);
         assert_eq!(tasks.len(), params().total_macros());
         let first = tasks[0].as_ref().unwrap();
@@ -533,6 +608,11 @@ mod tests {
     #[should_panic(expected = "exceeds the")]
     fn oversized_batch_is_rejected() {
         let slices = operator_mix(("a", 0.3, false), ("b", 0.4, false), 40, 100);
-        let _ = map_tasks(&slices, &params(), OperatingMode::LowPower, MappingStrategy::Sequential);
+        let _ = map_tasks(
+            &slices,
+            &params(),
+            OperatingMode::LowPower,
+            MappingStrategy::Sequential,
+        );
     }
 }

@@ -27,7 +27,10 @@ use pim_sim::stream::InputStream;
 /// `2..=8`.
 #[must_use]
 pub fn rtog_cycle(weights: &[i8], weight_bits: u32, inputs_t: &[bool], inputs_t1: &[bool]) -> f64 {
-    assert!((2..=8).contains(&weight_bits), "weight bits must be in 2..=8");
+    assert!(
+        (2..=8).contains(&weight_bits),
+        "weight bits must be in 2..=8"
+    );
     assert_eq!(weights.len(), inputs_t.len(), "input length mismatch");
     assert_eq!(weights.len(), inputs_t1.len(), "input length mismatch");
     if weights.is_empty() {
@@ -118,7 +121,10 @@ mod tests {
         let all_flip = [true; 4];
         let none = [false; 4];
         let r = rtog_cycle(&weights, 8, &all_flip, &none);
-        assert!((r - hamming_rate_i8(&weights)).abs() < 1e-12, "all lanes flipping hits the bound");
+        assert!(
+            (r - hamming_rate_i8(&weights)).abs() < 1e-12,
+            "all lanes flipping hits the bound"
+        );
     }
 
     #[test]
@@ -128,7 +134,9 @@ mod tests {
 
     #[test]
     fn bank_profile_respects_the_hr_bound() {
-        let weights: Vec<i8> = (0..64).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+        let weights: Vec<i8> = (0..64)
+            .map(|i| ((i * 37 % 255) as i16 - 127) as i8)
+            .collect();
         let bank = Bank::new(&weights, 8);
         let inputs = InputStream::random(64, 8, 11);
         let (per_cycle, peak, hr) = bank_rtog_profile(&bank, &inputs);
@@ -171,7 +179,10 @@ mod tests {
             droops.push(model.irdrop_mv(peak, 0.75, 1.0));
         }
         let r = pearson_correlation(&rtogs, &droops);
-        assert!(r > 0.97, "Rtog/IR-drop correlation should be ≈0.98, got {r}");
+        assert!(
+            r > 0.97,
+            "Rtog/IR-drop correlation should be ≈0.98, got {r}"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! Every evaluation experiment (ablation, β sweep, headline numbers, mapping
 //! comparison) is a thin wrapper around this pipeline with different knobs.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use ir_model::irdrop::IrDropModel;
@@ -186,13 +187,22 @@ pub fn optimize_model(model: &Model, config: &AimConfig) -> Vec<OperatorOutcome>
     let baseline_config = QatConfig::baseline(config.bits);
 
     let stride = config.operator_stride.unwrap_or(1).max(1);
-    model
+    // Operators are independent (synthetic weights and training are
+    // deterministic per spec), so the QAT/WDS stack fans out across worker
+    // threads; outcomes come back in operator order.
+    let selected: Vec<&workloads::operator::OperatorSpec> = model
         .operators()
         .iter()
         .enumerate()
         .filter(|(i, _)| i % stride == 0)
-        .map(|(_, spec)| {
-            let slices = spec.macros_needed(macro_capacity).min(params.total_macros());
+        .map(|(_, spec)| spec)
+        .collect();
+    selected
+        .par_iter()
+        .map(|&spec| {
+            let slices = spec
+                .macros_needed(macro_capacity)
+                .min(params.total_macros());
             let cycles_per_slice = config.cycles_per_slice.max(spec.slice_cycles());
             if spec.input_determined() {
                 // Runtime-produced operands: the software stack cannot touch
@@ -220,8 +230,7 @@ pub fn optimize_model(model: &Model, config: &AimConfig) -> Vec<OperatorOutcome>
                 let (shifted, outcome) = apply_wds_to_layer(&layer, delta);
                 // Clamped weights lose up to δ LSB; fold that into the
                 // accuracy-relevant movement.
-                let std_lsb =
-                    (f64::from(weights.std()) / layer.scheme.scale()).max(1e-9);
+                let std_lsb = (f64::from(weights.std()) / layer.scheme.scale()).max(1e-9);
                 extra_shift = outcome.overflow_fraction() * f64::from(delta) / std_lsb;
                 layer = shifted;
             }
@@ -290,30 +299,42 @@ pub fn run_model(model: &Model, config: &AimConfig) -> AimReport {
         ..ChipConfig::default()
     };
 
+    // Batches are independent: each derives its own seed and maps onto a
+    // fresh simulator, so they fan out across worker threads.  Reports are
+    // aggregated afterwards in batch order, keeping every floating-point
+    // accumulation identical to the sequential execution.
+    let reports: Vec<RunReport> = batches
+        .par_iter()
+        .enumerate()
+        .map(|(batch_idx, batch)| {
+            let mapping = map_tasks(batch, &params, config.mode, config.mapping);
+            let tasks = mapping.to_macro_tasks(batch);
+            let sim = ChipSimulator::new(
+                ChipConfig {
+                    seed: chip_config.seed.wrapping_add(batch_idx as u64),
+                    ..chip_config.clone()
+                },
+                tasks,
+            );
+            let max_cycles = batch.iter().map(|s| s.cycles).max().unwrap_or(0) * 64 + 10_000;
+            match &config.booster {
+                Some(bcfg) => {
+                    let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
+                    sim.run(&mut booster, max_cycles)
+                }
+                None => {
+                    let mut ctrl = StaticController::nominal(&params);
+                    sim.run(&mut ctrl, max_cycles)
+                }
+            }
+        })
+        .collect();
     let mut agg = RunAggregate::default();
-    for (batch_idx, batch) in batches.iter().enumerate() {
-        let mapping = map_tasks(batch, &params, config.mode, config.mapping);
-        let tasks = mapping.to_macro_tasks(batch);
-        let sim = ChipSimulator::new(
-            ChipConfig { seed: chip_config.seed.wrapping_add(batch_idx as u64), ..chip_config.clone() },
-            tasks,
-        );
-        let max_cycles = batch.iter().map(|s| s.cycles).max().unwrap_or(0) * 64 + 10_000;
-        let report = match &config.booster {
-            Some(bcfg) => {
-                let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
-                sim.run(&mut booster, max_cycles)
-            }
-            None => {
-                let mut ctrl = StaticController::nominal(&params);
-                sim.run(&mut ctrl, max_cycles)
-            }
-        };
-        agg.add(&report);
+    for report in &reports {
+        agg.add(report);
     }
 
-    let offline: Vec<&OperatorOutcome> =
-        operators.iter().filter(|o| !o.input_determined).collect();
+    let offline: Vec<&OperatorOutcome> = operators.iter().filter(|o| !o.input_determined).collect();
     let hr_average = mean(offline.iter().map(|o| o.hr));
     let hr_max = offline.iter().map(|o| o.hr).fold(0.0, f64::max);
     let hr_average_baseline = mean(offline.iter().map(|o| o.hr_baseline));
@@ -388,20 +409,36 @@ impl RunAggregate {
     }
 
     fn avg_power(&self) -> f64 {
-        if self.weight == 0.0 { 0.0 } else { self.power_weighted / self.weight }
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.power_weighted / self.weight
+        }
     }
 
     fn avg_tops(&self) -> f64 {
-        if self.weight == 0.0 { 0.0 } else { self.tops_weighted / self.weight }
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.tops_weighted / self.weight
+        }
     }
 
     fn mean_irdrop(&self) -> f64 {
-        if self.weight == 0.0 { 0.0 } else { self.droop_weighted / self.weight }
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.droop_weighted / self.weight
+        }
     }
 
     fn overhead_fraction(&self) -> f64 {
         let busy = self.useful + self.stall + self.recompute;
-        if busy == 0 { 0.0 } else { (self.stall + self.recompute) as f64 / busy as f64 }
+        if busy == 0 {
+            0.0
+        } else {
+            (self.stall + self.recompute) as f64 / busy as f64
+        }
     }
 }
 
@@ -412,7 +449,11 @@ mod tests {
     /// A small configuration keeping unit-test runtimes reasonable: only a
     /// handful of ResNet18 operators, short slices.
     fn quick(config: AimConfig) -> AimConfig {
-        AimConfig { operator_stride: Some(5), cycles_per_slice: 60, ..config }
+        AimConfig {
+            operator_stride: Some(5),
+            cycles_per_slice: 60,
+            ..config
+        }
     }
 
     #[test]
@@ -433,11 +474,18 @@ mod tests {
         let base = run_model(&model, &quick(AimConfig::baseline()));
         let lhr = run_model(
             &model,
-            &quick(AimConfig { use_lhr: true, ..AimConfig::baseline() }),
+            &quick(AimConfig {
+                use_lhr: true,
+                ..AimConfig::baseline()
+            }),
         );
         let wds = run_model(
             &model,
-            &quick(AimConfig { use_lhr: true, wds_delta: Some(16), ..AimConfig::baseline() }),
+            &quick(AimConfig {
+                use_lhr: true,
+                wds_delta: Some(16),
+                ..AimConfig::baseline()
+            }),
         );
         assert!(lhr.hr_average < base.hr_average * 0.9);
         assert!(wds.hr_average < lhr.hr_average);
@@ -450,7 +498,10 @@ mod tests {
         let base = run_model(&model, &quick(AimConfig::baseline()));
         let aim = run_model(&model, &quick(AimConfig::full_low_power()));
         let ee = aim.energy_efficiency_vs(&base);
-        assert!(ee > 1.5, "energy efficiency should improve well beyond 1.5×, got {ee}");
+        assert!(
+            ee > 1.5,
+            "energy efficiency should improve well beyond 1.5×, got {ee}"
+        );
         assert!(aim.worst_irdrop_mv < base.worst_irdrop_mv);
         assert!(aim.mitigation_vs_signoff > 0.4);
         // Throughput must not collapse from recompute overhead.
@@ -476,7 +527,10 @@ mod tests {
         let model = Model::resnet18();
         let aim = run_model(&model, &quick(AimConfig::full_low_power()));
         let drop = model.baseline_quality() - aim.predicted_quality;
-        assert!(drop.abs() < 1.0, "LHR+WDS should cost <1 accuracy point, got {drop}");
+        assert!(
+            drop.abs() < 1.0,
+            "LHR+WDS should cost <1 accuracy point, got {drop}"
+        );
     }
 
     #[test]
@@ -497,7 +551,10 @@ mod tests {
     #[test]
     fn transformer_pipeline_contains_input_determined_operators() {
         let model = Model::vit_base();
-        let config = AimConfig { operator_stride: Some(7), ..quick(AimConfig::baseline()) };
+        let config = AimConfig {
+            operator_stride: Some(7),
+            ..quick(AimConfig::baseline())
+        };
         let ops = optimize_model(&model, &config);
         assert!(ops.iter().any(|o| o.input_determined));
         assert!(ops.iter().any(|o| !o.input_determined));

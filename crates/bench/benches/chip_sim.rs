@@ -16,7 +16,10 @@ fn tasks(hr: f64, cycles: u64) -> Vec<Option<MacroTask>> {
 
 fn bench_static_controller(c: &mut Criterion) {
     let sim = ChipSimulator::new(
-        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() },
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
         tasks(0.35, 2_000),
     );
     c.bench_function("chip_sim_2k_cycles_static", |b| {
@@ -29,7 +32,10 @@ fn bench_static_controller(c: &mut Criterion) {
 
 fn bench_booster_controller(c: &mut Criterion) {
     let sim = ChipSimulator::new(
-        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() },
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
         tasks(0.35, 2_000),
     );
     c.bench_function("chip_sim_2k_cycles_booster", |b| {
@@ -40,9 +46,26 @@ fn bench_booster_controller(c: &mut Criterion) {
     });
 }
 
+fn bench_static_controller_reused_scratch(c: &mut Criterion) {
+    let sim = ChipSimulator::new(
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
+        tasks(0.35, 2_000),
+    );
+    let mut scratch = sim.scratch();
+    c.bench_function("chip_sim_2k_cycles_static_reused_scratch", |b| {
+        b.iter(|| {
+            let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+            sim.run_with_scratch(&mut ctrl, 10_000, &mut scratch)
+        })
+    });
+}
+
 criterion_group! {
     name = chip_sim;
     config = Criterion::default().sample_size(10);
-    targets = bench_static_controller, bench_booster_controller
+    targets = bench_static_controller, bench_booster_controller, bench_static_controller_reused_scratch
 }
 criterion_main!(chip_sim);

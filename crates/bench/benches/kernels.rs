@@ -7,7 +7,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use aim_core::metrics::hamming_rate_i8;
 use ir_model::irdrop::IrDropModel;
 use ir_model::process::ProcessParams;
-use nn_quant::hamming::{smoothed_hr_gradient, HrTable};
+use nn_quant::hamming::{
+    hamming_value_i8, hamming_value_i8_scalar, smoothed_hr_gradient, HrTable, SmoothedHrSlopes,
+};
 use nn_quant::qat::{train_layer, QatConfig};
 use nn_quant::tensor::Tensor;
 use nn_quant::wds::{apply_wds, WdsConfig};
@@ -15,17 +17,47 @@ use pim_sim::bank::Bank;
 use pim_sim::stream::InputStream;
 
 fn bench_hamming_rate(c: &mut Criterion) {
-    let weights: Vec<i8> = (0..16_384).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+    let weights: Vec<i8> = (0..16_384)
+        .map(|i| ((i * 37 % 255) as i16 - 127) as i8)
+        .collect();
     c.bench_function("hamming_rate_16k_weights", |b| {
         b.iter(|| hamming_rate_i8(black_box(&weights)))
     });
 }
 
+/// Old per-`i8` bit counting vs. the packed `u64` popcount path (8 weights
+/// per `count_ones`) now used by every HR computation.
+fn bench_hamming_kernels(c: &mut Criterion) {
+    let weights: Vec<i8> = (0..16_384)
+        .map(|i| ((i * 91 % 255) as i16 - 127) as i8)
+        .collect();
+    c.bench_function("hamming_value_16k_scalar_reference", |b| {
+        b.iter(|| hamming_value_i8_scalar(black_box(&weights)))
+    });
+    c.bench_function("hamming_value_16k_packed_popcount", |b| {
+        b.iter(|| hamming_value_i8(black_box(&weights)))
+    });
+}
+
+/// Per-call smoothed-HR gradient vs. the precomputed per-cell slope table
+/// used by the QAT hot loop.
+fn bench_smoothed_slope_table(c: &mut Criterion) {
+    let table = HrTable::new(8);
+    let slopes = SmoothedHrSlopes::new(&table, 1.0, 4);
+    c.bench_function("smoothed_hr_slope_lookup", |b| {
+        b.iter(|| slopes.gradient(black_box(-3.7)))
+    });
+}
+
 fn bench_bank_mac(c: &mut Criterion) {
-    let weights: Vec<i8> = (0..64).map(|i| ((i * 37 % 255) as i16 - 127) as i8).collect();
+    let weights: Vec<i8> = (0..64)
+        .map(|i| ((i * 37 % 255) as i16 - 127) as i8)
+        .collect();
     let bank = Bank::new(&weights, 8);
     let inputs = InputStream::random(64, 8, 7);
-    c.bench_function("bank_mac_64x8bit", |b| b.iter(|| bank.mac(black_box(&inputs))));
+    c.bench_function("bank_mac_64x8bit", |b| {
+        b.iter(|| bank.mac(black_box(&inputs)))
+    });
 }
 
 fn bench_interpolated_gradient(c: &mut Criterion) {
@@ -37,16 +69,23 @@ fn bench_interpolated_gradient(c: &mut Criterion) {
 
 fn bench_lhr_qat_epoch(c: &mut Criterion) {
     let tensor = Tensor::randn(vec![4096], 0.04, 3);
-    let config = QatConfig { epochs: 1, ..QatConfig::with_lhr(8) };
+    let config = QatConfig {
+        epochs: 1,
+        ..QatConfig::with_lhr(8)
+    };
     c.bench_function("lhr_qat_single_epoch_4k", |b| {
         b.iter(|| train_layer("bench", black_box(&tensor), &config))
     });
 }
 
 fn bench_wds_pass(c: &mut Criterion) {
-    let weights: Vec<i8> = (0..16_384).map(|i| ((i * 91 % 255) as i16 - 127) as i8).collect();
+    let weights: Vec<i8> = (0..16_384)
+        .map(|i| ((i * 91 % 255) as i16 - 127) as i8)
+        .collect();
     let config = WdsConfig::int8_default();
-    c.bench_function("wds_pass_16k", |b| b.iter(|| apply_wds(black_box(&weights), &config)));
+    c.bench_function("wds_pass_16k", |b| {
+        b.iter(|| apply_wds(black_box(&weights), &config))
+    });
 }
 
 fn bench_irdrop_eval(c: &mut Criterion) {
@@ -59,8 +98,10 @@ fn bench_irdrop_eval(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_hamming_rate,
+    bench_hamming_kernels,
     bench_bank_mac,
     bench_interpolated_gradient,
+    bench_smoothed_slope_table,
     bench_lhr_qat_epoch,
     bench_wds_pass,
     bench_irdrop_eval

@@ -12,7 +12,14 @@ fn bench_sequential_mapping(c: &mut Criterion) {
     let params = ProcessParams::dpim_7nm();
     let slices = operator_mix(("conv", 0.27, false), ("qkt", 0.52, true), 24, 200);
     c.bench_function("mapping_sequential_eval", |b| {
-        b.iter(|| map_tasks(&slices, &params, OperatingMode::LowPower, MappingStrategy::Sequential))
+        b.iter(|| {
+            map_tasks(
+                &slices,
+                &params,
+                OperatingMode::LowPower,
+                MappingStrategy::Sequential,
+            )
+        })
     });
 }
 

@@ -34,7 +34,12 @@ fn main() {
         "workload", "worst (mV)", "mean (mV)", "worst (%)", "mean (%)"
     );
 
-    let models = [Model::yolov5(), Model::resnet18(), Model::llama32_1b(), Model::vit_base()];
+    let models = [
+        Model::yolov5(),
+        Model::resnet18(),
+        Model::llama32_1b(),
+        Model::vit_base(),
+    ];
     let mut results = Vec::new();
     for model in &models {
         let stride = if model.operators().len() > 60 { 6 } else { 2 };

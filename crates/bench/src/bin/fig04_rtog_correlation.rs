@@ -50,7 +50,7 @@ fn main() {
         let layer = QuantizedLayer::from_tensor(&op.name, &op.synthetic_weights(), 8);
         let slice: Vec<i8> = layer.weights.iter().copied().take(cells).collect();
         let bank = Bank::new(&slice, 8);
-        let inputs = InputStream::random(slice.len(), 8, 0xF16_4 + i as u64);
+        let inputs = InputStream::random(slice.len(), 8, 0xF164 + i as u64);
         let (_, peak, hr) = bank_rtog_profile(&bank, &inputs);
         let droop = model.irdrop_mv(peak, params.nominal_voltage, params.nominal_frequency_ghz);
         println!(

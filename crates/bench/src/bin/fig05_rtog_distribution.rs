@@ -28,7 +28,12 @@ struct Distribution {
 const CYCLES: usize = 50_000;
 const BANK_CELLS: usize = 64;
 
-fn profile(layer_name: &str, weights: &[i8], class: InputClass, seed: u64) -> (f64, f64, f64, Vec<(f64, usize)>) {
+fn profile(
+    layer_name: &str,
+    weights: &[i8],
+    class: InputClass,
+    seed: u64,
+) -> (f64, f64, f64, Vec<(f64, usize)>) {
     let slice: Vec<i8> = weights.iter().copied().take(BANK_CELLS).collect();
     let bank = Bank::new(&slice, 8);
     let hr = bank.hamming_rate();
@@ -48,8 +53,11 @@ fn profile(layer_name: &str, weights: &[i8], class: InputClass, seed: u64) -> (f
     for &r in &all_rtog {
         histogram[(r / 0.025).floor() as usize] += 1;
     }
-    let hist: Vec<(f64, usize)> =
-        histogram.into_iter().enumerate().map(|(i, c)| (i as f64 * 0.025, c)).collect();
+    let hist: Vec<(f64, usize)> = histogram
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as f64 * 0.025, c))
+        .collect();
     let _ = layer_name;
     (hr, max, mean, hist)
 }
@@ -80,7 +88,10 @@ fn main() {
         let (wds_layer, _) = apply_wds_to_layer(&lhr.layer, 8);
 
         println!("{} :: {layer_name}", model.name());
-        println!("{:<18} {:>8} {:>12} {:>12}", "config", "HR", "max Rtog", "mean Rtog");
+        println!(
+            "{:<18} {:>8} {:>12} {:>12}",
+            "config", "HR", "max Rtog", "mean Rtog"
+        );
         for (config, w) in [
             ("baseline", baseline.layer.weights.clone()),
             ("HR-opt (LHR+WDS)", wds_layer.weights.clone()),

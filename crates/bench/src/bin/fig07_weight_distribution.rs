@@ -55,7 +55,11 @@ fn main() {
     ] {
         let out = train_layer(&spec.name, &weights, &qat);
         let (bins, attractor_mass) = histogram(&out.layer.weights, &table);
-        println!("{config}: HR = {:.3}, mass on multiples of 8 = {:.1} %", out.hr_after, 100.0 * attractor_mass);
+        println!(
+            "{config}: HR = {:.3}, mass on multiples of 8 = {:.1} %",
+            out.hr_after,
+            100.0 * attractor_mass
+        );
         results.push(WeightHistogram {
             config: config.to_string(),
             bins,

@@ -10,6 +10,7 @@
 use aim_bench::{dump_json, header};
 use ir_model::process::ProcessParams;
 use ir_model::vf::{OperatingMode, VfTable, VfTableConfig};
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,34 +39,42 @@ fn main() {
         ("fine step (20-60 %, 2 %)", 20, 60, 2),
     ];
 
-    let mut rows = Vec::new();
+    // Each table derivation is an independent sign-off sweep: fan them out.
+    let rows: Vec<TableVariant> = variants
+        .par_iter()
+        .map(|&(label, min, max, step)| {
+            let table = VfTable::derive(
+                &params,
+                &VfTableConfig {
+                    min_level: min,
+                    max_level: max,
+                    level_step: step,
+                    ..VfTableConfig::default()
+                },
+            );
+            let point = table
+                .select(table.level_for_rtog(0.30), OperatingMode::LowPower)
+                .expect("level has a pair");
+            TableVariant {
+                label: label.to_string(),
+                min_level: min,
+                max_level: max,
+                step,
+                pair_count: table.pair_count(),
+                voltage_at_level30: point.voltage,
+                frequency_at_level30: point.frequency_ghz,
+            }
+        })
+        .collect();
     println!(
         "{:<30} {:>8} {:>14} {:>12}",
         "configuration", "pairs", "V @ level 30", "f @ level 30"
     );
-    for (label, min, max, step) in variants {
-        let table = VfTable::derive(
-            &params,
-            &VfTableConfig { min_level: min, max_level: max, level_step: step, ..VfTableConfig::default() },
-        );
-        let point = table
-            .select(table.level_for_rtog(0.30), OperatingMode::LowPower)
-            .expect("level has a pair");
+    for r in &rows {
         println!(
-            "{label:<30} {:>8} {:>13.3}V {:>10.2}GHz",
-            table.pair_count(),
-            point.voltage,
-            point.frequency_ghz
+            "{:<30} {:>8} {:>13.3}V {:>10.2}GHz",
+            r.label, r.pair_count, r.voltage_at_level30, r.frequency_at_level30
         );
-        rows.push(TableVariant {
-            label: label.to_string(),
-            min_level: min,
-            max_level: max,
-            step,
-            pair_count: table.pair_count(),
-            voltage_at_level30: point.voltage,
-            frequency_at_level30: point.frequency_ghz,
-        });
     }
     dump_json("fig09_vf_sensitivity", &rows);
     println!(

@@ -26,7 +26,10 @@ fn main() {
     );
     let model = Model::resnet18();
     let mut rows = Vec::new();
-    println!("{:<24} {:>10} {:>10} {:>12}", "layer", "baseline", "+LHR", "+LHR+WDS16");
+    println!(
+        "{:<24} {:>10} {:>10} {:>12}",
+        "layer", "baseline", "+LHR", "+LHR+WDS16"
+    );
     for spec in model.offline_operators() {
         let weights = spec.synthetic_weights();
         let base = train_layer(&spec.name, &weights, &QatConfig::baseline(8));
@@ -45,10 +48,22 @@ fn main() {
         rows.push(row);
     }
 
-    let avg = |f: &dyn Fn(&LayerHr) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64;
-    let max = |f: &dyn Fn(&LayerHr) -> f64| rows.iter().map(|r| f(r)).fold(0.0f64, f64::max);
-    println!("\n{:<24} {:>10.3} {:>10.3} {:>12.3}", "HRaverage", avg(&|r| r.baseline), avg(&|r| r.lhr), avg(&|r| r.lhr_wds16));
-    println!("{:<24} {:>10.3} {:>10.3} {:>12.3}", "HRmax", max(&|r| r.baseline), max(&|r| r.lhr), max(&|r| r.lhr_wds16));
+    let avg = |f: &dyn Fn(&LayerHr) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let max = |f: &dyn Fn(&LayerHr) -> f64| rows.iter().map(f).fold(0.0f64, f64::max);
+    println!(
+        "\n{:<24} {:>10.3} {:>10.3} {:>12.3}",
+        "HRaverage",
+        avg(&|r| r.baseline),
+        avg(&|r| r.lhr),
+        avg(&|r| r.lhr_wds16)
+    );
+    println!(
+        "{:<24} {:>10.3} {:>10.3} {:>12.3}",
+        "HRmax",
+        max(&|r| r.baseline),
+        max(&|r| r.lhr),
+        max(&|r| r.lhr_wds16)
+    );
     dump_json("fig12_resnet_layers", &rows);
     println!(
         "\nExpected shape (paper): every layer moves down by a similar relative amount;\n\

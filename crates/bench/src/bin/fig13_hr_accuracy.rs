@@ -96,7 +96,10 @@ fn main() {
         let s = model_series(&model);
         println!("{} [{}]", s.model, s.metric);
         for p in &s.points {
-            println!("  {:<14} HR = {:>6.3}   quality = {:>8.2}", p.config, p.hr_average, p.quality);
+            println!(
+                "  {:<14} HR = {:>6.3}   quality = {:>8.2}",
+                p.config, p.hr_average, p.quality
+            );
         }
         println!();
         series.push(s);

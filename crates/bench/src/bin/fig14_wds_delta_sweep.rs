@@ -8,6 +8,7 @@
 use aim_bench::{dump_json, header};
 use nn_quant::qat::{train_layer, QatConfig};
 use nn_quant::wds::delta_sweep;
+use rayon::prelude::*;
 use serde::Serialize;
 use workloads::zoo::Model;
 
@@ -23,26 +24,52 @@ fn main() {
         "Fig. 14 — WDS δ sweep (normalised HR)",
         "paper Fig. 14: only δ = 8 or 16 reduce HR for INT8 weights",
     );
-    let mut out = Vec::new();
-    for model in [Model::resnet18(), Model::vit_base()] {
-        // Pool the LHR-quantized weights of a few representative layers.
-        let mut pooled: Vec<i8> = Vec::new();
-        for (i, spec) in model.offline_operators().into_iter().enumerate() {
-            if i % 4 != 0 {
-                continue;
+    // Per-layer LHR training is the expensive part: fan the sampled layers
+    // of both models out together, pooling each model's weights in layer
+    // order afterwards.
+    let out: Vec<SweepSeries> = [Model::resnet18(), Model::vit_base()]
+        .par_iter()
+        .map(|model| {
+            // Pool the LHR-quantized weights of a few representative layers.
+            let sampled: Vec<_> = model
+                .offline_operators()
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % 4 == 0)
+                .map(|(_, spec)| spec)
+                .collect();
+            let pooled: Vec<i8> = sampled
+                .par_iter()
+                .map(|spec| {
+                    train_layer(
+                        &spec.name,
+                        &spec.synthetic_weights(),
+                        &QatConfig::with_lhr(8),
+                    )
+                    .layer
+                    .weights
+                })
+                .collect::<Vec<Vec<i8>>>()
+                .into_iter()
+                .flatten()
+                .collect();
+            let series = delta_sweep(&pooled, 8, 17);
+            SweepSeries {
+                model: model.name().to_string(),
+                series,
             }
-            let lhr = train_layer(&spec.name, &spec.synthetic_weights(), &QatConfig::with_lhr(8));
-            pooled.extend(lhr.layer.weights);
-        }
-        let series = delta_sweep(&pooled, 8, 17);
-        out.push(SweepSeries { model: model.name().to_string(), series });
-    }
+        })
+        .collect();
 
     println!("{:<6} {:>12} {:>12}", "δ", out[0].model, out[1].model);
     for i in 0..out[0].series.len() {
         let (delta, a) = out[0].series[i];
         let (_, b) = out[1].series[i];
-        let marker = if delta == 8 || delta == 16 { "  <- power-of-two attractor" } else { "" };
+        let marker = if delta == 8 || delta == 16 {
+            "  <- power-of-two attractor"
+        } else {
+            ""
+        };
         println!("{delta:<6} {a:>12.3} {b:>12.3}{marker}");
     }
     dump_json("fig14_wds_delta_sweep", &out);

@@ -74,7 +74,10 @@ fn main() {
             let pruned = prune_tensor(w, &PruningConfig::new(0.3, 8));
             let t = Tensor::from_vec(vec![pruned.weights.len()], pruned.weights.clone());
             let out = train_layer(name, &t, &QatConfig::with_lhr(8));
-            (out.hr_after, pruned.relative_weight_shift + out.relative_weight_shift)
+            (
+                out.hr_after,
+                pruned.relative_weight_shift + out.relative_weight_shift,
+            )
         });
         points.push(PlanePoint {
             model: model.name().to_string(),
@@ -97,7 +100,10 @@ fn main() {
             let out = train_layer(name, w, &QatConfig::with_lhr(8));
             let (wds, o) = apply_wds_to_layer(&out.layer, 8);
             let std_lsb = (f64::from(w.std()) / out.layer.scheme.scale()).max(1e-9);
-            (wds.hamming_rate(), out.relative_weight_shift + o.overflow_fraction() * 8.0 / std_lsb)
+            (
+                wds.hamming_rate(),
+                out.relative_weight_shift + o.overflow_fraction() * 8.0 / std_lsb,
+            )
         });
         points.push(PlanePoint {
             model: model.name().to_string(),
@@ -107,9 +113,15 @@ fn main() {
         });
     }
 
-    println!("{:<12} {:<20} {:>8} {:>10}", "model", "configuration", "HR", "quality");
+    println!(
+        "{:<12} {:<20} {:>8} {:>10}",
+        "model", "configuration", "HR", "quality"
+    );
     for p in &points {
-        println!("{:<12} {:<20} {:>8.3} {:>10.2}", p.model, p.config, p.hr, p.quality);
+        println!(
+            "{:<12} {:<20} {:>8.3} {:>10.2}",
+            p.model, p.config, p.hr, p.quality
+        );
     }
     dump_json("fig15_pruning", &points);
     println!(

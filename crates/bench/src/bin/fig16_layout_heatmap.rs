@@ -62,7 +62,11 @@ fn run_case(label: &str, aim: bool) -> HeatMap {
     let batch = &batches[0];
     let mapping = map_tasks(batch, &params, config.mode, config.mapping);
     let sim = ChipSimulator::new(
-        ChipConfig { trace_interval: 25, flip_sequence_len: 256, ..ChipConfig::default() },
+        ChipConfig {
+            trace_interval: 25,
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
         mapping.to_macro_tasks(batch),
     );
     let report = if aim {
@@ -74,7 +78,11 @@ fn run_case(label: &str, aim: bool) -> HeatMap {
     };
     let sample = busiest_sample(&report.trace);
     let grid = LayoutGrid::standard(params);
-    let map = grid.voltage_map(&sample.macro_rtog, &sample.macro_voltage, &sample.macro_frequency_ghz);
+    let map = grid.voltage_map(
+        &sample.macro_rtog,
+        &sample.macro_voltage,
+        &sample.macro_frequency_ghz,
+    );
     HeatMap {
         label: label.to_string(),
         width: map.width,

@@ -48,7 +48,11 @@ fn run_case(label: &str, aim: bool) -> TraceSeries {
     let batch = &batches[0];
     let mapping = map_tasks(batch, &params, config.mode, config.mapping);
     let sim = ChipSimulator::new(
-        ChipConfig { trace_interval: 10, flip_sequence_len: 256, ..ChipConfig::default() },
+        ChipConfig {
+            trace_interval: 10,
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
         mapping.to_macro_tasks(batch),
     );
     let report = if aim {
@@ -80,9 +84,20 @@ fn run_case(label: &str, aim: bool) -> TraceSeries {
             }
         })
         .collect();
-    let peak = points.iter().map(|p| p.demanded_current_a).fold(0.0f64, f64::max);
-    let min_v = points.iter().map(|p| p.bump_voltage_v).fold(f64::INFINITY, f64::min);
-    TraceSeries { label: label.to_string(), points, peak_current_a: peak, min_bump_voltage_v: min_v }
+    let peak = points
+        .iter()
+        .map(|p| p.demanded_current_a)
+        .fold(0.0f64, f64::max);
+    let min_v = points
+        .iter()
+        .map(|p| p.bump_voltage_v)
+        .fold(f64::INFINITY, f64::min);
+    TraceSeries {
+        label: label.to_string(),
+        points,
+        peak_current_a: peak,
+        min_bump_voltage_v: min_v,
+    }
 }
 
 fn main() {
@@ -97,7 +112,10 @@ fn main() {
         "case", "peak current (A)", "min bump voltage (V)"
     );
     for s in [&before, &after] {
-        println!("{:<14} {:>18.3} {:>20.4}", s.label, s.peak_current_a, s.min_bump_voltage_v);
+        println!(
+            "{:<14} {:>18.3} {:>20.4}",
+            s.label, s.peak_current_a, s.min_bump_voltage_v
+        );
     }
     println!("\nFirst trace samples (cycle, demanded current A, bump V):");
     for s in [&before, &after] {

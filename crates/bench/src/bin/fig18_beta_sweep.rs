@@ -10,6 +10,7 @@ use aim_core::booster::{BoosterConfig, IrBoosterController};
 use ir_model::process::ProcessParams;
 use ir_model::vf::OperatingMode;
 use pim_sim::chip::{ChipConfig, ChipSimulator, MacroTask, RunReport};
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -52,27 +53,46 @@ fn run(sim: &ChipSimulator, config: BoosterConfig) -> RunReport {
     sim.run(&mut booster, 600_000)
 }
 
+const BETAS: [u64; 9] = [90, 80, 70, 60, 50, 40, 30, 20, 10];
+
 fn series(name: &str, tasks: Vec<Option<MacroTask>>) -> BetaSeries {
     let sim = ChipSimulator::new(
-        ChipConfig { flip_sequence_len: 512, ..ChipConfig::default() },
+        ChipConfig {
+            flip_sequence_len: 512,
+            ..ChipConfig::default()
+        },
         tasks,
     );
     // Normalisation baseline: safe level only (no aggressive adjustment).
-    let reference = run(&sim, BoosterConfig::safe_only(OperatingMode::Sprint));
+    // Every sweep point drives its own controller on the shared read-only
+    // simulator, so the reference and all β points fan out together.
+    let reports: Vec<RunReport> = std::iter::once(None)
+        .chain(BETAS.iter().map(|&b| Some(b)))
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|beta| match beta {
+            None => run(&sim, BoosterConfig::safe_only(OperatingMode::Sprint)),
+            Some(b) => run(&sim, BoosterConfig::sprint().with_beta(*b)),
+        })
+        .collect();
+    let reference = &reports[0];
     let ref_droop = reference.mean_irdrop_mv.max(1e-9);
     let ref_cycles = reference.total_cycles.max(1) as f64;
 
-    let mut points = Vec::new();
-    for beta in [90u64, 80, 70, 60, 50, 40, 30, 20, 10] {
-        let report = run(&sim, BoosterConfig::sprint().with_beta(beta));
-        points.push(BetaPoint {
+    let points = BETAS
+        .iter()
+        .zip(&reports[1..])
+        .map(|(&beta, report)| BetaPoint {
             beta,
             normalized_mitigation: ref_droop / report.mean_irdrop_mv.max(1e-9),
             normalized_delay: report.total_cycles as f64 / ref_cycles,
             failures: report.failures,
-        });
+        })
+        .collect();
+    BetaSeries {
+        workload: name.to_string(),
+        points,
     }
-    BetaSeries { workload: name.to_string(), points }
 }
 
 fn main() {
@@ -80,13 +100,20 @@ fn main() {
         "Fig. 18 — β sweep: mitigation ability vs delay cycles",
         "paper Fig. 18 (normalised against the booster without aggressive adjustment)",
     );
-    let all = vec![
-        series("ResNet18-like (conv)", conv_tasks()),
-        series("ViT-like (attention mix)", transformer_tasks()),
+    let workloads: Vec<(&str, Vec<Option<MacroTask>>)> = vec![
+        ("ResNet18-like (conv)", conv_tasks()),
+        ("ViT-like (attention mix)", transformer_tasks()),
     ];
+    let all: Vec<BetaSeries> = workloads
+        .into_par_iter()
+        .map(|(name, tasks)| series(name, tasks))
+        .collect();
     for s in &all {
         println!("{}", s.workload);
-        println!("{:<6} {:>22} {:>18} {:>10}", "β", "norm. mitigation", "norm. delay", "failures");
+        println!(
+            "{:<6} {:>22} {:>18} {:>10}",
+            "β", "norm. mitigation", "norm. delay", "failures"
+        );
         for p in &s.points {
             println!(
                 "{:<6} {:>22.3} {:>18.3} {:>10}",

@@ -11,6 +11,7 @@ use aim_core::booster::BoosterConfig;
 use aim_core::mapping::MappingStrategy;
 use aim_core::pipeline::{run_model, AimConfig, AimReport};
 use ir_model::vf::OperatingMode;
+use rayon::prelude::*;
 use serde::Serialize;
 use workloads::zoo::Model;
 
@@ -30,7 +31,11 @@ fn configs() -> Vec<(&'static str, AimConfig)> {
         ("baseline", AimConfig::baseline()),
         (
             "+LHR",
-            AimConfig { use_lhr: true, booster: safe_only, ..AimConfig::baseline() },
+            AimConfig {
+                use_lhr: true,
+                booster: safe_only,
+                ..AimConfig::baseline()
+            },
         ),
         (
             "+WDS(16)",
@@ -59,18 +64,35 @@ fn main() {
         "Fig. 19 — ablation: IR-drop, power and effective computation power",
         "paper Fig. 19 (ResNet18 and ViT)",
     );
+    // All (model, ablation-step) cells are independent pipeline runs: fan
+    // them out, then print in the paper's row order.
+    let models = [Model::resnet18(), Model::vit_base()];
+    let jobs: Vec<(usize, &'static str, AimConfig)> = models
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, model)| {
+            let stride = if model.operators().len() > 60 { 4 } else { 2 };
+            configs()
+                .into_iter()
+                .map(move |(name, config)| (mi, name, quick_pipeline(config, stride)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let reports: Vec<AimReport> = jobs
+        .par_iter()
+        .map(|(mi, _, config)| run_model(&models[*mi], config))
+        .collect();
+
     let mut rows: Vec<AblationRow> = Vec::new();
-    for model in [Model::resnet18(), Model::vit_base()] {
-        let stride = if model.operators().len() > 60 { 4 } else { 2 };
+    for (mi, model) in models.iter().enumerate() {
         println!("{}", model.name());
         println!(
             "{:<22} {:>14} {:>12} {:>10} {:>10}",
             "configuration", "droop (mV)", "mW/macro", "TOPS", "failures"
         );
         let mut baseline_power = None;
-        for (name, config) in configs() {
-            let report: AimReport = run_model(&model, &quick_pipeline(config, stride));
-            if name == "baseline" {
+        for ((_, name, _), report) in jobs.iter().zip(&reports).filter(|((m, _, _), _)| *m == mi) {
+            if *name == "baseline" {
                 baseline_power = Some(report.avg_macro_power_mw);
             }
             println!(

@@ -30,7 +30,10 @@ fn main() {
         let booster_only = run_model(
             &model,
             &quick_pipeline(
-                AimConfig { booster: Some(BoosterConfig::low_power()), ..AimConfig::baseline() },
+                AimConfig {
+                    booster: Some(BoosterConfig::low_power()),
+                    ..AimConfig::baseline()
+                },
                 stride,
             ),
         );
@@ -45,7 +48,8 @@ fn main() {
                 stride,
             ),
         );
-        let booster_lhr_wds = run_model(&model, &quick_pipeline(AimConfig::full_low_power(), stride));
+        let booster_lhr_wds =
+            run_model(&model, &quick_pipeline(AimConfig::full_low_power(), stride));
         let row = EeRow {
             model: model.name().to_string(),
             booster_only: booster_only.energy_efficiency_vs(&baseline),

@@ -26,10 +26,22 @@ struct MappingRow {
 
 fn mixes() -> Vec<(&'static str, Vec<TaskSlice>)> {
     vec![
-        ("Conv + QKT", operator_mix(("conv", 0.27, false), ("qkt", 0.52, true), 26, 400)),
-        ("Conv + SV", operator_mix(("conv", 0.27, false), ("sv", 0.48, true), 26, 400)),
-        ("QKV gen + QKT", operator_mix(("qkv", 0.33, false), ("qkt", 0.52, true), 26, 400)),
-        ("SV + Linear", operator_mix(("sv", 0.48, true), ("linear", 0.30, false), 26, 400)),
+        (
+            "Conv + QKT",
+            operator_mix(("conv", 0.27, false), ("qkt", 0.52, true), 26, 400),
+        ),
+        (
+            "Conv + SV",
+            operator_mix(("conv", 0.27, false), ("sv", 0.48, true), 26, 400),
+        ),
+        (
+            "QKV gen + QKT",
+            operator_mix(("qkv", 0.33, false), ("qkt", 0.52, true), 26, 400),
+        ),
+        (
+            "SV + Linear",
+            operator_mix(("sv", 0.48, true), ("linear", 0.30, false), 26, 400),
+        ),
     ]
 }
 
@@ -38,7 +50,10 @@ fn strategies() -> Vec<(&'static str, MappingStrategy)> {
         ("sequential", MappingStrategy::Sequential),
         ("random", MappingStrategy::Random { seed: 11 }),
         ("zigzag", MappingStrategy::Zigzag),
-        ("HR-aware", MappingStrategy::HrAware(AnnealingConfig::default())),
+        (
+            "HR-aware",
+            MappingStrategy::HrAware(AnnealingConfig::default()),
+        ),
     ]
 }
 
@@ -50,7 +65,11 @@ fn main() {
     let params = ProcessParams::dpim_7nm();
     let mut rows = Vec::new();
     for (mode_name, mode, booster) in [
-        ("low-power", OperatingMode::LowPower, BoosterConfig::low_power()),
+        (
+            "low-power",
+            OperatingMode::LowPower,
+            BoosterConfig::low_power(),
+        ),
         ("sprint", OperatingMode::Sprint, BoosterConfig::sprint()),
     ] {
         println!("--- {mode_name} mode ---");
@@ -62,14 +81,21 @@ fn main() {
             for (strat_name, strategy) in strategies() {
                 let outcome = map_tasks(&slices, &params, mode, strategy);
                 let sim = ChipSimulator::new(
-                    ChipConfig { flip_sequence_len: 512, ..ChipConfig::default() },
+                    ChipConfig {
+                        flip_sequence_len: 512,
+                        ..ChipConfig::default()
+                    },
                     outcome.to_macro_tasks(&slices),
                 );
                 let mut controller = IrBoosterController::for_simulator(&sim, booster);
                 let report = sim.run(&mut controller, 200_000);
                 println!(
                     "{:<16} {:<12} {:>12.3} {:>10.1} {:>10}",
-                    mix_name, strat_name, report.avg_macro_power_mw, report.effective_tops, report.failures
+                    mix_name,
+                    strat_name,
+                    report.avg_macro_power_mw,
+                    report.effective_tops,
+                    report.failures
                 );
                 rows.push(MappingRow {
                     mix: mix_name.to_string(),

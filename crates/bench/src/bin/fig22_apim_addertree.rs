@@ -51,15 +51,21 @@ fn optimised_weights(model: &Model, take: usize) -> (Vec<i8>, Vec<i8>) {
 fn apim_case(model: &Model) -> Fig22Row {
     let params = ProcessParams::apim_28nm();
     let (base_w, aim_w) = optimised_weights(model, params.cells_per_bank);
-    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF16_22);
+    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF1622);
 
     let before = AnalogMacro::new(&base_w, 8);
     let after = AnalogMacro::new(&aim_w, 8);
-    let r_before = before.evaluate(&inputs, params.nominal_voltage, params.nominal_frequency_ghz);
+    let r_before = before.evaluate(
+        &inputs,
+        params.nominal_voltage,
+        params.nominal_frequency_ghz,
+    );
     // Under AIM the booster also lowers the APIM supply to the level's pair.
     let table = VfTable::derive_default(&params);
     let level = table.level_for_rtog(after.hamming_rate());
-    let point = table.select(level, OperatingMode::LowPower).expect("pair exists");
+    let point = table
+        .select(level, OperatingMode::LowPower)
+        .expect("pair exists");
     let r_after = after.evaluate(&inputs, point.voltage, point.frequency_ghz);
     Fig22Row {
         target: "APIM 28nm".into(),
@@ -76,14 +82,18 @@ fn adder_tree_case(model: &Model) -> Fig22Row {
     let params = ProcessParams::adder_tree_7nm();
     let irdrop = IrDropModel::new(params);
     let (base_w, aim_w) = optimised_weights(model, params.cells_per_bank);
-    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF16_23);
+    let inputs = InputStream::random(params.cells_per_bank, 8, 0xF1623);
 
     let peak = |w: &[i8]| {
         let bank = Bank::new(w, 8);
         let (_, peak, _) = bank_rtog_profile(&bank, &inputs);
         peak
     };
-    let before = irdrop.irdrop_mv(peak(&base_w), params.nominal_voltage, params.nominal_frequency_ghz);
+    let before = irdrop.irdrop_mv(
+        peak(&base_w),
+        params.nominal_voltage,
+        params.nominal_frequency_ghz,
+    );
     let table = VfTable::derive_default(&params);
     let hr_after = Bank::new(&aim_w, 8).hamming_rate();
     let point = table

@@ -9,6 +9,7 @@ use aim_bench::{dump_json, header, percent, quick_pipeline, ratio};
 use aim_core::pipeline::{run_model, AimConfig, AimReport};
 use ir_model::irdrop::IrDropModel;
 use ir_model::process::ProcessParams;
+use rayon::prelude::*;
 use serde::Serialize;
 use workloads::zoo::Model;
 
@@ -47,12 +48,31 @@ fn main() {
     let signoff = IrDropModel::new(ProcessParams::dpim_7nm()).signoff_worst_case_mv();
     println!("sign-off worst-case droop: {signoff:.1} mV\n");
 
+    // Every (model, configuration) cell is independent: fan the six pipeline
+    // runs out across worker threads, then print in the original order.
+    let models = [Model::resnet18(), Model::vit_base()];
+    let jobs: Vec<(usize, usize, AimConfig)> = models
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, model)| {
+            let stride = if model.operators().len() > 60 { 4 } else { 2 };
+            [
+                (mi, 0, quick_pipeline(AimConfig::baseline(), stride)),
+                (mi, 1, quick_pipeline(AimConfig::full_low_power(), stride)),
+                (mi, 2, quick_pipeline(AimConfig::full_sprint(), stride)),
+            ]
+        })
+        .collect();
+    // par_iter preserves input order, so reports[mi * 3 + ci] is the cell.
+    let reports: Vec<AimReport> = jobs
+        .par_iter()
+        .map(|&(mi, _, config)| run_model(&models[mi], &config))
+        .collect();
+
     let mut rows = Vec::new();
-    for model in [Model::resnet18(), Model::vit_base()] {
-        let stride = if model.operators().len() > 60 { 4 } else { 2 };
-        let baseline = run_model(&model, &quick_pipeline(AimConfig::baseline(), stride));
-        let low = run_model(&model, &quick_pipeline(AimConfig::full_low_power(), stride));
-        let sprint = run_model(&model, &quick_pipeline(AimConfig::full_sprint(), stride));
+    for (mi, model) in models.iter().enumerate() {
+        let (baseline, low, sprint) =
+            (&reports[mi * 3], &reports[mi * 3 + 1], &reports[mi * 3 + 2]);
         println!(
             "{} — baseline: droop {:.1} mV, {:.3} mW/macro, {:.1} TOPS",
             model.name(),
@@ -60,17 +80,17 @@ fn main() {
             baseline.avg_macro_power_mw,
             baseline.effective_tops
         );
-        for (mode, report) in [("low-power", &low), ("sprint", &sprint)] {
-            let r = row(model.name(), mode, report, &baseline);
+        for (mode, report) in [("low-power", low), ("sprint", sprint)] {
+            let r = row(model.name(), mode, report, baseline);
             println!(
-                "  AIM {:<10} droop {:>6.1} mV ({} mitigation)   {:>6.3} mW/macro ({} EE)   {:>6.1} TOPS ({} speedup)   {} IRFailures",
+                "  AIM {:<10} droop {:>6.1} mV ({} mitigation)   {:>6.3} mW/macro ({} EE)   {:>6.1} TOPS ({:.3}x speedup)   {} IRFailures",
                 r.mode,
                 r.worst_irdrop_mv,
                 percent(r.mitigation),
                 r.macro_power_mw,
                 ratio(r.energy_efficiency),
                 r.effective_tops,
-                format!("{:.3}x", r.speedup),
+                r.speedup,
                 r.failures
             );
             rows.push(r);

@@ -1,0 +1,158 @@
+//! Performance smoke benchmark: times the chip-simulator hot loop (static and
+//! booster controllers) and the ResNet-18 end-to-end pipeline, and appends a
+//! labelled record to `BENCH_chip_sim.json` at the repository root so the
+//! performance trajectory is tracked PR over PR.
+//!
+//! Usage: `cargo run --release -p aim-bench --bin perf_smoke [-- --label <name>]`
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use aim_bench::quick_pipeline;
+use aim_core::booster::{BoosterConfig, IrBoosterController};
+use aim_core::pipeline::{run_model, AimConfig};
+use ir_model::process::ProcessParams;
+use pim_sim::chip::{ChipConfig, ChipSimulator, MacroTask, StaticController};
+use serde::Serialize;
+use workloads::zoo::Model;
+
+#[derive(Serialize)]
+struct PerfRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    /// Wall-clock ms for one 10k-cycle chip simulation, static controller
+    /// (best of `REPS`).
+    chip_sim_static_ms: f64,
+    /// Same workload under the IR-Booster controller.
+    chip_sim_booster_ms: f64,
+    /// Simulated cycles per second for the static run.
+    static_cycles_per_sec: f64,
+    /// Wall-clock ms for the reduced ResNet-18 AIM pipeline (baseline +
+    /// full-low-power, the two runs the headline experiment needs per model).
+    resnet18_pipeline_ms: f64,
+}
+
+const REPS: usize = 5;
+
+fn bench_tasks() -> Vec<Option<MacroTask>> {
+    let params = ProcessParams::dpim_7nm();
+    (0..params.total_macros())
+        .map(|m| Some(MacroTask::new(format!("op-{m}"), 0.35, 2_000, m % 8)))
+        .collect()
+}
+
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn main() {
+    let label = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--label")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "run".to_string())
+    };
+
+    let sim = ChipSimulator::new(
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
+        bench_tasks(),
+    );
+    let params = ProcessParams::dpim_7nm();
+
+    let (chip_sim_static_ms, static_cycles) = best_of(REPS, || {
+        let mut ctrl = StaticController::nominal(&params);
+        sim.run(&mut ctrl, 10_000).total_cycles
+    });
+    let (chip_sim_booster_ms, _) = best_of(REPS, || {
+        let mut booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());
+        sim.run(&mut booster, 10_000).total_cycles
+    });
+
+    let model = Model::resnet18();
+    let (resnet18_pipeline_ms, _) = best_of(2, || {
+        let base = run_model(&model, &quick_pipeline(AimConfig::baseline(), 5));
+        let aim = run_model(&model, &quick_pipeline(AimConfig::full_low_power(), 5));
+        base.total_cycles + aim.total_cycles
+    });
+
+    let record = PerfRecord {
+        label,
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        chip_sim_static_ms,
+        chip_sim_booster_ms,
+        static_cycles_per_sec: static_cycles as f64 / (chip_sim_static_ms / 1e3),
+        resnet18_pipeline_ms,
+    };
+
+    println!("perf_smoke [{}]", record.label);
+    println!(
+        "  chip_sim static   : {:>9.2} ms / 10k cycles ({:.0} cycles/s)",
+        record.chip_sim_static_ms, record.static_cycles_per_sec
+    );
+    println!(
+        "  chip_sim booster  : {:>9.2} ms / 10k cycles",
+        record.chip_sim_booster_ms
+    );
+    println!(
+        "  resnet18 pipeline : {:>9.2} ms (baseline + full low-power)",
+        record.resnet18_pipeline_ms
+    );
+
+    write_record(&record);
+}
+
+/// Appends the record to `BENCH_chip_sim.json`, preserving earlier records by
+/// splicing into the writer-produced `"records": [...]` array (the JSON shim
+/// has no parser, and the file format is owned by this binary).
+fn write_record(record: &PerfRecord) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_chip_sim.json");
+    let new_json = serde_json::to_string_pretty(record).expect("record serializes");
+    let indented: String = new_json
+        .lines()
+        .map(|l| format!("    {l}\n"))
+        .collect::<String>()
+        .trim_end()
+        .to_string();
+
+    let body = match fs::read_to_string(&path) {
+        Ok(existing) => {
+            if let Some(end) = existing.rfind("\n  ]") {
+                let (head, tail) = existing.split_at(end);
+                format!("{head},\n    {}{tail}", indented.trim_start())
+            } else {
+                fresh_file(&indented)
+            }
+        }
+        Err(_) => fresh_file(&indented),
+    };
+    match fs::write(&path, body) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn fresh_file(indented_record: &str) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"chip_sim\",\n  \"records\": [\n    {}\n  ]\n}}\n",
+        indented_record.trim_start()
+    )
+}

@@ -23,13 +23,23 @@ fn main() {
     );
     let safe_levels: [u8; 10] = [100, 60, 55, 50, 45, 40, 35, 30, 25, 20];
     let mut rows = Vec::new();
-    println!("{:<12} {:>12} {:>12}", "safe level", "a-level_0", "headroom");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "safe level", "a-level_0", "headroom"
+    );
     for &safe in &safe_levels {
         let a0 = initial_aggressive_level(safe);
         let headroom = i16::from(safe) - i16::from(a0);
         println!("{safe:<12} {a0:>12} {headroom:>12}");
-        assert!(a0 <= safe, "the initial a-level must be at least as aggressive as the safe level");
-        rows.push(Row { safe_level: safe, initial_a_level: a0, headroom });
+        assert!(
+            a0 <= safe,
+            "the initial a-level must be at least as aggressive as the safe level"
+        );
+        rows.push(Row {
+            safe_level: safe,
+            initial_a_level: a0,
+            headroom,
+        });
     }
     // Headroom shrinks monotonically as the safe level drops.
     for pair in rows.windows(2) {

@@ -83,7 +83,10 @@ fn main() {
         "{:<14} {:>10} | {:>8} {:>9} {:>10} | {:>8} {:>9} {:>10}",
         "model", "base HRavg", "+LHR", "+WDS(8)", "+WDS(16)", "+LHR", "+WDS(8)", "+WDS(16)"
     );
-    println!("{:<14} {:>10} | {:^29} | {:^29}", "", "", "HRaverage reduction", "HRmax reduction");
+    println!(
+        "{:<14} {:>10} | {:^29} | {:^29}",
+        "", "", "HRaverage reduction", "HRmax reduction"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>10.3} | {:>7.1}% {:>8.1}% {:>9.1}% | {:>7.1}% {:>8.1}% {:>9.1}%",

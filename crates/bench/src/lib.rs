@@ -55,7 +55,11 @@ pub fn header(experiment: &str, paper_reference: &str) {
 /// the operator mix (conv vs attention vs MLP) of the workload.
 #[must_use]
 pub fn quick_pipeline(base: AimConfig, stride: usize) -> AimConfig {
-    AimConfig { operator_stride: Some(stride.max(1)), cycles_per_slice: 150, ..base }
+    AimConfig {
+        operator_stride: Some(stride.max(1)),
+        cycles_per_slice: 150,
+        ..base
+    }
 }
 
 /// Formats a ratio as `x.xx×`.

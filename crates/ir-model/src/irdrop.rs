@@ -73,7 +73,10 @@ impl IrDropModel {
     /// operating point is non-positive; release builds clamp instead.
     #[must_use]
     pub fn breakdown(&self, rtog: f64, voltage: f64, frequency_ghz: f64) -> IrDropBreakdown {
-        debug_assert!((0.0..=1.0 + 1e-9).contains(&rtog), "rtog out of range: {rtog}");
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&rtog),
+            "rtog out of range: {rtog}"
+        );
         debug_assert!(voltage > 0.0 && frequency_ghz > 0.0);
         let rtog = rtog.clamp(0.0, 1.0);
         let p = &self.params;
@@ -174,7 +177,10 @@ mod tests {
     fn droop_scales_with_voltage_and_frequency() {
         let m = model();
         let base = m.irdrop_mv(0.5, 0.75, 1.0);
-        assert!(m.irdrop_mv(0.5, 0.60, 1.0) < base, "lower V ⇒ lower dynamic current ⇒ less droop");
+        assert!(
+            m.irdrop_mv(0.5, 0.60, 1.0) < base,
+            "lower V ⇒ lower dynamic current ⇒ less droop"
+        );
         assert!(m.irdrop_mv(0.5, 0.75, 1.16) > base, "higher f ⇒ more droop");
     }
 
@@ -203,7 +209,10 @@ mod tests {
         let m = model();
         let frac = m.mitigation_fraction(43.2);
         assert!((frac - (1.0 - 43.2 / 140.0)).abs() < 1e-12);
-        assert!(frac > 0.69, "69.2 % headline mitigation should be reachable");
+        assert!(
+            frac > 0.69,
+            "69.2 % headline mitigation should be reachable"
+        );
     }
 
     #[test]

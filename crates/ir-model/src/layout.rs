@@ -71,7 +71,10 @@ impl VoltageMap {
     /// Maximum voltage anywhere on the die.
     #[must_use]
     pub fn max_voltage(&self) -> f64 {
-        self.voltages.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.voltages
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Voltage at a tile coordinate.
@@ -127,10 +130,18 @@ impl LayoutGrid {
                 let cy = (y as f64 / (height - 1) as f64 - 0.5).abs();
                 let centrality = 1.0 - (cx.max(cy)) * 2.0; // 1 at centre, 0 at edge
                 let resistance_scale = 0.85 + 0.3 * centrality;
-                tiles.push(Tile { region, resistance_scale });
+                tiles.push(Tile {
+                    region,
+                    resistance_scale,
+                });
             }
         }
-        Self { width, height, tiles, params }
+        Self {
+            width,
+            height,
+            tiles,
+            params,
+        }
     }
 
     /// Grid width in tiles.
@@ -184,7 +195,11 @@ impl LayoutGrid {
         let n = self.params.total_macros();
         assert_eq!(macro_rtog.len(), n, "macro_rtog length mismatch");
         assert_eq!(macro_voltage.len(), n, "macro_voltage length mismatch");
-        assert_eq!(macro_frequency_ghz.len(), n, "macro_frequency length mismatch");
+        assert_eq!(
+            macro_frequency_ghz.len(),
+            n,
+            "macro_frequency length mismatch"
+        );
         let model = IrDropModel::new(self.params);
         let nominal_v = self.params.nominal_voltage;
         let voltages = self
@@ -211,7 +226,11 @@ impl LayoutGrid {
                 Region::PowerDelivery => nominal_v,
             })
             .collect();
-        VoltageMap { width: self.width, height: self.height, voltages }
+        VoltageMap {
+            width: self.width,
+            height: self.height,
+            voltages,
+        }
     }
 
     /// Total demanded drive current (A) of the die for a per-macro snapshot,
@@ -233,7 +252,9 @@ impl LayoutGrid {
         assert_eq!(macro_frequency_ghz.len(), n);
         let model = IrDropModel::new(self.params);
         let macro_current: f64 = (0..n)
-            .map(|i| model.demanded_current(macro_rtog[i], macro_voltage[i], macro_frequency_ghz[i]))
+            .map(|i| {
+                model.demanded_current(macro_rtog[i], macro_voltage[i], macro_frequency_ghz[i])
+            })
             .sum();
         // Non-macro logic contributes a small constant share.
         macro_current + 0.25
@@ -280,7 +301,10 @@ mod tests {
                 seen[i] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "every macro must own at least one tile");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every macro must own at least one tile"
+        );
     }
 
     #[test]
@@ -332,10 +356,20 @@ mod tests {
     fn bump_voltage_drops_under_load() {
         let g = grid();
         let n = g.params.total_macros();
-        let (v_idle, i_idle) =
-            g.bump_sample(&uniform(n, 0.0), &uniform(n, 0.75), &uniform(n, 1.0), 200, 0.5);
-        let (v_busy, i_busy) =
-            g.bump_sample(&uniform(n, 1.0), &uniform(n, 0.75), &uniform(n, 1.0), 200, 0.5);
+        let (v_idle, i_idle) = g.bump_sample(
+            &uniform(n, 0.0),
+            &uniform(n, 0.75),
+            &uniform(n, 1.0),
+            200,
+            0.5,
+        );
+        let (v_busy, i_busy) = g.bump_sample(
+            &uniform(n, 1.0),
+            &uniform(n, 0.75),
+            &uniform(n, 1.0),
+            200,
+            0.5,
+        );
         assert!(v_busy < v_idle);
         assert!(i_busy > i_idle);
     }

@@ -131,7 +131,10 @@ mod tests {
         let m = monitor();
         let ir = IrDropModel::new(p);
         let v_eff = ir.effective_voltage(1.0, p.nominal_voltage, p.nominal_frequency_ghz);
-        assert!(!m.is_failure(v_eff), "sign-off point must not raise IRFailure");
+        assert!(
+            !m.is_failure(v_eff),
+            "sign-off point must not raise IRFailure"
+        );
     }
 
     #[test]

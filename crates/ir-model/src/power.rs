@@ -139,7 +139,8 @@ impl PowerModel {
     /// Convenience: total macro power in mW.
     #[must_use]
     pub fn macro_power_mw(&self, toggle_rate: f64, voltage: f64, frequency_ghz: f64) -> f64 {
-        self.macro_power(toggle_rate, voltage, frequency_ghz, true).total_mw()
+        self.macro_power(toggle_rate, voltage, frequency_ghz, true)
+            .total_mw()
     }
 
     /// Per-macro power at the pre-AIM reference point (nominal V/f, 50 %
@@ -236,7 +237,11 @@ mod tests {
         let aggressive = m.macro_power_mw(0.24, 0.60, 1.0);
         let conservative = m.macro_power_mw(0.30, 0.64, 1.0);
         let reference = m.reference_macro_power_mw();
-        assert!(reference / aggressive > 1.9, "best-case ratio {}", reference / aggressive);
+        assert!(
+            reference / aggressive > 1.9,
+            "best-case ratio {}",
+            reference / aggressive
+        );
         assert!(reference / aggressive < 2.6);
         assert!(reference / conservative > 1.6);
         assert!(conservative > aggressive);
@@ -248,7 +253,10 @@ mod tests {
         let full = m.effective_tops(1.0, 100, 100);
         assert!((full - 256.0).abs() < 1e-9);
         let boosted = m.effective_tops(1.16, 100, 100);
-        assert!(boosted > 290.0, "sprint mode should exceed 290 TOPS, got {boosted}");
+        assert!(
+            boosted > 290.0,
+            "sprint mode should exceed 290 TOPS, got {boosted}"
+        );
         let stalled = m.effective_tops(1.0, 80, 100);
         assert!((stalled - 256.0 * 0.8).abs() < 1e-9);
     }

@@ -49,8 +49,7 @@ impl TimingModel {
     /// design the sign-off point is `0.75 V − 140 mV = 0.61 V` at 1.0 GHz.
     #[must_use]
     pub fn from_process(params: &ProcessParams) -> Self {
-        let worst_droop =
-            params.static_droop() + params.dynamic_droop_coefficient(); // at nominal V/f
+        let worst_droop = params.static_droop() + params.dynamic_droop_coefficient(); // at nominal V/f
         let v_eff_signoff = params.nominal_voltage - worst_droop;
         let vth = params.threshold_voltage;
         let alpha = params.alpha;
@@ -147,7 +146,10 @@ mod tests {
         // documented margin below it.
         assert!(m.meets_timing(0.61, 1.0));
         let f_at_margin = m.fmax_ghz(0.61 - TimingModel::SIGNOFF_MARGIN);
-        assert!((f_at_margin - 1.0).abs() < 1e-9, "calibration anchor violated: {f_at_margin}");
+        assert!(
+            (f_at_margin - 1.0).abs() < 1e-9,
+            "calibration anchor violated: {f_at_margin}"
+        );
         assert!((m.vmin(1.0) - (0.61 - TimingModel::SIGNOFF_MARGIN)).abs() < 1e-6);
     }
 
@@ -168,7 +170,10 @@ mod tests {
         let m = model();
         for f in [0.6, 0.8, 1.0, 1.1, 1.16] {
             let v = m.vmin(f);
-            assert!((m.fmax_ghz(v) - f).abs() < 1e-6, "vmin/fmax must be inverse at {f} GHz");
+            assert!(
+                (m.fmax_ghz(v) - f).abs() < 1e-6,
+                "vmin/fmax must be inverse at {f} GHz"
+            );
         }
     }
 

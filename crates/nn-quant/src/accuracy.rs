@@ -160,7 +160,10 @@ mod tests {
     fn transformer_models_can_gain_slightly() {
         let p = AccuracyProxy::transformer_classifier(81.0);
         let mild = p.quality(0.14);
-        assert!(mild > 81.0, "mild regularization should give a small bonus, got {mild}");
+        assert!(
+            mild > 81.0,
+            "mild regularization should give a small bonus, got {mild}"
+        );
         assert!(mild < 81.5, "bonus must stay small");
     }
 

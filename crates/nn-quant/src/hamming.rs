@@ -33,9 +33,33 @@ pub fn hamming_value(v: i32, bits: u32) -> u32 {
 }
 
 /// Hamming value (total number of 1-bits) of an INT8 slice.
+///
+/// Weights are packed eight at a time into a `u64` word so one `popcount`
+/// instruction counts 64 stored bits; the scalar per-byte path only handles
+/// the trailing `len % 8` weights.
 #[must_use]
 pub fn hamming_value_i8(weights: &[i8]) -> u64 {
-    weights.iter().map(|&w| u64::from((w as u8).count_ones())).sum()
+    let mut ones = 0u64;
+    let mut chunks = weights.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut bytes = [0u8; 8];
+        for (b, &w) in bytes.iter_mut().zip(chunk) {
+            *b = w as u8;
+        }
+        ones += u64::from(u64::from_le_bytes(bytes).count_ones());
+    }
+    ones + hamming_value_i8_scalar(chunks.remainder())
+}
+
+/// Reference per-`i8` implementation of [`hamming_value_i8`], kept for the
+/// remainder path and as the baseline the packed kernel is benchmarked and
+/// tested against.
+#[must_use]
+pub fn hamming_value_i8_scalar(weights: &[i8]) -> u64 {
+    weights
+        .iter()
+        .map(|&w| u64::from((w as u8).count_ones()))
+        .sum()
 }
 
 /// Hamming rate of an INT8 slice: 1-bits divided by total bits (Eq. 3).
@@ -58,6 +82,10 @@ pub fn hamming_rate_i8(weights: &[i8]) -> f64 {
 pub fn hamming_rate(weights: &[i8], bits: u32) -> f64 {
     if weights.is_empty() {
         return 0.0;
+    }
+    if bits == 8 {
+        // Every i8 is representable at 8 bits: take the packed-popcount path.
+        return hamming_value_i8(weights) as f64 / (weights.len() as f64 * 8.0);
     }
     let ones: u64 = weights
         .iter()
@@ -127,8 +155,16 @@ impl HrTable {
         let mut out = Vec::new();
         for v in self.min_value()..=self.max_value() {
             let here = self.hr(v);
-            let left = if v == self.min_value() { f64::INFINITY } else { self.hr(v - 1) };
-            let right = if v == self.max_value() { f64::INFINITY } else { self.hr(v + 1) };
+            let left = if v == self.min_value() {
+                f64::INFINITY
+            } else {
+                self.hr(v - 1)
+            };
+            let right = if v == self.max_value() {
+                f64::INFINITY
+            } else {
+                self.hr(v + 1)
+            };
             if here <= left && here <= right {
                 out.push(v);
             }
@@ -164,7 +200,10 @@ pub fn interpolated_hr(w: f64, scale: f64, table: &HrTable) -> InterpolatedHr {
     let low = x.floor();
     let high = x.ceil();
     if (low - high).abs() < f64::EPSILON {
-        return InterpolatedHr { value: table.hr(low as i32), gradient: 0.0 };
+        return InterpolatedHr {
+            value: table.hr(low as i32),
+            gradient: 0.0,
+        };
     }
     let p = x - low;
     let hr_low = table.hr(low as i32);
@@ -199,6 +238,91 @@ pub fn smoothed_hr_gradient(w: f64, scale: f64, table: &HrTable, radius_lsb: u32
         sum += interpolated_hr(w + k as f64 * scale, scale, table).gradient;
     }
     sum / (2 * r + 1) as f64
+}
+
+/// Precomputed lookup for [`smoothed_hr_gradient`] at a fixed scale and
+/// radius.
+///
+/// The gradient of the interpolated HR (Eq. 5) is piecewise constant on each
+/// lattice cell `[q·s, (q+1)·s)`, so the box-smoothed gradient is too: it
+/// only depends on `q = ⌊w/s⌋`.  Precomputing one slope per cell turns the
+/// `2·radius + 1` interpolations per weight of the training hot loop into a
+/// single table lookup.  At exact lattice points the gradient is 0, matching
+/// [`interpolated_hr`].
+#[derive(Debug, Clone)]
+pub struct SmoothedHrSlopes {
+    scale: f64,
+    /// Slope (per float unit) for cell `q`, indexed by `q - q_min`.
+    slopes: Vec<f64>,
+    q_min: i64,
+}
+
+impl SmoothedHrSlopes {
+    /// Builds the per-cell slope table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    #[must_use]
+    pub fn new(table: &HrTable, scale: f64, radius_lsb: u32) -> Self {
+        assert!(scale > 0.0, "quantization scale must be positive");
+        let r = i64::from(radius_lsb);
+        // Outside [min - r - 1, max + r] every contributing cell is clamped
+        // flat, so its smoothed slope is exactly 0.
+        let q_min = i64::from(table.min_value()) - r - 1;
+        let q_max = i64::from(table.max_value()) + r;
+        let slopes = (q_min..=q_max)
+            .map(|q| {
+                let mut sum = 0.0;
+                for k in -r..=r {
+                    let cell = q + k;
+                    let hr_low =
+                        table.hr(cell.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32);
+                    let hr_high =
+                        table.hr((cell + 1).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32);
+                    sum += (hr_high - hr_low) / scale;
+                }
+                sum / (2 * r + 1) as f64
+            })
+            .collect();
+        Self {
+            scale,
+            slopes,
+            q_min,
+        }
+    }
+
+    /// Smoothed gradient at `w` (per float unit), via one table lookup.
+    #[must_use]
+    pub fn gradient(&self, w: f64) -> f64 {
+        let x = w / self.scale;
+        let low = x.floor();
+        if (low - x.ceil()).abs() < f64::EPSILON {
+            // Exact lattice point: Eq. 5 defines the gradient as 0.
+            return 0.0;
+        }
+        let idx =
+            (low as i64).clamp(self.q_min, self.q_min + self.slopes.len() as i64 - 1) - self.q_min;
+        self.slopes[idx as usize]
+    }
+}
+
+/// Mean interpolated HR of a float slice (the value half of
+/// [`layer_interpolated_hr`], without materialising the gradient vector).
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn layer_mean_hr(weights: &[f32], scale: f64, table: &HrTable) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &w in weights {
+        sum += interpolated_hr(f64::from(w), scale, table).value;
+    }
+    sum / weights.len() as f64
 }
 
 /// Mean interpolated HR of a float slice together with its per-element
@@ -269,7 +393,10 @@ mod tests {
         let table = HrTable::new(8);
         let minima = table.local_minima();
         for attractor in [-8, 0, 8, 16] {
-            assert!(minima.contains(&attractor), "{attractor} should be a local HR minimum");
+            assert!(
+                minima.contains(&attractor),
+                "{attractor} should be a local HR minimum"
+            );
         }
         // Small negative odd values are never minima.
         assert!(!minima.contains(&-3));
@@ -292,11 +419,19 @@ mod tests {
         let table = HrTable::new(8);
         let a = interpolated_hr(-0.62, 1.0, &table);
         assert!((a.value - 0.62).abs() < 1e-9, "value {}", a.value);
-        assert!((a.gradient.abs() - 1.0).abs() < 1e-9, "gradient {}", a.gradient);
+        assert!(
+            (a.gradient.abs() - 1.0).abs() < 1e-9,
+            "gradient {}",
+            a.gradient
+        );
         assert!(a.gradient < 0.0, "HR falls as the weight moves towards 0");
         let b = interpolated_hr(6.4, 1.0, &table);
         assert!((b.value - 0.3).abs() < 1e-9, "value {}", b.value);
-        assert!((b.gradient.abs() - 0.125).abs() < 1e-9, "gradient {}", b.gradient);
+        assert!(
+            (b.gradient.abs() - 0.125).abs() < 1e-9,
+            "gradient {}",
+            b.gradient
+        );
         assert!(b.gradient > 0.0, "HR falls as the weight moves towards 6");
     }
 
@@ -352,7 +487,10 @@ mod tests {
         let exact = interpolated_hr(-2.5, 1.0, &table).gradient;
         assert_eq!(exact, 0.0);
         let smoothed = smoothed_hr_gradient(-2.5, 1.0, &table, 4);
-        assert!(smoothed < 0.0, "smoothed gradient should pull -2.5 towards 0, got {smoothed}");
+        assert!(
+            smoothed < 0.0,
+            "smoothed gradient should pull -2.5 towards 0, got {smoothed}"
+        );
     }
 
     #[test]
@@ -363,7 +501,66 @@ mod tests {
             w -= 0.2 * smoothed_hr_gradient(w, 1.0, &table, 4);
         }
         let hr = table.hr(w.round() as i32);
-        assert!(hr <= 0.625, "weight should have reached a low-HR basin, ended at {w} (HR {hr})");
+        assert!(
+            hr <= 0.625,
+            "weight should have reached a low-HR basin, ended at {w} (HR {hr})"
+        );
+    }
+
+    #[test]
+    fn packed_popcount_matches_scalar_reference() {
+        // Lengths around the 8-weight chunk boundary, including remainders.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 63, 64, 65, 1000] {
+            let weights: Vec<i8> = (0..len)
+                .map(|i| ((i * 37 + 11) % 256) as u8 as i8)
+                .collect();
+            assert_eq!(
+                hamming_value_i8(&weights),
+                hamming_value_i8_scalar(&weights),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn slope_table_matches_smoothed_gradient() {
+        let table = HrTable::new(8);
+        for radius in [0u32, 1, 4] {
+            for scale in [1.0, 0.043] {
+                let slopes = SmoothedHrSlopes::new(&table, scale, radius);
+                for i in -4000..4000 {
+                    // Sweep across and beyond the INT8 range, off-lattice.
+                    let w = (f64::from(i) / 13.0 + 0.21) * scale;
+                    let expected = smoothed_hr_gradient(w, scale, &table, radius);
+                    let got = slopes.gradient(w);
+                    assert!(
+                        (expected - got).abs() < 1e-12,
+                        "radius {radius} scale {scale} w {w}: {expected} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slope_table_is_zero_at_lattice_points_and_far_outside() {
+        let table = HrTable::new(8);
+        let slopes = SmoothedHrSlopes::new(&table, 1.0, 4);
+        assert_eq!(slopes.gradient(8.0), 0.0);
+        assert_eq!(slopes.gradient(-3.0), 0.0);
+        assert_eq!(slopes.gradient(400.5), 0.0);
+        assert_eq!(slopes.gradient(-400.5), 0.0);
+    }
+
+    #[test]
+    fn layer_mean_hr_matches_full_computation() {
+        let table = HrTable::new(8);
+        let weights: Vec<f32> = (0..257).map(|i| (i as f32) * 0.37 - 40.0).collect();
+        let (mean, _) = layer_interpolated_hr(&weights, 0.5, &table);
+        assert_eq!(
+            layer_mean_hr(&weights, 0.5, &table).to_bits(),
+            mean.to_bits()
+        );
     }
 
     #[test]
@@ -374,7 +571,10 @@ mod tests {
         let expected = (0.0 + 0.125 + 0.625) / 3.0;
         assert!((mean - expected).abs() < 1e-9);
         assert_eq!(grads.len(), 3);
-        assert!(grads.iter().all(|g| g.abs() < 1e-12), "integer weights have zero gradient");
+        assert!(
+            grads.iter().all(|g| g.abs() < 1e-12),
+            "integer weights have zero gradient"
+        );
     }
 
     #[test]

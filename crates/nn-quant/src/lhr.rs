@@ -36,7 +36,10 @@ impl LhrConfig {
     /// Panics if `lambda` is negative or non-finite.
     #[must_use]
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be non-negative"
+        );
         Self { lambda }
     }
 }
@@ -72,7 +75,11 @@ pub fn lhr_layer_loss(weights: &[f32], scale: f64, table: &HrTable) -> LhrLayerL
     let (mean_hr, hr_grads) = layer_interpolated_hr(weights, scale, table);
     let loss = mean_hr * mean_hr;
     let gradients = hr_grads.iter().map(|g| 2.0 * mean_hr * g).collect();
-    LhrLayerLoss { mean_hr, loss, gradients }
+    LhrLayerLoss {
+        mean_hr,
+        loss,
+        gradients,
+    }
 }
 
 /// Network-level LHR loss: the sum of per-layer squared mean HR.
@@ -155,8 +162,7 @@ mod tests {
         let a = [0.0f32, -1.0];
         let b = [8.0f32, 8.0];
         let sum = lhr_network_loss(&[(&a, 1.0), (&b, 1.0)], &table);
-        let expected =
-            lhr_layer_loss(&a, 1.0, &table).loss + lhr_layer_loss(&b, 1.0, &table).loss;
+        let expected = lhr_layer_loss(&a, 1.0, &table).loss + lhr_layer_loss(&b, 1.0, &table).loss;
         assert!((sum - expected).abs() < 1e-15);
     }
 

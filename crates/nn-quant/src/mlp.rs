@@ -35,7 +35,12 @@ impl SyntheticDataset {
     /// Generates `samples_per_class` points for each of `classes` Gaussian
     /// clusters in `feature_dim` dimensions.
     #[must_use]
-    pub fn generate(classes: usize, samples_per_class: usize, feature_dim: usize, seed: u64) -> Self {
+    pub fn generate(
+        classes: usize,
+        samples_per_class: usize,
+        feature_dim: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Cluster centres drawn once, spread enough to be separable but with
         // overlap so accuracy is not trivially 100 %.
@@ -49,13 +54,18 @@ impl SyntheticDataset {
             .collect();
         order.shuffle(&mut rng);
         for (class, _) in order {
-            for d in 0..feature_dim {
+            for &centre in &centres[class] {
                 let noise: f32 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
-                features.push(centres[class][d] + 0.45 * noise);
+                features.push(centre + 0.45 * noise);
             }
             labels.push(class);
         }
-        Self { features, labels, feature_dim, classes }
+        Self {
+            features,
+            labels,
+            feature_dim,
+            classes,
+        }
     }
 
     /// Splits the dataset into a training part holding `train_fraction` of
@@ -124,26 +134,41 @@ impl Mlp {
     /// Creates a randomly initialised MLP.
     #[must_use]
     pub fn new(features: usize, hidden: usize, classes: usize, seed: u64) -> Self {
-        let w1 = Tensor::randn(vec![hidden * features], (2.0 / features as f32).sqrt(), seed)
-            .data()
-            .to_vec();
-        let w2 =
-            Tensor::randn(vec![classes * hidden], (2.0 / hidden as f32).sqrt(), seed ^ 0x9e37)
-                .data()
-                .to_vec();
-        Self { w1, b1: vec![0.0; hidden], w2, b2: vec![0.0; classes], features, hidden, classes }
+        let w1 = Tensor::randn(
+            vec![hidden * features],
+            (2.0 / features as f32).sqrt(),
+            seed,
+        )
+        .data()
+        .to_vec();
+        let w2 = Tensor::randn(
+            vec![classes * hidden],
+            (2.0 / hidden as f32).sqrt(),
+            seed ^ 0x9e37,
+        )
+        .data()
+        .to_vec();
+        Self {
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: vec![0.0; classes],
+            features,
+            hidden,
+            classes,
+        }
     }
 
     /// Forward pass returning the hidden activations and the logits.
     #[must_use]
     pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         let mut h = vec![0.0f32; self.hidden];
-        for j in 0..self.hidden {
+        for (j, hj) in h.iter_mut().enumerate() {
             let mut acc = self.b1[j];
             for (d, &xv) in x.iter().enumerate() {
                 acc += self.w1[j * self.features + d] * xv;
             }
-            h[j] = acc.max(0.0);
+            *hj = acc.max(0.0);
         }
         let mut logits = vec![0.0f32; self.classes];
         for (c, logit) in logits.iter_mut().enumerate() {
@@ -191,10 +216,10 @@ impl Mlp {
                 dlogits[label] -= 1.0;
                 // Backprop into w2/b2 and the hidden layer.
                 let mut dh = vec![0.0f32; self.hidden];
-                for c in 0..self.classes {
+                for (c, &dl) in dlogits.iter().enumerate() {
                     for j in 0..self.hidden {
-                        dh[j] += dlogits[c] * self.w2[c * self.hidden + j];
-                        self.w2[c * self.hidden + j] -= lr * dlogits[c] * h[j];
+                        dh[j] += dl * self.w2[c * self.hidden + j];
+                        self.w2[c * self.hidden + j] -= lr * dl * h[j];
                     }
                     self.b2[c] -= lr * dlogits[c];
                 }
@@ -222,7 +247,11 @@ impl Mlp {
     pub fn with_weights(&self, w1: Vec<f32>, w2: Vec<f32>) -> Self {
         assert_eq!(w1.len(), self.w1.len(), "w1 length mismatch");
         assert_eq!(w2.len(), self.w2.len(), "w2 length mismatch");
-        Self { w1, w2, ..self.clone() }
+        Self {
+            w1,
+            w2,
+            ..self.clone()
+        }
     }
 
     /// Evaluates accuracy after fake-quantizing both layers at `bits`.
@@ -277,7 +306,10 @@ mod tests {
     fn training_beats_chance_by_a_wide_margin() {
         let (mlp, _train, test) = trained_setup();
         let acc = mlp.accuracy(&test);
-        assert!(acc > 0.70, "trained accuracy should be well above 25 % chance, got {acc}");
+        assert!(
+            acc > 0.70,
+            "trained accuracy should be well above 25 % chance, got {acc}"
+        );
     }
 
     #[test]

@@ -33,9 +33,15 @@ impl PruningConfig {
     /// Panics if the target sparsity is outside `[0, 1)` or `steps` is zero.
     #[must_use]
     pub fn new(target_sparsity: f64, steps: usize) -> Self {
-        assert!((0.0..1.0).contains(&target_sparsity), "sparsity must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&target_sparsity),
+            "sparsity must be in [0,1)"
+        );
         assert!(steps > 0, "at least one pruning step is required");
-        Self { target_sparsity, steps }
+        Self {
+            target_sparsity,
+            steps,
+        }
     }
 }
 
@@ -58,7 +64,11 @@ pub fn prune_tensor(tensor: &Tensor, config: &PruningConfig) -> PruningOutcome {
     let mut weights: Vec<f32> = tensor.data().to_vec();
     let n = weights.len();
     if n == 0 {
-        return PruningOutcome { weights, sparsity: 0.0, relative_weight_shift: 0.0 };
+        return PruningOutcome {
+            weights,
+            sparsity: 0.0,
+            relative_weight_shift: 0.0,
+        };
     }
     for step in 1..=config.steps {
         // Cubic ramp: s_t = s_f * (1 - (1 - t/T)^3).
@@ -81,7 +91,11 @@ pub fn prune_tensor(tensor: &Tensor, config: &PruningConfig) -> PruningOutcome {
     let zeros = weights.iter().filter(|w| **w == 0.0).count();
     let pruned = Tensor::from_vec(tensor.shape().to_vec(), weights.clone());
     let shift = f64::from(pruned.rms_diff(tensor)) / f64::from(tensor.std().max(1e-12));
-    PruningOutcome { weights, sparsity: zeros as f64 / n as f64, relative_weight_shift: shift }
+    PruningOutcome {
+        weights,
+        sparsity: zeros as f64 / n as f64,
+        relative_weight_shift: shift,
+    }
 }
 
 /// Prunes and then quantizes a layer, returning the layer and its HR.

@@ -98,7 +98,7 @@ pub fn quantize_ptq_with_lhr(
                 if candidate < scheme.qmin() || candidate > scheme.qmax() {
                     continue;
                 }
-                let extra_error = (f64::from(candidate as i32) - x).abs();
+                let extra_error = (f64::from(candidate) - x).abs();
                 if extra_error <= 0.5 + budget && table.hr(candidate) < best_hr {
                     best = candidate as i8;
                     best_hr = table.hr(candidate);
@@ -108,7 +108,11 @@ pub fn quantize_ptq_with_lhr(
         })
         .collect();
 
-    let layer = QuantizedLayer { name: name.to_string(), weights, scheme };
+    let layer = QuantizedLayer {
+        name: name.to_string(),
+        weights,
+        scheme,
+    };
     PtqOutcome {
         mean_abs_error: layer.mean_abs_error(tensor),
         hr: layer.hamming_rate(),
@@ -151,7 +155,10 @@ mod tests {
             );
             // ...but by less than full QAT typically achieves (< ~15 %).
             let reduction = (plain.hr - lhr.hr) / plain.hr;
-            assert!(reduction < 0.15, "PTQ reduction should be modest, got {reduction}");
+            assert!(
+                reduction < 0.15,
+                "PTQ reduction should be modest, got {reduction}"
+            );
         }
     }
 

@@ -21,8 +21,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::hamming::{smoothed_hr_gradient, HrTable};
-use crate::lhr::{lhr_layer_loss, LhrConfig};
+use crate::hamming::{layer_mean_hr, HrTable, SmoothedHrSlopes};
+use crate::lhr::LhrConfig;
 use crate::quant::{QuantScheme, QuantizedLayer};
 use crate::tensor::Tensor;
 
@@ -122,6 +122,12 @@ pub fn train_layer(name: &str, original: &Tensor, config: &QatConfig) -> QatOutc
     let mut weights: Vec<f32> = original.data().to_vec();
     let original_std = f64::from(original.std()).max(1e-12);
 
+    // The smoothed-HR slope is piecewise constant per lattice cell, so one
+    // table sized to this layer's scale serves every weight of every epoch.
+    let slopes = config
+        .lhr
+        .map(|_| SmoothedHrSlopes::new(&table, scale, config.lhr_smoothing_radius_lsb));
+
     for _ in 0..config.epochs {
         // Both gradient terms are expressed in LSB (lattice) units so that
         // their balance is independent of the layer's quantization scale:
@@ -133,7 +139,7 @@ pub fn train_layer(name: &str, original: &Tensor, config: &QatConfig) -> QatOutc
         //   scaled by λ, pulling towards the nearest low-HR lattice point.
         let lhr = config
             .lhr
-            .map(|cfg| (cfg.lambda, lhr_layer_loss(&weights, scale, &table).mean_hr));
+            .map(|cfg| (cfg.lambda, layer_mean_hr(&weights, scale, &table)));
         for (i, w) in weights.iter_mut().enumerate() {
             let displacement_lsb = (f64::from(*w) - f64::from(original.data()[i])) / scale;
             let task_grad_lsb = displacement_lsb
@@ -142,12 +148,10 @@ pub fn train_layer(name: &str, original: &Tensor, config: &QatConfig) -> QatOutc
                 // ∂(HR²)/∂w = 2·HR·∂HR/∂w; the smoothed slope is per float
                 // unit, so multiply by the scale to express it per LSB.
                 Some((lambda, mean_hr)) => {
-                    let slope = smoothed_hr_gradient(
-                        f64::from(*w),
-                        scale,
-                        &table,
-                        config.lhr_smoothing_radius_lsb,
-                    );
+                    let slope = slopes
+                        .as_ref()
+                        .expect("slope table exists whenever LHR is on")
+                        .gradient(f64::from(*w));
                     lambda * 2.0 * mean_hr * slope * scale
                 }
                 None => 0.0,
@@ -165,14 +169,24 @@ pub fn train_layer(name: &str, original: &Tensor, config: &QatConfig) -> QatOutc
     let hr_after = layer.hamming_rate();
     let relative_weight_shift = f64::from(trained.rms_diff(original)) / original_std;
 
-    QatOutcome { layer, hr_before, hr_after, relative_weight_shift }
+    QatOutcome {
+        layer,
+        hr_before,
+        hr_after,
+        relative_weight_shift,
+    }
 }
 
 /// Runs QAT over a set of layers, returning one outcome per layer in order.
+///
+/// Layers are independent (each trains on its own tensor with a
+/// deterministic full-batch loop), so they fan out across worker threads;
+/// results come back in layer order regardless of the thread count.
 #[must_use]
 pub fn train_network(layers: &[(String, Tensor)], config: &QatConfig) -> Vec<QatOutcome> {
+    use rayon::prelude::*;
     layers
-        .iter()
+        .par_iter()
         .map(|(name, tensor)| train_layer(name, tensor, config))
         .collect()
 }
@@ -199,7 +213,11 @@ pub fn summarize(outcomes: &[QatOutcome]) -> NetworkHrSummary {
     NetworkHrSummary {
         hr_average: outcomes.iter().map(|o| o.hr_after).sum::<f64>() / n,
         hr_max: outcomes.iter().map(|o| o.hr_after).fold(0.0, f64::max),
-        mean_weight_shift: outcomes.iter().map(|o| o.relative_weight_shift).sum::<f64>() / n,
+        mean_weight_shift: outcomes
+            .iter()
+            .map(|o| o.relative_weight_shift)
+            .sum::<f64>()
+            / n,
     }
 }
 
@@ -216,9 +234,16 @@ mod tests {
     fn baseline_qat_barely_moves_weights() {
         let t = conv_like_tensor(3);
         let out = train_layer("conv", &t, &QatConfig::baseline(8));
-        assert!(out.relative_weight_shift < 0.05, "shift {}", out.relative_weight_shift);
+        assert!(
+            out.relative_weight_shift < 0.05,
+            "shift {}",
+            out.relative_weight_shift
+        );
         assert!((out.hr_after - out.hr_before).abs() < 0.02);
-        assert_eq!(out.layer.weights, QuantizedLayer::from_tensor("conv", &t, 8).weights);
+        assert_eq!(
+            out.layer.weights,
+            QuantizedLayer::from_tensor("conv", &t, 8).weights
+        );
     }
 
     #[test]
@@ -240,14 +265,24 @@ mod tests {
         let out = train_layer("conv", &t, &QatConfig::with_lhr(8));
         // Weight movement stays a small fraction of the weight spread —
         // the "negligible accuracy loss" premise.
-        assert!(out.relative_weight_shift < 0.35, "shift {}", out.relative_weight_shift);
+        assert!(
+            out.relative_weight_shift < 0.35,
+            "shift {}",
+            out.relative_weight_shift
+        );
     }
 
     #[test]
     fn stronger_lambda_trades_more_shift_for_lower_hr() {
         let t = conv_like_tensor(6);
-        let weak = QatConfig { lhr: Some(LhrConfig::new(0.05)), ..QatConfig::with_lhr(8) };
-        let strong = QatConfig { lhr: Some(LhrConfig::new(4.0)), ..QatConfig::with_lhr(8) };
+        let weak = QatConfig {
+            lhr: Some(LhrConfig::new(0.05)),
+            ..QatConfig::with_lhr(8)
+        };
+        let strong = QatConfig {
+            lhr: Some(LhrConfig::new(4.0)),
+            ..QatConfig::with_lhr(8)
+        };
         let w = train_layer("conv", &t, &weak);
         let s = train_layer("conv", &t, &strong);
         assert!(s.hr_after <= w.hr_after + 1e-9);

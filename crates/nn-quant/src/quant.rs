@@ -28,7 +28,10 @@ impl QuantScheme {
     #[must_use]
     pub fn new(bits: u32, scale: f64) -> Self {
         assert!((2..=8).contains(&bits), "bits must be in 2..=8, got {bits}");
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive and finite");
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive and finite"
+        );
         Self { bits, scale }
     }
 
@@ -118,7 +121,11 @@ impl QuantizedLayer {
     #[must_use]
     pub fn from_tensor(name: impl Into<String>, tensor: &Tensor, bits: u32) -> Self {
         let scheme = QuantScheme::fit(tensor, bits);
-        Self { name: name.into(), weights: scheme.quantize_tensor(tensor), scheme }
+        Self {
+            name: name.into(),
+            weights: scheme.quantize_tensor(tensor),
+            scheme,
+        }
     }
 
     /// Hamming rate of the stored weights at the layer's precision (Eq. 3).
@@ -142,7 +149,10 @@ impl QuantizedLayer {
     /// Dequantized copy of the weights.
     #[must_use]
     pub fn dequantized(&self) -> Vec<f32> {
-        self.weights.iter().map(|&q| self.scheme.dequantize(q)).collect()
+        self.weights
+            .iter()
+            .map(|&q| self.scheme.dequantize(q))
+            .collect()
     }
 
     /// Mean absolute quantization error versus a float reference.
@@ -152,7 +162,11 @@ impl QuantizedLayer {
     /// Panics if the reference length differs.
     #[must_use]
     pub fn mean_abs_error(&self, reference: &Tensor) -> f64 {
-        assert_eq!(reference.len(), self.weights.len(), "reference length mismatch");
+        assert_eq!(
+            reference.len(),
+            self.weights.len(),
+            "reference length mismatch"
+        );
         if self.is_empty() {
             return 0.0;
         }
@@ -211,7 +225,10 @@ mod tests {
         let layer = QuantizedLayer::from_tensor("l0", &t, 8);
         let hr = hamming_rate(&layer.weights, 8);
         assert!((layer.hamming_rate() - hr).abs() < 1e-15);
-        assert!(hr > 0.2 && hr < 0.8, "Gaussian weights should land near HR 0.5, got {hr}");
+        assert!(
+            hr > 0.2 && hr < 0.8,
+            "Gaussian weights should land near HR 0.5, got {hr}"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        Self { shape, data: vec![0.0; len] }
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Samples a tensor from a zero-mean Gaussian with the given standard
@@ -123,8 +126,12 @@ impl Tensor {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.data.len() as f32;
+        let var = self
+            .data
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / self.data.len() as f32;
         var.sqrt()
     }
 

@@ -66,7 +66,10 @@ impl AnalogMacro {
     /// Panics if `adc_bits` is outside `4..=12`.
     #[must_use]
     pub fn with_adc_bits(mut self, adc_bits: u32) -> Self {
-        assert!((4..=12).contains(&adc_bits), "ADC resolution must be 4..=12 bits");
+        assert!(
+            (4..=12).contains(&adc_bits),
+            "ADC resolution must be 4..=12 bits"
+        );
         self.adc_bits = adc_bits;
         self
     }
@@ -96,12 +99,7 @@ impl AnalogMacro {
     /// The bit-line swing available for the ADC shrinks with the droop, which
     /// manifests as a multiplicative gain error plus quantization error.
     #[must_use]
-    pub fn evaluate(
-        &self,
-        inputs: &InputStream,
-        voltage: f64,
-        frequency_ghz: f64,
-    ) -> AnalogResult {
+    pub fn evaluate(&self, inputs: &InputStream, voltage: f64, frequency_ghz: f64) -> AnalogResult {
         let mac = self.bank.mac(inputs);
         let ideal = mac.output;
         let rtog = mac.mean_rtog();
@@ -120,7 +118,12 @@ impl AnalogMacro {
         } else {
             ((observed - ideal).abs() as f64) / (ideal.abs() as f64)
         };
-        AnalogResult { ideal, observed, relative_error, effective_droop_mv: droop_mv }
+        AnalogResult {
+            ideal,
+            observed,
+            relative_error,
+            effective_droop_mv: droop_mv,
+        }
     }
 }
 
@@ -129,7 +132,9 @@ mod tests {
     use super::*;
 
     fn weights(seed: i64, n: usize) -> Vec<i8> {
-        (0..n).map(|i| (((seed + i as i64 * 41) % 200) - 100) as i8).collect()
+        (0..n)
+            .map(|i| (((seed + i as i64 * 41) % 200) - 100) as i8)
+            .collect()
     }
 
     #[test]
@@ -186,8 +191,12 @@ mod tests {
     fn finer_adc_reduces_error_at_low_droop() {
         let w = weights(7, 128);
         let inputs = InputStream::random(128, 8, 8);
-        let coarse = AnalogMacro::new(&w, 8).with_adc_bits(6).evaluate(&inputs, 0.9, 0.3);
-        let fine = AnalogMacro::new(&w, 8).with_adc_bits(12).evaluate(&inputs, 0.9, 0.3);
+        let coarse = AnalogMacro::new(&w, 8)
+            .with_adc_bits(6)
+            .evaluate(&inputs, 0.9, 0.3);
+        let fine = AnalogMacro::new(&w, 8)
+            .with_adc_bits(12)
+            .evaluate(&inputs, 0.9, 0.3);
         assert!(fine.relative_error <= coarse.relative_error);
     }
 

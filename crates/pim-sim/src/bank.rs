@@ -72,7 +72,10 @@ impl Bank {
     /// representable at that precision.
     #[must_use]
     pub fn new(weights: &[i8], weight_bits: u32) -> Self {
-        assert!((2..=8).contains(&weight_bits), "weight bits must be in 2..=8");
+        assert!(
+            (2..=8).contains(&weight_bits),
+            "weight bits must be in 2..=8"
+        );
         let min = -(1i16 << (weight_bits - 1));
         let max = (1i16 << (weight_bits - 1)) - 1;
         for &w in weights {
@@ -81,7 +84,10 @@ impl Bank {
                 "weight {w} not representable in {weight_bits} bits"
             );
         }
-        Self { weights: weights.to_vec(), weight_bits }
+        Self {
+            weights: weights.to_vec(),
+            weight_bits,
+        }
     }
 
     /// The stored weights.
@@ -264,7 +270,10 @@ mod tests {
         let result = bank.mac(&inputs);
         let hr = bank.hamming_rate();
         for &r in &result.rtog_per_cycle() {
-            assert!((r - hr).abs() < 1e-12, "every cycle should hit the HR bound");
+            assert!(
+                (r - hr).abs() < 1e-12,
+                "every cycle should hit the HR bound"
+            );
         }
     }
 

@@ -100,9 +100,18 @@ impl MacroTask {
     /// Panics if `weight_hr` is outside `[0, 1]` or `cycles` is zero.
     #[must_use]
     pub fn new(name: impl Into<String>, weight_hr: f64, cycles: u64, set_id: SetId) -> Self {
-        assert!((0.0..=1.0).contains(&weight_hr), "weight HR must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&weight_hr),
+            "weight HR must be in [0,1]"
+        );
         assert!(cycles > 0, "a task needs at least one cycle of work");
-        Self { name: name.into(), weight_hr, input_determined: false, cycles, set_id }
+        Self {
+            name: name.into(),
+            weight_hr,
+            input_determined: false,
+            cycles,
+            set_id,
+        }
     }
 
     /// Marks the task as input-determined (QKT / SV style).
@@ -140,8 +149,23 @@ pub struct ControllerDecision {
 
 /// Policy hook deciding each group's V-f point every cycle.
 pub trait VfController {
-    /// Returns one decision per group, in group order.
-    fn decide(&mut self, cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision>;
+    /// Appends one decision per group, in group order, to `out`.
+    ///
+    /// `out` arrives cleared; the simulator reuses the same buffer every
+    /// cycle so implementations must not allocate per call on their hot path.
+    fn decide_into(
+        &mut self,
+        cycle: u64,
+        observations: &[GroupObservation],
+        out: &mut Vec<ControllerDecision>,
+    );
+
+    /// Allocating convenience wrapper around [`Self::decide_into`].
+    fn decide(&mut self, cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision> {
+        let mut out = Vec::with_capacity(observations.len());
+        self.decide_into(cycle, observations, &mut out);
+        out
+    }
 
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str {
@@ -161,7 +185,9 @@ impl StaticController {
     /// Runs every group at the chip's nominal operating point.
     #[must_use]
     pub fn nominal(params: &ProcessParams) -> Self {
-        Self { point: VfPair::new(params.nominal_voltage, params.nominal_frequency_ghz) }
+        Self {
+            point: VfPair::new(params.nominal_voltage, params.nominal_frequency_ghz),
+        }
     }
 
     /// Runs every group at an explicit point.
@@ -172,11 +198,16 @@ impl StaticController {
 }
 
 impl VfController for StaticController {
-    fn decide(&mut self, _cycle: u64, observations: &[GroupObservation]) -> Vec<ControllerDecision> {
-        observations
-            .iter()
-            .map(|_| ControllerDecision { point: self.point, level_percent: 100 })
-            .collect()
+    fn decide_into(
+        &mut self,
+        _cycle: u64,
+        observations: &[GroupObservation],
+        out: &mut Vec<ControllerDecision>,
+    ) {
+        out.extend(observations.iter().map(|_| ControllerDecision {
+            point: self.point,
+            level_percent: 100,
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -253,10 +284,98 @@ pub struct ChipSimulator {
     config: ChipConfig,
     tasks: Vec<Option<MacroTask>>,
     sets: Vec<MacroSet>,
+    /// For each macro, the index into `sets` of its task's logical set
+    /// (`None` for idle macros).  Replaces the per-failure linear scan over
+    /// `sets` in the hot loop.
+    set_index: Vec<Option<usize>>,
+    /// Flat macro id → group id, precomputed so the hot loop never divides.
+    macro_group: Vec<GroupId>,
     flip_sequences: Vec<FlipSequence>,
     irdrop: IrDropModel,
     power: PowerModel,
     timing: TimingModel,
+}
+
+/// Reusable per-run state of [`ChipSimulator::run`].
+///
+/// The seed implementation allocated `rtog`, `busy` and the observation
+/// vector afresh every simulated cycle; hoisting them here (plus the per-run
+/// progress/penalty vectors and the per-group `vmin` cache) makes the cycle
+/// loop allocation-free.  One scratch can be reused across any number of runs
+/// of simulators with the same chip geometry via
+/// [`ChipSimulator::run_with_scratch`].
+#[derive(Debug, Clone)]
+pub struct SimScratch {
+    rtog: Vec<f64>,
+    busy: Vec<bool>,
+    remaining: Vec<u64>,
+    penalty_until: Vec<u64>,
+    stall_until: Vec<u64>,
+    points: Vec<VfPair>,
+    observations: Vec<GroupObservation>,
+    decisions: Vec<ControllerDecision>,
+    /// Per group: the frequency the monitor threshold was last derived for
+    /// and the corresponding `timing.vmin`.  Operating points change rarely
+    /// relative to the cycle rate, so this removes the 80-step `vmin`
+    /// bisection from almost every cycle.
+    vmin_cache: Vec<(f64, f64)>,
+}
+
+impl SimScratch {
+    /// Creates scratch state for a chip with the given geometry.
+    #[must_use]
+    pub fn new(total_macros: usize, groups: usize) -> Self {
+        Self {
+            rtog: vec![0.0; total_macros],
+            busy: vec![false; total_macros],
+            remaining: vec![0; total_macros],
+            penalty_until: vec![0; total_macros],
+            stall_until: vec![0; total_macros],
+            points: vec![VfPair::new(0.0, 0.0); groups],
+            observations: Vec::with_capacity(groups),
+            decisions: Vec::with_capacity(groups),
+            vmin_cache: vec![(f64::NAN, 0.0); groups],
+        }
+    }
+
+    /// Re-initialises the scratch for a fresh run of `sim`.
+    fn reset(&mut self, sim: &ChipSimulator) {
+        let total = sim.config.params.total_macros();
+        let groups = sim.config.params.macro_groups;
+        assert_eq!(self.rtog.len(), total, "scratch geometry mismatch (macros)");
+        assert_eq!(
+            self.points.len(),
+            groups,
+            "scratch geometry mismatch (groups)"
+        );
+        self.rtog.fill(0.0);
+        self.busy.fill(false);
+        for (r, t) in self.remaining.iter_mut().zip(&sim.tasks) {
+            *r = t.as_ref().map_or(0, |t| t.cycles);
+        }
+        self.penalty_until.fill(0);
+        self.stall_until.fill(0);
+        self.points.fill(VfPair::new(
+            sim.config.params.nominal_voltage,
+            sim.config.params.nominal_frequency_ghz,
+        ));
+        self.observations.clear();
+        self.decisions.clear();
+        self.vmin_cache.fill((f64::NAN, 0.0));
+    }
+
+    /// Monitor threshold voltage for group `g` at `frequency_ghz`, recomputed
+    /// only when the group's frequency actually changed.
+    #[inline]
+    fn vmin_threshold(&mut self, g: usize, frequency_ghz: f64, timing: &TimingModel) -> f64 {
+        let (cached_f, cached_v) = self.vmin_cache[g];
+        if cached_f == frequency_ghz {
+            return cached_v;
+        }
+        let v = timing.vmin(frequency_ghz);
+        self.vmin_cache[g] = (frequency_ghz, v);
+        v
+    }
 }
 
 impl ChipSimulator {
@@ -273,14 +392,10 @@ impl ChipSimulator {
         let total = config.params.total_macros();
         assert_eq!(tasks.len(), total, "need one task slot per macro ({total})");
         // Derive the logical sets from the tasks.
-        let mut set_ids: Vec<SetId> = tasks
-            .iter()
-            .flatten()
-            .map(|t| t.set_id)
-            .collect();
+        let mut set_ids: Vec<SetId> = tasks.iter().flatten().map(|t| t.set_id).collect();
         set_ids.sort_unstable();
         set_ids.dedup();
-        let sets = set_ids
+        let sets: Vec<MacroSet> = set_ids
             .into_iter()
             .map(|sid| {
                 let members: Vec<MacroId> = tasks
@@ -304,7 +419,30 @@ impl ChipSimulator {
         let irdrop = IrDropModel::new(config.params);
         let power = PowerModel::new(config.params);
         let timing = TimingModel::from_process(&config.params);
-        Self { config, tasks, sets, flip_sequences, irdrop, power, timing }
+        // Index each macro's set once so the failure path never scans.
+        let set_index: Vec<Option<usize>> = tasks
+            .iter()
+            .map(|t| {
+                t.as_ref().map(|t| {
+                    sets.iter()
+                        .position(|s| s.id == t.set_id)
+                        .expect("every task's set was derived above")
+                })
+            })
+            .collect();
+        let mpg = config.params.macros_per_group;
+        let macro_group: Vec<GroupId> = (0..total).map(|m| group_of(m, mpg)).collect();
+        Self {
+            config,
+            tasks,
+            sets,
+            set_index,
+            macro_group,
+            flip_sequences,
+            irdrop,
+            power,
+            timing,
+        }
     }
 
     /// The simulator's configuration.
@@ -347,6 +485,16 @@ impl ChipSimulator {
             .collect()
     }
 
+    /// Creates scratch state sized for this simulator's geometry, reusable
+    /// across any number of runs via [`Self::run_with_scratch`].
+    #[must_use]
+    pub fn scratch(&self) -> SimScratch {
+        SimScratch::new(
+            self.config.params.total_macros(),
+            self.config.params.macro_groups,
+        )
+    }
+
     /// Runs the simulation until every task completes (or `max_cycles` is
     /// reached), driving the given controller.
     ///
@@ -354,23 +502,40 @@ impl ChipSimulator {
     ///
     /// Panics if the controller returns the wrong number of decisions.
     pub fn run(&self, controller: &mut dyn VfController, max_cycles: u64) -> RunReport {
+        let mut scratch = self.scratch();
+        self.run_with_scratch(controller, max_cycles, &mut scratch)
+    }
+
+    /// [`Self::run`] with caller-provided scratch state: the cycle loop
+    /// performs no heap allocation, so repeated runs (sweeps, annealing,
+    /// benches) reuse one set of buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller returns the wrong number of decisions or the
+    /// scratch was built for a different chip geometry.
+    pub fn run_with_scratch(
+        &self,
+        controller: &mut dyn VfController,
+        max_cycles: u64,
+        scratch: &mut SimScratch,
+    ) -> RunReport {
         let params = &self.config.params;
         let total_macros = params.total_macros();
         let groups = params.macro_groups;
         let mpg = params.macros_per_group;
+        let margin = self.config.failure_margin_v;
 
-        let mut remaining: Vec<u64> =
-            self.tasks.iter().map(|t| t.as_ref().map_or(0, |t| t.cycles)).collect();
-        let mut penalty_until: Vec<u64> = vec![0; total_macros]; // recompute penalty (failing macro)
-        let mut stall_until: Vec<u64> = vec![0; total_macros]; // set-mate stalls
-        let mut points: Vec<VfPair> =
-            vec![VfPair::new(params.nominal_voltage, params.nominal_frequency_ghz); groups];
+        scratch.reset(self);
+        let mut unfinished = scratch.remaining.iter().filter(|&&r| r > 0).count();
 
         let mut monitor = IrMonitor::new(params);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x5EED);
 
-        let mut report = RunReport::default();
-        report.per_macro_stall_cycles = vec![0; total_macros];
+        let mut report = RunReport {
+            per_macro_stall_cycles: vec![0; total_macros],
+            ..RunReport::default()
+        };
         let mut power_accum = 0.0f64;
         let mut power_samples = 0u64;
         let mut droop_accum = 0.0f64;
@@ -378,20 +543,20 @@ impl ChipSimulator {
         let mut freq_weighted_useful = 0.0f64;
 
         let mut cycle: u64 = 0;
-        while cycle < max_cycles && remaining.iter().any(|&r| r > 0) {
+        while cycle < max_cycles && unfinished > 0 {
             // --- per-macro activity this cycle ---------------------------------
-            let mut rtog = vec![0.0f64; total_macros];
-            let mut busy = vec![false; total_macros];
+            scratch.rtog.fill(0.0);
             for m in 0..total_macros {
-                if remaining[m] == 0 {
+                if scratch.remaining[m] == 0 {
+                    scratch.busy[m] = false;
                     report.idle_macro_cycles += 1;
                     continue;
                 }
-                busy[m] = true;
+                scratch.busy[m] = true;
                 // A macro that is recomputing (V-f adjustment) or stalled by a
                 // set mate is not streaming inputs, so its bitstreams do not
                 // toggle this cycle.
-                if cycle < penalty_until[m] || cycle < stall_until[m] {
+                if cycle < scratch.penalty_until[m] || cycle < scratch.stall_until[m] {
                     continue;
                 }
                 let task = self.tasks[m].as_ref().expect("busy macro must have a task");
@@ -404,25 +569,26 @@ impl ChipSimulator {
                 } else {
                     task.weight_hr
                 };
-                rtog[m] = (hr * flip).clamp(0.0, 1.0);
+                scratch.rtog[m] = (hr * flip).clamp(0.0, 1.0);
             }
 
             // --- group-level droop, monitoring and failure handling ------------
-            let mut observations = Vec::with_capacity(groups);
+            scratch.observations.clear();
             let mut worst_droop_this_cycle = 0.0f64;
             for g in 0..groups {
-                let point = points[g];
+                let point = scratch.points[g];
                 let members = (g * mpg)..((g + 1) * mpg);
                 let mut group_active = false;
                 let mut worst_macro = None;
                 let mut worst_droop = 0.0f64;
                 for m in members.clone() {
-                    if !busy[m] {
+                    if !scratch.busy[m] {
                         continue;
                     }
                     group_active = true;
                     let droop =
-                        self.irdrop.irdrop_mv(rtog[m], point.voltage, point.frequency_ghz);
+                        self.irdrop
+                            .irdrop_mv(scratch.rtog[m], point.voltage, point.frequency_ghz);
                     droop_accum += droop;
                     droop_samples += 1;
                     if droop > worst_droop {
@@ -434,9 +600,10 @@ impl ChipSimulator {
                 worst_droop_this_cycle = worst_droop_this_cycle.max(worst_droop);
 
                 // The monitor threshold tracks the group's current frequency,
-                // minus the configured setup margin.
+                // minus the configured setup margin.  The vmin bisection only
+                // reruns when the group's frequency actually changed.
                 monitor.set_threshold(
-                    self.timing.vmin(point.frequency_ghz) - self.config.failure_margin_v,
+                    scratch.vmin_threshold(g, point.frequency_ghz, &self.timing) - margin,
                 );
                 let v_eff = point.voltage - worst_droop * 1e-3;
                 let failure = group_active && monitor.is_failure(v_eff);
@@ -444,16 +611,14 @@ impl ChipSimulator {
                     report.failures += 1;
                     if let Some(fm) = worst_macro {
                         let until = cycle + self.config.recompute_penalty_cycles;
-                        penalty_until[fm] = penalty_until[fm].max(until);
+                        scratch.penalty_until[fm] = scratch.penalty_until[fm].max(until);
                         // Stall every other member of the failing macro's set
                         // (partial sums must stay consistent, Fig. 11)...
-                        let set_id = self.tasks[fm].as_ref().map(|t| t.set_id);
-                        if let Some(sid) = set_id {
-                            if let Some(set) = self.sets.iter().find(|s| s.id == sid) {
-                                for &mate in &set.members {
-                                    if mate != fm && remaining[mate] > 0 {
-                                        stall_until[mate] = stall_until[mate].max(until);
-                                    }
+                        if let Some(set_idx) = self.set_index[fm] {
+                            for &mate in &self.sets[set_idx].members {
+                                if mate != fm && scratch.remaining[mate] > 0 {
+                                    scratch.stall_until[mate] =
+                                        scratch.stall_until[mate].max(until);
                                 }
                             }
                         }
@@ -462,8 +627,8 @@ impl ChipSimulator {
                         // pauses all of them — the interference that makes
                         // mixing unrelated tasks in one group expensive.
                         for mate in g * mpg..(g + 1) * mpg {
-                            if mate != fm && remaining[mate] > 0 {
-                                stall_until[mate] = stall_until[mate].max(until);
+                            if mate != fm && scratch.remaining[mate] > 0 {
+                                scratch.stall_until[mate] = scratch.stall_until[mate].max(until);
                             }
                         }
                     }
@@ -473,18 +638,19 @@ impl ChipSimulator {
                 let mut worst_known: Option<f64> = None;
                 let mut unknown = false;
                 for m in members {
-                    if !busy[m] {
+                    if !scratch.busy[m] {
                         continue;
                     }
                     let task = self.tasks[m].as_ref().expect("busy macro must have a task");
                     if task.input_determined {
                         unknown = true;
                     } else {
-                        worst_known =
-                            Some(worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)));
+                        worst_known = Some(
+                            worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)),
+                        );
                     }
                 }
-                observations.push(GroupObservation {
+                scratch.observations.push(GroupObservation {
                     group: g,
                     failure,
                     active: group_active,
@@ -495,22 +661,22 @@ impl ChipSimulator {
 
             // --- progress, power and accounting ---------------------------------
             for m in 0..total_macros {
-                if !busy[m] {
+                if !scratch.busy[m] {
                     continue;
                 }
-                let g = group_of(m, mpg);
-                let point = points[g];
-                let in_penalty = cycle < penalty_until[m];
-                let in_stall = cycle < stall_until[m];
-                let (toggle, progressed) = if in_penalty {
-                    (0.0, false)
-                } else if in_stall {
+                let point = scratch.points[self.macro_group[m]];
+                let in_penalty = cycle < scratch.penalty_until[m];
+                let in_stall = cycle < scratch.stall_until[m];
+                let (toggle, progressed) = if in_penalty || in_stall {
                     (0.0, false)
                 } else {
-                    (rtog[m], true)
+                    (scratch.rtog[m], true)
                 };
                 if progressed {
-                    remaining[m] -= 1;
+                    scratch.remaining[m] -= 1;
+                    if scratch.remaining[m] == 0 {
+                        unfinished -= 1;
+                    }
                     report.useful_macro_cycles += 1;
                     freq_weighted_useful += point.frequency_ghz;
                 } else if in_penalty {
@@ -519,20 +685,28 @@ impl ChipSimulator {
                     report.stall_macro_cycles += 1;
                     report.per_macro_stall_cycles[m] += 1;
                 }
-                let p = self.power.macro_power(toggle, point.voltage, point.frequency_ghz, true);
+                let p = self
+                    .power
+                    .macro_power(toggle, point.voltage, point.frequency_ghz, true);
                 power_accum += p.total_mw();
                 power_samples += 1;
             }
 
             // --- optional trace --------------------------------------------------
-            if self.config.trace_interval > 0 && cycle % self.config.trace_interval == 0 {
-                let macro_voltage: Vec<f64> =
-                    (0..total_macros).map(|m| points[group_of(m, mpg)].voltage).collect();
-                let macro_frequency: Vec<f64> =
-                    (0..total_macros).map(|m| points[group_of(m, mpg)].frequency_ghz).collect();
+            if self.config.trace_interval > 0 && cycle.is_multiple_of(self.config.trace_interval) {
+                let macro_voltage: Vec<f64> = self
+                    .macro_group
+                    .iter()
+                    .map(|&g| scratch.points[g].voltage)
+                    .collect();
+                let macro_frequency: Vec<f64> = self
+                    .macro_group
+                    .iter()
+                    .map(|&g| scratch.points[g].frequency_ghz)
+                    .collect();
                 report.trace.push(TraceSample {
                     cycle,
-                    macro_rtog: rtog.clone(),
+                    macro_rtog: scratch.rtog.clone(),
                     macro_voltage,
                     macro_frequency_ghz: macro_frequency,
                     worst_droop_mv: worst_droop_this_cycle,
@@ -540,20 +714,31 @@ impl ChipSimulator {
             }
 
             // --- controller decides the next cycle's operating points ------------
-            let decisions = controller.decide(cycle, &observations);
-            assert_eq!(decisions.len(), groups, "controller must return one decision per group");
-            for (g, d) in decisions.iter().enumerate() {
-                points[g] = d.point;
+            scratch.decisions.clear();
+            controller.decide_into(cycle, &scratch.observations, &mut scratch.decisions);
+            assert_eq!(
+                scratch.decisions.len(),
+                groups,
+                "controller must return one decision per group"
+            );
+            for (g, d) in scratch.decisions.iter().enumerate() {
+                scratch.points[g] = d.point;
             }
 
             cycle += 1;
         }
 
         report.total_cycles = cycle;
-        report.avg_macro_power_mw =
-            if power_samples == 0 { 0.0 } else { power_accum / power_samples as f64 };
-        report.mean_irdrop_mv =
-            if droop_samples == 0 { 0.0 } else { droop_accum / droop_samples as f64 };
+        report.avg_macro_power_mw = if power_samples == 0 {
+            0.0
+        } else {
+            power_accum / power_samples as f64
+        };
+        report.mean_irdrop_mv = if droop_samples == 0 {
+            0.0
+        } else {
+            droop_accum / droop_samples as f64
+        };
         // Effective TOPS: useful macro-cycles at their actual frequencies,
         // spread over the wall-clock cycles of the run and all macros.
         let denom = (cycle as f64) * total_macros as f64;
@@ -578,7 +763,10 @@ mod tests {
     }
 
     fn config() -> ChipConfig {
-        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() }
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        }
     }
 
     #[test]
@@ -586,7 +774,10 @@ mod tests {
         let sim = ChipSimulator::new(config(), uniform_tasks(0.9, 500));
         let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
         let report = sim.run(&mut ctrl, 2_000);
-        assert_eq!(report.failures, 0, "sign-off point must never raise IRFailure");
+        assert_eq!(
+            report.failures, 0,
+            "sign-off point must never raise IRFailure"
+        );
         assert_eq!(report.stall_macro_cycles, 0);
         assert_eq!(report.recompute_macro_cycles, 0);
         assert_eq!(report.useful_macro_cycles, 500 * 64);
@@ -608,7 +799,10 @@ mod tests {
         // droop of a 90 % HR workload violates timing.
         let mut ctrl = StaticController::fixed(VfPair::new(0.60, 1.0));
         let report = sim.run(&mut ctrl, 20_000);
-        assert!(report.failures > 0, "undervolted high-HR workload must fail");
+        assert!(
+            report.failures > 0,
+            "undervolted high-HR workload must fail"
+        );
         assert!(report.recompute_macro_cycles > 0);
         assert!(report.total_cycles > 400, "recompute must extend the run");
         assert!(report.overhead_fraction() > 0.0);
@@ -653,7 +847,10 @@ mod tests {
 
     #[test]
     fn trace_is_recorded_at_the_requested_interval() {
-        let cfg = ChipConfig { trace_interval: 50, ..config() };
+        let cfg = ChipConfig {
+            trace_interval: 50,
+            ..config()
+        };
         let sim = ChipSimulator::new(cfg, uniform_tasks(0.5, 200));
         let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
         let report = sim.run(&mut ctrl, 1_000);

@@ -40,8 +40,14 @@ impl ShiftCompensator {
     /// Panics if `δ` is not a positive power of two.
     #[must_use]
     pub fn new(delta: i8) -> Self {
-        assert!(delta > 0 && delta.count_ones() == 1, "delta must be a positive power of two");
-        Self { delta, shift: delta.trailing_zeros() }
+        assert!(
+            delta > 0 && delta.count_ones() == 1,
+            "delta must be a positive power of two"
+        );
+        Self {
+            delta,
+            shift: delta.trailing_zeros(),
+        }
     }
 
     /// The shift constant δ.

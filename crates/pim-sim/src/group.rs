@@ -81,8 +81,7 @@ impl MacroSet {
     /// The groups this set spans, given the chip's group size.
     #[must_use]
     pub fn groups(&self, macros_per_group: usize) -> Vec<GroupId> {
-        let mut groups: Vec<GroupId> =
-            self.members.iter().map(|m| m / macros_per_group).collect();
+        let mut groups: Vec<GroupId> = self.members.iter().map(|m| m / macros_per_group).collect();
         groups.sort_unstable();
         groups.dedup();
         groups

@@ -43,10 +43,21 @@ impl DigitalMacro {
         let len = banks[0].len();
         let bits = banks[0].weight_bits();
         for b in &banks {
-            assert_eq!(b.len(), len, "all banks must hold the same number of weights");
-            assert_eq!(b.weight_bits(), bits, "all banks must use the same precision");
+            assert_eq!(
+                b.len(),
+                len,
+                "all banks must hold the same number of weights"
+            );
+            assert_eq!(
+                b.weight_bits(),
+                bits,
+                "all banks must use the same precision"
+            );
         }
-        Self { banks, compensator: None }
+        Self {
+            banks,
+            compensator: None,
+        }
     }
 
     /// Attaches a WDS shift compensator (the stored weights are then expected
@@ -110,7 +121,12 @@ impl DigitalMacro {
         } else {
             rtog_per_cycle.iter().sum::<f64>() / rtog_per_cycle.len() as f64
         };
-        MacroActivity { outputs, rtog_per_cycle, peak_rtog, mean_rtog }
+        MacroActivity {
+            outputs,
+            rtog_per_cycle,
+            peak_rtog,
+            mean_rtog,
+        }
     }
 }
 
@@ -155,13 +171,20 @@ mod tests {
         let activity = m.process(&inputs);
         let manual: Vec<f64> = (0..7)
             .map(|t| {
-                banks.iter().map(|b| b.mac(&inputs).rtog_per_cycle()[t]).sum::<f64>() / 3.0
+                banks
+                    .iter()
+                    .map(|b| b.mac(&inputs).rtog_per_cycle()[t])
+                    .sum::<f64>()
+                    / 3.0
             })
             .collect();
         for (a, b) in activity.rtog_per_cycle.iter().zip(manual) {
             assert!((a - b).abs() < 1e-12);
         }
-        assert!(activity.peak_rtog <= m.hamming_rate() + 1e-12, "Eq. 4 at macro level");
+        assert!(
+            activity.peak_rtog <= m.hamming_rate() + 1e-12,
+            "Eq. 4 at macro level"
+        );
     }
 
     #[test]
@@ -179,7 +202,8 @@ mod tests {
             .iter()
             .map(|w| Bank::new(&apply_wds(w, &config).weights, 8))
             .collect();
-        let m = DigitalMacro::new(shifted_banks).with_compensator(ShiftCompensator::new(config.delta));
+        let m =
+            DigitalMacro::new(shifted_banks).with_compensator(ShiftCompensator::new(config.delta));
         let inputs = InputStream::random(cells, 8, 4);
         let activity = m.process(&inputs);
         for (w, &out) in original.iter().zip(&activity.outputs) {

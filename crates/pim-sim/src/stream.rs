@@ -39,7 +39,7 @@ impl InputStream {
     /// Panics if `bits` is 0 or greater than 16, or any value does not fit.
     #[must_use]
     pub fn from_values(values: &[i32], bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 16, "input bits must be in 1..=16");
+        assert!((1..=16).contains(&bits), "input bits must be in 1..=16");
         let max = (1i64 << bits) - 1;
         for &v in values {
             assert!(
@@ -47,7 +47,10 @@ impl InputStream {
                 "input value {v} does not fit in {bits} unsigned bits"
             );
         }
-        Self { values: values.to_vec(), bits }
+        Self {
+            values: values.to_vec(),
+            bits,
+        }
     }
 
     /// Generates a random stream with values uniform in `[0, 2^bits)`.
@@ -155,7 +158,9 @@ impl FlipSequence {
     /// Creates a sequence from explicit fractions (each clamped to `[0, 1]`).
     #[must_use]
     pub fn from_fractions(fractions: &[f64]) -> Self {
-        Self { fractions: fractions.iter().map(|f| f.clamp(0.0, 1.0)).collect() }
+        Self {
+            fractions: fractions.iter().map(|f| f.clamp(0.0, 1.0)).collect(),
+        }
     }
 
     /// Number of cycles in the sequence.

@@ -142,7 +142,10 @@ mod tests {
         for class in [InputClass::ImageLike, InputClass::TokenLike] {
             let f = flip_fractions(class, 20_000, 3);
             let mean = f.iter().sum::<f64>() / f.len() as f64;
-            assert!((mean - class.flip_mean()).abs() < 0.01, "{class:?} mean {mean}");
+            assert!(
+                (mean - class.flip_mean()).abs() < 0.01,
+                "{class:?} mean {mean}"
+            );
             assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
     }
@@ -158,7 +161,10 @@ mod tests {
 
     #[test]
     fn tiny_batches_are_handled() {
-        let b = ActivationBatch { values: vec![7], class: InputClass::TokenLike };
+        let b = ActivationBatch {
+            values: vec![7],
+            class: InputClass::TokenLike,
+        };
         assert_eq!(empirical_flip_fraction(&b), 0.0);
     }
 }

@@ -90,9 +90,19 @@ impl OperatorSpec {
         weight_std: f32,
         seed: u64,
     ) -> Self {
-        assert!(rows > 0 && cols > 0, "operator shape must be non-degenerate");
+        assert!(
+            rows > 0 && cols > 0,
+            "operator shape must be non-degenerate"
+        );
         assert!(weight_std > 0.0, "weight spread must be positive");
-        Self { name: name.into(), kind, rows, cols, weight_std, seed }
+        Self {
+            name: name.into(),
+            kind,
+            rows,
+            cols,
+            weight_std,
+            seed,
+        }
     }
 
     /// Total logical number of weight elements.

@@ -94,7 +94,10 @@ mod tests {
             let w = synthetic_weights(&spec);
             let ratio = w.max_abs() / w.std();
             assert!(ratio > 6.0, "{kind:?}: max/std ratio {ratio} too small");
-            assert!(ratio < 30.0, "{kind:?}: max/std ratio {ratio} implausibly large");
+            assert!(
+                ratio < 30.0,
+                "{kind:?}: max/std ratio {ratio} implausibly large"
+            );
         }
     }
 

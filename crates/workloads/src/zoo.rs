@@ -78,9 +78,9 @@ impl Model {
     #[must_use]
     pub fn input_class(&self) -> InputClass {
         match self.family {
-            ModelFamily::ConvClassifier | ModelFamily::Detector | ModelFamily::VisionTransformer => {
-                InputClass::ImageLike
-            }
+            ModelFamily::ConvClassifier
+            | ModelFamily::Detector
+            | ModelFamily::VisionTransformer => InputClass::ImageLike,
             ModelFamily::LanguageModel => InputClass::TokenLike,
         }
     }
@@ -102,20 +102,38 @@ impl Model {
     /// the runtime-produced QKᵀ / SV products).
     #[must_use]
     pub fn offline_operators(&self) -> Vec<&OperatorSpec> {
-        self.operators.iter().filter(|o| !o.input_determined()).collect()
+        self.operators
+            .iter()
+            .filter(|o| !o.input_determined())
+            .collect()
     }
 
     /// ResNet18: 7×7 stem, four stages of two residual blocks each, FC head.
     #[must_use]
     pub fn resnet18() -> Model {
         let mut ops = Vec::new();
-        ops.push(OperatorSpec::new("conv1", OperatorKind::Conv, 64, 3 * 49, 0.08, 1));
-        let stages: [(usize, &str); 4] =
-            [(64, "layer1"), (128, "layer2"), (256, "layer3"), (512, "layer4")];
+        ops.push(OperatorSpec::new(
+            "conv1",
+            OperatorKind::Conv,
+            64,
+            3 * 49,
+            0.08,
+            1,
+        ));
+        let stages: [(usize, &str); 4] = [
+            (64, "layer1"),
+            (128, "layer2"),
+            (256, "layer3"),
+            (512, "layer4"),
+        ];
         let mut seed = 2;
         for (stage_idx, (ch, stage)) in stages.iter().enumerate() {
             for block in 0..2 {
-                let in_ch = if block == 0 && stage_idx > 0 { ch / 2 } else { *ch };
+                let in_ch = if block == 0 && stage_idx > 0 {
+                    ch / 2
+                } else {
+                    *ch
+                };
                 ops.push(OperatorSpec::new(
                     format!("{stage}.{block}.conv1"),
                     OperatorKind::Conv,
@@ -147,7 +165,14 @@ impl Model {
                 }
             }
         }
-        ops.push(OperatorSpec::new("fc", OperatorKind::Linear, 1000, 512, 0.03, seed));
+        ops.push(OperatorSpec::new(
+            "fc",
+            OperatorKind::Linear,
+            1000,
+            512,
+            0.03,
+            seed,
+        ));
         Model {
             name: "ResNet18".into(),
             family: ModelFamily::ConvClassifier,
@@ -160,7 +185,14 @@ impl Model {
     #[must_use]
     pub fn mobilenet_v2() -> Model {
         let mut ops = Vec::new();
-        ops.push(OperatorSpec::new("features.0", OperatorKind::Conv, 32, 27, 0.09, 100));
+        ops.push(OperatorSpec::new(
+            "features.0",
+            OperatorKind::Conv,
+            32,
+            27,
+            0.09,
+            100,
+        ));
         // (expansion, out_channels, repeats) per bottleneck stage.
         let stages: [(usize, usize, usize); 7] = [
             (1, 16, 1),
@@ -208,8 +240,22 @@ impl Model {
                 in_ch = *out_ch;
             }
         }
-        ops.push(OperatorSpec::new("features.last", OperatorKind::Conv, 1280, 320, 0.04, seed));
-        ops.push(OperatorSpec::new("classifier", OperatorKind::Linear, 1000, 1280, 0.03, seed + 1));
+        ops.push(OperatorSpec::new(
+            "features.last",
+            OperatorKind::Conv,
+            1280,
+            320,
+            0.04,
+            seed,
+        ));
+        ops.push(OperatorSpec::new(
+            "classifier",
+            OperatorKind::Linear,
+            1000,
+            1280,
+            0.03,
+            seed + 1,
+        ));
         Model {
             name: "MobileNetV2".into(),
             family: ModelFamily::ConvClassifier,
@@ -223,7 +269,8 @@ impl Model {
     pub fn yolov5() -> Model {
         let mut ops = Vec::new();
         let mut seed = 200;
-        let backbone: [(usize, usize); 5] = [(64, 12), (128, 64), (256, 128), (512, 256), (1024, 512)];
+        let backbone: [(usize, usize); 5] =
+            [(64, 12), (128, 64), (256, 128), (512, 256), (1024, 512)];
         for (i, (out_ch, in_ch)) in backbone.iter().enumerate() {
             ops.push(OperatorSpec::new(
                 format!("backbone.{i}.conv"),
@@ -298,7 +345,14 @@ impl Model {
     pub fn vit_base() -> Model {
         let d = 768usize;
         let mut ops = Vec::new();
-        ops.push(OperatorSpec::new("patch_embed", OperatorKind::Conv, d, 3 * 256, 0.03, 300));
+        ops.push(OperatorSpec::new(
+            "patch_embed",
+            OperatorKind::Conv,
+            d,
+            3 * 256,
+            0.03,
+            300,
+        ));
         let mut seed = 301;
         for b in 0..12 {
             ops.push(OperatorSpec::new(
@@ -356,7 +410,14 @@ impl Model {
             ));
             seed += 1;
         }
-        ops.push(OperatorSpec::new("head", OperatorKind::Linear, 1000, d, 0.025, seed));
+        ops.push(OperatorSpec::new(
+            "head",
+            OperatorKind::Linear,
+            1000,
+            d,
+            0.025,
+            seed,
+        ));
         Model {
             name: "ViT".into(),
             family: ModelFamily::VisionTransformer,
@@ -425,7 +486,14 @@ impl Model {
                 seed += 1;
             }
         }
-        ops.push(OperatorSpec::new("lm_head", OperatorKind::Linear, 32_000, d, 0.02, seed));
+        ops.push(OperatorSpec::new(
+            "lm_head",
+            OperatorKind::Linear,
+            32_000,
+            d,
+            0.02,
+            seed,
+        ));
         Model {
             name: "Llama3".into(),
             family: ModelFamily::LanguageModel,
@@ -496,7 +564,14 @@ impl Model {
             ));
             seed += 1;
         }
-        ops.push(OperatorSpec::new("lm_head", OperatorKind::Linear, 50_257, d, 0.02, seed));
+        ops.push(OperatorSpec::new(
+            "lm_head",
+            OperatorKind::Linear,
+            50_257,
+            d,
+            0.02,
+            seed,
+        ));
         Model {
             name: "GPT2".into(),
             family: ModelFamily::LanguageModel,
@@ -514,7 +589,10 @@ mod tests {
     fn all_returns_the_six_paper_models() {
         let models = Model::all();
         let names: Vec<&str> = models.iter().map(Model::name).collect();
-        assert_eq!(names, ["ResNet18", "MobileNetV2", "YOLOv5", "ViT", "Llama3", "GPT2"]);
+        assert_eq!(
+            names,
+            ["ResNet18", "MobileNetV2", "YOLOv5", "ViT", "Llama3", "GPT2"]
+        );
     }
 
     #[test]
@@ -523,10 +601,10 @@ mod tests {
         // 1 stem + 4 stages × (2 blocks × 2 convs) + 3 downsample + 1 fc = 21.
         assert_eq!(m.operators().len(), 21);
         assert!(m.operators().iter().all(|o| !o.input_determined()));
-        assert!(m
-            .operators()
-            .iter()
-            .any(|o| o.name == "layer3.0.conv1"), "the Fig. 5 layer must exist");
+        assert!(
+            m.operators().iter().any(|o| o.name == "layer3.0.conv1"),
+            "the Fig. 5 layer must exist"
+        );
     }
 
     #[test]
@@ -559,7 +637,12 @@ mod tests {
             let before = names.len();
             names.sort_unstable();
             names.dedup();
-            assert_eq!(before, names.len(), "duplicate operator names in {}", m.name());
+            assert_eq!(
+                before,
+                names.len(),
+                "duplicate operator names in {}",
+                m.name()
+            );
         }
     }
 
@@ -570,9 +653,16 @@ mod tests {
             .iter()
             .map(OperatorSpec::logical_elements)
             .sum();
-        let gpt2: usize = Model::gpt2().operators().iter().map(OperatorSpec::logical_elements).sum();
+        let gpt2: usize = Model::gpt2()
+            .operators()
+            .iter()
+            .map(OperatorSpec::logical_elements)
+            .sum();
         assert!(llama > 2 * gpt2);
-        assert!(llama > 800_000_000, "Llama3.2-1B should have ~1e9 logical weights, got {llama}");
+        assert!(
+            llama > 800_000_000,
+            "Llama3.2-1B should have ~1e9 logical weights, got {llama}"
+        );
     }
 
     #[test]
@@ -588,7 +678,12 @@ mod tests {
         for m in Model::all() {
             for op in m.offline_operators() {
                 let w = op.synthetic_weights();
-                assert!(!w.is_empty(), "{}::{} produced no weights", m.name(), op.name);
+                assert!(
+                    !w.is_empty(),
+                    "{}::{} produced no weights",
+                    m.name(),
+                    op.name
+                );
             }
         }
     }

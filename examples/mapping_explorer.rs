@@ -16,27 +16,48 @@ use aim::pim::chip::{ChipConfig, ChipSimulator};
 fn main() {
     let params = ProcessParams::dpim_7nm();
     let mixes = [
-        ("Conv + QKT", operator_mix(("conv", 0.27, false), ("qkt", 0.55, true), 26, 200)),
-        ("Conv + SV", operator_mix(("conv", 0.27, false), ("sv", 0.50, true), 26, 200)),
-        ("QKV gen + QKT", operator_mix(("qkv", 0.33, false), ("qkt", 0.55, true), 26, 200)),
-        ("SV + Linear", operator_mix(("sv", 0.50, true), ("linear", 0.30, false), 26, 200)),
+        (
+            "Conv + QKT",
+            operator_mix(("conv", 0.27, false), ("qkt", 0.55, true), 26, 200),
+        ),
+        (
+            "Conv + SV",
+            operator_mix(("conv", 0.27, false), ("sv", 0.50, true), 26, 200),
+        ),
+        (
+            "QKV gen + QKT",
+            operator_mix(("qkv", 0.33, false), ("qkt", 0.55, true), 26, 200),
+        ),
+        (
+            "SV + Linear",
+            operator_mix(("sv", 0.50, true), ("linear", 0.30, false), 26, 200),
+        ),
     ];
     let strategies = [
         ("sequential", MappingStrategy::Sequential),
         ("random", MappingStrategy::Random { seed: 7 }),
         ("zigzag", MappingStrategy::Zigzag),
-        ("HR-aware", MappingStrategy::HrAware(AnnealingConfig::default())),
+        (
+            "HR-aware",
+            MappingStrategy::HrAware(AnnealingConfig::default()),
+        ),
     ];
 
     println!("=== Task mapping comparison (low-power mode) ===\n");
-    println!("{:<16} {:<12} {:>14} {:>14} {:>10}", "operator mix", "mapping", "est. mW/macro", "sim mW/macro", "sim TOPS");
+    println!(
+        "{:<16} {:<12} {:>14} {:>14} {:>10}",
+        "operator mix", "mapping", "est. mW/macro", "sim mW/macro", "sim TOPS"
+    );
     for (mix_name, slices) in &mixes {
         for (strat_name, strategy) in strategies {
             let outcome = map_tasks(slices, &params, OperatingMode::LowPower, strategy);
             // Confirm the estimate with a full chip simulation under AIM.
             let tasks = outcome.to_macro_tasks(slices);
             let sim = ChipSimulator::new(
-                ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() },
+                ChipConfig {
+                    flip_sequence_len: 256,
+                    ..ChipConfig::default()
+                },
                 tasks,
             );
             let mut booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());

@@ -30,7 +30,10 @@ fn main() {
     let (wds_layer, wds) = apply_wds_to_layer(&lhr.layer, 16);
 
     println!("=== AIM quickstart: one conv layer ===\n");
-    println!("{:<22} {:>10} {:>14} {:>16}", "configuration", "HR", "worst droop", "safe V @ 1 GHz");
+    println!(
+        "{:<22} {:>10} {:>14} {:>16}",
+        "configuration", "HR", "worst droop", "safe V @ 1 GHz"
+    );
     for (name, hr) in [
         ("baseline QAT", baseline.hr_after),
         ("+LHR", lhr.hr_after),
@@ -48,7 +51,10 @@ fn main() {
         );
     }
 
-    println!("\nWDS overflow fraction: {:.4} (paper: < 1 %)", wds.overflow_fraction());
+    println!(
+        "\nWDS overflow fraction: {:.4} (paper: < 1 %)",
+        wds.overflow_fraction()
+    );
     println!(
         "Sign-off worst case droop: {:.1} mV — the gap to the rows above is the\n\
          architecture-level margin AIM converts into lower voltage or higher frequency.",

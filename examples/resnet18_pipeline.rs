@@ -60,5 +60,8 @@ fn main() {
         "Predicted accuracy:      {:.2} % → {:.2} % (baseline → AIM)",
         baseline.predicted_quality, low_power.predicted_quality
     );
-    println!("IRFailures under AIM:    {} (handled by recompute)", low_power.failures);
+    println!(
+        "IRFailures under AIM:    {} (handled by recompute)",
+        low_power.failures
+    );
 }

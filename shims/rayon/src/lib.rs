@@ -1,0 +1,319 @@
+//! Offline stand-in for `rayon`: an eager, order-preserving parallel iterator
+//! built on `std::thread::scope`.
+//!
+//! The API mirrors the subset of rayon this workspace uses
+//! (`par_iter().map(..).collect()`, `into_par_iter`, `enumerate`, `for_each`,
+//! `join`).  Semantics differ from real rayon in one deliberate way: adapters
+//! are *eager* — `map` runs its closure across threads immediately — which
+//! keeps the implementation tiny while preserving the two properties the
+//! simulators need: results come back in input order, and a 1-CPU host
+//! degrades to plain sequential execution with no thread overhead.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads used for fan-out (`RAYON_NUM_THREADS` overrides
+/// the detected core count, matching real rayon's env knob).
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Runs two closures, in parallel when more than one thread is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, join_handle(hb))
+    })
+}
+
+fn join_handle<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+std::thread_local! {
+    /// Set inside worker threads so nested `par_iter` calls degrade to
+    /// sequential execution instead of multiplying OS threads per nesting
+    /// level (the shim has no shared pool to cap total parallelism).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Order-preserving parallel map over an owned item list.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one scoped thread each; concatenating the joined
+    // results in spawn order preserves input order deterministically.
+    let chunk_len = n.div_ceil(threads);
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk_len.min(rest.len()));
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(join_handle(h));
+        }
+        out
+    })
+}
+
+/// An eager parallel iterator: holds the full item list and fans work out on
+/// the next parallel adapter.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item across worker threads, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Keeps the items matching `pred` (evaluated in parallel).
+    pub fn filter<P>(self, pred: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let keep = par_map_vec(self.items, &|item| {
+            let k = pred(&item);
+            (k, item)
+        });
+        ParIter {
+            items: keep
+                .into_iter()
+                .filter(|(k, _)| *k)
+                .map(|(_, v)| v)
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on every item across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_vec(self.items, &|item| f(item));
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items in input order (deterministic for floats).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion into an owning parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// Borrowing parallel iteration (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type produced (a shared reference).
+    type Item: Send + 'data;
+
+    /// Parallel iterator over shared references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map_sees_indices() {
+        let v = vec!["a", "b", "c"];
+        let tagged: Vec<String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{s}"))
+            .collect();
+        assert_eq!(tagged, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges() {
+        let squares: Vec<u64> = (0u64..64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[63], 63 * 63);
+        assert_eq!(squares.len(), 64);
+    }
+
+    #[test]
+    fn filter_keeps_matching_in_order() {
+        let evens: Vec<usize> = (0..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .collect();
+        assert_eq!(evens, (0..50).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "x".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn sum_is_input_ordered() {
+        let v: Vec<f64> = (0..10_000).map(|i| f64::from(i) * 0.1).collect();
+        let par: f64 = v.clone().into_par_iter().sum();
+        let seq: f64 = v.iter().sum();
+        assert_eq!(
+            par.to_bits(),
+            seq.to_bits(),
+            "sum order must be deterministic"
+        );
+    }
+}

@@ -7,7 +7,10 @@ use aim::ir::vf::OperatingMode;
 use aim::pim::chip::{ChipConfig, ChipSimulator, MacroTask};
 
 fn chip_config() -> ChipConfig {
-    ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() }
+    ChipConfig {
+        flip_sequence_len: 256,
+        ..ChipConfig::default()
+    }
 }
 
 fn uniform_tasks(hr: f64, cycles: u64, sets: usize) -> Vec<Option<MacroTask>> {
@@ -24,10 +27,8 @@ fn smaller_beta_gives_more_mitigation_but_more_failures() {
     // more IRFailures and therefore more recompute cycles.
     let sim = ChipSimulator::new(chip_config(), uniform_tasks(0.45, 1_200, 8));
     let run = |beta: u64| {
-        let mut booster = IrBoosterController::for_simulator(
-            &sim,
-            BoosterConfig::sprint().with_beta(beta),
-        );
+        let mut booster =
+            IrBoosterController::for_simulator(&sim, BoosterConfig::sprint().with_beta(beta));
         sim.run(&mut booster, 400_000)
     };
     let tight = run(10);
@@ -52,12 +53,12 @@ fn failures_only_stall_the_failing_set() {
     let params = ProcessParams::dpim_7nm();
     let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
     // Set 0 on groups 0..8 (macros 0..32): HR 0.55.
-    for m in 0..32 {
-        tasks[m] = Some(MacroTask::new(format!("hot-{m}"), 0.55, 1_000, 0));
+    for (m, slot) in tasks.iter_mut().enumerate().take(32) {
+        *slot = Some(MacroTask::new(format!("hot-{m}"), 0.55, 1_000, 0));
     }
     // Set 1 on groups 8..16 (macros 32..64): HR 0.25.
-    for m in 32..64 {
-        tasks[m] = Some(MacroTask::new(format!("cool-{m}"), 0.25, 1_000, 1));
+    for (m, slot) in tasks.iter_mut().enumerate().take(64).skip(32) {
+        *slot = Some(MacroTask::new(format!("cool-{m}"), 0.25, 1_000, 1));
     }
     let sim = ChipSimulator::new(chip_config(), tasks);
     // Explicit safe levels: 40 % for the hot groups (below their HR ⇒ the
@@ -73,24 +74,34 @@ fn failures_only_stall_the_failing_set() {
     );
     let report = sim.run(&mut booster, 400_000);
     assert!(report.failures > 0, "the hot set must trigger IRFailures");
-    assert_eq!(report.useful_macro_cycles, 64 * 1_000, "all work must still complete");
-    assert!(report.total_cycles > 1_000, "recompute must stretch the run");
+    assert_eq!(
+        report.useful_macro_cycles,
+        64 * 1_000,
+        "all work must still complete"
+    );
+    assert!(
+        report.total_cycles > 1_000,
+        "recompute must stretch the run"
+    );
     // Stalls are confined to the failing set's macros.
     let hot_stalls: u64 = report.per_macro_stalls()[..32].iter().sum();
     let cool_stalls: u64 = report.per_macro_stalls()[32..].iter().sum();
     assert!(hot_stalls > 0, "set mates of the failing macro must stall");
-    assert_eq!(cool_stalls, 0, "the calm set must never be stalled by set 0's failures");
+    assert_eq!(
+        cool_stalls, 0,
+        "the calm set must never be stalled by set 0's failures"
+    );
 }
 
 #[test]
 fn input_determined_groups_run_at_the_dvfs_level() {
     let params = ProcessParams::dpim_7nm();
     let mut tasks: Vec<Option<MacroTask>> = vec![None; params.total_macros()];
-    for m in 0..4 {
-        tasks[m] = Some(MacroTask::new(format!("qkt-{m}"), 0.5, 500, 0).input_determined());
+    for (m, slot) in tasks.iter_mut().enumerate().take(4) {
+        *slot = Some(MacroTask::new(format!("qkt-{m}"), 0.5, 500, 0).input_determined());
     }
-    for m in 4..8 {
-        tasks[m] = Some(MacroTask::new(format!("conv-{m}"), 0.27, 500, 1));
+    for (m, slot) in tasks.iter_mut().enumerate().take(8).skip(4) {
+        *slot = Some(MacroTask::new(format!("conv-{m}"), 0.27, 500, 1));
     }
     let sim = ChipSimulator::new(chip_config(), tasks);
     let booster = IrBoosterController::for_simulator(&sim, BoosterConfig::low_power());
@@ -109,7 +120,10 @@ fn booster_matches_static_throughput_on_clean_workloads() {
     for mode in [OperatingMode::LowPower, OperatingMode::Sprint] {
         let mut booster = IrBoosterController::for_simulator(
             &sim,
-            BoosterConfig { mode, ..BoosterConfig::low_power() },
+            BoosterConfig {
+                mode,
+                ..BoosterConfig::low_power()
+            },
         );
         let boosted = sim.run(&mut booster, 100_000);
         assert!(

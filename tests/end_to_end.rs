@@ -13,7 +13,11 @@ use aim::wl::zoo::Model;
 /// Keep integration runs small enough for CI while still spanning every
 /// crate: a handful of operators per model, short slices.
 fn quick(config: AimConfig) -> AimConfig {
-    AimConfig { operator_stride: Some(6), cycles_per_slice: 80, ..config }
+    AimConfig {
+        operator_stride: Some(6),
+        cycles_per_slice: 80,
+        ..config
+    }
 }
 
 #[test]
@@ -25,7 +29,11 @@ fn headline_shape_holds_for_a_conv_workload() {
     // Who wins and by roughly what factor (paper §6.6): substantial IR-drop
     // mitigation, >1.5x energy efficiency, throughput preserved or improved.
     assert!(aim.worst_irdrop_mv < baseline.worst_irdrop_mv);
-    assert!(aim.mitigation_vs_signoff > 0.4, "mitigation {}", aim.mitigation_vs_signoff);
+    assert!(
+        aim.mitigation_vs_signoff > 0.4,
+        "mitigation {}",
+        aim.mitigation_vs_signoff
+    );
     assert!(aim.energy_efficiency_vs(&baseline) > 1.5);
     assert!(aim.speedup_vs(&baseline) > 0.9);
     // Accuracy proxy must stay within a point of the baseline.
@@ -38,7 +46,11 @@ fn software_stack_reduces_hr_for_every_model_family() {
         let base = optimize_model(&model, &quick(AimConfig::baseline()));
         let opt = optimize_model(
             &model,
-            &quick(AimConfig { use_lhr: true, wds_delta: Some(16), ..AimConfig::baseline() }),
+            &quick(AimConfig {
+                use_lhr: true,
+                wds_delta: Some(16),
+                ..AimConfig::baseline()
+            }),
         );
         let mean_hr = |ops: &[aim::core::pipeline::OperatorOutcome]| {
             let offline: Vec<_> = ops.iter().filter(|o| !o.input_determined).collect();
@@ -58,7 +70,10 @@ fn software_stack_reduces_hr_for_every_model_family() {
 fn batches_cover_all_slices_and_fit_the_chip() {
     let params = ProcessParams::dpim_7nm();
     for model in Model::all() {
-        let config = AimConfig { operator_stride: Some(10), ..AimConfig::baseline() };
+        let config = AimConfig {
+            operator_stride: Some(10),
+            ..AimConfig::baseline()
+        };
         let ops = optimize_model(&model, &config);
         let batches = build_batches(&ops, &params);
         let total: usize = batches.iter().map(Vec::len).sum();
@@ -80,7 +95,10 @@ fn booster_outperforms_static_controller_on_a_mixed_mapping() {
     );
     let tasks = mapping.to_macro_tasks(&slices);
     let sim = ChipSimulator::new(
-        ChipConfig { flip_sequence_len: 256, ..ChipConfig::default() },
+        ChipConfig {
+            flip_sequence_len: 256,
+            ..ChipConfig::default()
+        },
         tasks,
     );
 
@@ -109,7 +127,11 @@ fn workload_irdrop_stays_well_below_signoff_worst_case() {
             "{}: workload worst droop should sit well below sign-off, got {ratio:.2}",
             model.name()
         );
-        assert!(ratio > 0.2, "{}: droop ratio suspiciously low: {ratio:.2}", model.name());
+        assert!(
+            ratio > 0.2,
+            "{}: droop ratio suspiciously low: {ratio:.2}",
+            model.name()
+        );
     }
 }
 
