@@ -39,4 +39,4 @@ pub mod pipeline;
 pub use booster::{BoosterConfig, IrBoosterController};
 pub use mapping::{MappingOutcome, MappingStrategy};
 pub use metrics::{hamming_rate_i8, pearson_correlation, rtog_cycle};
-pub use pipeline::{AimConfig, AimReport};
+pub use pipeline::{AimConfig, AimReport, CompiledPlan, PlanExecution};

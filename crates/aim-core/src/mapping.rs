@@ -267,7 +267,11 @@ pub fn evaluate_mapping(
         .collect();
 
     // Set frequency = min frequency over the groups hosting its slices.
-    let mut set_freq: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    // BTreeMaps keep the set iteration order (and therefore the float
+    // accumulation order of `delay_cycles`) deterministic run to run —
+    // `HashMap`'s per-process hash seed made the annealer's scores, and with
+    // them the headline figures, drift between otherwise identical runs.
+    let mut set_freq: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
     for (m, slot) in assignment.iter().enumerate() {
         if let Some(idx) = slot {
             let g = group_of(m, mpg);
@@ -281,7 +285,7 @@ pub fn evaluate_mapping(
 
     // Delay: operators execute back to back; each set's slices run in
     // parallel at the set frequency.
-    let mut set_cycles: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut set_cycles: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     for slot in assignment.iter().flatten() {
         let s = &slices[*slot];
         set_cycles

@@ -25,7 +25,9 @@ use ir_model::process::ProcessParams;
 use ir_model::vf::OperatingMode;
 use nn_quant::qat::{train_layer, QatConfig};
 use nn_quant::wds::apply_wds_to_layer;
-use pim_sim::chip::{ChipConfig, ChipSimulator, RunReport, StaticController};
+use pim_sim::chip::{
+    ChipConfig, ChipSimulator, MacroTask, RunReport, SimSession, StaticController,
+};
 use workloads::zoo::Model;
 
 use crate::booster::{BoosterConfig, IrBoosterController};
@@ -283,82 +285,274 @@ pub fn build_batches(outcomes: &[OperatorOutcome], params: &ProcessParams) -> Ve
     batches
 }
 
+/// One mapped batch of a [`CompiledPlan`]: the macro-task vector the mapping
+/// stage produced, plus the cycle budget the runtime grants the batch.
+#[derive(Debug, Clone)]
+pub struct PlannedBatch {
+    tasks: Vec<Option<MacroTask>>,
+    /// Cycle budget handed to the simulator (longest slice × 64 + 10k).
+    max_cycles: u64,
+    /// Useful cycles of the longest slice — the batch's ideal runtime under a
+    /// failure-free static schedule, used for scheduling cost estimates.
+    ideal_cycles: u64,
+    /// Number of mapped slices.
+    slices: usize,
+}
+
+/// The compile-once half of the AIM pipeline: offline software optimisation,
+/// segmentation and task-to-macro mapping, frozen into a reusable plan.
+///
+/// [`run_model`] = `CompiledPlan::compile(..).execute()`.  Splitting the two
+/// matters once the same model is executed many times — a serving runtime
+/// replaying thousands of requests pays the QAT/WDS/annealing cost once and
+/// keeps only the cheap chip-simulation half on its hot path
+/// ([`Self::execute_with_session`]).  Each replay still constructs its
+/// batches' simulators (the per-replay seed changes the flip sequences), but
+/// the cycle-loop scratch is reused through one [`SimSession`] per chip
+/// worker, so the simulation loop itself stays allocation-free.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    model: String,
+    config: AimConfig,
+    chip_config: ChipConfig,
+    operators: Vec<OperatorOutcome>,
+    batches: Vec<PlannedBatch>,
+    hr_average: f64,
+    hr_max: f64,
+    hr_average_baseline: f64,
+    predicted_quality: f64,
+}
+
+/// Serializable summary of one execution of a [`CompiledPlan`] — the
+/// per-request outcome a serving runtime aggregates into its report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanExecution {
+    /// Total simulated cycles across the plan's batches.
+    pub cycles: u64,
+    /// IRFailures raised during the execution.
+    pub failures: u64,
+    /// Macro-cycles of useful work.
+    pub useful_macro_cycles: u64,
+    /// Fraction of macro-cycles lost to stalls/recompute.
+    pub overhead_fraction: f64,
+    /// Mean per-macro power over the execution (mW).
+    pub avg_macro_power_mw: f64,
+    /// Effective throughput over the execution (TOPS).
+    pub effective_tops: f64,
+    /// Worst droop observed anywhere (mV).
+    pub worst_irdrop_mv: f64,
+    /// Mean droop over busy macros (mV).
+    pub mean_irdrop_mv: f64,
+}
+
+impl CompiledPlan {
+    /// Runs the offline software stack and the mapping stage once, freezing
+    /// the result into an executable plan.
+    #[must_use]
+    pub fn compile(model: &Model, config: &AimConfig) -> Self {
+        let params = ProcessParams::dpim_7nm();
+        let operators = optimize_model(model, config);
+        let raw_batches = build_batches(&operators, &params);
+        let chip_config = ChipConfig {
+            params,
+            flip_mean: model.input_class().flip_mean(),
+            flip_std: model.input_class().flip_std(),
+            flip_sequence_len: 512,
+            seed: config.seed,
+            ..ChipConfig::default()
+        };
+        // Batch mappings are independent (each `map_tasks` call owns its
+        // RNG), so the annealing fans out across worker threads; collect
+        // preserves batch order, keeping the plan bit-identical to a
+        // sequential compile.
+        let batches: Vec<PlannedBatch> = raw_batches
+            .par_iter()
+            .map(|batch| {
+                let mapping = map_tasks(batch, &params, config.mode, config.mapping);
+                let tasks = mapping.to_macro_tasks(batch);
+                let ideal_cycles = batch.iter().map(|s| s.cycles).max().unwrap_or(0);
+                PlannedBatch {
+                    tasks,
+                    max_cycles: ideal_cycles * 64 + 10_000,
+                    ideal_cycles,
+                    slices: batch.len(),
+                }
+            })
+            .collect();
+        let offline: Vec<&OperatorOutcome> =
+            operators.iter().filter(|o| !o.input_determined).collect();
+        let hr_average = mean(offline.iter().map(|o| o.hr));
+        let hr_max = offline.iter().map(|o| o.hr).fold(0.0, f64::max);
+        let hr_average_baseline = mean(offline.iter().map(|o| o.hr_baseline));
+        let mean_shift = mean(offline.iter().map(|o| o.relative_weight_shift));
+        let predicted_quality = model.accuracy_proxy().quality(mean_shift);
+        Self {
+            model: model.name().to_string(),
+            config: *config,
+            chip_config,
+            operators,
+            batches,
+            hr_average,
+            hr_max,
+            hr_average_baseline,
+            predicted_quality,
+        }
+    }
+
+    /// Name of the compiled model.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The configuration the plan was compiled with.
+    #[must_use]
+    pub fn config(&self) -> &AimConfig {
+        &self.config
+    }
+
+    /// Per-operator outcomes of the offline software stack.
+    #[must_use]
+    pub fn operators(&self) -> &[OperatorOutcome] {
+        &self.operators
+    }
+
+    /// Number of mapping batches the model was split into.
+    #[must_use]
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Electrical/architectural constants of the target chip.
+    #[must_use]
+    pub fn chip_params(&self) -> &ProcessParams {
+        &self.chip_config.params
+    }
+
+    /// Total number of mapped macro slices across all batches.
+    #[must_use]
+    pub fn total_slices(&self) -> usize {
+        self.batches.iter().map(|b| b.slices).sum()
+    }
+
+    /// Deterministic compile-time cost estimate: the plan's ideal runtime in
+    /// cycles under a failure-free static schedule (sum of each batch's
+    /// longest slice).  Serving schedulers use this for least-loaded dispatch
+    /// and admission control *before* any simulation has run.
+    #[must_use]
+    pub fn estimated_cycles(&self) -> u64 {
+        self.batches.iter().map(|b| b.ideal_cycles).sum()
+    }
+
+    /// Builds the chip simulator for one batch.  `seed_offset` perturbs the
+    /// flip-sequence seed so a serving runtime can give every request replay
+    /// distinct (but reproducible) input activity; offset 0 reproduces
+    /// [`run_model`] exactly.
+    fn batch_simulator(&self, batch_idx: usize, seed_offset: u64) -> ChipSimulator {
+        let batch = &self.batches[batch_idx];
+        ChipSimulator::new(
+            ChipConfig {
+                seed: self
+                    .chip_config
+                    .seed
+                    .wrapping_add(batch_idx as u64)
+                    .wrapping_add(seed_offset),
+                ..self.chip_config.clone()
+            },
+            batch.tasks.clone(),
+        )
+    }
+
+    /// Runs one batch on a fresh scratch (the `run_model` path).
+    fn run_batch(&self, batch_idx: usize, seed_offset: u64) -> RunReport {
+        let sim = self.batch_simulator(batch_idx, seed_offset);
+        let max_cycles = self.batches[batch_idx].max_cycles;
+        match &self.config.booster {
+            Some(bcfg) => {
+                let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
+                sim.run(&mut booster, max_cycles)
+            }
+            None => {
+                let mut ctrl = StaticController::nominal(&self.chip_config.params);
+                sim.run(&mut ctrl, max_cycles)
+            }
+        }
+    }
+
+    /// Executes the plan, fanning batches out across worker threads, and
+    /// assembles the full [`AimReport`].  Bit-identical to [`run_model`] with
+    /// the same model and configuration.
+    #[must_use]
+    pub fn execute(&self) -> AimReport {
+        // Batches are independent: each derives its own seed and maps onto a
+        // fresh simulator, so they fan out across worker threads.  Reports
+        // are aggregated afterwards in batch order, keeping every
+        // floating-point accumulation identical to the sequential execution.
+        let reports: Vec<RunReport> = (0..self.batches.len())
+            .into_par_iter()
+            .map(|batch_idx| self.run_batch(batch_idx, 0))
+            .collect();
+        let mut agg = RunAggregate::default();
+        for report in &reports {
+            agg.add(report);
+        }
+        let irdrop = IrDropModel::new(self.chip_config.params);
+
+        AimReport {
+            model: self.model.clone(),
+            hr_average: self.hr_average,
+            hr_max: self.hr_max,
+            hr_average_baseline: self.hr_average_baseline,
+            predicted_quality: self.predicted_quality,
+            avg_macro_power_mw: agg.avg_power(),
+            effective_tops: agg.avg_tops(),
+            worst_irdrop_mv: agg.worst_irdrop_mv,
+            mean_irdrop_mv: agg.mean_irdrop(),
+            mitigation_vs_signoff: irdrop.mitigation_fraction(agg.worst_irdrop_mv),
+            failures: agg.failures,
+            total_cycles: agg.total_cycles,
+            overhead_fraction: agg.overhead_fraction(),
+            batches: self.batches.len(),
+            operators: self.operators.clone(),
+        }
+    }
+
+    /// The serving hot path: executes the plan's batches sequentially through
+    /// a caller-owned [`SimSession`], so a chip worker replaying many
+    /// requests reuses one set of scratch buffers.
+    ///
+    /// With `seed_offset == 0` the simulated batches are exactly those of
+    /// [`Self::execute`]; a nonzero offset derives a fresh deterministic
+    /// input-activity stream per request.
+    pub fn execute_with_session(
+        &self,
+        session: &mut SimSession,
+        seed_offset: u64,
+    ) -> PlanExecution {
+        let mut agg = RunAggregate::default();
+        for batch_idx in 0..self.batches.len() {
+            let sim = self.batch_simulator(batch_idx, seed_offset);
+            let max_cycles = self.batches[batch_idx].max_cycles;
+            let report = match &self.config.booster {
+                Some(bcfg) => {
+                    let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
+                    session.run(&sim, &mut booster, max_cycles)
+                }
+                None => {
+                    let mut ctrl = StaticController::nominal(&self.chip_config.params);
+                    session.run(&sim, &mut ctrl, max_cycles)
+                }
+            };
+            agg.add(&report);
+        }
+        agg.summary()
+    }
+}
+
 /// Runs the full AIM pipeline on a workload model.
 #[must_use]
 pub fn run_model(model: &Model, config: &AimConfig) -> AimReport {
-    let params = ProcessParams::dpim_7nm();
-    let operators = optimize_model(model, config);
-    let batches = build_batches(&operators, &params);
-
-    let chip_config = ChipConfig {
-        params,
-        flip_mean: model.input_class().flip_mean(),
-        flip_std: model.input_class().flip_std(),
-        flip_sequence_len: 512,
-        seed: config.seed,
-        ..ChipConfig::default()
-    };
-
-    // Batches are independent: each derives its own seed and maps onto a
-    // fresh simulator, so they fan out across worker threads.  Reports are
-    // aggregated afterwards in batch order, keeping every floating-point
-    // accumulation identical to the sequential execution.
-    let reports: Vec<RunReport> = batches
-        .par_iter()
-        .enumerate()
-        .map(|(batch_idx, batch)| {
-            let mapping = map_tasks(batch, &params, config.mode, config.mapping);
-            let tasks = mapping.to_macro_tasks(batch);
-            let sim = ChipSimulator::new(
-                ChipConfig {
-                    seed: chip_config.seed.wrapping_add(batch_idx as u64),
-                    ..chip_config.clone()
-                },
-                tasks,
-            );
-            let max_cycles = batch.iter().map(|s| s.cycles).max().unwrap_or(0) * 64 + 10_000;
-            match &config.booster {
-                Some(bcfg) => {
-                    let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
-                    sim.run(&mut booster, max_cycles)
-                }
-                None => {
-                    let mut ctrl = StaticController::nominal(&params);
-                    sim.run(&mut ctrl, max_cycles)
-                }
-            }
-        })
-        .collect();
-    let mut agg = RunAggregate::default();
-    for report in &reports {
-        agg.add(report);
-    }
-
-    let offline: Vec<&OperatorOutcome> = operators.iter().filter(|o| !o.input_determined).collect();
-    let hr_average = mean(offline.iter().map(|o| o.hr));
-    let hr_max = offline.iter().map(|o| o.hr).fold(0.0, f64::max);
-    let hr_average_baseline = mean(offline.iter().map(|o| o.hr_baseline));
-    let mean_shift = mean(offline.iter().map(|o| o.relative_weight_shift));
-    let predicted_quality = model.accuracy_proxy().quality(mean_shift);
-    let irdrop = IrDropModel::new(params);
-
-    AimReport {
-        model: model.name().to_string(),
-        hr_average,
-        hr_max,
-        hr_average_baseline,
-        predicted_quality,
-        avg_macro_power_mw: agg.avg_power(),
-        effective_tops: agg.avg_tops(),
-        worst_irdrop_mv: agg.worst_irdrop_mv,
-        mean_irdrop_mv: agg.mean_irdrop(),
-        mitigation_vs_signoff: irdrop.mitigation_fraction(agg.worst_irdrop_mv),
-        failures: agg.failures,
-        total_cycles: agg.total_cycles,
-        overhead_fraction: agg.overhead_fraction(),
-        batches: batches.len(),
-        operators,
-    }
+    CompiledPlan::compile(model, config).execute()
 }
 
 /// Reference per-macro power of the pre-AIM design at its sign-off operating
@@ -438,6 +632,20 @@ impl RunAggregate {
             0.0
         } else {
             (self.stall + self.recompute) as f64 / busy as f64
+        }
+    }
+
+    /// The serializable per-execution summary handed to serving runtimes.
+    fn summary(&self) -> PlanExecution {
+        PlanExecution {
+            cycles: self.total_cycles,
+            failures: self.failures,
+            useful_macro_cycles: self.useful,
+            overhead_fraction: self.overhead_fraction(),
+            avg_macro_power_mw: self.avg_power(),
+            effective_tops: self.avg_tops(),
+            worst_irdrop_mv: self.worst_irdrop_mv,
+            mean_irdrop_mv: self.mean_irdrop(),
         }
     }
 }
@@ -563,5 +771,53 @@ mod tests {
     #[test]
     fn reference_power_matches_the_anchor() {
         assert!((reference_macro_power_mw() - 4.2978).abs() < 0.05);
+    }
+
+    #[test]
+    fn compiled_plan_execute_matches_run_model() {
+        let model = Model::resnet18();
+        let config = quick(AimConfig::baseline());
+        let plan = CompiledPlan::compile(&model, &config);
+        let via_plan = plan.execute();
+        let direct = run_model(&model, &config);
+        assert_eq!(via_plan, direct, "compile/execute split must not drift");
+        // Repeated executions of one plan are bit-identical too.
+        assert_eq!(plan.execute(), via_plan);
+        assert_eq!(plan.num_batches(), via_plan.batches);
+        assert!(plan.estimated_cycles() > 0);
+        assert!(plan.total_slices() >= plan.num_batches());
+    }
+
+    #[test]
+    fn session_execution_summarises_the_same_simulations() {
+        let model = Model::resnet18();
+        let config = quick(AimConfig::baseline());
+        let plan = CompiledPlan::compile(&model, &config);
+        let report = plan.execute();
+        let mut session = SimSession::new();
+        let exec = plan.execute_with_session(&mut session, 0);
+        assert_eq!(exec.cycles, report.total_cycles);
+        assert_eq!(exec.failures, report.failures);
+        assert!((exec.avg_macro_power_mw - report.avg_macro_power_mw).abs() < 1e-12);
+        assert!((exec.worst_irdrop_mv - report.worst_irdrop_mv).abs() < 1e-12);
+        assert_eq!(session.runs(), plan.num_batches() as u64);
+        // A different seed offset replays the plan under different input
+        // activity but stays deterministic per offset.
+        let off_a = plan.execute_with_session(&mut session, 7);
+        let off_b = plan.execute_with_session(&mut session, 7);
+        assert_eq!(off_a, off_b);
+        assert_ne!(off_a, exec);
+    }
+
+    #[test]
+    fn estimated_cycles_bounds_the_failure_free_run() {
+        let model = Model::resnet18();
+        let config = quick(AimConfig::baseline());
+        let plan = CompiledPlan::compile(&model, &config);
+        let report = plan.execute();
+        // The static baseline never fails, so the actual runtime equals the
+        // ideal estimate the scheduler uses.
+        assert_eq!(report.failures, 0);
+        assert_eq!(plan.estimated_cycles(), report.total_cycles);
     }
 }

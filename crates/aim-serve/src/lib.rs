@@ -1,0 +1,46 @@
+//! # aim-serve — multi-chip serving runtime over the AIM pipeline
+//!
+//! The paper's evaluation runs one model end-to-end on one simulated chip;
+//! this crate amortises that fast core across heavy concurrent traffic.  A
+//! [`ServeRuntime`] owns one [`aim_core::pipeline::CompiledPlan`] per served
+//! model (the compile-once half of the pipeline: QAT ± LHR, WDS, segmentation
+//! and task-to-macro mapping) and a fleet of simulated chips, and replays a
+//! request trace through them:
+//!
+//! 1. **Dynamic batching** ([`scheduler::form_groups`]) — consecutive
+//!    same-model requests arriving within a batching window coalesce into one
+//!    group, up to `max_batch`.  A group streams its inputs through macros
+//!    already loaded with the model's weights, so batching amortises the
+//!    weight-reload cost a model switch charges.
+//! 2. **Dispatch + admission control** ([`scheduler::dispatch`]) — groups go
+//!    to chips round-robin or least-loaded, using the plan's deterministic
+//!    compile-time cycle estimate; a configurable backlog cap rejects work
+//!    that would queue too deep.
+//! 3. **Execution** — each chip worker runs on a rayon scoped thread, pulling
+//!    its assigned groups in dispatch order and executing them through one
+//!    reusable [`pim_sim::chip::SimSession`] (the allocation-free serving hot
+//!    path).
+//! 4. **Accounting** ([`scheduler::timeline`], [`report::ServeReport`]) —
+//!    virtual-time start/finish per group, per-request latency percentiles
+//!    (p50/p95/p99), per-chip utilization, deadline misses, power and droop.
+//!
+//! ## Determinism contract
+//!
+//! Everything the scheduler decides is derived from the trace, the serve
+//! seed and compile-time estimates — never from wall-clock time or thread
+//! interleaving.  A fixed `(trace, ServeConfig)` therefore produces a
+//! byte-identical [`report::ServeReport`] run over run, **independent of the
+//! worker-thread count**: `parallel: false` (one worker) and the full rayon
+//! fan-out return the same bytes.  `tests/properties.rs` pins this along
+//! with the no-request-lost and conservation invariants.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod runtime;
+pub mod scheduler;
+
+pub use report::{ChipServeStats, ServeReport};
+pub use runtime::{ServeConfig, ServeRuntime};
+pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};

@@ -1,0 +1,102 @@
+//! The serializable outcome of one serving run: request accounting, latency
+//! percentiles, per-chip utilization and chip-level electrical aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-chip serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipServeStats {
+    /// Chip index within the fleet.
+    pub chip: usize,
+    /// Request groups the chip executed.
+    pub groups: usize,
+    /// Requests the chip served (sum of its groups' batch sizes).
+    pub requests: usize,
+    /// Cycles the chip spent busy (reload + execution).
+    pub busy_cycles: u64,
+    /// `busy_cycles / makespan_cycles` — 0 when the run is empty.
+    pub utilization: f64,
+}
+
+/// Aggregated outcome of one serving run.
+///
+/// Every field derives from the trace, the serve configuration and
+/// deterministic simulation — a fixed seed and configuration reproduce the
+/// report byte for byte, independent of the worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Serve seed the run used.
+    pub seed: u64,
+    /// Number of chips in the fleet.
+    pub chips: usize,
+    /// Requests in the replayed trace.
+    pub total_requests: usize,
+    /// Requests executed to completion.
+    pub served_requests: usize,
+    /// Requests rejected by admission control.
+    pub rejected_requests: usize,
+    /// Served requests that finished past their deadline.
+    pub deadline_misses: usize,
+    /// Request groups formed by dynamic batching.
+    pub groups_formed: usize,
+    /// Groups actually executed (formed minus rejected).
+    pub groups_executed: usize,
+    /// Mean executed batch size (`served / groups_executed`).
+    pub mean_batch_size: f64,
+    /// Virtual completion time of the last group (cycles).
+    pub makespan_cycles: u64,
+    /// Median served latency (cycles, arrival to group completion).
+    pub latency_p50_cycles: u64,
+    /// 95th-percentile served latency (cycles).
+    pub latency_p95_cycles: u64,
+    /// 99th-percentile served latency (cycles).
+    pub latency_p99_cycles: u64,
+    /// Worst served latency (cycles).
+    pub latency_max_cycles: u64,
+    /// Served requests per second of virtual time at the nominal frequency.
+    pub throughput_rps: f64,
+    /// Mean per-macro power over all executed simulation cycles (mW).
+    pub avg_macro_power_mw: f64,
+    /// Worst droop observed anywhere in the fleet (mV).
+    pub worst_irdrop_mv: f64,
+    /// Total IRFailures raised across the fleet.
+    pub failures: u64,
+    /// Total simulated chip cycles across all executions.
+    pub simulated_cycles: u64,
+    /// Per-chip statistics, indexed by chip id.
+    pub per_chip: Vec<ChipServeStats>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`q` in `(0, 1]`).
+/// Returns 0 for an empty sample.
+#[must_use]
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&sample, 0.50), 50);
+        assert_eq!(percentile_sorted(&sample, 0.95), 95);
+        assert_eq!(percentile_sorted(&sample, 0.99), 99);
+        assert_eq!(percentile_sorted(&sample, 1.0), 100);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
+        assert_eq!(percentile_sorted(&[7], 0.01), 7);
+        assert_eq!(percentile_sorted(&[7], 0.99), 7);
+        assert_eq!(percentile_sorted(&[3, 9], 0.5), 3);
+        assert_eq!(percentile_sorted(&[3, 9], 0.51), 9);
+    }
+}

@@ -1,0 +1,294 @@
+//! The serving runtime: a fleet of chip workers executing compiled plans
+//! under the deterministic scheduler.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use aim_core::pipeline::{AimConfig, CompiledPlan, PlanExecution};
+use pim_sim::chip::SimSession;
+use workloads::inputs::TraceRequest;
+use workloads::zoo::Model;
+
+use crate::report::{percentile_sorted, ChipServeStats, ServeReport};
+use crate::scheduler::{
+    dispatch, form_groups, timeline, AdmissionConfig, CostModel, DispatchPolicy,
+};
+
+/// Configuration of a serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of simulated chips in the fleet (= chip workers).
+    pub chips: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Batching window: a group absorbs same-model requests arriving within
+    /// this many cycles of its first member.
+    pub batch_window_cycles: u64,
+    /// Weight-reload cost a model switch charges, per mapped macro slice of
+    /// the incoming model.
+    pub reload_cycles_per_slice: u64,
+    /// Dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Optional admission control; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// Fan chip workers out across rayon scoped threads.  `false` runs the
+    /// fleet on the calling thread; the report is byte-identical either way
+    /// (the determinism contract).
+    pub parallel: bool,
+    /// Serve seed, folded into every request replay's input activity.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            chips: 4,
+            max_batch: 8,
+            batch_window_cycles: 20_000,
+            reload_cycles_per_slice: 32,
+            dispatch: DispatchPolicy::LeastLoaded,
+            admission: None,
+            parallel: true,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// A compiled model fleet plus its serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeRuntime {
+    plans: Vec<CompiledPlan>,
+    config: ServeConfig,
+}
+
+impl ServeRuntime {
+    /// Compiles every model once (in parallel) and builds the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or the configuration is degenerate.
+    #[must_use]
+    pub fn compile(models: &[Model], aim: &AimConfig, config: ServeConfig) -> Self {
+        assert!(!models.is_empty(), "a runtime needs at least one model");
+        let plans: Vec<CompiledPlan> = models
+            .par_iter()
+            .map(|m| CompiledPlan::compile(m, aim))
+            .collect();
+        Self::from_plans(plans, config)
+    }
+
+    /// Builds the runtime from pre-compiled plans (e.g. per-model AIM
+    /// configurations, or plans shared across runtimes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty or the configuration is degenerate.
+    #[must_use]
+    pub fn from_plans(plans: Vec<CompiledPlan>, config: ServeConfig) -> Self {
+        assert!(!plans.is_empty(), "a runtime needs at least one plan");
+        assert!(config.chips >= 1, "a fleet needs at least one chip");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        Self { plans, config }
+    }
+
+    /// The compiled plans, indexed by model id.
+    #[must_use]
+    pub fn plans(&self) -> &[CompiledPlan] {
+        &self.plans
+    }
+
+    /// The serving configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The dispatcher's compile-time cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            exec_cycles: self
+                .plans
+                .iter()
+                .map(CompiledPlan::estimated_cycles)
+                .collect(),
+            reload_cycles: self
+                .plans
+                .iter()
+                .map(|p| p.total_slices() as u64 * self.config.reload_cycles_per_slice)
+                .collect(),
+        }
+    }
+
+    /// Replays a request trace through the fleet and returns the aggregated
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a model the runtime has no plan for.
+    #[must_use]
+    pub fn serve(&self, trace: &[TraceRequest]) -> ServeReport {
+        for r in trace {
+            assert!(
+                r.model < self.plans.len(),
+                "request targets model {} but only {} plans are loaded",
+                r.model,
+                self.plans.len()
+            );
+        }
+        let config = &self.config;
+        let groups = form_groups(trace, config.max_batch, config.batch_window_cycles);
+        let cost = self.cost_model();
+        let outcome = dispatch(
+            &groups,
+            config.chips,
+            config.dispatch,
+            config.admission.as_ref(),
+            &cost,
+        );
+
+        // Per-chip queues, in dispatch (= group) order.
+        let mut chip_queues: Vec<Vec<usize>> = vec![Vec::new(); config.chips];
+        for (gi, slot) in outcome.assignment.iter().enumerate() {
+            if let Some(chip) = slot {
+                chip_queues[*chip].push(gi);
+            }
+        }
+
+        // Chip workers: each runs its queue through one reusable SimSession.
+        // Workers touch disjoint state and every replay is seeded from the
+        // group index, so the fan-out cannot perturb results.
+        let run_worker = |queue: &Vec<usize>| -> Vec<PlanExecution> {
+            let mut session = SimSession::new();
+            queue
+                .iter()
+                .map(|&gi| {
+                    let group = &groups[gi];
+                    self.plans[group.model]
+                        .execute_with_session(&mut session, self.replay_seed_offset(gi))
+                })
+                .collect()
+        };
+        let executions: Vec<Vec<PlanExecution>> = if config.parallel {
+            chip_queues.par_iter().map(run_worker).collect()
+        } else {
+            chip_queues.iter().map(run_worker).collect()
+        };
+
+        // Scatter execution results back to group order.
+        let mut group_exec_cycles = vec![0u64; groups.len()];
+        let mut group_execution: Vec<Option<PlanExecution>> = vec![None; groups.len()];
+        for (chip, queue) in chip_queues.iter().enumerate() {
+            for (k, &gi) in queue.iter().enumerate() {
+                group_exec_cycles[gi] = executions[chip][k].cycles;
+                group_execution[gi] = Some(executions[chip][k]);
+            }
+        }
+
+        let timings = timeline(
+            &groups,
+            &outcome.assignment,
+            config.chips,
+            &group_exec_cycles,
+            &cost.reload_cycles,
+        );
+
+        // --- request accounting -------------------------------------------
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut deadline_misses = 0usize;
+        let mut served_requests = 0usize;
+        let mut per_chip: Vec<ChipServeStats> = (0..config.chips)
+            .map(|chip| ChipServeStats {
+                chip,
+                groups: 0,
+                requests: 0,
+                busy_cycles: 0,
+                utilization: 0.0,
+            })
+            .collect();
+        let mut makespan = 0u64;
+        for t in &timings {
+            let group = &groups[t.group];
+            makespan = makespan.max(t.finish_cycles);
+            let stats = &mut per_chip[t.chip];
+            stats.groups += 1;
+            stats.requests += group.requests.len();
+            stats.busy_cycles += t.finish_cycles - t.start_cycles;
+            for &ri in &group.requests {
+                served_requests += 1;
+                latencies.push(t.finish_cycles - trace[ri].arrival_cycles);
+                if t.finish_cycles > trace[ri].deadline_cycles {
+                    deadline_misses += 1;
+                }
+            }
+        }
+        for stats in &mut per_chip {
+            stats.utilization = if makespan == 0 {
+                0.0
+            } else {
+                stats.busy_cycles as f64 / makespan as f64
+            };
+        }
+        latencies.sort_unstable();
+
+        // --- electrical aggregates (group order => deterministic) ---------
+        let mut simulated_cycles = 0u64;
+        let mut failures = 0u64;
+        let mut power_weighted = 0.0f64;
+        let mut weight = 0.0f64;
+        let mut worst_irdrop_mv = 0.0f64;
+        for exec in group_execution.iter().flatten() {
+            let w = exec.cycles.max(1) as f64;
+            simulated_cycles += exec.cycles;
+            failures += exec.failures;
+            power_weighted += exec.avg_macro_power_mw * w;
+            weight += w;
+            worst_irdrop_mv = worst_irdrop_mv.max(exec.worst_irdrop_mv);
+        }
+
+        let groups_executed = timings.len();
+        let nominal_ghz = self.plans[0].chip_params().nominal_frequency_ghz;
+        ServeReport {
+            seed: config.seed,
+            chips: config.chips,
+            total_requests: trace.len(),
+            served_requests,
+            rejected_requests: outcome.rejected_requests,
+            deadline_misses,
+            groups_formed: groups.len(),
+            groups_executed,
+            mean_batch_size: if groups_executed == 0 {
+                0.0
+            } else {
+                served_requests as f64 / groups_executed as f64
+            },
+            makespan_cycles: makespan,
+            latency_p50_cycles: percentile_sorted(&latencies, 0.50),
+            latency_p95_cycles: percentile_sorted(&latencies, 0.95),
+            latency_p99_cycles: percentile_sorted(&latencies, 0.99),
+            latency_max_cycles: latencies.last().copied().unwrap_or(0),
+            throughput_rps: if makespan == 0 {
+                0.0
+            } else {
+                served_requests as f64 / (makespan as f64 / (nominal_ghz * 1e9))
+            },
+            avg_macro_power_mw: if weight == 0.0 {
+                0.0
+            } else {
+                power_weighted / weight
+            },
+            worst_irdrop_mv,
+            failures,
+            simulated_cycles,
+            per_chip,
+        }
+    }
+
+    /// Seed offset of one group's replay: distinct per group, folded with
+    /// the serve seed, independent of chip assignment and worker count.
+    fn replay_seed_offset(&self, group_idx: usize) -> u64 {
+        self.config
+            .seed
+            .wrapping_add((group_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}

@@ -1,0 +1,385 @@
+//! Deterministic scheduling primitives: dynamic batching, dispatch with
+//! admission control, and virtual-time timeline reconstruction.
+//!
+//! All three stages are pure functions of their inputs — no wall clock, no
+//! thread state — which is what lets the runtime fan execution out across
+//! worker threads while keeping the final report byte-identical to a
+//! single-worker run.
+
+use serde::{Deserialize, Serialize};
+
+use workloads::inputs::TraceRequest;
+
+/// Policy choosing the chip each request group is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Groups go to chips `0, 1, 2, …` cyclically, ignoring load.
+    RoundRobin,
+    /// Each group goes to the chip that can start it earliest (estimated
+    /// free time vs the group's ready time; ties break to the lowest id).
+    LeastLoaded,
+}
+
+/// Admission-control policy: bound how deep a chip's backlog may grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// A group is rejected when its chosen chip's estimated backlog (free
+    /// time minus the group's ready time) exceeds this many cycles.
+    pub max_backlog_cycles: u64,
+}
+
+/// A dynamically-batched group of same-model requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestGroup {
+    /// Model index shared by every member.
+    pub model: usize,
+    /// Indices into the trace, in arrival order.
+    pub requests: Vec<usize>,
+    /// Arrival of the last member — the group cannot start earlier.
+    pub ready_cycles: u64,
+}
+
+/// Coalesces consecutive same-model requests into batches.
+///
+/// A group opens at request `i` and absorbs following requests while they
+/// target the same model, arrive within `window_cycles` of the group's first
+/// arrival, and the group holds fewer than `max_batch` members.  The scan is
+/// a pure function of the trace, so batching never depends on execution
+/// timing.
+///
+/// # Panics
+///
+/// Panics if `max_batch` is zero.
+#[must_use]
+pub fn form_groups(
+    trace: &[TraceRequest],
+    max_batch: usize,
+    window_cycles: u64,
+) -> Vec<RequestGroup> {
+    assert!(max_batch >= 1, "max_batch must be at least 1");
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < trace.len() {
+        let first = &trace[i];
+        let horizon = first.arrival_cycles.saturating_add(window_cycles);
+        let mut j = i + 1;
+        while j < trace.len()
+            && j - i < max_batch
+            && trace[j].model == first.model
+            && trace[j].arrival_cycles <= horizon
+        {
+            j += 1;
+        }
+        groups.push(RequestGroup {
+            model: first.model,
+            requests: (i..j).collect(),
+            ready_cycles: trace[j - 1].arrival_cycles,
+        });
+        i = j;
+    }
+    groups
+}
+
+/// The dispatcher's compile-time cost model (no simulation has run yet).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Estimated execution cycles for one request replay, per model.
+    pub exec_cycles: Vec<u64>,
+    /// Weight-reload cycles charged when a chip switches to the model.
+    pub reload_cycles: Vec<u64>,
+}
+
+impl CostModel {
+    /// Estimated busy cycles a group costs its chip.
+    #[must_use]
+    pub fn group_cycles(&self, group: &RequestGroup, switching_model: bool) -> u64 {
+        let reload = if switching_model {
+            self.reload_cycles[group.model]
+        } else {
+            0
+        };
+        reload + group.requests.len() as u64 * self.exec_cycles[group.model]
+    }
+}
+
+/// Result of the dispatch pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchOutcome {
+    /// Per group: the chip it runs on, or `None` if admission control
+    /// rejected it.
+    pub assignment: Vec<Option<usize>>,
+    /// Number of *requests* (not groups) rejected.
+    pub rejected_requests: usize,
+}
+
+/// Assigns each group to a chip (or rejects it), in group order.
+///
+/// The pass tracks each chip's estimated free time and last-loaded model
+/// using only the [`CostModel`]; actual execution results never feed back,
+/// so the assignment is deterministic and worker-count independent.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+#[must_use]
+pub fn dispatch(
+    groups: &[RequestGroup],
+    chips: usize,
+    policy: DispatchPolicy,
+    admission: Option<&AdmissionConfig>,
+    cost: &CostModel,
+) -> DispatchOutcome {
+    assert!(chips >= 1, "a fleet needs at least one chip");
+    let mut est_free = vec![0u64; chips];
+    let mut last_model: Vec<Option<usize>> = vec![None; chips];
+    let mut next_round_robin = 0usize;
+    let mut assignment = Vec::with_capacity(groups.len());
+    let mut rejected_requests = 0usize;
+
+    for group in groups {
+        let chip = match policy {
+            DispatchPolicy::RoundRobin => {
+                let c = next_round_robin % chips;
+                next_round_robin += 1;
+                c
+            }
+            DispatchPolicy::LeastLoaded => (0..chips)
+                .min_by_key(|&c| (est_free[c].max(group.ready_cycles), c))
+                .expect("chips >= 1"),
+        };
+        if let Some(adm) = admission {
+            let backlog = est_free[chip].saturating_sub(group.ready_cycles);
+            if backlog > adm.max_backlog_cycles {
+                assignment.push(None);
+                rejected_requests += group.requests.len();
+                continue;
+            }
+        }
+        let switching = last_model[chip] != Some(group.model);
+        let duration = cost.group_cycles(group, switching);
+        let start = est_free[chip].max(group.ready_cycles);
+        est_free[chip] = start + duration;
+        last_model[chip] = Some(group.model);
+        assignment.push(Some(chip));
+    }
+    DispatchOutcome {
+        assignment,
+        rejected_requests,
+    }
+}
+
+/// Virtual-time schedule entry for one executed group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupTiming {
+    /// Group index.
+    pub group: usize,
+    /// Chip the group ran on.
+    pub chip: usize,
+    /// Cycle the chip began the group (reload included).
+    pub start_cycles: u64,
+    /// Cycle the group's last request completed.
+    pub finish_cycles: u64,
+}
+
+/// Reconstructs each executed group's start/finish once the actual per-group
+/// execution cycles are known, replaying each chip's queue in dispatch order.
+///
+/// `group_exec_cycles[g]` is the measured cycles of one request replay of
+/// group `g`; a group of `b` requests streams them back to back, so its
+/// service time is `reload + b × exec` — batching amortises exactly the
+/// reload term.
+#[must_use]
+pub fn timeline(
+    groups: &[RequestGroup],
+    assignment: &[Option<usize>],
+    chips: usize,
+    group_exec_cycles: &[u64],
+    reload_cycles_per_model: &[u64],
+) -> Vec<GroupTiming> {
+    let mut free = vec![0u64; chips];
+    let mut last_model: Vec<Option<usize>> = vec![None; chips];
+    let mut out = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let Some(chip) = assignment[gi] else {
+            continue;
+        };
+        let reload = if last_model[chip] == Some(group.model) {
+            0
+        } else {
+            reload_cycles_per_model[group.model]
+        };
+        let duration = reload + group.requests.len() as u64 * group_exec_cycles[gi];
+        let start = free[chip].max(group.ready_cycles);
+        let finish = start + duration;
+        free[chip] = finish;
+        last_model[chip] = Some(group.model);
+        out.push(GroupTiming {
+            group: gi,
+            chip,
+            start_cycles: start,
+            finish_cycles: finish,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(model: usize, arrival: u64) -> TraceRequest {
+        TraceRequest {
+            model,
+            arrival_cycles: arrival,
+            deadline_cycles: arrival + 1_000_000,
+        }
+    }
+
+    fn flat_cost(exec: u64, reload: u64, models: usize) -> CostModel {
+        CostModel {
+            exec_cycles: vec![exec; models],
+            reload_cycles: vec![reload; models],
+        }
+    }
+
+    #[test]
+    fn groups_split_on_model_change_window_and_batch_cap() {
+        let trace = vec![
+            req(0, 0),
+            req(0, 10),
+            req(0, 10_000), // outside the window -> new group
+            req(1, 10_010), // model change -> new group
+            req(1, 10_020),
+            req(1, 10_030),
+            req(1, 10_040), // 4th member but max_batch = 3 -> new group
+        ];
+        let groups = form_groups(&trace, 3, 1_000);
+        let shapes: Vec<(usize, usize)> =
+            groups.iter().map(|g| (g.model, g.requests.len())).collect();
+        assert_eq!(shapes, [(0, 2), (0, 1), (1, 3), (1, 1)]);
+        assert_eq!(groups[0].ready_cycles, 10);
+        assert_eq!(groups[2].requests, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn every_request_lands_in_exactly_one_group() {
+        let trace: Vec<TraceRequest> = (0..57).map(|i| req(i % 3, i as u64 * 13)).collect();
+        let groups = form_groups(&trace, 4, 40);
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.requests.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_robin_cycles_through_chips() {
+        let trace = vec![req(0, 0), req(1, 1), req(0, 2), req(1, 3)];
+        let groups = form_groups(&trace, 1, 0);
+        let out = dispatch(
+            &groups,
+            3,
+            DispatchPolicy::RoundRobin,
+            None,
+            &flat_cost(100, 0, 2),
+        );
+        let chips: Vec<usize> = out.assignment.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(chips, [0, 1, 2, 0]);
+        assert_eq!(out.rejected_requests, 0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_chip() {
+        // Three heavy groups arriving together on 2 chips: the third must go
+        // to whichever chip frees first; with equal costs that is chip 0
+        // (lowest id tie-break loses to earliest free time only).
+        let trace = vec![req(0, 0), req(1, 0), req(0, 0)];
+        let groups = form_groups(&trace, 1, 0);
+        let out = dispatch(
+            &groups,
+            2,
+            DispatchPolicy::LeastLoaded,
+            None,
+            &flat_cost(500, 100, 2),
+        );
+        let chips: Vec<usize> = out.assignment.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(chips, [0, 1, 0]);
+    }
+
+    #[test]
+    fn admission_control_rejects_deep_backlogs() {
+        // One chip, instantaneous arrivals, each group costs 1000 cycles:
+        // backlog grows by 1000 per group, so with a 2500-cycle cap the 4th
+        // group (backlog 3000) is rejected.
+        let trace: Vec<TraceRequest> = (0..5).map(|i| req(i % 2, 0)).collect();
+        let groups = form_groups(&trace, 1, 0);
+        let out = dispatch(
+            &groups,
+            1,
+            DispatchPolicy::LeastLoaded,
+            Some(&AdmissionConfig {
+                max_backlog_cycles: 2_500,
+            }),
+            &flat_cost(1_000, 0, 2),
+        );
+        assert_eq!(out.assignment[0], Some(0));
+        assert_eq!(out.assignment[3], None);
+        assert_eq!(out.assignment[4], None);
+        assert_eq!(out.rejected_requests, 2);
+    }
+
+    #[test]
+    fn timeline_charges_reload_only_on_model_switch() {
+        let trace = vec![req(0, 0), req(0, 5_000), req(1, 5_100)];
+        let groups = form_groups(&trace, 1, 0);
+        let assignment = vec![Some(0), Some(0), Some(0)];
+        let timings = timeline(&groups, &assignment, 1, &[100, 100, 100], &[400, 900]);
+        // Group 0: reload 400 + 100 exec, starts at 0.
+        assert_eq!(timings[0].start_cycles, 0);
+        assert_eq!(timings[0].finish_cycles, 500);
+        // Group 1: same model, no reload; chip idle until arrival.
+        assert_eq!(timings[1].start_cycles, 5_000);
+        assert_eq!(timings[1].finish_cycles, 5_100);
+        // Group 2: model switch -> 900-cycle reload.
+        assert_eq!(timings[2].start_cycles, 5_100);
+        assert_eq!(timings[2].finish_cycles, 5_100 + 900 + 100);
+    }
+
+    #[test]
+    fn batched_groups_amortise_the_reload() {
+        // 4 requests in one group: one reload, 4 executions.
+        let trace: Vec<TraceRequest> = (0..4).map(|i| req(0, i)).collect();
+        let groups = form_groups(&trace, 8, 1_000);
+        assert_eq!(groups.len(), 1);
+        let timings = timeline(&groups, &[Some(0)], 1, &[200], &[1_000]);
+        assert_eq!(
+            timings[0].finish_cycles - timings[0].start_cycles,
+            1_000 + 4 * 200
+        );
+    }
+
+    #[test]
+    fn rejected_groups_leave_no_timeline_entry() {
+        let trace = vec![req(0, 0), req(0, 0)];
+        let groups = form_groups(&trace, 1, 0);
+        let timings = timeline(&groups, &[Some(0), None], 1, &[50, 50], &[10]);
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].group, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chip_fleet_is_rejected() {
+        let _ = dispatch(
+            &[],
+            0,
+            DispatchPolicy::RoundRobin,
+            None,
+            &flat_cost(1, 0, 1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_is_rejected() {
+        let _ = form_groups(&[], 0, 0);
+    }
+}

@@ -5,11 +5,9 @@
 //!
 //! Usage: `cargo run --release -p aim-bench --bin perf_smoke [-- --label <name>]`
 
-use std::fs;
-use std::path::PathBuf;
 use std::time::Instant;
 
-use aim_bench::quick_pipeline;
+use aim_bench::{append_bench_record, quick_pipeline};
 use aim_core::booster::{BoosterConfig, IrBoosterController};
 use aim_core::pipeline::{run_model, AimConfig};
 use ir_model::process::ProcessParams;
@@ -114,45 +112,5 @@ fn main() {
         record.resnet18_pipeline_ms
     );
 
-    write_record(&record);
-}
-
-/// Appends the record to `BENCH_chip_sim.json`, preserving earlier records by
-/// splicing into the writer-produced `"records": [...]` array (the JSON shim
-/// has no parser, and the file format is owned by this binary).
-fn write_record(record: &PerfRecord) {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_chip_sim.json");
-    let new_json = serde_json::to_string_pretty(record).expect("record serializes");
-    let indented: String = new_json
-        .lines()
-        .map(|l| format!("    {l}\n"))
-        .collect::<String>()
-        .trim_end()
-        .to_string();
-
-    let body = match fs::read_to_string(&path) {
-        Ok(existing) => {
-            if let Some(end) = existing.rfind("\n  ]") {
-                let (head, tail) = existing.split_at(end);
-                format!("{head},\n    {}{tail}", indented.trim_start())
-            } else {
-                fresh_file(&indented)
-            }
-        }
-        Err(_) => fresh_file(&indented),
-    };
-    match fs::write(&path, body) {
-        Ok(()) => println!("  -> {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
-}
-
-fn fresh_file(indented_record: &str) -> String {
-    format!(
-        "{{\n  \"benchmark\": \"chip_sim\",\n  \"records\": [\n    {}\n  ]\n}}\n",
-        indented_record.trim_start()
-    )
+    append_bench_record(&record);
 }

@@ -42,6 +42,81 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Path of the repo-root benchmark-trajectory file shared by the smoke
+/// benchmarks (`perf_smoke`, `serve_smoke`).
+#[must_use]
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_chip_sim.json")
+}
+
+/// Appends a labelled record to `BENCH_chip_sim.json`, preserving earlier
+/// records by splicing into the writer-produced `"records": [...]` array
+/// (the JSON shim has no parser, and the file format is owned by the smoke
+/// binaries).  Failures are reported on stderr but never abort a benchmark.
+pub fn append_bench_record<T: Serialize>(record: &T) {
+    let path = bench_json_path();
+    let new_json = match serde_json::to_string_pretty(record) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("warning: could not serialise bench record: {e}");
+            return;
+        }
+    };
+    let indented: String = new_json
+        .lines()
+        .map(|l| format!("    {l}\n"))
+        .collect::<String>()
+        .trim_end()
+        .to_string();
+
+    let fresh_file = |record: &str| {
+        format!(
+            "{{\n  \"benchmark\": \"chip_sim\",\n  \"records\": [\n    {}\n  ]\n}}\n",
+            record.trim_start()
+        )
+    };
+    let body = match fs::read_to_string(&path) {
+        Ok(existing) => {
+            if let Some(end) = existing.rfind("\n  ]") {
+                let (head, tail) = existing.split_at(end);
+                format!("{head},\n    {}{tail}", indented.trim_start())
+            } else {
+                fresh_file(&indented)
+            }
+        }
+        Err(_) => fresh_file(&indented),
+    };
+    match fs::write(&path, body) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Last recorded numeric value of `"field": <number>` in
+/// `BENCH_chip_sim.json`, scanned textually (the JSON shim has no parser).
+/// Used by smoke binaries to compare a fresh run against the trajectory.
+#[must_use]
+pub fn last_bench_value(field: &str) -> Option<f64> {
+    let contents = fs::read_to_string(bench_json_path()).ok()?;
+    let needle = format!("\"{field}\":");
+    let mut last = None;
+    for (pos, _) in contents.match_indices(&needle) {
+        let rest = contents[pos + needle.len()..].trim_start();
+        let end = rest
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+            })
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
 /// Prints a section header for an experiment binary.
 pub fn header(experiment: &str, paper_reference: &str) {
     println!("=== {experiment} ===");
@@ -93,5 +168,13 @@ mod tests {
     fn quick_pipeline_overrides_stride() {
         let cfg = quick_pipeline(AimConfig::baseline(), 0);
         assert_eq!(cfg.operator_stride, Some(1));
+    }
+
+    #[test]
+    fn last_bench_value_scans_the_committed_trajectory() {
+        // The committed trajectory always carries at least the seed records.
+        let v = last_bench_value("chip_sim_static_ms");
+        assert!(v.is_some_and(|v| v > 0.0));
+        assert_eq!(last_bench_value("no_such_field"), None);
     }
 }

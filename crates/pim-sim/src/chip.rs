@@ -378,6 +378,69 @@ impl SimScratch {
     }
 }
 
+/// A reusable simulation session: owns a [`SimScratch`] plus run statistics
+/// so a long-lived worker — a serving-runtime chip worker, a sweep, a bench —
+/// can run many simulators back to back without reallocating per run.
+///
+/// The scratch is (re)built lazily on the first run and whenever a simulator
+/// with a different chip geometry comes through, so one session can serve a
+/// heterogeneous fleet.  Results are bit-identical to [`ChipSimulator::run`]:
+/// scratch reuse never leaks state between runs.
+#[derive(Debug, Default)]
+pub struct SimSession {
+    scratch: Option<SimScratch>,
+    runs: u64,
+    simulated_cycles: u64,
+}
+
+impl SimSession {
+    /// Creates an empty session; the scratch is allocated on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `sim` to completion (or `max_cycles`), reusing this session's
+    /// scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller returns the wrong number of decisions.
+    pub fn run(
+        &mut self,
+        sim: &ChipSimulator,
+        controller: &mut dyn VfController,
+        max_cycles: u64,
+    ) -> RunReport {
+        let total = sim.config.params.total_macros();
+        let groups = sim.config.params.macro_groups;
+        let fits = self
+            .scratch
+            .as_ref()
+            .is_some_and(|s| s.rtog.len() == total && s.points.len() == groups);
+        if !fits {
+            self.scratch = Some(SimScratch::new(total, groups));
+        }
+        let scratch = self.scratch.as_mut().expect("scratch ensured above");
+        let report = sim.run_with_scratch(controller, max_cycles, scratch);
+        self.runs += 1;
+        self.simulated_cycles += report.total_cycles;
+        report
+    }
+
+    /// Number of simulations completed through this session.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total simulated cycles accumulated across all runs.
+    #[must_use]
+    pub fn simulated_cycles(&self) -> u64 {
+        self.simulated_cycles
+    }
+}
+
 impl ChipSimulator {
     /// Builds a simulator for a task mapping.
     ///
@@ -870,6 +933,51 @@ mod tests {
         // The other 63 macros idle for the whole 100-cycle run.
         assert_eq!(report.idle_macro_cycles, 63 * 100);
         assert!(report.effective_tops < 256.0 / 32.0);
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_fresh_runs() {
+        let params = ProcessParams::dpim_7nm();
+        let sim_a = ChipSimulator::new(config(), uniform_tasks(0.9, 300));
+        let sim_b = ChipSimulator::new(config(), uniform_tasks(0.3, 250));
+        let mut session = SimSession::new();
+        // Interleave two different simulators through one session and compare
+        // against fresh per-run scratch.
+        for sim in [&sim_a, &sim_b, &sim_a] {
+            let mut ctrl = StaticController::nominal(&params);
+            let via_session = session.run(sim, &mut ctrl, 5_000);
+            let mut ctrl = StaticController::nominal(&params);
+            let fresh = sim.run(&mut ctrl, 5_000);
+            assert_eq!(via_session, fresh);
+        }
+        assert_eq!(session.runs(), 3);
+        assert_eq!(session.simulated_cycles(), 300 + 250 + 300);
+    }
+
+    #[test]
+    fn session_rebuilds_scratch_on_geometry_change() {
+        // The single-macro APIM design has a different geometry than the
+        // 64-macro DPIM chip; one session must serve both.
+        let small = ProcessParams::apim_28nm();
+        let tasks: Vec<Option<MacroTask>> = (0..small.total_macros())
+            .map(|m| Some(MacroTask::new(format!("t{m}"), 0.4, 50, 0)))
+            .collect();
+        let sim_small = ChipSimulator::new(
+            ChipConfig {
+                params: small,
+                ..config()
+            },
+            tasks,
+        );
+        let sim_big = ChipSimulator::new(config(), uniform_tasks(0.5, 50));
+        let mut session = SimSession::new();
+        let mut ctrl = StaticController::nominal(&ProcessParams::dpim_7nm());
+        let big = session.run(&sim_big, &mut ctrl, 1_000);
+        let mut ctrl_small = StaticController::nominal(&small);
+        let little = session.run(&sim_small, &mut ctrl_small, 1_000);
+        assert_eq!(big.total_cycles, 50);
+        assert_eq!(little.total_cycles, 50);
+        assert_eq!(session.runs(), 2);
     }
 
     #[test]

@@ -95,6 +95,85 @@ pub fn flip_fractions(class: InputClass, cycles: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// One inference request of a synthetic serving trace.
+///
+/// Times are virtual, in nominal-frequency chip cycles since trace start, so
+/// that every consumer of a trace stays exactly reproducible (no floating
+/// point, no wall clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Index into the served model list (the serving runtime resolves it).
+    pub model: usize,
+    /// Arrival time, cycles since trace start.
+    pub arrival_cycles: u64,
+    /// Completion deadline, cycles since trace start.
+    pub deadline_cycles: u64,
+}
+
+/// Shape of a synthetic serving-traffic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct models requests are drawn from.
+    pub models: usize,
+    /// Mean of the exponential inter-arrival distribution (cycles).
+    pub mean_interarrival_cycles: f64,
+    /// Probability that a request re-uses the previous request's model —
+    /// production traffic is bursty per model, which is what gives dynamic
+    /// batching its leverage.
+    pub burst_repeat_prob: f64,
+    /// Deadline slack granted to each request past its arrival (cycles).
+    pub deadline_slack_cycles: u64,
+    /// Seed of the trace stream.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            models: 4,
+            mean_interarrival_cycles: 4_000.0,
+            burst_repeat_prob: 0.6,
+            deadline_slack_cycles: 100_000,
+            seed: 0x5E21E,
+        }
+    }
+}
+
+/// Generates a synthetic serving trace: Poisson-like arrivals (exponential
+/// inter-arrival times), bursty per-model request runs, fixed deadline slack.
+/// Requests come back sorted by arrival time.  Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `models` is zero.
+#[must_use]
+pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
+    assert!(config.models > 0, "a trace needs at least one model");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut arrival: u64 = 0;
+    let mut previous_model: Option<usize> = None;
+    (0..config.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap = (-u.ln() * config.mean_interarrival_cycles).round();
+            arrival = arrival.saturating_add(gap as u64);
+            let model = match previous_model {
+                Some(m) if rng.gen_range(0.0..1.0) < config.burst_repeat_prob => m,
+                _ => rng.gen_range(0..config.models),
+            };
+            previous_model = Some(model);
+            TraceRequest {
+                model,
+                arrival_cycles: arrival,
+                deadline_cycles: arrival.saturating_add(config.deadline_slack_cycles),
+            }
+        })
+        .collect()
+}
+
 /// Empirical bit-flip fraction between consecutive values of a batch when
 /// streamed bit-serially (averaged over all 8 bit positions).
 #[must_use]
@@ -157,6 +236,77 @@ mod tests {
         let c = activation_batch(InputClass::ImageLike, 64, 6);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_traces_are_sorted_deterministic_and_in_range() {
+        let config = TrafficConfig {
+            requests: 500,
+            models: 4,
+            ..TrafficConfig::default()
+        };
+        let a = synthetic_trace(&config);
+        let b = synthetic_trace(&config);
+        assert_eq!(a, b, "same seed must reproduce the trace");
+        assert_eq!(a.len(), 500);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].arrival_cycles <= w[1].arrival_cycles));
+        assert!(a.iter().all(|r| r.model < 4));
+        assert!(a
+            .iter()
+            .all(|r| r.deadline_cycles == r.arrival_cycles + config.deadline_slack_cycles));
+        let other = synthetic_trace(&TrafficConfig {
+            seed: config.seed + 1,
+            ..config
+        });
+        assert_ne!(a, other, "a different seed must change the trace");
+    }
+
+    #[test]
+    fn burstiness_increases_consecutive_model_repeats() {
+        let runs = |p: f64| -> usize {
+            let trace = synthetic_trace(&TrafficConfig {
+                requests: 2_000,
+                burst_repeat_prob: p,
+                ..TrafficConfig::default()
+            });
+            trace
+                .windows(2)
+                .filter(|w| w[0].model == w[1].model)
+                .count()
+        };
+        let bursty = runs(0.8);
+        let uniform = runs(0.0);
+        assert!(
+            bursty > uniform + 200,
+            "repeat probability must create model runs ({bursty} vs {uniform})"
+        );
+    }
+
+    #[test]
+    fn trace_interarrival_follows_the_configured_mean() {
+        let config = TrafficConfig {
+            requests: 5_000,
+            mean_interarrival_cycles: 1_000.0,
+            ..TrafficConfig::default()
+        };
+        let trace = synthetic_trace(&config);
+        let span = trace.last().unwrap().arrival_cycles - trace[0].arrival_cycles;
+        let mean = span as f64 / (trace.len() - 1) as f64;
+        assert!(
+            (mean - 1_000.0).abs() < 100.0,
+            "empirical inter-arrival mean {mean} too far from 1000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn zero_model_trace_is_rejected() {
+        let _ = synthetic_trace(&TrafficConfig {
+            models: 0,
+            ..TrafficConfig::default()
+        });
     }
 
     #[test]

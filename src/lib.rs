@@ -15,6 +15,7 @@
 //! | [`pim`] | Bit-serial SRAM-PIM macro and chip simulator |
 //! | [`wl`] | Workload model zoo and synthetic input generators |
 //! | [`core`] | The AIM contribution: Rtog/HR metrics, IR-Booster, HR-aware mapping |
+//! | [`serve`] | Multi-chip serving runtime: dynamic batching, deterministic dispatch |
 //!
 //! # Quick start
 //!
@@ -28,6 +29,7 @@
 //! ```
 
 pub use aim_core as core;
+pub use aim_serve as serve;
 pub use ir_model as ir;
 pub use nn_quant as nn;
 pub use pim_sim as pim;

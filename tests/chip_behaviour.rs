@@ -1,0 +1,133 @@
+//! Behaviour tests for the chip simulator's controller baselines and the
+//! `RunReport` accounting edge cases: `StaticController::fixed` vs
+//! `nominal`, zero-cycle runs, and fully-stalled accounting.
+
+use aim::ir::process::ProcessParams;
+use aim::ir::vf::VfPair;
+use aim::pim::chip::{ChipConfig, ChipSimulator, MacroTask, RunReport, StaticController};
+
+fn params() -> ProcessParams {
+    ProcessParams::dpim_7nm()
+}
+
+fn config() -> ChipConfig {
+    ChipConfig {
+        flip_sequence_len: 256,
+        ..ChipConfig::default()
+    }
+}
+
+fn uniform_tasks(hr: f64, cycles: u64) -> Vec<Option<MacroTask>> {
+    (0..params().total_macros())
+        .map(|m| Some(MacroTask::new(format!("op-{m}"), hr, cycles, m % 8)))
+        .collect()
+}
+
+#[test]
+fn fixed_at_the_nominal_point_is_exactly_the_nominal_controller() {
+    let p = params();
+    let sim = ChipSimulator::new(config(), uniform_tasks(0.6, 400));
+    let mut nominal = StaticController::nominal(&p);
+    let mut fixed =
+        StaticController::fixed(VfPair::new(p.nominal_voltage, p.nominal_frequency_ghz));
+    let a = sim.run(&mut nominal, 5_000);
+    let b = sim.run(&mut fixed, 5_000);
+    assert_eq!(
+        a, b,
+        "fixed(nominal point) must behave exactly like nominal()"
+    );
+}
+
+#[test]
+fn fixed_below_nominal_saves_power_until_it_fails() {
+    let sim = ChipSimulator::new(config(), uniform_tasks(0.35, 400));
+    let mut nominal = StaticController::nominal(&params());
+    let nominal_report = sim.run(&mut nominal, 20_000);
+    // A mildly undervolted point still completes a low-HR workload and draws
+    // less power than sign-off.
+    let mut mild = StaticController::fixed(VfPair::new(0.70, 1.0));
+    let mild_report = sim.run(&mut mild, 20_000);
+    assert_eq!(mild_report.failures, 0);
+    assert!(mild_report.avg_macro_power_mw < nominal_report.avg_macro_power_mw);
+    // The same point with a pathological high-HR workload raises failures
+    // and stretches the run.
+    let hot = ChipSimulator::new(config(), uniform_tasks(0.95, 400));
+    let mut aggressive = StaticController::fixed(VfPair::new(0.62, 1.0));
+    let hot_report = hot.run(&mut aggressive, 40_000);
+    assert!(hot_report.failures > 0);
+    assert!(hot_report.total_cycles > nominal_report.total_cycles);
+    let overhead = hot_report.overhead_fraction();
+    assert!(overhead > 0.0 && overhead < 1.0);
+}
+
+#[test]
+fn zero_cycle_run_reports_all_zeros() {
+    let sim = ChipSimulator::new(config(), uniform_tasks(0.5, 100));
+    let mut ctrl = StaticController::nominal(&params());
+    let report = sim.run(&mut ctrl, 0);
+    assert_eq!(report.total_cycles, 0);
+    assert_eq!(report.useful_macro_cycles, 0);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.overhead_fraction(), 0.0, "0/0 must not be NaN");
+    assert_eq!(report.avg_macro_power_mw, 0.0);
+    assert_eq!(report.mean_irdrop_mv, 0.0);
+    assert_eq!(report.effective_tops, 0.0);
+}
+
+#[test]
+fn empty_chip_run_is_a_zero_cycle_run() {
+    // No tasks at all: the run terminates immediately even with a budget.
+    let tasks: Vec<Option<MacroTask>> = vec![None; params().total_macros()];
+    let sim = ChipSimulator::new(config(), tasks);
+    let mut ctrl = StaticController::nominal(&params());
+    let report = sim.run(&mut ctrl, 10_000);
+    assert_eq!(report.total_cycles, 0);
+    assert_eq!(report.overhead_fraction(), 0.0);
+}
+
+#[test]
+fn overhead_fraction_edge_cases_on_hand_built_reports() {
+    // Default (never-ran) report: no busy cycles, overhead must be 0.
+    assert_eq!(RunReport::default().overhead_fraction(), 0.0);
+    // All-stalled run: every busy macro-cycle was a stall.
+    let all_stalled = RunReport {
+        total_cycles: 64,
+        stall_macro_cycles: 640,
+        ..RunReport::default()
+    };
+    assert_eq!(all_stalled.overhead_fraction(), 1.0);
+    // All-recompute run behaves the same.
+    let all_recompute = RunReport {
+        total_cycles: 64,
+        recompute_macro_cycles: 320,
+        ..RunReport::default()
+    };
+    assert_eq!(all_recompute.overhead_fraction(), 1.0);
+    // Mixed accounting: overhead = (stall + recompute) / busy.
+    let mixed = RunReport {
+        useful_macro_cycles: 600,
+        stall_macro_cycles: 300,
+        recompute_macro_cycles: 100,
+        ..RunReport::default()
+    };
+    assert!((mixed.overhead_fraction() - 0.4).abs() < 1e-12);
+    // Idle cycles never count toward overhead.
+    let idle_heavy = RunReport {
+        useful_macro_cycles: 10,
+        idle_macro_cycles: 1_000_000,
+        ..RunReport::default()
+    };
+    assert_eq!(idle_heavy.overhead_fraction(), 0.0);
+}
+
+#[test]
+fn per_macro_stalls_sum_to_the_stall_total() {
+    // Undervolted high-HR workload: stalls are charged per macro and the
+    // per-macro ledger must reconcile with the aggregate counter.
+    let sim = ChipSimulator::new(config(), uniform_tasks(0.9, 300));
+    let mut ctrl = StaticController::fixed(VfPair::new(0.60, 1.0));
+    let report = sim.run(&mut ctrl, 40_000);
+    assert!(report.failures > 0);
+    let ledger: u64 = report.per_macro_stalls().iter().sum();
+    assert_eq!(ledger, report.stall_macro_cycles);
+}
