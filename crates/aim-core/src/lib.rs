@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analytical;
 pub mod booster;
 pub mod mapping;
 pub mod metrics;
 pub mod pipeline;
 
+pub use analytical::AnalyticalPlan;
 pub use booster::{BoosterConfig, IrBoosterController};
 pub use mapping::{MappingOutcome, MappingStrategy};
 pub use metrics::{hamming_rate_i8, pearson_correlation, rtog_cycle};

@@ -25,8 +25,9 @@ use ir_model::process::ProcessParams;
 use ir_model::vf::OperatingMode;
 use nn_quant::qat::{train_layer, QatConfig};
 use nn_quant::wds::apply_wds_to_layer;
+use pim_sim::backend::{CycleAccurate, ExecutionBackend};
 use pim_sim::chip::{
-    ChipConfig, ChipSimulator, MacroTask, RunReport, SimSession, StaticController,
+    ChipConfig, ChipSimulator, MacroTask, RunReport, SimSession, StaticController, VfController,
 };
 use workloads::zoo::Model;
 
@@ -448,7 +449,7 @@ impl CompiledPlan {
     /// flip-sequence seed so a serving runtime can give every request replay
     /// distinct (but reproducible) input activity; offset 0 reproduces
     /// [`run_model`] exactly.
-    fn batch_simulator(&self, batch_idx: usize, seed_offset: u64) -> ChipSimulator {
+    pub(crate) fn batch_simulator(&self, batch_idx: usize, seed_offset: u64) -> ChipSimulator {
         let batch = &self.batches[batch_idx];
         ChipSimulator::new(
             ChipConfig {
@@ -463,20 +464,28 @@ impl CompiledPlan {
         )
     }
 
+    /// The controller family the plan was compiled for: the IR-Booster when
+    /// configured, the static sign-off baseline otherwise.  One construction
+    /// point keeps every execution path (cycle-accurate, analytical probes,
+    /// serving replays) driving the same policy.
+    pub(crate) fn controller_for(&self, sim: &ChipSimulator) -> Box<dyn VfController> {
+        match &self.config.booster {
+            Some(bcfg) => Box::new(IrBoosterController::for_simulator(sim, *bcfg)),
+            None => Box::new(StaticController::nominal(&self.chip_config.params)),
+        }
+    }
+
+    /// Cycle budget granted to one batch.
+    pub(crate) fn batch_max_cycles(&self, batch_idx: usize) -> u64 {
+        self.batches[batch_idx].max_cycles
+    }
+
     /// Runs one batch on a fresh scratch (the `run_model` path).
     fn run_batch(&self, batch_idx: usize, seed_offset: u64) -> RunReport {
         let sim = self.batch_simulator(batch_idx, seed_offset);
         let max_cycles = self.batches[batch_idx].max_cycles;
-        match &self.config.booster {
-            Some(bcfg) => {
-                let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
-                sim.run(&mut booster, max_cycles)
-            }
-            None => {
-                let mut ctrl = StaticController::nominal(&self.chip_config.params);
-                sim.run(&mut ctrl, max_cycles)
-            }
-        }
+        let mut controller = self.controller_for(&sim);
+        sim.run(controller.as_mut(), max_cycles)
     }
 
     /// Executes the plan, fanning batches out across worker threads, and
@@ -529,20 +538,28 @@ impl CompiledPlan {
         session: &mut SimSession,
         seed_offset: u64,
     ) -> PlanExecution {
+        self.execute_on(&CycleAccurate, session, seed_offset)
+    }
+
+    /// Executes the plan's batches sequentially through an explicit
+    /// [`ExecutionBackend`] — the seam every alternative evaluation strategy
+    /// plugs into.  `execute_on(&CycleAccurate, ..)` is exactly
+    /// [`Self::execute_with_session`]; an [`pim_sim::AnalyticalBackend`]
+    /// replaces the per-cycle loop with its calibrated closed-form model
+    /// (see [`crate::analytical::AnalyticalPlan`] for the calibrated,
+    /// replay-cached wrapper serving fleets use).
+    pub fn execute_on(
+        &self,
+        backend: &dyn ExecutionBackend,
+        session: &mut SimSession,
+        seed_offset: u64,
+    ) -> PlanExecution {
         let mut agg = RunAggregate::default();
         for batch_idx in 0..self.batches.len() {
             let sim = self.batch_simulator(batch_idx, seed_offset);
             let max_cycles = self.batches[batch_idx].max_cycles;
-            let report = match &self.config.booster {
-                Some(bcfg) => {
-                    let mut booster = IrBoosterController::for_simulator(&sim, *bcfg);
-                    session.run(&sim, &mut booster, max_cycles)
-                }
-                None => {
-                    let mut ctrl = StaticController::nominal(&self.chip_config.params);
-                    session.run(&sim, &mut ctrl, max_cycles)
-                }
-            };
+            let mut controller = self.controller_for(&sim);
+            let report = session.run_with_backend(backend, &sim, controller.as_mut(), max_cycles);
             agg.add(&report);
         }
         agg.summary()
@@ -574,7 +591,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 /// Accumulates batch reports into run-level figures.
 #[derive(Debug, Default)]
-struct RunAggregate {
+pub(crate) struct RunAggregate {
     total_cycles: u64,
     failures: u64,
     useful: u64,
@@ -588,7 +605,7 @@ struct RunAggregate {
 }
 
 impl RunAggregate {
-    fn add(&mut self, report: &RunReport) {
+    pub(crate) fn add(&mut self, report: &RunReport) {
         let w = report.total_cycles.max(1) as f64;
         self.total_cycles += report.total_cycles;
         self.failures += report.failures;
@@ -636,7 +653,7 @@ impl RunAggregate {
     }
 
     /// The serializable per-execution summary handed to serving runtimes.
-    fn summary(&self) -> PlanExecution {
+    pub(crate) fn summary(&self) -> PlanExecution {
         PlanExecution {
             cycles: self.total_cycles,
             failures: self.failures,

@@ -19,7 +19,17 @@
 //! 3. **Execution** — each chip worker runs on a rayon scoped thread, pulling
 //!    its assigned groups in dispatch order and executing them through one
 //!    reusable [`pim_sim::chip::SimSession`] (the allocation-free serving hot
-//!    path).
+//!    path).  Fleets choose their execution backend
+//!    ([`runtime::ServeConfig::backend`]): cycle-accurate chips run the
+//!    per-cycle engine, analytical chips hand out their plan's calibrated
+//!    closed-form prediction ([`aim_core::analytical::AnalyticalPlan`],
+//!    replay-invariant, so each replay costs ~nothing).  Heterogeneous
+//!    fleets keep [`runtime::ServeConfig::audit_chips`] on the
+//!    cycle-accurate engine, and sampled verification
+//!    ([`runtime::ServeConfig::verify_every`]) replays every Nth analytical
+//!    group cycle-accurately, reporting drift vs the calibrated error bound
+//!    in [`report::VerificationStats`].  Admission control quotes the same
+//!    analytical cost source the analytical chips execute with.
 //! 4. **Accounting** ([`scheduler::timeline`], [`report::ServeReport`]) —
 //!    virtual-time start/finish per group, per-request latency percentiles
 //!    (p50/p95/p99), per-chip utilization, deadline misses, power and droop.
@@ -41,6 +51,6 @@ pub mod report;
 pub mod runtime;
 pub mod scheduler;
 
-pub use report::{ChipServeStats, ServeReport};
+pub use report::{ChipServeStats, ServeReport, VerificationStats};
 pub use runtime::{ServeConfig, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};

@@ -3,6 +3,30 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Drift statistics of the sampled-verification mode: every Nth request
+/// group executed on an analytical chip is additionally replayed through the
+/// cycle-accurate engine, and the relative cycle-count drift between the two
+/// backends is recorded here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerificationStats {
+    /// Number of groups replayed cycle-accurately for verification.
+    pub sampled: usize,
+    /// Mean relative cycle drift `|analytical - accurate| / accurate` over
+    /// the sampled groups (0 when nothing was sampled).
+    pub mean_cycle_drift: f64,
+    /// Worst relative cycle drift observed.
+    pub max_cycle_drift: f64,
+    /// The fleet's error bound: the worst self-reported calibration bound
+    /// over the served analytical plans.
+    pub error_bound: f64,
+    /// Whether drift was actually measured (`sampled > 0`) *and* every
+    /// observed drift stayed within its own plan's calibrated bound
+    /// (stricter than comparing against the fleet-wide `error_bound` when
+    /// plans carry different bounds).  `false` with `sampled == 0` means no
+    /// analytical group got verified — never treat that as a pass.
+    pub within_bound: bool,
+}
+
 /// Per-chip serving statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChipServeStats {
@@ -63,6 +87,12 @@ pub struct ServeReport {
     pub failures: u64,
     /// Total simulated chip cycles across all executions.
     pub simulated_cycles: u64,
+    /// Chips running the analytical fast path (0 for a homogeneous
+    /// cycle-accurate fleet).
+    pub analytical_chips: usize,
+    /// Sampled-verification drift statistics; `Some` whenever the fleet has
+    /// analytical chips and verification was enabled.
+    pub verification: Option<VerificationStats>,
     /// Per-chip statistics, indexed by chip id.
     pub per_chip: Vec<ChipServeStats>,
 }

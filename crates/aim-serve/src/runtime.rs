@@ -4,12 +4,14 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use aim_core::analytical::AnalyticalPlan;
 use aim_core::pipeline::{AimConfig, CompiledPlan, PlanExecution};
+use pim_sim::backend::BackendKind;
 use pim_sim::chip::SimSession;
 use workloads::inputs::TraceRequest;
 use workloads::zoo::Model;
 
-use crate::report::{percentile_sorted, ChipServeStats, ServeReport};
+use crate::report::{percentile_sorted, ChipServeStats, ServeReport, VerificationStats};
 use crate::scheduler::{
     dispatch, form_groups, timeline, AdmissionConfig, CostModel, DispatchPolicy,
 };
@@ -31,6 +33,20 @@ pub struct ServeConfig {
     pub dispatch: DispatchPolicy,
     /// Optional admission control; `None` admits everything.
     pub admission: Option<AdmissionConfig>,
+    /// Execution backend of the fleet.  `CycleAccurate` keeps the historical
+    /// behaviour; `Analytical` replays requests through each plan's
+    /// calibrated closed-form prediction (compiled once per plan, then free
+    /// per replay) except on the [`Self::audit_chips`].
+    pub backend: BackendKind,
+    /// With `backend: Analytical`, chips `0..audit_chips` stay on the
+    /// cycle-accurate engine — a heterogeneous fleet (e.g. 2 audit chips +
+    /// 30 analytical chips) whose audit members keep ground truth flowing.
+    pub audit_chips: usize,
+    /// Sampled verification: every Nth group executing on an analytical chip
+    /// (counted over those groups, in group order) is *additionally* replayed
+    /// cycle-accurately, and the relative cycle drift is aggregated into
+    /// [`ServeReport::verification`].  0 disables.
+    pub verify_every: usize,
     /// Fan chip workers out across rayon scoped threads.  `false` runs the
     /// fleet on the calling thread; the report is byte-identical either way
     /// (the determinism contract).
@@ -48,16 +64,33 @@ impl Default for ServeConfig {
             reload_cycles_per_slice: 32,
             dispatch: DispatchPolicy::LeastLoaded,
             admission: None,
+            backend: BackendKind::CycleAccurate,
+            audit_chips: 0,
+            verify_every: 0,
             parallel: true,
             seed: 0xF1EE7,
         }
     }
 }
 
+/// One sampled-verification measurement: a group executed analytically and
+/// replayed cycle-accurately.
+#[derive(Debug, Clone, Copy)]
+struct VerifySample {
+    group: usize,
+    /// Model (= plan) the group belongs to, for the per-plan bound check.
+    model: usize,
+    analytical_cycles: u64,
+    accurate_cycles: u64,
+}
+
 /// A compiled model fleet plus its serving configuration.
 #[derive(Debug, Clone)]
 pub struct ServeRuntime {
     plans: Vec<CompiledPlan>,
+    /// Calibrated analytical views of the plans, present iff the fleet has
+    /// at least one analytical chip.
+    analytical: Option<Vec<AnalyticalPlan>>,
     config: ServeConfig,
 }
 
@@ -88,7 +121,29 @@ impl ServeRuntime {
         assert!(!plans.is_empty(), "a runtime needs at least one plan");
         assert!(config.chips >= 1, "a fleet needs at least one chip");
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
-        Self { plans, config }
+        assert!(
+            config.audit_chips <= config.chips,
+            "audit chips cannot exceed the fleet size"
+        );
+        // Calibrate the analytical views once, up front (a handful of
+        // cycle-accurate probe runs per plan); afterwards every analytical
+        // replay is a cached lookup.
+        let analytical =
+            if config.backend == BackendKind::Analytical && config.chips > config.audit_chips {
+                Some(
+                    plans
+                        .par_iter()
+                        .map(AnalyticalPlan::calibrate)
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                None
+            };
+        Self {
+            plans,
+            analytical,
+            config,
+        }
     }
 
     /// The compiled plans, indexed by model id.
@@ -103,15 +158,63 @@ impl ServeRuntime {
         &self.config
     }
 
-    /// The dispatcher's compile-time cost model.
+    /// The calibrated analytical plan views, when the fleet has analytical
+    /// chips.
+    #[must_use]
+    pub fn analytical_plans(&self) -> Option<&[AnalyticalPlan]> {
+        self.analytical.as_deref()
+    }
+
+    /// Changes the sampled-verification cadence in place.  The cadence only
+    /// selects which groups get a cycle-accurate comparison replay, so the
+    /// plans and their calibrated analytical views are untouched — changing
+    /// it never re-runs the calibration probes.
+    pub fn set_verify_every(&mut self, verify_every: usize) {
+        self.config.verify_every = verify_every;
+    }
+
+    /// The backend chip `chip` executes with: the first
+    /// [`ServeConfig::audit_chips`] chips of an analytical fleet stay
+    /// cycle-accurate, everything else follows [`ServeConfig::backend`].
+    #[must_use]
+    pub fn chip_backend(&self, chip: usize) -> BackendKind {
+        if self.analytical.is_some() && chip >= self.config.audit_chips {
+            BackendKind::Analytical
+        } else {
+            BackendKind::CycleAccurate
+        }
+    }
+
+    /// Number of chips running the analytical fast path.
+    #[must_use]
+    pub fn analytical_chip_count(&self) -> usize {
+        if self.analytical.is_some() {
+            self.config.chips - self.config.audit_chips
+        } else {
+            0
+        }
+    }
+
+    /// The dispatcher's pre-execution cost model.  Execution-cycle estimates
+    /// come from the calibrated analytical backend whenever the fleet has
+    /// one, so admission control and analytical execution answer from the
+    /// *same* cost source; a pure cycle-accurate fleet falls back to the
+    /// plan's compile-time ideal estimate.
     #[must_use]
     pub fn cost_model(&self) -> CostModel {
-        CostModel {
-            exec_cycles: self
+        let exec_cycles = match &self.analytical {
+            Some(analytical) => analytical
+                .iter()
+                .map(AnalyticalPlan::estimated_cycles)
+                .collect(),
+            None => self
                 .plans
                 .iter()
                 .map(CompiledPlan::estimated_cycles)
                 .collect(),
+        };
+        CostModel {
+            exec_cycles,
             reload_cycles: self
                 .plans
                 .iter()
@@ -155,25 +258,88 @@ impl ServeRuntime {
             }
         }
 
+        // Sampled-verification set: every `verify_every`th group *among
+        // those executing on analytical chips*, counted in group order.
+        // Counting over analytical executions (not raw group indices) keeps
+        // the cadence honest when dispatch patterns alias with the sampling
+        // stride — e.g. round-robin fleets where an audit chip would
+        // otherwise soak up every sampled index.
+        let verify_groups: std::collections::HashSet<usize> = if config.verify_every > 0 {
+            outcome
+                .assignment
+                .iter()
+                .enumerate()
+                .filter_map(|(gi, slot)| slot.map(|chip| (gi, chip)))
+                .filter(|&(_, chip)| self.chip_backend(chip) == BackendKind::Analytical)
+                .enumerate()
+                .filter(|(k, _)| k.is_multiple_of(config.verify_every))
+                .map(|(_, (gi, _))| gi)
+                .collect()
+        } else {
+            std::collections::HashSet::new()
+        };
+
         // Chip workers: each runs its queue through one reusable SimSession.
         // Workers touch disjoint state and every replay is seeded from the
-        // group index, so the fan-out cannot perturb results.
-        let run_worker = |queue: &Vec<usize>| -> Vec<PlanExecution> {
-            let mut session = SimSession::new();
-            queue
-                .iter()
-                .map(|&gi| {
-                    let group = &groups[gi];
-                    self.plans[group.model]
-                        .execute_with_session(&mut session, self.replay_seed_offset(gi))
-                })
-                .collect()
-        };
-        let executions: Vec<Vec<PlanExecution>> = if config.parallel {
-            chip_queues.par_iter().map(run_worker).collect()
+        // group index, so the fan-out cannot perturb results.  Analytical
+        // chips hand out their plan's cached calibrated prediction (replay
+        // cost ≈ 0) and, for every `verify_every`th group fleet-wide, also
+        // replay it cycle-accurately to measure the realised drift.
+        let run_worker =
+            |(chip, queue): (usize, &Vec<usize>)| -> (Vec<PlanExecution>, Vec<VerifySample>) {
+                let mut session = SimSession::new();
+                let backend = self.chip_backend(chip);
+                let mut verifications: Vec<VerifySample> = Vec::new();
+                let execs = queue
+                    .iter()
+                    .map(|&gi| {
+                        let group = &groups[gi];
+                        match backend {
+                            BackendKind::CycleAccurate => self.plans[group.model]
+                                .execute_with_session(&mut session, self.replay_seed_offset(gi)),
+                            BackendKind::Analytical => {
+                                let predicted = self
+                                    .analytical
+                                    .as_ref()
+                                    .expect("analytical chips imply calibrated plans")[group.model]
+                                    .execution();
+                                if verify_groups.contains(&gi) {
+                                    let accurate = self.plans[group.model].execute_with_session(
+                                        &mut session,
+                                        self.replay_seed_offset(gi),
+                                    );
+                                    verifications.push(VerifySample {
+                                        group: gi,
+                                        model: group.model,
+                                        analytical_cycles: predicted.cycles,
+                                        accurate_cycles: accurate.cycles,
+                                    });
+                                }
+                                predicted
+                            }
+                        }
+                    })
+                    .collect();
+                (execs, verifications)
+            };
+        let worker_inputs: Vec<(usize, &Vec<usize>)> = chip_queues.iter().enumerate().collect();
+        let outcomes: Vec<(Vec<PlanExecution>, Vec<VerifySample>)> = if config.parallel {
+            worker_inputs.par_iter().map(|&w| run_worker(w)).collect()
         } else {
-            chip_queues.iter().map(run_worker).collect()
+            worker_inputs.iter().map(|&w| run_worker(w)).collect()
         };
+        let mut verify_samples: Vec<VerifySample> = Vec::new();
+        let executions: Vec<Vec<PlanExecution>> = outcomes
+            .into_iter()
+            .map(|(execs, mut samples)| {
+                verify_samples.append(&mut samples);
+                execs
+            })
+            .collect();
+        // Group order is deterministic; chip-queue order is an artifact of
+        // the (deterministic) dispatch pass, but sort anyway so the report
+        // never depends on aggregation order.
+        verify_samples.sort_unstable_by_key(|s| s.group);
 
         // Scatter execution results back to group order.
         let mut group_exec_cycles = vec![0u64; groups.len()];
@@ -246,6 +412,45 @@ impl ServeRuntime {
             worst_irdrop_mv = worst_irdrop_mv.max(exec.worst_irdrop_mv);
         }
 
+        // --- sampled-verification drift ------------------------------------
+        // `within_bound` holds each sample to *its own plan's* calibrated
+        // bound (the promise `backend_fidelity` pins per plan); the reported
+        // `error_bound` is the fleet-wide worst bound, for context.
+        let verification = match &self.analytical {
+            Some(analytical) if config.verify_every > 0 => {
+                let error_bound = analytical
+                    .iter()
+                    .map(AnalyticalPlan::error_bound)
+                    .fold(0.0f64, f64::max);
+                let mut max_cycle_drift = 0.0f64;
+                let mut drift_sum = 0.0f64;
+                let mut within_bound = true;
+                for s in &verify_samples {
+                    let drift = (s.analytical_cycles as f64 - s.accurate_cycles as f64).abs()
+                        / s.accurate_cycles.max(1) as f64;
+                    max_cycle_drift = max_cycle_drift.max(drift);
+                    drift_sum += drift;
+                    if drift > analytical[s.model].error_bound() {
+                        within_bound = false;
+                    }
+                }
+                Some(VerificationStats {
+                    sampled: verify_samples.len(),
+                    mean_cycle_drift: if verify_samples.is_empty() {
+                        0.0
+                    } else {
+                        drift_sum / verify_samples.len() as f64
+                    },
+                    max_cycle_drift,
+                    error_bound,
+                    // Zero samples is not a pass: a gate keyed on this field
+                    // must never go green without a measurement.
+                    within_bound: within_bound && !verify_samples.is_empty(),
+                })
+            }
+            _ => None,
+        };
+
         let groups_executed = timings.len();
         let nominal_ghz = self.plans[0].chip_params().nominal_frequency_ghz;
         ServeReport {
@@ -280,6 +485,8 @@ impl ServeRuntime {
             worst_irdrop_mv,
             failures,
             simulated_cycles,
+            analytical_chips: self.analytical_chip_count(),
+            verification,
             per_chip,
         }
     }

@@ -80,7 +80,30 @@ pub fn form_groups(
     groups
 }
 
-/// The dispatcher's compile-time cost model (no simulation has run yet).
+/// Service time of one group on one chip: the single switching-cost formula
+/// shared by admission/dispatch (with *estimated* execution cycles) and the
+/// post-execution [`timeline`] (with *measured* ones).  A group of `b`
+/// requests streams them back to back through macros already loaded with the
+/// model's weights, so it costs one reload (if the chip switches model) plus
+/// `b × exec` — batching amortises exactly the reload term.
+#[must_use]
+pub fn group_service_cycles(
+    batch_size: usize,
+    exec_cycles: u64,
+    reload_cycles: u64,
+    switching_model: bool,
+) -> u64 {
+    let reload = if switching_model { reload_cycles } else { 0 };
+    reload + batch_size as u64 * exec_cycles
+}
+
+/// The dispatcher's pre-execution cost model.
+///
+/// `exec_cycles` comes from the runtime's cost source: the plan's
+/// compile-time ideal estimate for a cycle-accurate fleet, or the calibrated
+/// analytical backend's predicted cycles when the fleet executes
+/// analytically — so admission control and execution share one cost model
+/// rather than maintaining duplicated arithmetic.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Estimated execution cycles for one request replay, per model.
@@ -90,15 +113,16 @@ pub struct CostModel {
 }
 
 impl CostModel {
-    /// Estimated busy cycles a group costs its chip.
+    /// Estimated busy cycles a group costs its chip
+    /// (via [`group_service_cycles`]).
     #[must_use]
     pub fn group_cycles(&self, group: &RequestGroup, switching_model: bool) -> u64 {
-        let reload = if switching_model {
-            self.reload_cycles[group.model]
-        } else {
-            0
-        };
-        reload + group.requests.len() as u64 * self.exec_cycles[group.model]
+        group_service_cycles(
+            group.requests.len(),
+            self.exec_cycles[group.model],
+            self.reload_cycles[group.model],
+            switching_model,
+        )
     }
 }
 
@@ -203,12 +227,13 @@ pub fn timeline(
         let Some(chip) = assignment[gi] else {
             continue;
         };
-        let reload = if last_model[chip] == Some(group.model) {
-            0
-        } else {
-            reload_cycles_per_model[group.model]
-        };
-        let duration = reload + group.requests.len() as u64 * group_exec_cycles[gi];
+        let switching = last_model[chip] != Some(group.model);
+        let duration = group_service_cycles(
+            group.requests.len(),
+            group_exec_cycles[gi],
+            reload_cycles_per_model[group.model],
+            switching,
+        );
         let start = free[chip].max(group.ready_cycles);
         let finish = start + duration;
         free[chip] = finish;
@@ -259,6 +284,48 @@ mod tests {
         assert_eq!(shapes, [(0, 2), (0, 1), (1, 3), (1, 1)]);
         assert_eq!(groups[0].ready_cycles, 10);
         assert_eq!(groups[2].requests, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn window_zero_batches_only_simultaneous_same_model_arrivals() {
+        // A zero window still coalesces requests that arrive on the *same*
+        // cycle as the group opener; anything later opens a new group.
+        let trace = vec![req(0, 5), req(0, 5), req(0, 6), req(1, 6), req(1, 6)];
+        let groups = form_groups(&trace, 8, 0);
+        let shapes: Vec<(usize, usize)> =
+            groups.iter().map(|g| (g.model, g.requests.len())).collect();
+        assert_eq!(shapes, [(0, 2), (0, 1), (1, 2)]);
+        let total: usize = groups.iter().map(|g| g.requests.len()).sum();
+        assert_eq!(total, trace.len(), "window 0 must not drop requests");
+    }
+
+    #[test]
+    fn max_batch_one_degenerates_to_singleton_groups() {
+        let trace: Vec<TraceRequest> = (0..9).map(|i| req(0, i as u64)).collect();
+        let groups = form_groups(&trace, 1, u64::MAX);
+        assert_eq!(groups.len(), trace.len());
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.requests, vec![i]);
+            assert_eq!(g.ready_cycles, trace[i].arrival_cycles);
+        }
+    }
+
+    #[test]
+    fn service_cycles_formula_is_shared_by_cost_model_and_timeline() {
+        // One arithmetic source: the cost model's estimate and the timeline's
+        // measured duration agree whenever estimate == measurement.
+        let trace: Vec<TraceRequest> = (0..3).map(|i| req(0, i)).collect();
+        let groups = form_groups(&trace, 8, 1_000);
+        assert_eq!(groups.len(), 1);
+        let cost = flat_cost(250, 700, 1);
+        let estimated = cost.group_cycles(&groups[0], true);
+        let timings = timeline(&groups, &[Some(0)], 1, &[250], &[700]);
+        assert_eq!(
+            timings[0].finish_cycles - timings[0].start_cycles,
+            estimated
+        );
+        assert_eq!(estimated, group_service_cycles(3, 250, 700, true));
+        assert_eq!(group_service_cycles(3, 250, 700, false), 750);
     }
 
     #[test]

@@ -14,8 +14,20 @@ use proptest::prelude::*;
 use aim_core::booster::BoosterConfig;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::{AdmissionConfig, DispatchPolicy, ServeConfig, ServeRuntime};
-use workloads::inputs::{synthetic_trace, TraceRequest, TrafficConfig};
+use pim_sim::backend::BackendKind;
+use workloads::inputs::{synthetic_trace, ArrivalShape, TraceRequest, TrafficConfig};
 use workloads::zoo::Model;
+
+/// Backend the scheduling-invariant property runs under, selectable from the
+/// CI matrix (`AIM_SERVE_BACKEND=analytical cargo test -p aim-serve`): the
+/// conservation and worker-count-independence contracts must hold for
+/// analytical fleets exactly as for cycle-accurate ones.
+fn matrix_backend() -> BackendKind {
+    match std::env::var("AIM_SERVE_BACKEND").as_deref() {
+        Ok("analytical") => BackendKind::Analytical,
+        _ => BackendKind::CycleAccurate,
+    }
+}
 
 /// Tiny two-model plan set compiled once and shared across every test case.
 /// MobileNetV2 at two different strides keeps every operator small (few
@@ -73,6 +85,7 @@ fn trace_for(requests: usize, models: usize, seed: u64) -> Vec<TraceRequest> {
         mean_interarrival_cycles: 400.0,
         burst_repeat_prob: 0.5,
         deadline_slack_cycles: 30_000,
+        shape: ArrivalShape::BurstyExponential,
         seed,
     })
 }
@@ -104,6 +117,11 @@ proptest! {
             } else {
                 DispatchPolicy::RoundRobin
             },
+            backend: matrix_backend(),
+            // Exercise heterogeneous fleets (one audit chip when the fleet
+            // has room) and sampled verification under the analytical leg.
+            audit_chips: usize::from(chips > 1),
+            verify_every: 3,
             parallel: true,
             seed,
             ..ServeConfig::default()
@@ -217,6 +235,7 @@ fn serving_a_bursty_trace_batches_and_meets_sane_bounds() {
         mean_interarrival_cycles: 200.0,
         burst_repeat_prob: 0.8,
         deadline_slack_cycles: 10_000_000,
+        shape: ArrivalShape::BurstyExponential,
         seed: 0xFACE,
     });
     let report = runtime.serve(&trace);
@@ -244,6 +263,7 @@ fn tight_deadlines_are_reported_as_misses() {
         mean_interarrival_cycles: 100.0,
         burst_repeat_prob: 0.5,
         deadline_slack_cycles: 1, // impossible
+        shape: ArrivalShape::BurstyExponential,
         seed: 0xD0A,
     });
     let report = runtime.serve(&trace);

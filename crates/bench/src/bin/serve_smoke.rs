@@ -4,13 +4,23 @@
 //! `BENCH_chip_sim.json` at the repository root.
 //!
 //! Usage:
-//! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>] [--check-regression]`
+//! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
+//!  [--backend cycle-accurate|analytical] [--check-regression]`
+//!
+//! With `--backend analytical` the same fleet is additionally served through
+//! the calibrated analytical backend (sampled verification on), and the run
+//! gates on three properties: reports stay deterministic, the observed
+//! analytical-vs-cycle-accurate cycle drift stays within the calibrated
+//! error bound, and replaying the trace analytically is at least 10× faster
+//! than the cycle-accurate fleet at equal chip count.
 //!
 //! With `--check-regression` the binary compares its *virtual* serving
 //! throughput (requests per second of simulated chip time — deterministic
-//! and machine-independent) against the last `serve_virtual_rps` record in
-//! the trajectory file and exits nonzero on a >20 % regression (the CI
-//! gate).  Wall-clock figures are recorded alongside but never gated across
+//! and machine-independent) against the last matching record in the
+//! trajectory file and exits nonzero on a >20 % regression (the CI gate);
+//! each backend gates against its own field (`serve_virtual_rps` vs
+//! `serve_ana_virtual_rps`) so the matrix legs never cross-contaminate.
+//! Wall-clock figures are recorded alongside but never gated across
 //! machines.
 
 use std::process::ExitCode;
@@ -19,8 +29,9 @@ use std::time::Instant;
 use aim_bench::{append_bench_record, last_bench_value};
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::{DispatchPolicy, ServeConfig, ServeReport, ServeRuntime};
+use pim_sim::backend::BackendKind;
 use serde::Serialize;
-use workloads::inputs::{synthetic_trace, TrafficConfig};
+use workloads::inputs::{synthetic_trace, ArrivalShape, TrafficConfig};
 use workloads::zoo::Model;
 
 #[derive(Serialize)]
@@ -58,6 +69,37 @@ struct ServeSmokeRecord {
     serve_deterministic: bool,
 }
 
+/// Trajectory record of an analytical-backend leg (`--backend analytical`).
+/// Field names are disjoint from the cycle-accurate record so the textual
+/// `last_bench_value` scan gates each backend against its own history.
+#[derive(Serialize)]
+struct AnalyticalSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_ana_chips: usize,
+    serve_ana_requests: usize,
+    /// One-time calibration cost of the analytical plan views, ms.
+    serve_ana_calibrate_ms: f64,
+    /// Wall-clock ms of one analytical trace replay (best of `REPS`).
+    serve_ana_wall_ms: f64,
+    /// Wall-clock ms of one cycle-accurate replay of the same trace on the
+    /// same fleet (best of `REPS`) — the speedup baseline.
+    serve_ana_baseline_wall_ms: f64,
+    /// Analytical replay speedup over the cycle-accurate fleet.
+    serve_ana_speedup: f64,
+    /// Served requests per second of virtual chip time under the analytical
+    /// fleet (regression-gated).
+    serve_ana_virtual_rps: f64,
+    /// Sampled-verification drift versus the calibrated error bound.
+    serve_ana_verified_groups: usize,
+    serve_ana_drift_mean: f64,
+    serve_ana_drift_max: f64,
+    serve_ana_error_bound: f64,
+    serve_ana_within_bound: bool,
+    serve_ana_deterministic: bool,
+}
+
 const REPS: usize = 3;
 
 /// The served zoo: per-model operator strides keep the one-time compile cost
@@ -82,6 +124,71 @@ fn compile_zoo() -> Vec<CompiledPlan> {
         .collect()
 }
 
+fn serve_config(chips: usize) -> ServeConfig {
+    ServeConfig {
+        chips,
+        max_batch: 8,
+        batch_window_cycles: 30_000,
+        reload_cycles_per_slice: 64,
+        dispatch: DispatchPolicy::LeastLoaded,
+        admission: None,
+        parallel: true,
+        seed: 0xC0FFEE,
+        ..ServeConfig::default()
+    }
+}
+
+fn smoke_trace(models: usize) -> Vec<workloads::inputs::TraceRequest> {
+    synthetic_trace(&TrafficConfig {
+        requests: 192,
+        models,
+        mean_interarrival_cycles: 3_000.0,
+        burst_repeat_prob: 0.65,
+        deadline_slack_cycles: 2_000_000,
+        shape: ArrivalShape::BurstyExponential,
+        seed: 0x77ACE,
+    })
+}
+
+/// Replays `trace` `REPS` times; returns the last report, the best wall
+/// time (ms) and whether all reports were byte-identical.
+fn bench_serve(
+    runtime: &ServeRuntime,
+    trace: &[workloads::inputs::TraceRequest],
+) -> (ServeReport, f64, bool) {
+    let mut wall_ms = f64::INFINITY;
+    let mut reports: Vec<ServeReport> = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = runtime.serve(trace);
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        reports.push(report);
+    }
+    let report = reports.pop().expect("at least one rep");
+    let deterministic = reports
+        .iter()
+        .all(|r| serde_json::to_string(r).ok() == serde_json::to_string(&report).ok());
+    (report, wall_ms, deterministic)
+}
+
+fn regression_gate(label: &str, current: f64, previous: Option<f64>) -> Result<(), String> {
+    if let Some(prev) = previous {
+        let floor = 0.8 * prev;
+        if current < floor {
+            return Err(format!(
+                "{label} regressed >20 %: {current:.0} req/s vs previous {prev:.0} req/s"
+            ));
+        }
+        println!(
+            "  regression check   : ok ({label} {current:.0} req/s >= 80 % of previous {prev:.0} req/s)"
+        );
+    } else {
+        println!("  regression check   : no previous {label} record, baseline established");
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let label = args
@@ -90,51 +197,36 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "run".to_string());
     let check_regression = args.iter().any(|a| a == "--check-regression");
+    let backend = match args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1).map(String::as_str))
+    {
+        None | Some("cycle-accurate") => BackendKind::CycleAccurate,
+        Some("analytical") => BackendKind::Analytical,
+        Some(other) => {
+            eprintln!("error: unknown --backend {other} (use cycle-accurate|analytical)");
+            return ExitCode::FAILURE;
+        }
+    };
     // Read the trajectory *before* appending this run's record.  The gate
     // compares *virtual* throughput — a pure function of the scheduler and
     // the simulated fleet, byte-identical across hosts — so a slower CI
     // runner cannot trip it and a faster one cannot mask a real scheduling
-    // regression.  Wall-clock figures are recorded for the trajectory but
-    // never gated across machines.
+    // regression.
     let previous_rps = last_bench_value("serve_virtual_rps");
+    let previous_ana_rps = last_bench_value("serve_ana_virtual_rps");
 
     let compile_start = Instant::now();
     let plans = compile_zoo();
     let serve_compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
     let serve_models = plans.len();
 
-    let config = ServeConfig {
-        chips: 8,
-        max_batch: 8,
-        batch_window_cycles: 30_000,
-        reload_cycles_per_slice: 64,
-        dispatch: DispatchPolicy::LeastLoaded,
-        admission: None,
-        parallel: true,
-        seed: 0xC0FFEE,
-    };
-    let runtime = ServeRuntime::from_plans(plans, config);
-    let trace = synthetic_trace(&TrafficConfig {
-        requests: 192,
-        models: serve_models,
-        mean_interarrival_cycles: 3_000.0,
-        burst_repeat_prob: 0.65,
-        deadline_slack_cycles: 2_000_000,
-        seed: 0x77ACE,
-    });
+    let config = serve_config(8);
+    let runtime = ServeRuntime::from_plans(plans.clone(), config);
+    let trace = smoke_trace(serve_models);
 
-    let mut serve_wall_ms = f64::INFINITY;
-    let mut reports: Vec<ServeReport> = Vec::new();
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let report = runtime.serve(&trace);
-        serve_wall_ms = serve_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        reports.push(report);
-    }
-    let report = reports.pop().expect("at least one rep");
-    let deterministic = reports
-        .iter()
-        .all(|r| serde_json::to_string(r).ok() == serde_json::to_string(&report).ok());
+    let (report, serve_wall_ms, deterministic) = bench_serve(&runtime, &trace);
 
     let mean_utilization = if report.per_chip.is_empty() {
         0.0
@@ -142,7 +234,7 @@ fn main() -> ExitCode {
         report.per_chip.iter().map(|c| c.utilization).sum::<f64>() / report.per_chip.len() as f64
     };
     let record = ServeSmokeRecord {
-        label,
+        label: label.clone(),
         unix_time_s: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs()),
@@ -164,7 +256,7 @@ fn main() -> ExitCode {
         serve_deterministic: deterministic,
     };
 
-    println!("serve_smoke [{}]", record.label);
+    println!("serve_smoke [{}] (cycle-accurate fleet)", record.label);
     println!(
         "  zoo                : {} models compiled in {:.0} ms (one-time)",
         record.serve_models, record.serve_compile_ms
@@ -195,22 +287,126 @@ fn main() -> ExitCode {
         eprintln!("error: repeated replays diverged — determinism contract broken");
         return ExitCode::FAILURE;
     }
-    if check_regression {
-        if let Some(prev) = previous_rps {
-            let floor = 0.8 * prev;
-            if record.serve_virtual_rps < floor {
-                eprintln!(
-                    "error: virtual serve throughput regressed >20 %: {:.0} req/s vs previous {:.0} req/s",
-                    record.serve_virtual_rps, prev
-                );
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "  regression check   : ok (virtual {:.0} req/s >= 80 % of previous {:.0} req/s)",
-                record.serve_virtual_rps, prev
-            );
+    if check_regression && backend == BackendKind::CycleAccurate {
+        if let Err(msg) =
+            regression_gate("serve_virtual_rps", record.serve_virtual_rps, previous_rps)
+        {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if backend != BackendKind::Analytical {
+        return ExitCode::SUCCESS;
+    }
+
+    // --- analytical leg ----------------------------------------------------
+    // The timed fleet runs verification-free: that is the production fast
+    // path (every replay a cached calibrated prediction), and it keeps the
+    // speedup gate independent of how well the host parallelises the
+    // verification replays.  A separate untimed run with sampled
+    // verification on supplies the drift-vs-bound figures.
+    let ana_config = ServeConfig {
+        backend: BackendKind::Analytical,
+        audit_chips: 0,
+        verify_every: 0,
+        ..config
+    };
+    let calibrate_start = Instant::now();
+    let mut ana_runtime = ServeRuntime::from_plans(plans, ana_config);
+    let serve_ana_calibrate_ms = calibrate_start.elapsed().as_secs_f64() * 1e3;
+    let (ana_report, serve_ana_wall_ms, ana_deterministic) = bench_serve(&ana_runtime, &trace);
+    // The drift run reuses the already-calibrated plan views — only the
+    // sampling cadence changes.
+    ana_runtime.set_verify_every(16);
+    let verification = ana_runtime
+        .serve(&trace)
+        .verification
+        .expect("analytical fleet reports verification stats");
+    let speedup = serve_wall_ms / serve_ana_wall_ms;
+
+    let ana_record = AnalyticalSmokeRecord {
+        label,
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_ana_chips: ana_report.chips,
+        serve_ana_requests: ana_report.total_requests,
+        serve_ana_calibrate_ms,
+        serve_ana_wall_ms,
+        serve_ana_baseline_wall_ms: serve_wall_ms,
+        serve_ana_speedup: speedup,
+        serve_ana_virtual_rps: ana_report.throughput_rps,
+        serve_ana_verified_groups: verification.sampled,
+        serve_ana_drift_mean: verification.mean_cycle_drift,
+        serve_ana_drift_max: verification.max_cycle_drift,
+        serve_ana_error_bound: verification.error_bound,
+        serve_ana_within_bound: verification.within_bound,
+        serve_ana_deterministic: ana_deterministic,
+    };
+
+    println!();
+    println!(
+        "serve_smoke [{}] (analytical fleet, {} analytical chips)",
+        ana_record.label, ana_report.analytical_chips
+    );
+    println!(
+        "  calibration        : {:.0} ms one-time ({} plans)",
+        ana_record.serve_ana_calibrate_ms,
+        ana_runtime.plans().len()
+    );
+    println!(
+        "  replay wall        : {:.1} ms analytical vs {:.1} ms cycle-accurate  ({:.1}x speedup)",
+        ana_record.serve_ana_wall_ms, ana_record.serve_ana_baseline_wall_ms, speedup
+    );
+    println!(
+        "  virtual throughput : {:>9.0} req/s (cycle-accurate fleet: {:.0})",
+        ana_record.serve_ana_virtual_rps, record.serve_virtual_rps
+    );
+    println!(
+        "  verification       : {} groups sampled, drift mean {:.4} max {:.4}, bound {:.4} ({})",
+        ana_record.serve_ana_verified_groups,
+        ana_record.serve_ana_drift_mean,
+        ana_record.serve_ana_drift_max,
+        ana_record.serve_ana_error_bound,
+        if ana_record.serve_ana_within_bound {
+            "within bound"
         } else {
-            println!("  regression check   : no previous serve record, baseline established");
+            "EXCEEDED"
+        }
+    );
+    println!("  deterministic      : {ana_deterministic}");
+
+    append_bench_record(&ana_record);
+
+    if !ana_deterministic {
+        eprintln!("error: analytical replays diverged — determinism contract broken");
+        return ExitCode::FAILURE;
+    }
+    if !ana_record.serve_ana_within_bound {
+        eprintln!(
+            "error: sampled verification drift {:.4} exceeds the calibrated bound {:.4}",
+            ana_record.serve_ana_drift_max, ana_record.serve_ana_error_bound
+        );
+        return ExitCode::FAILURE;
+    }
+    if speedup < 10.0 {
+        eprintln!(
+            "error: analytical replay speedup {speedup:.1}x below the 10x target \
+             ({serve_ana_wall_ms:.1} ms vs {serve_wall_ms:.1} ms)",
+            serve_ana_wall_ms = ana_record.serve_ana_wall_ms,
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(
+            "serve_ana_virtual_rps",
+            ana_record.serve_ana_virtual_rps,
+            previous_ana_rps,
+        ) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

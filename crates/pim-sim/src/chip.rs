@@ -20,18 +20,15 @@
 //! provides mechanisms (droop, monitoring, stalls, recompute, accounting),
 //! the controller provides policy (which V-f pair to run).
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use ir_model::irdrop::IrDropModel;
-use ir_model::monitor::IrMonitor;
 use ir_model::power::PowerModel;
 use ir_model::process::ProcessParams;
 use ir_model::timing::TimingModel;
 use ir_model::vf::VfPair;
 
+use crate::backend::{CycleAccurate, ExecutionBackend};
 use crate::group::{group_of, GroupId, MacroId, MacroSet, SetId};
 use crate::stream::FlipSequence;
 
@@ -279,21 +276,28 @@ impl RunReport {
 }
 
 /// The chip simulator: geometry, tasks and per-macro runtime state.
+///
+/// The simulator itself is pure mechanism description (tasks, sets,
+/// electrical models); *how* a run is evaluated is the job of an
+/// [`ExecutionBackend`](crate::backend::ExecutionBackend) — the per-cycle
+/// engine ([`CycleAccurate`]) or the calibrated closed-form fast path
+/// ([`crate::backend::AnalyticalBackend`]).  [`Self::run`] keeps the
+/// historical cycle-accurate behaviour.
 #[derive(Debug, Clone)]
 pub struct ChipSimulator {
-    config: ChipConfig,
-    tasks: Vec<Option<MacroTask>>,
-    sets: Vec<MacroSet>,
+    pub(crate) config: ChipConfig,
+    pub(crate) tasks: Vec<Option<MacroTask>>,
+    pub(crate) sets: Vec<MacroSet>,
     /// For each macro, the index into `sets` of its task's logical set
     /// (`None` for idle macros).  Replaces the per-failure linear scan over
     /// `sets` in the hot loop.
-    set_index: Vec<Option<usize>>,
+    pub(crate) set_index: Vec<Option<usize>>,
     /// Flat macro id → group id, precomputed so the hot loop never divides.
-    macro_group: Vec<GroupId>,
-    flip_sequences: Vec<FlipSequence>,
-    irdrop: IrDropModel,
-    power: PowerModel,
-    timing: TimingModel,
+    pub(crate) macro_group: Vec<GroupId>,
+    pub(crate) flip_sequences: Vec<FlipSequence>,
+    pub(crate) irdrop: IrDropModel,
+    pub(crate) power: PowerModel,
+    pub(crate) timing: TimingModel,
 }
 
 /// Reusable per-run state of [`ChipSimulator::run`].
@@ -306,19 +310,19 @@ pub struct ChipSimulator {
 /// [`ChipSimulator::run_with_scratch`].
 #[derive(Debug, Clone)]
 pub struct SimScratch {
-    rtog: Vec<f64>,
-    busy: Vec<bool>,
-    remaining: Vec<u64>,
-    penalty_until: Vec<u64>,
-    stall_until: Vec<u64>,
-    points: Vec<VfPair>,
-    observations: Vec<GroupObservation>,
-    decisions: Vec<ControllerDecision>,
+    pub(crate) rtog: Vec<f64>,
+    pub(crate) busy: Vec<bool>,
+    pub(crate) remaining: Vec<u64>,
+    pub(crate) penalty_until: Vec<u64>,
+    pub(crate) stall_until: Vec<u64>,
+    pub(crate) points: Vec<VfPair>,
+    pub(crate) observations: Vec<GroupObservation>,
+    pub(crate) decisions: Vec<ControllerDecision>,
     /// Per group: the frequency the monitor threshold was last derived for
     /// and the corresponding `timing.vmin`.  Operating points change rarely
     /// relative to the cycle rate, so this removes the 80-step `vmin`
     /// bisection from almost every cycle.
-    vmin_cache: Vec<(f64, f64)>,
+    pub(crate) vmin_cache: Vec<(f64, f64)>,
 }
 
 impl SimScratch {
@@ -339,7 +343,7 @@ impl SimScratch {
     }
 
     /// Re-initialises the scratch for a fresh run of `sim`.
-    fn reset(&mut self, sim: &ChipSimulator) {
+    pub(crate) fn reset(&mut self, sim: &ChipSimulator) {
         let total = sim.config.params.total_macros();
         let groups = sim.config.params.macro_groups;
         assert_eq!(self.rtog.len(), total, "scratch geometry mismatch (macros)");
@@ -367,7 +371,12 @@ impl SimScratch {
     /// Monitor threshold voltage for group `g` at `frequency_ghz`, recomputed
     /// only when the group's frequency actually changed.
     #[inline]
-    fn vmin_threshold(&mut self, g: usize, frequency_ghz: f64, timing: &TimingModel) -> f64 {
+    pub(crate) fn vmin_threshold(
+        &mut self,
+        g: usize,
+        frequency_ghz: f64,
+        timing: &TimingModel,
+    ) -> f64 {
         let (cached_f, cached_v) = self.vmin_cache[g];
         if cached_f == frequency_ghz {
             return cached_v;
@@ -412,6 +421,25 @@ impl SimSession {
         controller: &mut dyn VfController,
         max_cycles: u64,
     ) -> RunReport {
+        self.run_with_backend(&CycleAccurate, sim, controller, max_cycles)
+    }
+
+    /// Runs `sim` through an explicit [`ExecutionBackend`], reusing this
+    /// session's scratch buffers.  `run_with_backend(&CycleAccurate, ..)` is
+    /// exactly [`Self::run`]; an analytical backend ignores the scratch but
+    /// still counts towards the session's run statistics (its predicted
+    /// cycles are accumulated as simulated cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller returns the wrong number of decisions.
+    pub fn run_with_backend(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        sim: &ChipSimulator,
+        controller: &mut dyn VfController,
+        max_cycles: u64,
+    ) -> RunReport {
         let total = sim.config.params.total_macros();
         let groups = sim.config.params.macro_groups;
         let fits = self
@@ -422,7 +450,7 @@ impl SimSession {
             self.scratch = Some(SimScratch::new(total, groups));
         }
         let scratch = self.scratch.as_mut().expect("scratch ensured above");
-        let report = sim.run_with_scratch(controller, max_cycles, scratch);
+        let report = backend.run_with_scratch(sim, controller, max_cycles, scratch);
         self.runs += 1;
         self.simulated_cycles += report.total_cycles;
         report
@@ -573,6 +601,10 @@ impl ChipSimulator {
     /// performs no heap allocation, so repeated runs (sweeps, annealing,
     /// benches) reuse one set of buffers.
     ///
+    /// The per-cycle engine itself lives in the [`CycleAccurate`] backend
+    /// (`crate::backend`); this method is the stable convenience entry point
+    /// and is bit-identical to the pre-backend implementation.
+    ///
     /// # Panics
     ///
     /// Panics if the controller returns the wrong number of decisions or the
@@ -583,234 +615,7 @@ impl ChipSimulator {
         max_cycles: u64,
         scratch: &mut SimScratch,
     ) -> RunReport {
-        let params = &self.config.params;
-        let total_macros = params.total_macros();
-        let groups = params.macro_groups;
-        let mpg = params.macros_per_group;
-        let margin = self.config.failure_margin_v;
-
-        scratch.reset(self);
-        let mut unfinished = scratch.remaining.iter().filter(|&&r| r > 0).count();
-
-        let mut monitor = IrMonitor::new(params);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x5EED);
-
-        let mut report = RunReport {
-            per_macro_stall_cycles: vec![0; total_macros],
-            ..RunReport::default()
-        };
-        let mut power_accum = 0.0f64;
-        let mut power_samples = 0u64;
-        let mut droop_accum = 0.0f64;
-        let mut droop_samples = 0u64;
-        let mut freq_weighted_useful = 0.0f64;
-
-        let mut cycle: u64 = 0;
-        while cycle < max_cycles && unfinished > 0 {
-            // --- per-macro activity this cycle ---------------------------------
-            scratch.rtog.fill(0.0);
-            for m in 0..total_macros {
-                if scratch.remaining[m] == 0 {
-                    scratch.busy[m] = false;
-                    report.idle_macro_cycles += 1;
-                    continue;
-                }
-                scratch.busy[m] = true;
-                // A macro that is recomputing (V-f adjustment) or stalled by a
-                // set mate is not streaming inputs, so its bitstreams do not
-                // toggle this cycle.
-                if cycle < scratch.penalty_until[m] || cycle < scratch.stall_until[m] {
-                    continue;
-                }
-                let task = self.tasks[m].as_ref().expect("busy macro must have a task");
-                let flip = self.flip_sequences[m].at(cycle);
-                // Input-determined operators have no offline HR; their
-                // runtime toggle behaviour is still bounded by the actual
-                // operand Hamming rate, modelled with a small jitter.
-                let hr = if task.input_determined {
-                    (task.weight_hr + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0)
-                } else {
-                    task.weight_hr
-                };
-                scratch.rtog[m] = (hr * flip).clamp(0.0, 1.0);
-            }
-
-            // --- group-level droop, monitoring and failure handling ------------
-            scratch.observations.clear();
-            let mut worst_droop_this_cycle = 0.0f64;
-            for g in 0..groups {
-                let point = scratch.points[g];
-                let members = (g * mpg)..((g + 1) * mpg);
-                let mut group_active = false;
-                let mut worst_macro = None;
-                let mut worst_droop = 0.0f64;
-                for m in members.clone() {
-                    if !scratch.busy[m] {
-                        continue;
-                    }
-                    group_active = true;
-                    let droop =
-                        self.irdrop
-                            .irdrop_mv(scratch.rtog[m], point.voltage, point.frequency_ghz);
-                    droop_accum += droop;
-                    droop_samples += 1;
-                    if droop > worst_droop {
-                        worst_droop = droop;
-                        worst_macro = Some(m);
-                    }
-                }
-                report.worst_irdrop_mv = report.worst_irdrop_mv.max(worst_droop);
-                worst_droop_this_cycle = worst_droop_this_cycle.max(worst_droop);
-
-                // The monitor threshold tracks the group's current frequency,
-                // minus the configured setup margin.  The vmin bisection only
-                // reruns when the group's frequency actually changed.
-                monitor.set_threshold(
-                    scratch.vmin_threshold(g, point.frequency_ghz, &self.timing) - margin,
-                );
-                let v_eff = point.voltage - worst_droop * 1e-3;
-                let failure = group_active && monitor.is_failure(v_eff);
-                if failure {
-                    report.failures += 1;
-                    if let Some(fm) = worst_macro {
-                        let until = cycle + self.config.recompute_penalty_cycles;
-                        scratch.penalty_until[fm] = scratch.penalty_until[fm].max(until);
-                        // Stall every other member of the failing macro's set
-                        // (partial sums must stay consistent, Fig. 11)...
-                        if let Some(set_idx) = self.set_index[fm] {
-                            for &mate in &self.sets[set_idx].members {
-                                if mate != fm && scratch.remaining[mate] > 0 {
-                                    scratch.stall_until[mate] =
-                                        scratch.stall_until[mate].max(until);
-                                }
-                            }
-                        }
-                        // ...and every other macro of the failing group: the
-                        // group shares one LDO/PLL, so its V-f re-adjustment
-                        // pauses all of them — the interference that makes
-                        // mixing unrelated tasks in one group expensive.
-                        for mate in g * mpg..(g + 1) * mpg {
-                            if mate != fm && scratch.remaining[mate] > 0 {
-                                scratch.stall_until[mate] = scratch.stall_until[mate].max(until);
-                            }
-                        }
-                    }
-                }
-
-                // Worst offline-known HR for the controller's safe-level logic.
-                let mut worst_known: Option<f64> = None;
-                let mut unknown = false;
-                for m in members {
-                    if !scratch.busy[m] {
-                        continue;
-                    }
-                    let task = self.tasks[m].as_ref().expect("busy macro must have a task");
-                    if task.input_determined {
-                        unknown = true;
-                    } else {
-                        worst_known = Some(
-                            worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)),
-                        );
-                    }
-                }
-                scratch.observations.push(GroupObservation {
-                    group: g,
-                    failure,
-                    active: group_active,
-                    worst_known_hr: if unknown { None } else { worst_known },
-                    point,
-                });
-            }
-
-            // --- progress, power and accounting ---------------------------------
-            for m in 0..total_macros {
-                if !scratch.busy[m] {
-                    continue;
-                }
-                let point = scratch.points[self.macro_group[m]];
-                let in_penalty = cycle < scratch.penalty_until[m];
-                let in_stall = cycle < scratch.stall_until[m];
-                let (toggle, progressed) = if in_penalty || in_stall {
-                    (0.0, false)
-                } else {
-                    (scratch.rtog[m], true)
-                };
-                if progressed {
-                    scratch.remaining[m] -= 1;
-                    if scratch.remaining[m] == 0 {
-                        unfinished -= 1;
-                    }
-                    report.useful_macro_cycles += 1;
-                    freq_weighted_useful += point.frequency_ghz;
-                } else if in_penalty {
-                    report.recompute_macro_cycles += 1;
-                } else {
-                    report.stall_macro_cycles += 1;
-                    report.per_macro_stall_cycles[m] += 1;
-                }
-                let p = self
-                    .power
-                    .macro_power(toggle, point.voltage, point.frequency_ghz, true);
-                power_accum += p.total_mw();
-                power_samples += 1;
-            }
-
-            // --- optional trace --------------------------------------------------
-            if self.config.trace_interval > 0 && cycle.is_multiple_of(self.config.trace_interval) {
-                let macro_voltage: Vec<f64> = self
-                    .macro_group
-                    .iter()
-                    .map(|&g| scratch.points[g].voltage)
-                    .collect();
-                let macro_frequency: Vec<f64> = self
-                    .macro_group
-                    .iter()
-                    .map(|&g| scratch.points[g].frequency_ghz)
-                    .collect();
-                report.trace.push(TraceSample {
-                    cycle,
-                    macro_rtog: scratch.rtog.clone(),
-                    macro_voltage,
-                    macro_frequency_ghz: macro_frequency,
-                    worst_droop_mv: worst_droop_this_cycle,
-                });
-            }
-
-            // --- controller decides the next cycle's operating points ------------
-            scratch.decisions.clear();
-            controller.decide_into(cycle, &scratch.observations, &mut scratch.decisions);
-            assert_eq!(
-                scratch.decisions.len(),
-                groups,
-                "controller must return one decision per group"
-            );
-            for (g, d) in scratch.decisions.iter().enumerate() {
-                scratch.points[g] = d.point;
-            }
-
-            cycle += 1;
-        }
-
-        report.total_cycles = cycle;
-        report.avg_macro_power_mw = if power_samples == 0 {
-            0.0
-        } else {
-            power_accum / power_samples as f64
-        };
-        report.mean_irdrop_mv = if droop_samples == 0 {
-            0.0
-        } else {
-            droop_accum / droop_samples as f64
-        };
-        // Effective TOPS: useful macro-cycles at their actual frequencies,
-        // spread over the wall-clock cycles of the run and all macros.
-        let denom = (cycle as f64) * total_macros as f64;
-        report.effective_tops = if denom > 0.0 {
-            params.peak_tops() * (freq_weighted_useful / params.nominal_frequency_ghz) / denom
-        } else {
-            0.0
-        };
-        report
+        CycleAccurate.run_with_scratch(self, controller, max_cycles, scratch)
     }
 }
 

@@ -19,6 +19,15 @@
 //!   IR-Booster in the `aim-core` crate), stall/recompute bookkeeping, energy
 //!   and effective-TOPS accounting all happen per cycle.
 //!
+//! *How* a chip run is evaluated is pluggable ([`backend`]): the per-cycle
+//! engine is the [`backend::CycleAccurate`] implementation of
+//! [`backend::ExecutionBackend`] (the default everywhere — every golden
+//! figure is produced by it), and [`backend::AnalyticalBackend`] is a
+//! calibrated closed-form fast path whose coefficients are fitted from
+//! cycle-accurate probe runs and which self-reports an error bound —
+//! the seam serving fleets, capacity studies and future chip models
+//! (e.g. the APIM adder-tree design) plug into.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apim;
+pub mod backend;
 pub mod bank;
 pub mod chip;
 pub mod compensator;
@@ -43,6 +53,7 @@ pub mod group;
 pub mod pim_macro;
 pub mod stream;
 
+pub use backend::{AnalyticalBackend, BackendKind, Calibration, CycleAccurate, ExecutionBackend};
 pub use bank::{Bank, MacResult};
 pub use chip::{ChipConfig, ChipSimulator, MacroTask, RunReport, StaticController, VfController};
 pub use compensator::ShiftCompensator;

@@ -110,6 +110,29 @@ pub struct TraceRequest {
     pub deadline_cycles: u64,
 }
 
+/// Arrival-process shape of a synthetic serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalShape {
+    /// Exponential inter-arrival gaps plus per-model burst runs
+    /// (`burst_repeat_prob`) — the original serving-trace shape, byte-stable
+    /// across releases.
+    BurstyExponential,
+    /// A memoryless Poisson process: exponential gaps, every request's model
+    /// drawn independently and uniformly (`burst_repeat_prob` is ignored) —
+    /// the classic open-loop arrival model.
+    Poisson,
+    /// Exponential gaps whose instantaneous rate swings sinusoidally around
+    /// the configured mean — the diurnal day/night wave of production
+    /// traffic.  Model choice keeps the bursty repeat behaviour.
+    DiurnalWave {
+        /// Length of one rate-wave period (cycles of virtual time).
+        period_cycles: u64,
+        /// Relative swing in `[0, 1)`: the instantaneous arrival rate is
+        /// `base × (1 + amplitude × sin(2π t / period))`.
+        amplitude: f64,
+    },
+}
+
 /// Shape of a synthetic serving-traffic trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrafficConfig {
@@ -125,6 +148,8 @@ pub struct TrafficConfig {
     pub burst_repeat_prob: f64,
     /// Deadline slack granted to each request past its arrival (cycles).
     pub deadline_slack_cycles: u64,
+    /// Arrival-process shape.
+    pub shape: ArrivalShape,
     /// Seed of the trace stream.
     pub seed: u64,
 }
@@ -137,14 +162,16 @@ impl Default for TrafficConfig {
             mean_interarrival_cycles: 4_000.0,
             burst_repeat_prob: 0.6,
             deadline_slack_cycles: 100_000,
+            shape: ArrivalShape::BurstyExponential,
             seed: 0x5E21E,
         }
     }
 }
 
-/// Generates a synthetic serving trace: Poisson-like arrivals (exponential
-/// inter-arrival times), bursty per-model request runs, fixed deadline slack.
-/// Requests come back sorted by arrival time.  Deterministic per seed.
+/// Generates a synthetic serving trace with the configured [`ArrivalShape`]:
+/// bursty-exponential (the original behaviour, byte-identical per seed),
+/// memoryless Poisson, or a diurnal rate wave.  Requests come back sorted by
+/// arrival time.  Deterministic per `(shape, seed)`.
 ///
 /// # Panics
 ///
@@ -158,11 +185,32 @@ pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
     (0..config.requests)
         .map(|_| {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let gap = (-u.ln() * config.mean_interarrival_cycles).round();
+            // The RNG draw order of the BurstyExponential arm is frozen:
+            // committed serving benchmarks replay its traces by seed.
+            let gap = match config.shape {
+                ArrivalShape::BurstyExponential | ArrivalShape::Poisson => {
+                    (-u.ln() * config.mean_interarrival_cycles).round()
+                }
+                ArrivalShape::DiurnalWave {
+                    period_cycles,
+                    amplitude,
+                } => {
+                    let period = period_cycles.max(1) as f64;
+                    let swing = amplitude.clamp(0.0, 0.99);
+                    let phase = 2.0 * std::f64::consts::PI * (arrival as f64 / period);
+                    let rate = 1.0 + swing * phase.sin();
+                    (-u.ln() * config.mean_interarrival_cycles / rate).round()
+                }
+            };
             arrival = arrival.saturating_add(gap as u64);
-            let model = match previous_model {
-                Some(m) if rng.gen_range(0.0..1.0) < config.burst_repeat_prob => m,
-                _ => rng.gen_range(0..config.models),
+            let model = match config.shape {
+                ArrivalShape::Poisson => rng.gen_range(0..config.models),
+                ArrivalShape::BurstyExponential | ArrivalShape::DiurnalWave { .. } => {
+                    match previous_model {
+                        Some(m) if rng.gen_range(0.0..1.0) < config.burst_repeat_prob => m,
+                        _ => rng.gen_range(0..config.models),
+                    }
+                }
             };
             previous_model = Some(model);
             TraceRequest {
@@ -298,6 +346,93 @@ mod tests {
             (mean - 1_000.0).abs() < 100.0,
             "empirical inter-arrival mean {mean} too far from 1000"
         );
+    }
+
+    #[test]
+    fn poisson_shape_ignores_burst_correlation() {
+        let repeats = |shape: ArrivalShape| -> usize {
+            let trace = synthetic_trace(&TrafficConfig {
+                requests: 2_000,
+                burst_repeat_prob: 0.9,
+                shape,
+                ..TrafficConfig::default()
+            });
+            trace
+                .windows(2)
+                .filter(|w| w[0].model == w[1].model)
+                .count()
+        };
+        let bursty = repeats(ArrivalShape::BurstyExponential);
+        let poisson = repeats(ArrivalShape::Poisson);
+        // With 4 models, memoryless choice repeats ~25 % of the time; a 0.9
+        // repeat probability pushes the bursty trace far above that.
+        assert!(
+            poisson < 700 && bursty > 1_500,
+            "poisson {poisson} vs bursty {bursty}"
+        );
+    }
+
+    #[test]
+    fn poisson_interarrival_follows_the_configured_mean() {
+        let trace = synthetic_trace(&TrafficConfig {
+            requests: 5_000,
+            mean_interarrival_cycles: 1_000.0,
+            shape: ArrivalShape::Poisson,
+            ..TrafficConfig::default()
+        });
+        let span = trace.last().unwrap().arrival_cycles - trace[0].arrival_cycles;
+        let mean = span as f64 / (trace.len() - 1) as f64;
+        assert!((mean - 1_000.0).abs() < 100.0, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_wave_concentrates_arrivals_at_the_peak() {
+        let period = 1_000_000u64;
+        let trace = synthetic_trace(&TrafficConfig {
+            requests: 8_000,
+            mean_interarrival_cycles: 500.0,
+            shape: ArrivalShape::DiurnalWave {
+                period_cycles: period,
+                amplitude: 0.8,
+            },
+            ..TrafficConfig::default()
+        });
+        // Count arrivals in the rising half-wave (rate > base) vs the
+        // falling half-wave of each period.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for r in &trace {
+            if (r.arrival_cycles % period) < period / 2 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "the wave must modulate arrival density (peak {peak}, trough {trough})"
+        );
+        assert!(trace
+            .windows(2)
+            .all(|w| w[0].arrival_cycles <= w[1].arrival_cycles));
+    }
+
+    #[test]
+    fn all_shapes_are_deterministic_per_seed() {
+        for shape in [
+            ArrivalShape::BurstyExponential,
+            ArrivalShape::Poisson,
+            ArrivalShape::DiurnalWave {
+                period_cycles: 50_000,
+                amplitude: 0.5,
+            },
+        ] {
+            let config = TrafficConfig {
+                requests: 300,
+                shape,
+                ..TrafficConfig::default()
+            };
+            assert_eq!(synthetic_trace(&config), synthetic_trace(&config));
+        }
     }
 
     #[test]
