@@ -1,48 +1,78 @@
-//! # aim-serve — multi-chip serving runtime over the AIM pipeline
+//! # aim-serve — online multi-chip serving over the AIM pipeline
 //!
 //! The paper's evaluation runs one model end-to-end on one simulated chip;
 //! this crate amortises that fast core across heavy concurrent traffic.  A
 //! [`ServeRuntime`] owns one [`aim_core::pipeline::CompiledPlan`] per served
-//! model (the compile-once half of the pipeline: QAT ± LHR, WDS, segmentation
-//! and task-to-macro mapping) and a fleet of simulated chips, and replays a
-//! request trace through them:
+//! model (the compile-once half of the pipeline: QAT ± LHR, WDS,
+//! segmentation and task-to-macro mapping) and a fleet of simulated chips.
+//! Traffic enters through an **event-driven [`session::ServeSession`]** —
+//! the crate's front door:
 //!
-//! 1. **Dynamic batching** ([`scheduler::form_groups`]) — consecutive
-//!    same-model requests arriving within a batching window coalesce into one
-//!    group, up to `max_batch`.  A group streams its inputs through macros
-//!    already loaded with the model's weights, so batching amortises the
-//!    weight-reload cost a model switch charges.
-//! 2. **Dispatch + admission control** ([`scheduler::dispatch`]) — groups go
-//!    to chips round-robin or least-loaded, using the plan's deterministic
-//!    compile-time cycle estimate; a configurable backlog cap rejects work
-//!    that would queue too deep.
-//! 3. **Execution** — each chip worker runs on a rayon scoped thread, pulling
-//!    its assigned groups in dispatch order and executing them through one
-//!    reusable [`pim_sim::chip::SimSession`] (the allocation-free serving hot
-//!    path).  Fleets choose their execution backend
+//! ```no_run
+//! use aim_serve::prelude::*;
+//! # fn traffic() -> Vec<TraceRequest> { Vec::new() }
+//! # fn runtime() -> ServeRuntime { unimplemented!() }
+//!
+//! let runtime = runtime();
+//! let mut session = runtime.session();
+//! for request in traffic() {
+//!     session.submit(request);                  // arrivals, one at a time
+//!     session.run_until(request.arrival_cycles); // step virtual time
+//!     for done in session.poll_completions() {   // stream outcomes
+//!         println!("request {} -> {:?}", done.request, done.status);
+//!     }
+//! }
+//! let report = session.drain();                  // final ServeReport
+//! ```
+//!
+//! 1. **Online batching** — each model holds one open batch; a request
+//!    joins its model's batch when it arrives within the batching window
+//!    (up to `max_batch`), so *interleaved* multi-model traffic batches
+//!    correctly — unlike the offline [`scheduler::form_groups`] scan, which
+//!    only coalesces consecutive same-model requests and survives as the
+//!    documented baseline.  A batch closes on window expiry, on filling up,
+//!    or the moment a latency-sensitive request joins it.
+//! 2. **SLO classes** ([`workloads::inputs::SloClass`] on every
+//!    [`workloads::inputs::TraceRequest`]) — `LatencySensitive` arrivals
+//!    close batch windows early and jump queued lower-class groups that
+//!    have not started; `BestEffort` rides at the back of the queue.
+//!    Admission control ([`scheduler::AdmissionConfig`]) holds each class
+//!    to its own backlog cap and bounces the rest.
+//! 3. **Deterministic dispatch** — groups pick chips (round-robin or
+//!    least-loaded) on the shared pre-execution [`scheduler::CostModel`];
+//!    scheduling never reads measured execution, which is what lets chip
+//!    workers fan out on rayon scoped threads while reports stay
+//!    byte-identical.  Fleets choose their execution backend
 //!    ([`runtime::ServeConfig::backend`]): cycle-accurate chips run the
-//!    per-cycle engine, analytical chips hand out their plan's calibrated
-//!    closed-form prediction ([`aim_core::analytical::AnalyticalPlan`],
-//!    replay-invariant, so each replay costs ~nothing).  Heterogeneous
-//!    fleets keep [`runtime::ServeConfig::audit_chips`] on the
-//!    cycle-accurate engine, and sampled verification
-//!    ([`runtime::ServeConfig::verify_every`]) replays every Nth analytical
-//!    group cycle-accurately, reporting drift vs the calibrated error bound
-//!    in [`report::VerificationStats`].  Admission control quotes the same
-//!    analytical cost source the analytical chips execute with.
-//! 4. **Accounting** ([`scheduler::timeline`], [`report::ServeReport`]) —
-//!    virtual-time start/finish per group, per-request latency percentiles
-//!    (p50/p95/p99), per-chip utilization, deadline misses, power and droop.
+//!    per-cycle engine through reusable [`pim_sim::chip::SimSession`]s,
+//!    analytical chips hand out their plan's calibrated closed-form
+//!    prediction ([`aim_core::analytical::AnalyticalPlan`]), audit chips
+//!    ([`runtime::ServeConfig::audit_chips`]) and sampled verification
+//!    ([`runtime::ServeConfig::verify_every`]) keep ground truth flowing.
+//! 4. **Streaming reports** — [`session::ServeSession::poll_completions`]
+//!    yields per-request [`session::RequestOutcome`]s as groups retire;
+//!    the final [`report::ServeReport`] (latency percentiles overall and
+//!    per SLO class, per-chip utilization, deadline misses, power/droop,
+//!    verification drift) is frozen from an incremental
+//!    [`report::ReportAccumulator`], which also
+//!    [`merge`](report::ReportAccumulator::merge)s across sharded sessions.
+//!
+//! The offline entry point survives as a thin wrapper:
+//! [`runtime::ServeRuntime::serve`] feeds the whole trace into a fresh
+//! session and drains it, so both paths share one scheduler.
 //!
 //! ## Determinism contract
 //!
-//! Everything the scheduler decides is derived from the trace, the serve
-//! seed and compile-time estimates — never from wall-clock time or thread
-//! interleaving.  A fixed `(trace, ServeConfig)` therefore produces a
-//! byte-identical [`report::ServeReport`] run over run, **independent of the
-//! worker-thread count**: `parallel: false` (one worker) and the full rayon
-//! fan-out return the same bytes.  `tests/properties.rs` pins this along
-//! with the no-request-lost and conservation invariants.
+//! Everything the scheduler decides is derived from the submission
+//! sequence, the serve seed and pre-execution cost estimates — never from
+//! wall-clock time, thread interleaving, or measured execution.  A fixed
+//! `(trace, ServeConfig)` therefore produces a byte-identical
+//! [`report::ServeReport`] run over run, **independent of the worker-thread
+//! count** and of how `run_until`/`poll_completions` calls interleave with
+//! submissions: `serve(&trace)`, submit-all-then-drain, and incremental
+//! stepping all return the same bytes.  `tests/properties.rs` and
+//! `tests/session_api.rs` pin this along with the no-request-lost,
+//! conservation and SLO-priority invariants.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -50,7 +80,24 @@
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+pub mod session;
 
-pub use report::{ChipServeStats, ServeReport, VerificationStats};
-pub use runtime::{ServeConfig, ServeRuntime};
+pub use report::{
+    ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
+};
+pub use runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};
+pub use session::{CompletionStatus, RequestOutcome, ServeSession};
+
+/// One-stop imports for serving code: the runtime, session, config builder,
+/// report types, and the workload-side request/SLO vocabulary.
+pub mod prelude {
+    pub use crate::report::{
+        ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
+    };
+    pub use crate::runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
+    pub use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy, RequestGroup};
+    pub use crate::session::{CompletionStatus, RequestOutcome, ServeSession};
+    pub use pim_sim::backend::BackendKind;
+    pub use workloads::inputs::{SloClass, TraceRequest};
+}

@@ -1,7 +1,13 @@
 //! The serializable outcome of one serving run: request accounting, latency
-//! percentiles, per-chip utilization and chip-level electrical aggregates.
+//! percentiles, per-chip and per-SLO-class splits, chip-level electrical
+//! aggregates — plus the incremental [`ReportAccumulator`] the event-driven
+//! session feeds group by group (and [`ReportAccumulator::merge`]s across
+//! sharded sessions) before freezing a [`ServeReport`].
 
 use serde::{Deserialize, Serialize};
+
+use aim_core::pipeline::PlanExecution;
+use workloads::inputs::SloClass;
 
 /// Drift statistics of the sampled-verification mode: every Nth request
 /// group executed on an analytical chip is additionally replayed through the
@@ -25,6 +31,26 @@ pub struct VerificationStats {
     /// plans carry different bounds).  `false` with `sampled == 0` means no
     /// analytical group got verified — never treat that as a pass.
     pub within_bound: bool,
+}
+
+/// Per-SLO-class serving statistics: the latency split that shows whether
+/// priority scheduling actually protected the latency-sensitive tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassServeStats {
+    /// The class the row describes.
+    pub class: SloClass,
+    /// Requests of this class in the trace.
+    pub total: usize,
+    /// Requests of this class executed to completion.
+    pub served: usize,
+    /// Requests of this class rejected by admission control.
+    pub rejected: usize,
+    /// Served requests of this class that finished past their deadline.
+    pub deadline_misses: usize,
+    /// Median served latency of the class (cycles).
+    pub latency_p50_cycles: u64,
+    /// 99th-percentile served latency of the class (cycles).
+    pub latency_p99_cycles: u64,
 }
 
 /// Per-chip serving statistics.
@@ -95,6 +121,9 @@ pub struct ServeReport {
     pub verification: Option<VerificationStats>,
     /// Per-chip statistics, indexed by chip id.
     pub per_chip: Vec<ChipServeStats>,
+    /// Per-SLO-class statistics, in ascending priority order
+    /// (best-effort, standard, latency-sensitive).
+    pub per_class: Vec<ClassServeStats>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (`q` in `(0, 1]`).
@@ -106,6 +135,354 @@ pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Electrical aggregate of one executed group, kept in absorption order so
+/// floating-point accumulation stays byte-deterministic at [`finish`].
+///
+/// [`finish`]: ReportAccumulator::finish
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ExecSample {
+    cycles: u64,
+    failures: u64,
+    avg_macro_power_mw: f64,
+    worst_irdrop_mv: f64,
+}
+
+/// One sampled-verification measurement, carrying its own plan's calibrated
+/// bound so merged shards judge each sample against the right promise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct VerifyEntry {
+    analytical_cycles: u64,
+    accurate_cycles: u64,
+    error_bound: f64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct ClassAcc {
+    total: usize,
+    served: usize,
+    rejected: usize,
+    deadline_misses: usize,
+    latencies: Vec<u64>,
+}
+
+/// Incremental [`ServeReport`] builder: absorb request groups one at a
+/// time, then [`Self::finish`] freezes the percentiles, utilizations and
+/// order-sensitive float sums.  The event-driven session feeds one of
+/// these at drain time, replaying its retained group records in commit
+/// order (so the float-sum order never depends on when groups happened to
+/// retire); sharded deployments can also drive accumulators directly.
+///
+/// Two accumulators from *sharded* sessions (disjoint chip pools fed
+/// disjoint traffic over the same virtual timeline) combine with
+/// [`Self::merge`]: counters add, latency samples pool, the other shard's
+/// chips re-index after this shard's, and the makespan is the later of the
+/// two — so a fleet split across sessions reports exactly like one session
+/// serving the union.
+///
+/// Determinism: every absorb method appends to order-preserving vectors, so
+/// callers that absorb in a deterministic order (the session uses
+/// group-commit order) get byte-identical finished reports; `u64` counters
+/// and the sorted latency pools are order-free by construction, leaving the
+/// float sums as the only order-carrying state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportAccumulator {
+    seed: u64,
+    chips: usize,
+    nominal_ghz: f64,
+    analytical_chips: usize,
+    verify_enabled: bool,
+    fleet_error_bound: f64,
+    total_requests: usize,
+    rejected_requests: usize,
+    deadline_misses: usize,
+    groups_formed: usize,
+    makespan_cycles: u64,
+    latencies: Vec<u64>,
+    per_chip: Vec<ChipServeStats>,
+    per_class: Vec<ClassAcc>,
+    exec: Vec<ExecSample>,
+    verify: Vec<VerifyEntry>,
+}
+
+impl ReportAccumulator {
+    /// An empty accumulator for a fleet of `chips` chips running at
+    /// `nominal_ghz` (the frequency converting virtual cycles to seconds for
+    /// the throughput figure).
+    #[must_use]
+    pub fn new(seed: u64, chips: usize, nominal_ghz: f64) -> Self {
+        Self {
+            seed,
+            chips,
+            nominal_ghz,
+            analytical_chips: 0,
+            verify_enabled: false,
+            fleet_error_bound: 0.0,
+            total_requests: 0,
+            rejected_requests: 0,
+            deadline_misses: 0,
+            groups_formed: 0,
+            makespan_cycles: 0,
+            latencies: Vec::new(),
+            per_chip: (0..chips)
+                .map(|chip| ChipServeStats {
+                    chip,
+                    groups: 0,
+                    requests: 0,
+                    busy_cycles: 0,
+                    utilization: 0.0,
+                })
+                .collect(),
+            per_class: vec![ClassAcc::default(); SloClass::ALL.len()],
+            exec: Vec::new(),
+            verify: Vec::new(),
+        }
+    }
+
+    /// Declares the fleet's analytical composition: how many chips run the
+    /// analytical fast path, whether sampled verification is on, and the
+    /// fleet-wide worst calibrated error bound (reported for context; each
+    /// sample is judged against its own plan's bound).
+    pub fn set_analytical_context(
+        &mut self,
+        analytical_chips: usize,
+        verify_enabled: bool,
+        fleet_error_bound: f64,
+    ) {
+        self.analytical_chips = analytical_chips;
+        self.verify_enabled = verify_enabled;
+        self.fleet_error_bound = fleet_error_bound;
+    }
+
+    /// Records that dynamic batching committed one more group (admitted or
+    /// not).
+    pub fn note_group_formed(&mut self) {
+        self.groups_formed += 1;
+    }
+
+    /// Absorbs one request bounced by admission control.
+    pub fn absorb_rejected_request(&mut self, slo: SloClass) {
+        self.total_requests += 1;
+        self.rejected_requests += 1;
+        let acc = &mut self.per_class[slo.index()];
+        acc.total += 1;
+        acc.rejected += 1;
+    }
+
+    /// Absorbs one served request of an executed group (latency accounting).
+    pub fn absorb_served_request(
+        &mut self,
+        slo: SloClass,
+        latency_cycles: u64,
+        deadline_missed: bool,
+    ) {
+        self.total_requests += 1;
+        self.latencies.push(latency_cycles);
+        if deadline_missed {
+            self.deadline_misses += 1;
+        }
+        let acc = &mut self.per_class[slo.index()];
+        acc.total += 1;
+        acc.served += 1;
+        acc.latencies.push(latency_cycles);
+        if deadline_missed {
+            acc.deadline_misses += 1;
+        }
+    }
+
+    /// Absorbs the chip-level outcome of one executed group: occupancy on
+    /// `chip` from `start_cycles` to `finish_cycles` serving `batch_size`
+    /// requests, plus the execution's electrical aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is outside the fleet declared at construction.
+    pub fn absorb_executed_group(
+        &mut self,
+        chip: usize,
+        start_cycles: u64,
+        finish_cycles: u64,
+        batch_size: usize,
+        exec: &PlanExecution,
+    ) {
+        let stats = &mut self.per_chip[chip];
+        stats.groups += 1;
+        stats.requests += batch_size;
+        stats.busy_cycles += finish_cycles - start_cycles;
+        self.makespan_cycles = self.makespan_cycles.max(finish_cycles);
+        self.exec.push(ExecSample {
+            cycles: exec.cycles,
+            failures: exec.failures,
+            avg_macro_power_mw: exec.avg_macro_power_mw,
+            worst_irdrop_mv: exec.worst_irdrop_mv,
+        });
+    }
+
+    /// Absorbs one sampled-verification measurement (an analytical group
+    /// additionally replayed cycle-accurately), judged against `error_bound`
+    /// — the calibrated bound of the group's *own* plan.
+    pub fn absorb_verify_sample(
+        &mut self,
+        analytical_cycles: u64,
+        accurate_cycles: u64,
+        error_bound: f64,
+    ) {
+        self.verify.push(VerifyEntry {
+            analytical_cycles,
+            accurate_cycles,
+            error_bound,
+        });
+    }
+
+    /// Folds another shard's accumulator into this one (see the type-level
+    /// docs for the sharding semantics).
+    pub fn merge(&mut self, other: Self) {
+        self.chips += other.chips;
+        self.analytical_chips += other.analytical_chips;
+        self.verify_enabled |= other.verify_enabled;
+        self.fleet_error_bound = self.fleet_error_bound.max(other.fleet_error_bound);
+        self.total_requests += other.total_requests;
+        self.rejected_requests += other.rejected_requests;
+        self.deadline_misses += other.deadline_misses;
+        self.groups_formed += other.groups_formed;
+        self.makespan_cycles = self.makespan_cycles.max(other.makespan_cycles);
+        self.latencies.extend(other.latencies);
+        let offset = self.per_chip.len();
+        self.per_chip
+            .extend(other.per_chip.into_iter().map(|mut c| {
+                c.chip += offset;
+                c
+            }));
+        for (mine, theirs) in self.per_class.iter_mut().zip(other.per_class) {
+            mine.total += theirs.total;
+            mine.served += theirs.served;
+            mine.rejected += theirs.rejected;
+            mine.deadline_misses += theirs.deadline_misses;
+            mine.latencies.extend(theirs.latencies);
+        }
+        self.exec.extend(other.exec);
+        self.verify.extend(other.verify);
+    }
+
+    /// Freezes the accumulated state into a [`ServeReport`].
+    #[must_use]
+    pub fn finish(&self) -> ServeReport {
+        let mut latencies = self.latencies.clone();
+        latencies.sort_unstable();
+        let served_requests = latencies.len();
+
+        let mut per_chip = self.per_chip.clone();
+        for stats in &mut per_chip {
+            stats.utilization = if self.makespan_cycles == 0 {
+                0.0
+            } else {
+                stats.busy_cycles as f64 / self.makespan_cycles as f64
+            };
+        }
+
+        let per_class = SloClass::ALL
+            .iter()
+            .map(|&class| {
+                let acc = &self.per_class[class.index()];
+                let mut lat = acc.latencies.clone();
+                lat.sort_unstable();
+                ClassServeStats {
+                    class,
+                    total: acc.total,
+                    served: acc.served,
+                    rejected: acc.rejected,
+                    deadline_misses: acc.deadline_misses,
+                    latency_p50_cycles: percentile_sorted(&lat, 0.50),
+                    latency_p99_cycles: percentile_sorted(&lat, 0.99),
+                }
+            })
+            .collect();
+
+        // Electrical aggregates, summed in absorption order.
+        let mut simulated_cycles = 0u64;
+        let mut failures = 0u64;
+        let mut power_weighted = 0.0f64;
+        let mut weight = 0.0f64;
+        let mut worst_irdrop_mv = 0.0f64;
+        for s in &self.exec {
+            let w = s.cycles.max(1) as f64;
+            simulated_cycles += s.cycles;
+            failures += s.failures;
+            power_weighted += s.avg_macro_power_mw * w;
+            weight += w;
+            worst_irdrop_mv = worst_irdrop_mv.max(s.worst_irdrop_mv);
+        }
+
+        let verification = if self.verify_enabled {
+            let mut max_cycle_drift = 0.0f64;
+            let mut drift_sum = 0.0f64;
+            let mut within_bound = true;
+            for s in &self.verify {
+                let drift = (s.analytical_cycles as f64 - s.accurate_cycles as f64).abs()
+                    / s.accurate_cycles.max(1) as f64;
+                max_cycle_drift = max_cycle_drift.max(drift);
+                drift_sum += drift;
+                if drift > s.error_bound {
+                    within_bound = false;
+                }
+            }
+            Some(VerificationStats {
+                sampled: self.verify.len(),
+                mean_cycle_drift: if self.verify.is_empty() {
+                    0.0
+                } else {
+                    drift_sum / self.verify.len() as f64
+                },
+                max_cycle_drift,
+                error_bound: self.fleet_error_bound,
+                // Zero samples is not a pass: a gate keyed on this field
+                // must never go green without a measurement.
+                within_bound: within_bound && !self.verify.is_empty(),
+            })
+        } else {
+            None
+        };
+
+        let groups_executed: usize = per_chip.iter().map(|c| c.groups).sum();
+        ServeReport {
+            seed: self.seed,
+            chips: self.chips,
+            total_requests: self.total_requests,
+            served_requests,
+            rejected_requests: self.rejected_requests,
+            deadline_misses: self.deadline_misses,
+            groups_formed: self.groups_formed,
+            groups_executed,
+            mean_batch_size: if groups_executed == 0 {
+                0.0
+            } else {
+                served_requests as f64 / groups_executed as f64
+            },
+            makespan_cycles: self.makespan_cycles,
+            latency_p50_cycles: percentile_sorted(&latencies, 0.50),
+            latency_p95_cycles: percentile_sorted(&latencies, 0.95),
+            latency_p99_cycles: percentile_sorted(&latencies, 0.99),
+            latency_max_cycles: latencies.last().copied().unwrap_or(0),
+            throughput_rps: if self.makespan_cycles == 0 {
+                0.0
+            } else {
+                served_requests as f64 / (self.makespan_cycles as f64 / (self.nominal_ghz * 1e9))
+            },
+            avg_macro_power_mw: if weight == 0.0 {
+                0.0
+            } else {
+                power_weighted / weight
+            },
+            worst_irdrop_mv,
+            failures,
+            simulated_cycles,
+            analytical_chips: self.analytical_chips,
+            verification,
+            per_chip,
+            per_class,
+        }
+    }
 }
 
 #[cfg(test)]

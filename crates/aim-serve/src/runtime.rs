@@ -1,22 +1,24 @@
-//! The serving runtime: a fleet of chip workers executing compiled plans
-//! under the deterministic scheduler.
+//! The serving runtime: compiled plans, fleet configuration, and the
+//! offline convenience wrapper over the event-driven [`ServeSession`].
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use aim_core::analytical::AnalyticalPlan;
-use aim_core::pipeline::{AimConfig, CompiledPlan, PlanExecution};
+use aim_core::pipeline::{AimConfig, CompiledPlan};
 use pim_sim::backend::BackendKind;
-use pim_sim::chip::SimSession;
 use workloads::inputs::TraceRequest;
 use workloads::zoo::Model;
 
-use crate::report::{percentile_sorted, ChipServeStats, ServeReport, VerificationStats};
-use crate::scheduler::{
-    dispatch, form_groups, timeline, AdmissionConfig, CostModel, DispatchPolicy,
-};
+use crate::report::ServeReport;
+use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy};
+use crate::session::ServeSession;
 
 /// Configuration of a serving runtime.
+///
+/// Construct via [`ServeConfig::builder`] (preferred), a struct literal over
+/// [`ServeConfig::default`], or plain field assignment — the fields stay
+/// public.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Number of simulated chips in the fleet (= chip workers).
@@ -43,9 +45,9 @@ pub struct ServeConfig {
     /// 30 analytical chips) whose audit members keep ground truth flowing.
     pub audit_chips: usize,
     /// Sampled verification: every Nth group executing on an analytical chip
-    /// (counted over those groups, in group order) is *additionally* replayed
-    /// cycle-accurately, and the relative cycle drift is aggregated into
-    /// [`ServeReport::verification`].  0 disables.
+    /// (counted over those groups, in commit order) is *additionally*
+    /// replayed cycle-accurately, and the relative cycle drift is aggregated
+    /// into [`ServeReport::verification`].  0 disables.
     pub verify_every: usize,
     /// Fan chip workers out across rayon scoped threads.  `false` runs the
     /// fleet on the calling thread; the report is byte-identical either way
@@ -73,15 +75,94 @@ impl Default for ServeConfig {
     }
 }
 
-/// One sampled-verification measurement: a group executed analytically and
-/// replayed cycle-accurately.
+impl ServeConfig {
+    /// Starts a builder from the default configuration.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Chainable builder for [`ServeConfig`]:
+///
+/// ```
+/// use aim_serve::prelude::*;
+///
+/// let config = ServeConfig::builder()
+///     .chips(8)
+///     .backend(BackendKind::Analytical)
+///     .audit_chips(2)
+///     .verify_every(16)
+///     .build();
+/// assert_eq!(config.chips, 8);
+/// ```
 #[derive(Debug, Clone, Copy)]
-struct VerifySample {
-    group: usize,
-    /// Model (= plan) the group belongs to, for the per-plan bound check.
-    model: usize,
-    analytical_cycles: u64,
-    accurate_cycles: u64,
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.config.$field = $field;
+                self
+            }
+        )*
+    };
+}
+
+impl ServeConfigBuilder {
+    builder_setters! {
+        /// Sets the fleet size (see [`ServeConfig::chips`]).
+        chips: usize,
+        /// Sets the batch-size cap (see [`ServeConfig::max_batch`]).
+        max_batch: usize,
+        /// Sets the batching window (see [`ServeConfig::batch_window_cycles`]).
+        batch_window_cycles: u64,
+        /// Sets the per-slice reload cost (see
+        /// [`ServeConfig::reload_cycles_per_slice`]).
+        reload_cycles_per_slice: u64,
+        /// Sets the dispatch policy (see [`ServeConfig::dispatch`]).
+        dispatch: DispatchPolicy,
+        /// Sets admission control (see [`ServeConfig::admission`]).
+        admission: Option<AdmissionConfig>,
+        /// Sets the execution backend (see [`ServeConfig::backend`]).
+        backend: BackendKind,
+        /// Sets the cycle-accurate audit-chip count (see
+        /// [`ServeConfig::audit_chips`]).
+        audit_chips: usize,
+        /// Sets the sampled-verification cadence (see
+        /// [`ServeConfig::verify_every`]).
+        verify_every: usize,
+        /// Toggles the worker-thread fan-out (see [`ServeConfig::parallel`]).
+        parallel: bool,
+        /// Sets the serve seed (see [`ServeConfig::seed`]).
+        seed: u64,
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero chips, zero `max_batch`,
+    /// more audit chips than chips) — the same invariants
+    /// [`ServeRuntime::from_plans`] enforces, failing at the construction
+    /// site instead.
+    #[must_use]
+    pub fn build(self) -> ServeConfig {
+        assert!(self.config.chips >= 1, "a fleet needs at least one chip");
+        assert!(self.config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            self.config.audit_chips <= self.config.chips,
+            "audit chips cannot exceed the fleet size"
+        );
+        self.config
+    }
 }
 
 /// A compiled model fleet plus its serving configuration.
@@ -165,10 +246,12 @@ impl ServeRuntime {
         self.analytical.as_deref()
     }
 
-    /// Changes the sampled-verification cadence in place.  The cadence only
-    /// selects which groups get a cycle-accurate comparison replay, so the
-    /// plans and their calibrated analytical views are untouched — changing
-    /// it never re-runs the calibration probes.
+    /// Changes the sampled-verification cadence in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the cadence up front: `ServeConfig::builder().verify_every(n)` \
+                (the cadence never re-runs calibration, so rebuilding the config is free)"
+    )]
     pub fn set_verify_every(&mut self, verify_every: usize) {
         self.config.verify_every = verify_every;
     }
@@ -223,279 +306,29 @@ impl ServeRuntime {
         }
     }
 
-    /// Replays a request trace through the fleet and returns the aggregated
-    /// report.
+    /// Opens an event-driven [`ServeSession`] over the fleet — the online
+    /// front door: `submit` requests as they arrive, `run_until` to step
+    /// virtual time, `poll_completions` to stream outcomes, `drain` for the
+    /// final report.
+    #[must_use]
+    pub fn session(&self) -> ServeSession<'_> {
+        ServeSession::new(self)
+    }
+
+    /// Replays a complete request trace and returns the aggregated report —
+    /// the offline convenience wrapper: it feeds every request into a fresh
+    /// [`ServeSession`] and drains it, so the online and offline paths share
+    /// one scheduler and produce byte-identical reports for the same input.
     ///
     /// # Panics
     ///
     /// Panics if a request names a model the runtime has no plan for.
     #[must_use]
     pub fn serve(&self, trace: &[TraceRequest]) -> ServeReport {
-        for r in trace {
-            assert!(
-                r.model < self.plans.len(),
-                "request targets model {} but only {} plans are loaded",
-                r.model,
-                self.plans.len()
-            );
+        let mut session = self.session();
+        for request in trace {
+            session.submit(*request);
         }
-        let config = &self.config;
-        let groups = form_groups(trace, config.max_batch, config.batch_window_cycles);
-        let cost = self.cost_model();
-        let outcome = dispatch(
-            &groups,
-            config.chips,
-            config.dispatch,
-            config.admission.as_ref(),
-            &cost,
-        );
-
-        // Per-chip queues, in dispatch (= group) order.
-        let mut chip_queues: Vec<Vec<usize>> = vec![Vec::new(); config.chips];
-        for (gi, slot) in outcome.assignment.iter().enumerate() {
-            if let Some(chip) = slot {
-                chip_queues[*chip].push(gi);
-            }
-        }
-
-        // Sampled-verification set: every `verify_every`th group *among
-        // those executing on analytical chips*, counted in group order.
-        // Counting over analytical executions (not raw group indices) keeps
-        // the cadence honest when dispatch patterns alias with the sampling
-        // stride — e.g. round-robin fleets where an audit chip would
-        // otherwise soak up every sampled index.
-        let verify_groups: std::collections::HashSet<usize> = if config.verify_every > 0 {
-            outcome
-                .assignment
-                .iter()
-                .enumerate()
-                .filter_map(|(gi, slot)| slot.map(|chip| (gi, chip)))
-                .filter(|&(_, chip)| self.chip_backend(chip) == BackendKind::Analytical)
-                .enumerate()
-                .filter(|(k, _)| k.is_multiple_of(config.verify_every))
-                .map(|(_, (gi, _))| gi)
-                .collect()
-        } else {
-            std::collections::HashSet::new()
-        };
-
-        // Chip workers: each runs its queue through one reusable SimSession.
-        // Workers touch disjoint state and every replay is seeded from the
-        // group index, so the fan-out cannot perturb results.  Analytical
-        // chips hand out their plan's cached calibrated prediction (replay
-        // cost ≈ 0) and, for every `verify_every`th group fleet-wide, also
-        // replay it cycle-accurately to measure the realised drift.
-        let run_worker =
-            |(chip, queue): (usize, &Vec<usize>)| -> (Vec<PlanExecution>, Vec<VerifySample>) {
-                let mut session = SimSession::new();
-                let backend = self.chip_backend(chip);
-                let mut verifications: Vec<VerifySample> = Vec::new();
-                let execs = queue
-                    .iter()
-                    .map(|&gi| {
-                        let group = &groups[gi];
-                        match backend {
-                            BackendKind::CycleAccurate => self.plans[group.model]
-                                .execute_with_session(&mut session, self.replay_seed_offset(gi)),
-                            BackendKind::Analytical => {
-                                let predicted = self
-                                    .analytical
-                                    .as_ref()
-                                    .expect("analytical chips imply calibrated plans")[group.model]
-                                    .execution();
-                                if verify_groups.contains(&gi) {
-                                    let accurate = self.plans[group.model].execute_with_session(
-                                        &mut session,
-                                        self.replay_seed_offset(gi),
-                                    );
-                                    verifications.push(VerifySample {
-                                        group: gi,
-                                        model: group.model,
-                                        analytical_cycles: predicted.cycles,
-                                        accurate_cycles: accurate.cycles,
-                                    });
-                                }
-                                predicted
-                            }
-                        }
-                    })
-                    .collect();
-                (execs, verifications)
-            };
-        let worker_inputs: Vec<(usize, &Vec<usize>)> = chip_queues.iter().enumerate().collect();
-        let outcomes: Vec<(Vec<PlanExecution>, Vec<VerifySample>)> = if config.parallel {
-            worker_inputs.par_iter().map(|&w| run_worker(w)).collect()
-        } else {
-            worker_inputs.iter().map(|&w| run_worker(w)).collect()
-        };
-        let mut verify_samples: Vec<VerifySample> = Vec::new();
-        let executions: Vec<Vec<PlanExecution>> = outcomes
-            .into_iter()
-            .map(|(execs, mut samples)| {
-                verify_samples.append(&mut samples);
-                execs
-            })
-            .collect();
-        // Group order is deterministic; chip-queue order is an artifact of
-        // the (deterministic) dispatch pass, but sort anyway so the report
-        // never depends on aggregation order.
-        verify_samples.sort_unstable_by_key(|s| s.group);
-
-        // Scatter execution results back to group order.
-        let mut group_exec_cycles = vec![0u64; groups.len()];
-        let mut group_execution: Vec<Option<PlanExecution>> = vec![None; groups.len()];
-        for (chip, queue) in chip_queues.iter().enumerate() {
-            for (k, &gi) in queue.iter().enumerate() {
-                group_exec_cycles[gi] = executions[chip][k].cycles;
-                group_execution[gi] = Some(executions[chip][k]);
-            }
-        }
-
-        let timings = timeline(
-            &groups,
-            &outcome.assignment,
-            config.chips,
-            &group_exec_cycles,
-            &cost.reload_cycles,
-        );
-
-        // --- request accounting -------------------------------------------
-        let mut latencies: Vec<u64> = Vec::new();
-        let mut deadline_misses = 0usize;
-        let mut served_requests = 0usize;
-        let mut per_chip: Vec<ChipServeStats> = (0..config.chips)
-            .map(|chip| ChipServeStats {
-                chip,
-                groups: 0,
-                requests: 0,
-                busy_cycles: 0,
-                utilization: 0.0,
-            })
-            .collect();
-        let mut makespan = 0u64;
-        for t in &timings {
-            let group = &groups[t.group];
-            makespan = makespan.max(t.finish_cycles);
-            let stats = &mut per_chip[t.chip];
-            stats.groups += 1;
-            stats.requests += group.requests.len();
-            stats.busy_cycles += t.finish_cycles - t.start_cycles;
-            for &ri in &group.requests {
-                served_requests += 1;
-                latencies.push(t.finish_cycles - trace[ri].arrival_cycles);
-                if t.finish_cycles > trace[ri].deadline_cycles {
-                    deadline_misses += 1;
-                }
-            }
-        }
-        for stats in &mut per_chip {
-            stats.utilization = if makespan == 0 {
-                0.0
-            } else {
-                stats.busy_cycles as f64 / makespan as f64
-            };
-        }
-        latencies.sort_unstable();
-
-        // --- electrical aggregates (group order => deterministic) ---------
-        let mut simulated_cycles = 0u64;
-        let mut failures = 0u64;
-        let mut power_weighted = 0.0f64;
-        let mut weight = 0.0f64;
-        let mut worst_irdrop_mv = 0.0f64;
-        for exec in group_execution.iter().flatten() {
-            let w = exec.cycles.max(1) as f64;
-            simulated_cycles += exec.cycles;
-            failures += exec.failures;
-            power_weighted += exec.avg_macro_power_mw * w;
-            weight += w;
-            worst_irdrop_mv = worst_irdrop_mv.max(exec.worst_irdrop_mv);
-        }
-
-        // --- sampled-verification drift ------------------------------------
-        // `within_bound` holds each sample to *its own plan's* calibrated
-        // bound (the promise `backend_fidelity` pins per plan); the reported
-        // `error_bound` is the fleet-wide worst bound, for context.
-        let verification = match &self.analytical {
-            Some(analytical) if config.verify_every > 0 => {
-                let error_bound = analytical
-                    .iter()
-                    .map(AnalyticalPlan::error_bound)
-                    .fold(0.0f64, f64::max);
-                let mut max_cycle_drift = 0.0f64;
-                let mut drift_sum = 0.0f64;
-                let mut within_bound = true;
-                for s in &verify_samples {
-                    let drift = (s.analytical_cycles as f64 - s.accurate_cycles as f64).abs()
-                        / s.accurate_cycles.max(1) as f64;
-                    max_cycle_drift = max_cycle_drift.max(drift);
-                    drift_sum += drift;
-                    if drift > analytical[s.model].error_bound() {
-                        within_bound = false;
-                    }
-                }
-                Some(VerificationStats {
-                    sampled: verify_samples.len(),
-                    mean_cycle_drift: if verify_samples.is_empty() {
-                        0.0
-                    } else {
-                        drift_sum / verify_samples.len() as f64
-                    },
-                    max_cycle_drift,
-                    error_bound,
-                    // Zero samples is not a pass: a gate keyed on this field
-                    // must never go green without a measurement.
-                    within_bound: within_bound && !verify_samples.is_empty(),
-                })
-            }
-            _ => None,
-        };
-
-        let groups_executed = timings.len();
-        let nominal_ghz = self.plans[0].chip_params().nominal_frequency_ghz;
-        ServeReport {
-            seed: config.seed,
-            chips: config.chips,
-            total_requests: trace.len(),
-            served_requests,
-            rejected_requests: outcome.rejected_requests,
-            deadline_misses,
-            groups_formed: groups.len(),
-            groups_executed,
-            mean_batch_size: if groups_executed == 0 {
-                0.0
-            } else {
-                served_requests as f64 / groups_executed as f64
-            },
-            makespan_cycles: makespan,
-            latency_p50_cycles: percentile_sorted(&latencies, 0.50),
-            latency_p95_cycles: percentile_sorted(&latencies, 0.95),
-            latency_p99_cycles: percentile_sorted(&latencies, 0.99),
-            latency_max_cycles: latencies.last().copied().unwrap_or(0),
-            throughput_rps: if makespan == 0 {
-                0.0
-            } else {
-                served_requests as f64 / (makespan as f64 / (nominal_ghz * 1e9))
-            },
-            avg_macro_power_mw: if weight == 0.0 {
-                0.0
-            } else {
-                power_weighted / weight
-            },
-            worst_irdrop_mv,
-            failures,
-            simulated_cycles,
-            analytical_chips: self.analytical_chip_count(),
-            verification,
-            per_chip,
-        }
-    }
-
-    /// Seed offset of one group's replay: distinct per group, folded with
-    /// the serve seed, independent of chip assignment and worker count.
-    fn replay_seed_offset(&self, group_idx: usize) -> u64 {
-        self.config
-            .seed
-            .wrapping_add((group_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        session.drain()
     }
 }

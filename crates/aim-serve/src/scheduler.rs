@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use workloads::inputs::TraceRequest;
+use workloads::inputs::{SloClass, TraceRequest};
 
 /// Policy choosing the chip each request group is dispatched to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,12 +20,47 @@ pub enum DispatchPolicy {
     LeastLoaded,
 }
 
-/// Admission-control policy: bound how deep a chip's backlog may grow.
+/// Admission-control policy: bound how deep a chip's backlog may grow, per
+/// SLO class.
+///
+/// A group is rejected when its chosen chip's estimated backlog (estimated
+/// start time minus the group's ready time) exceeds the cap of the group's
+/// class.  Separate caps let a fleet shed best-effort traffic early while
+/// still bouncing latency-sensitive work that could no longer meet its SLO
+/// anyway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdmissionConfig {
-    /// A group is rejected when its chosen chip's estimated backlog (free
-    /// time minus the group's ready time) exceeds this many cycles.
+    /// Backlog cap (cycles) for [`SloClass::Standard`] groups.
     pub max_backlog_cycles: u64,
+    /// Backlog cap for [`SloClass::LatencySensitive`] groups — typically
+    /// *tighter* than standard: admitting latency-sensitive work into a deep
+    /// queue breaks its promise, so bounce it instead.
+    pub latency_sensitive_backlog_cycles: u64,
+    /// Backlog cap for [`SloClass::BestEffort`] groups — typically looser:
+    /// throughput traffic tolerates deep queues.
+    pub best_effort_backlog_cycles: u64,
+}
+
+impl AdmissionConfig {
+    /// One cap for every class (the pre-SLO behaviour).
+    #[must_use]
+    pub fn uniform(max_backlog_cycles: u64) -> Self {
+        Self {
+            max_backlog_cycles,
+            latency_sensitive_backlog_cycles: max_backlog_cycles,
+            best_effort_backlog_cycles: max_backlog_cycles,
+        }
+    }
+
+    /// The backlog cap applied to a group of the given class.
+    #[must_use]
+    pub fn cap_for(&self, class: SloClass) -> u64 {
+        match class {
+            SloClass::BestEffort => self.best_effort_backlog_cycles,
+            SloClass::Standard => self.max_backlog_cycles,
+            SloClass::LatencySensitive => self.latency_sensitive_backlog_cycles,
+        }
+    }
 }
 
 /// A dynamically-batched group of same-model requests.
@@ -37,15 +72,26 @@ pub struct RequestGroup {
     pub requests: Vec<usize>,
     /// Arrival of the last member — the group cannot start earlier.
     pub ready_cycles: u64,
+    /// Scheduling class of the group: the highest class of any member, so
+    /// one latency-sensitive request lifts the whole batch it rides in.
+    pub class: SloClass,
 }
 
-/// Coalesces consecutive same-model requests into batches.
+/// Coalesces **consecutive** same-model requests into batches — the
+/// documented offline baseline.
 ///
 /// A group opens at request `i` and absorbs following requests while they
 /// target the same model, arrive within `window_cycles` of the group's first
 /// arrival, and the group holds fewer than `max_batch` members.  The scan is
 /// a pure function of the trace, so batching never depends on execution
 /// timing.
+///
+/// Because the scan only looks at *consecutive* requests, an interleaved
+/// trace (`A,B,A,B,…`) never batches at all even when every request lands
+/// inside one window.  The online batcher inside
+/// [`crate::session::ServeSession`] holds per-model pending queues instead
+/// and therefore dominates this scan on batching ratio; `form_groups`
+/// survives as the reference baseline that dominance is tested against.
 ///
 /// # Panics
 ///
@@ -74,6 +120,7 @@ pub fn form_groups(
             model: first.model,
             requests: (i..j).collect(),
             ready_cycles: trace[j - 1].arrival_cycles,
+            class: trace[i..j].iter().map(|r| r.slo).max().unwrap_or_default(),
         });
         i = j;
     }
@@ -173,7 +220,7 @@ pub fn dispatch(
         };
         if let Some(adm) = admission {
             let backlog = est_free[chip].saturating_sub(group.ready_cycles);
-            if backlog > adm.max_backlog_cycles {
+            if backlog > adm.cap_for(group.class) {
                 assignment.push(None);
                 rejected_requests += group.requests.len();
                 continue;
@@ -257,6 +304,7 @@ mod tests {
             model,
             arrival_cycles: arrival,
             deadline_cycles: arrival + 1_000_000,
+            slo: SloClass::Standard,
         }
     }
 
@@ -382,15 +430,50 @@ mod tests {
             &groups,
             1,
             DispatchPolicy::LeastLoaded,
-            Some(&AdmissionConfig {
-                max_backlog_cycles: 2_500,
-            }),
+            Some(&AdmissionConfig::uniform(2_500)),
             &flat_cost(1_000, 0, 2),
         );
         assert_eq!(out.assignment[0], Some(0));
         assert_eq!(out.assignment[3], None);
         assert_eq!(out.assignment[4], None);
         assert_eq!(out.rejected_requests, 2);
+    }
+
+    #[test]
+    fn admission_caps_apply_per_slo_class() {
+        // Same backlog, different fates: best-effort is shed at a tight cap
+        // while a standard group with identical timing is admitted.
+        let mut trace: Vec<TraceRequest> = (0..4).map(|_| req(0, 0)).collect();
+        trace[3].slo = SloClass::BestEffort;
+        let groups = form_groups(&trace, 1, 0);
+        let admission = AdmissionConfig {
+            max_backlog_cycles: 10_000,
+            latency_sensitive_backlog_cycles: 500,
+            best_effort_backlog_cycles: 1_500,
+        };
+        let out = dispatch(
+            &groups,
+            1,
+            DispatchPolicy::LeastLoaded,
+            Some(&admission),
+            &flat_cost(1_000, 0, 1),
+        );
+        // Groups cost 1000 cycles each; the 4th sees a 3000-cycle backlog —
+        // over its 1500-cycle best-effort cap, under the standard cap the
+        // 3rd (backlog 2000, standard) was admitted with.
+        assert_eq!(out.assignment[2], Some(0));
+        assert_eq!(out.assignment[3], None);
+        assert_eq!(out.rejected_requests, 1);
+    }
+
+    #[test]
+    fn one_latency_sensitive_member_lifts_the_group_class() {
+        let mut trace = vec![req(0, 0), req(0, 5), req(0, 9)];
+        trace[1].slo = SloClass::LatencySensitive;
+        trace[2].slo = SloClass::BestEffort;
+        let groups = form_groups(&trace, 8, 1_000);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].class, SloClass::LatencySensitive);
     }
 
     #[test]

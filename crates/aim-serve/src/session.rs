@@ -1,0 +1,701 @@
+//! The event-driven online serving session.
+//!
+//! [`ServeSession`] is the crate's front door for traffic that arrives over
+//! time: [`submit`] accepts one request at the session's virtual "now",
+//! [`run_until`] steps the event loop (batch-window closures, dispatch,
+//! chip execution) up to a target cycle, [`poll_completions`] streams
+//! per-request outcomes as their groups retire, and [`drain`] flushes
+//! everything and freezes the final [`ServeReport`].  The offline
+//! [`ServeRuntime::serve`] is a thin wrapper: submit the whole trace, then
+//! drain.
+//!
+//! ## The online batcher
+//!
+//! Each model owns one *open batch*.  A request joins its model's open batch
+//! when it arrives within the batching window of the batch's first member
+//! (and the batch has room); otherwise it opens a new batch whose window
+//! closure is queued as an event.  Because pending batches are **per
+//! model**, interleaved traffic (`A,B,A,B,…`) batches correctly — the
+//! offline [`form_groups`] scan, which only coalesces *consecutive*
+//! same-model requests, never batches that trace at all.
+//!
+//! A batch closes (becomes a [`RequestGroup`] and dispatches) when the first
+//! of these happens: its window expires, it reaches `max_batch`, or a
+//! [`SloClass::LatencySensitive`] request joins it — latency-sensitive
+//! arrivals close the window early and carry the whole batch with them.
+//!
+//! ## Priority-aware dispatch
+//!
+//! A closed group picks a chip (round-robin or least-loaded over estimated
+//! availability) and is inserted into the chip's queue: it may **jump ahead
+//! of queued lower-class groups that have not started yet** (by the
+//! estimated schedule), but never ahead of work already underway or of
+//! equal/higher-class groups.  Admission control compares the group's
+//! estimated queueing delay against its class's cap
+//! ([`AdmissionConfig::cap_for`]) and bounces the whole group when it is
+//! exceeded; rejected requests surface immediately through
+//! [`poll_completions`].
+//!
+//! ## Determinism and worker-count independence
+//!
+//! Every *scheduling* decision (batch membership, chip choice, queue
+//! position, admission) derives from arrival times and the pre-execution
+//! [`CostModel`] — never from measured execution.  Chip execution therefore
+//! fans out across worker threads freely: each group's replay is seeded by
+//! its commit index, per-chip results are recombined in chip order, and the
+//! measured timeline is chained per chip in queue order.  A fixed submission
+//! sequence produces a byte-identical [`ServeReport`] regardless of
+//! `parallel`, of the worker-thread count, and of how the caller interleaves
+//! `run_until`/`poll_completions` between submissions.
+//!
+//! To keep that last guarantee exact — the report's float accumulation
+//! order is group-commit order no matter when groups retire — the session
+//! retains every request and group record until [`drain`], which replays
+//! them into the [`ReportAccumulator`] in commit order.  Memory is
+//! therefore proportional to the traffic a single session has absorbed;
+//! for an indefinitely running front door, shard traffic across sessions
+//! and [`ReportAccumulator::merge`] the drained shards.
+//!
+//! [`submit`]: ServeSession::submit
+//! [`run_until`]: ServeSession::run_until
+//! [`poll_completions`]: ServeSession::poll_completions
+//! [`drain`]: ServeSession::drain
+//! [`form_groups`]: crate::scheduler::form_groups
+//! [`RequestGroup`]: crate::scheduler::RequestGroup
+//! [`AdmissionConfig::cap_for`]: crate::scheduler::AdmissionConfig::cap_for
+
+use std::collections::BTreeMap;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use aim_core::pipeline::PlanExecution;
+use pim_sim::backend::BackendKind;
+use pim_sim::chip::SimSession;
+use workloads::inputs::{SloClass, TraceRequest};
+
+use crate::report::{ReportAccumulator, ServeReport};
+use crate::runtime::ServeRuntime;
+use crate::scheduler::{group_service_cycles, CostModel, DispatchPolicy};
+
+/// How one submitted request left the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompletionStatus {
+    /// The request's group executed to completion.
+    Served {
+        /// Chip the group ran on.
+        chip: usize,
+        /// Commit index of the group (the session's group id).
+        group: usize,
+        /// Requests the group batched together.
+        batch_size: usize,
+        /// Measured cycle the chip began the group (reload included).
+        start_cycles: u64,
+        /// Measured cycle the group's last request completed.
+        finish_cycles: u64,
+        /// `finish - arrival` for this request.
+        latency_cycles: u64,
+        /// Whether the request finished past its deadline.
+        deadline_missed: bool,
+    },
+    /// Admission control bounced the request's group.
+    Rejected {
+        /// Estimated queueing delay the group faced (cycles).
+        backlog_cycles: u64,
+        /// The class cap it exceeded (cycles).
+        backlog_cap_cycles: u64,
+    },
+}
+
+/// One streamed per-request outcome, yielded by
+/// [`ServeSession::poll_completions`] as groups retire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Submission index of the request (0 for the first `submit`).
+    pub request: usize,
+    /// Model the request targeted.
+    pub model: usize,
+    /// SLO class the request was served under.
+    pub slo: SloClass,
+    /// How the request left the session.
+    pub status: CompletionStatus,
+}
+
+/// A model's open (not yet dispatched) batch.
+#[derive(Debug, Clone)]
+struct OpenBatch {
+    requests: Vec<usize>,
+    last_arrival: u64,
+    close_at: u64,
+    class: SloClass,
+    generation: u64,
+}
+
+/// One committed group in a chip's queue, with its estimated schedule.
+#[derive(Debug, Clone)]
+struct Slot {
+    gid: usize,
+    model: usize,
+    class: SloClass,
+    batch: usize,
+    ready: u64,
+    est_start: u64,
+    est_finish: u64,
+    verify: bool,
+}
+
+/// Measured outcome of one executed group.
+#[derive(Debug, Clone, Copy)]
+struct ExecDone {
+    chip: usize,
+    start: u64,
+    finish: u64,
+    exec: PlanExecution,
+    /// `(analytical_cycles, accurate_cycles)` when the group was sampled for
+    /// verification.
+    verify: Option<(u64, u64)>,
+}
+
+/// Everything the session knows about one committed group.
+#[derive(Debug, Clone)]
+struct GroupRecord {
+    model: usize,
+    requests: Vec<usize>,
+    /// `None` when admission control rejected the group.
+    chip: Option<usize>,
+    done: Option<ExecDone>,
+}
+
+/// Per-chip queue plus the chip's execution state.
+#[derive(Debug)]
+struct ChipLane {
+    chip: usize,
+    backend: BackendKind,
+    slots: Vec<Slot>,
+    /// Executed prefix length of `slots`.
+    executed: usize,
+    /// Measured finish of the last executed slot.
+    actual_free: u64,
+    actual_last_model: Option<usize>,
+    sim: SimSession,
+}
+
+impl ChipLane {
+    /// Estimated time the chip finishes everything currently queued.
+    fn est_avail(&self) -> u64 {
+        self.slots.last().map_or(0, |s| s.est_finish)
+    }
+
+    /// Recomputes the estimated schedule from slot `from` onward (queue
+    /// order, reload charged on model switches).
+    fn recompute_est(&mut self, from: usize, cost: &CostModel) {
+        for i in from..self.slots.len() {
+            let (prev_finish, prev_model) = if i == 0 {
+                (0, None)
+            } else {
+                (self.slots[i - 1].est_finish, Some(self.slots[i - 1].model))
+            };
+            let slot = &self.slots[i];
+            let switching = prev_model != Some(slot.model);
+            let duration = group_service_cycles(
+                slot.batch,
+                cost.exec_cycles[slot.model],
+                cost.reload_cycles[slot.model],
+                switching,
+            );
+            let start = prev_finish.max(slot.ready);
+            let finish = start + duration;
+            let slot = &mut self.slots[i];
+            slot.est_start = start;
+            slot.est_finish = finish;
+        }
+    }
+}
+
+/// Result of executing one slot, harvested back into the session.
+#[derive(Debug, Clone, Copy)]
+struct SlotResult {
+    gid: usize,
+    done: ExecDone,
+}
+
+/// An incremental, event-driven serving session over a compiled
+/// [`ServeRuntime`] — see the [module docs](self) for the lifecycle.
+#[derive(Debug)]
+pub struct ServeSession<'rt> {
+    runtime: &'rt ServeRuntime,
+    cost: CostModel,
+    /// Virtual "now": the latest arrival or `run_until` target seen.
+    clock: u64,
+    drained: bool,
+    /// Every submitted request, by submission index.
+    requests: Vec<TraceRequest>,
+    /// Per-model open batch.
+    open: Vec<Option<OpenBatch>>,
+    /// Pending window closures: `(close_at, generation) -> model`.
+    events: BTreeMap<(u64, u64), usize>,
+    next_generation: u64,
+    /// Committed groups, by commit index (= group id).
+    groups: Vec<GroupRecord>,
+    lanes: Vec<ChipLane>,
+    next_round_robin: usize,
+    /// Admitted groups seen on analytical chips, for the verify cadence.
+    analytical_seen: usize,
+    completions: Vec<RequestOutcome>,
+}
+
+impl<'rt> ServeSession<'rt> {
+    /// Opens a session over the runtime's fleet, at virtual cycle 0.
+    #[must_use]
+    pub fn new(runtime: &'rt ServeRuntime) -> Self {
+        let config = runtime.config();
+        let lanes = (0..config.chips)
+            .map(|chip| ChipLane {
+                chip,
+                backend: runtime.chip_backend(chip),
+                slots: Vec::new(),
+                executed: 0,
+                actual_free: 0,
+                actual_last_model: None,
+                sim: SimSession::new(),
+            })
+            .collect();
+        Self {
+            runtime,
+            cost: runtime.cost_model(),
+            clock: 0,
+            drained: false,
+            requests: Vec::new(),
+            open: vec![None; runtime.plans().len()],
+            events: BTreeMap::new(),
+            next_generation: 0,
+            groups: Vec::new(),
+            lanes,
+            next_round_robin: 0,
+            analytical_seen: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    /// The session's virtual clock (cycles).
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Requests submitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Accepts one request at the session's virtual "now".
+    ///
+    /// Submissions are expected in nondecreasing arrival order (an online
+    /// front door sees time move forward); a request whose stated arrival
+    /// lies before the session clock is treated as arriving *now* — you
+    /// cannot receive a request earlier than the present — while its stated
+    /// arrival still anchors the latency accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request names a model the runtime has no plan for, or
+    /// if the session was already drained.
+    pub fn submit(&mut self, request: TraceRequest) {
+        assert!(!self.drained, "cannot submit to a drained session");
+        assert!(
+            request.model < self.runtime.plans().len(),
+            "request targets model {} but only {} plans are loaded",
+            request.model,
+            self.runtime.plans().len()
+        );
+        let arrival = request.arrival_cycles.max(self.clock);
+        // Same-cycle arrivals are handled before window closures, mirroring
+        // the offline scan's inclusive window horizon.
+        self.process_events(arrival, false);
+        self.clock = arrival;
+        let index = self.requests.len();
+        self.requests.push(request);
+
+        let config = self.runtime.config();
+        let model = request.model;
+        let joined = match &mut self.open[model] {
+            Some(batch) if arrival <= batch.close_at && batch.requests.len() < config.max_batch => {
+                batch.requests.push(index);
+                batch.last_arrival = arrival;
+                batch.class = batch.class.max(request.slo);
+                true
+            }
+            _ => false,
+        };
+        if joined {
+            let full = self.open[model]
+                .as_ref()
+                .is_some_and(|b| b.requests.len() >= config.max_batch);
+            if full || request.slo == SloClass::LatencySensitive {
+                self.flush_model(model);
+            }
+            return;
+        }
+        // A non-joinable open batch means its window expired between events
+        // or it is full: close it before opening the successor.
+        if self.open[model].is_some() {
+            self.flush_model(model);
+        }
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let close_at = arrival.saturating_add(config.batch_window_cycles);
+        self.open[model] = Some(OpenBatch {
+            requests: vec![index],
+            last_arrival: arrival,
+            close_at,
+            class: request.slo,
+            generation,
+        });
+        if request.slo == SloClass::LatencySensitive || config.max_batch == 1 {
+            self.flush_model(model);
+        } else {
+            self.events.insert((close_at, generation), model);
+        }
+    }
+
+    /// Steps the event loop up to virtual cycle `target`: closes batch
+    /// windows that expire *before* then and executes every group whose
+    /// estimated start has been reached.  Completions become available
+    /// through [`Self::poll_completions`].
+    ///
+    /// Window closures are processed strictly before `target` — the same
+    /// boundary [`Self::submit`] uses — so a window closing exactly at
+    /// `target` stays open and a same-cycle arrival may still join it.
+    /// That shared convention is what keeps incremental stepping
+    /// byte-identical to submit-all-then-drain even when a step target
+    /// collides with a window expiry; the batch commits at its closure
+    /// time on the next step past it (or at [`Self::drain`]).
+    pub fn run_until(&mut self, target: u64) {
+        self.process_events(target, false);
+        self.clock = self.clock.max(target);
+        self.execute_ready(self.clock);
+    }
+
+    /// Drains the accumulated per-request outcomes, in group-commit order
+    /// within each harvest.
+    pub fn poll_completions(&mut self) -> Vec<RequestOutcome> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Flushes every open batch, executes everything still queued, and
+    /// freezes the final report.  The session stops accepting submissions;
+    /// any outcomes not yet polled stay available via
+    /// [`Self::poll_completions`].
+    pub fn drain(&mut self) -> ServeReport {
+        self.drain_accumulator().finish()
+    }
+
+    /// Like [`Self::drain`], but returns the incremental accumulator so
+    /// sharded sessions can [`ReportAccumulator::merge`] before finishing.
+    pub fn drain_accumulator(&mut self) -> ReportAccumulator {
+        self.process_events(u64::MAX, true);
+        self.drained = true;
+        self.execute_ready(u64::MAX);
+        self.build_accumulator()
+    }
+
+    // --- the online batcher ------------------------------------------------
+
+    /// Processes queued window closures with `close_at < target` (or
+    /// `<= target` when `inclusive`), in time order, committing each closed
+    /// batch at its closure time.
+    fn process_events(&mut self, target: u64, inclusive: bool) {
+        loop {
+            let Some((&(close_at, generation), &model)) = self.events.iter().next() else {
+                return;
+            };
+            if close_at > target || (!inclusive && close_at == target) {
+                return;
+            }
+            self.events.remove(&(close_at, generation));
+            // The event may be stale: the batch it was queued for can have
+            // been flushed early (latency-sensitive join, max_batch) with a
+            // successor opened since.
+            let live = self.open[model]
+                .as_ref()
+                .is_some_and(|b| b.generation == generation);
+            if live {
+                self.clock = self.clock.max(close_at);
+                self.flush_model(model);
+            }
+        }
+    }
+
+    /// Closes `model`'s open batch and commits it as a request group.
+    fn flush_model(&mut self, model: usize) {
+        let batch = self.open[model].take().expect("flushing a closed model");
+        self.commit_group(model, batch);
+    }
+
+    // --- dispatch ----------------------------------------------------------
+
+    /// Dispatches a closed batch: chip choice, priority insertion, per-class
+    /// admission.
+    fn commit_group(&mut self, model: usize, batch: OpenBatch) {
+        let config = self.runtime.config();
+        let gid = self.groups.len();
+        let class = batch.class;
+        let ready = batch.last_arrival;
+
+        let chip = match config.dispatch {
+            DispatchPolicy::RoundRobin => {
+                let c = self.next_round_robin % config.chips;
+                self.next_round_robin += 1;
+                c
+            }
+            DispatchPolicy::LeastLoaded => (0..config.chips)
+                .min_by_key(|&c| (self.lanes[c].est_avail().max(ready), c))
+                .expect("a fleet has at least one chip"),
+        };
+
+        // Queue position: after everything already started (by the
+        // estimated schedule) and after equal-or-higher classes, ahead of
+        // queued strictly-lower classes — "jumping the backlog".  Executed
+        // slots all have `est_start <= clock` (the execution eligibility
+        // rule under a monotone clock), so the scan starts at the executed
+        // prefix instead of walking every retired slot again.
+        let lane = &self.lanes[chip];
+        let pending_from = lane.slots[lane.executed..]
+            .iter()
+            .position(|s| s.est_start > self.clock)
+            .map_or(lane.slots.len(), |p| lane.executed + p);
+        let position = lane.slots[pending_from..]
+            .iter()
+            .position(|s| s.class < class)
+            .map_or(lane.slots.len(), |p| pending_from + p);
+        let prev_finish = if position == 0 {
+            0
+        } else {
+            lane.slots[position - 1].est_finish
+        };
+        let est_start = prev_finish.max(ready);
+
+        if let Some(admission) = &config.admission {
+            let backlog = est_start.saturating_sub(ready);
+            let cap = admission.cap_for(class);
+            if backlog > cap {
+                for &ri in &batch.requests {
+                    self.completions.push(RequestOutcome {
+                        request: ri,
+                        model,
+                        slo: self.requests[ri].slo,
+                        status: CompletionStatus::Rejected {
+                            backlog_cycles: backlog,
+                            backlog_cap_cycles: cap,
+                        },
+                    });
+                }
+                self.groups.push(GroupRecord {
+                    model,
+                    requests: batch.requests,
+                    chip: None,
+                    done: None,
+                });
+                return;
+            }
+        }
+
+        let verify = if config.verify_every > 0
+            && self.runtime.chip_backend(chip) == BackendKind::Analytical
+        {
+            let sampled = self.analytical_seen.is_multiple_of(config.verify_every);
+            self.analytical_seen += 1;
+            sampled
+        } else {
+            false
+        };
+
+        let lane = &mut self.lanes[chip];
+        lane.slots.insert(
+            position,
+            Slot {
+                gid,
+                model,
+                class,
+                batch: batch.requests.len(),
+                ready,
+                est_start: 0,
+                est_finish: 0,
+                verify,
+            },
+        );
+        lane.recompute_est(position, &self.cost);
+        self.groups.push(GroupRecord {
+            model,
+            requests: batch.requests,
+            chip: Some(chip),
+            done: None,
+        });
+    }
+
+    // --- execution ---------------------------------------------------------
+
+    /// Executes every queued slot whose estimated start is at or before
+    /// `horizon`, fanning chips out across worker threads when configured,
+    /// and harvests the retired groups' completions in commit order.
+    fn execute_ready(&mut self, horizon: u64) {
+        let has_work = self
+            .lanes
+            .iter()
+            .any(|l| l.executed < l.slots.len() && l.slots[l.executed].est_start <= horizon);
+        if !has_work {
+            return;
+        }
+        let runtime = self.runtime;
+        let reload = self.cost.reload_cycles.clone();
+        let seed = runtime.config().seed;
+        let lanes = std::mem::take(&mut self.lanes);
+        let run = |mut lane: ChipLane| -> (ChipLane, Vec<SlotResult>) {
+            let mut results = Vec::new();
+            while lane.executed < lane.slots.len() && lane.slots[lane.executed].est_start <= horizon
+            {
+                let slot = &lane.slots[lane.executed];
+                let plan = &runtime.plans()[slot.model];
+                let seed_offset = replay_seed_offset(seed, slot.gid);
+                let (exec, verify) = match lane.backend {
+                    BackendKind::CycleAccurate => {
+                        (plan.execute_with_session(&mut lane.sim, seed_offset), None)
+                    }
+                    BackendKind::Analytical => {
+                        let predicted = runtime
+                            .analytical_plans()
+                            .expect("analytical chips imply calibrated plans")[slot.model]
+                            .execution();
+                        let verify = slot.verify.then(|| {
+                            let accurate = plan.execute_with_session(&mut lane.sim, seed_offset);
+                            (predicted.cycles, accurate.cycles)
+                        });
+                        (predicted, verify)
+                    }
+                };
+                let slot = &lane.slots[lane.executed];
+                let switching = lane.actual_last_model != Some(slot.model);
+                let duration =
+                    group_service_cycles(slot.batch, exec.cycles, reload[slot.model], switching);
+                let start = lane.actual_free.max(slot.ready);
+                let finish = start + duration;
+                results.push(SlotResult {
+                    gid: slot.gid,
+                    done: ExecDone {
+                        chip: lane.chip,
+                        start,
+                        finish,
+                        exec,
+                        verify,
+                    },
+                });
+                lane.actual_free = finish;
+                lane.actual_last_model = Some(slot.model);
+                lane.executed += 1;
+            }
+            (lane, results)
+        };
+        let outcomes: Vec<(ChipLane, Vec<SlotResult>)> = if runtime.config().parallel {
+            lanes.into_par_iter().map(run).collect()
+        } else {
+            lanes.into_iter().map(run).collect()
+        };
+        let mut retired: Vec<SlotResult> = Vec::new();
+        self.lanes = outcomes
+            .into_iter()
+            .map(|(lane, mut results)| {
+                retired.append(&mut results);
+                lane
+            })
+            .collect();
+        // Completions stream in commit order within each harvest, so the
+        // output order never depends on chip interleaving.
+        retired.sort_unstable_by_key(|r| r.gid);
+        for result in retired {
+            let record = &mut self.groups[result.gid];
+            record.done = Some(result.done);
+            let batch_size = record.requests.len();
+            for &ri in &record.requests {
+                let request = &self.requests[ri];
+                self.completions.push(RequestOutcome {
+                    request: ri,
+                    model: record.model,
+                    slo: request.slo,
+                    status: CompletionStatus::Served {
+                        chip: result.done.chip,
+                        group: result.gid,
+                        batch_size,
+                        start_cycles: result.done.start,
+                        finish_cycles: result.done.finish,
+                        latency_cycles: result.done.finish - request.arrival_cycles,
+                        deadline_missed: result.done.finish > request.deadline_cycles,
+                    },
+                });
+            }
+        }
+    }
+
+    // --- reporting ---------------------------------------------------------
+
+    /// Builds the report accumulator over every committed group, in commit
+    /// order (the float-sum order contract of [`ReportAccumulator`]).
+    fn build_accumulator(&self) -> ReportAccumulator {
+        let config = self.runtime.config();
+        let nominal_ghz = self.runtime.plans()[0].chip_params().nominal_frequency_ghz;
+        let mut acc = ReportAccumulator::new(config.seed, config.chips, nominal_ghz);
+        let analytical = self.runtime.analytical_plans();
+        let verify_enabled = analytical.is_some() && config.verify_every > 0;
+        let fleet_bound = analytical.map_or(0.0, |plans| {
+            plans
+                .iter()
+                .map(aim_core::analytical::AnalyticalPlan::error_bound)
+                .fold(0.0f64, f64::max)
+        });
+        acc.set_analytical_context(
+            self.runtime.analytical_chip_count(),
+            verify_enabled,
+            fleet_bound,
+        );
+        for record in &self.groups {
+            acc.note_group_formed();
+            let Some(chip) = record.chip else {
+                for &ri in &record.requests {
+                    acc.absorb_rejected_request(self.requests[ri].slo);
+                }
+                continue;
+            };
+            let done = record
+                .done
+                .as_ref()
+                .expect("drained sessions have executed every admitted group");
+            acc.absorb_executed_group(
+                chip,
+                done.start,
+                done.finish,
+                record.requests.len(),
+                &done.exec,
+            );
+            for &ri in &record.requests {
+                let request = &self.requests[ri];
+                acc.absorb_served_request(
+                    request.slo,
+                    done.finish - request.arrival_cycles,
+                    done.finish > request.deadline_cycles,
+                );
+            }
+            if let Some((analytical_cycles, accurate_cycles)) = done.verify {
+                let bound =
+                    analytical.expect("verified groups are analytical")[record.model].error_bound();
+                acc.absorb_verify_sample(analytical_cycles, accurate_cycles, bound);
+            }
+        }
+        acc
+    }
+}
+
+/// Seed offset of one group's replay: distinct per group, folded with the
+/// serve seed, independent of chip assignment and worker count.
+pub(crate) fn replay_seed_offset(seed: u64, group_idx: usize) -> u64 {
+    seed.wrapping_add((group_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

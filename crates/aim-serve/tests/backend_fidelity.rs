@@ -10,7 +10,7 @@ use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::{ServeConfig, ServeRuntime};
 use pim_sim::backend::BackendKind;
 use pim_sim::chip::SimSession;
-use workloads::inputs::{synthetic_trace, ArrivalShape, TrafficConfig};
+use workloads::inputs::{synthetic_trace, ArrivalShape, SloMix, TrafficConfig};
 use workloads::zoo::Model;
 
 /// Strided configuration keeping a full-zoo sweep affordable while still
@@ -89,6 +89,7 @@ fn bursty_trace(requests: usize, models: usize, seed: u64) -> Vec<workloads::inp
         burst_repeat_prob: 0.6,
         deadline_slack_cycles: 10_000_000,
         shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::AllStandard,
         seed,
     })
 }

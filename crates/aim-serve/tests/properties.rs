@@ -13,9 +13,11 @@ use proptest::prelude::*;
 
 use aim_core::booster::BoosterConfig;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
-use aim_serve::{AdmissionConfig, DispatchPolicy, ServeConfig, ServeRuntime};
+use aim_serve::{AdmissionConfig, CompletionStatus, DispatchPolicy, ServeConfig, ServeRuntime};
 use pim_sim::backend::BackendKind;
-use workloads::inputs::{synthetic_trace, ArrivalShape, TraceRequest, TrafficConfig};
+use workloads::inputs::{
+    synthetic_trace, ArrivalShape, SloClass, SloMix, TraceRequest, TrafficConfig,
+};
 use workloads::zoo::Model;
 
 /// Backend the scheduling-invariant property runs under, selectable from the
@@ -79,6 +81,10 @@ fn booster_plan() -> &'static Vec<CompiledPlan> {
 }
 
 fn trace_for(requests: usize, models: usize, seed: u64) -> Vec<TraceRequest> {
+    trace_with_mix(requests, models, seed, SloMix::AllStandard)
+}
+
+fn trace_with_mix(requests: usize, models: usize, seed: u64, slo_mix: SloMix) -> Vec<TraceRequest> {
     synthetic_trace(&TrafficConfig {
         requests,
         models,
@@ -86,6 +92,7 @@ fn trace_for(requests: usize, models: usize, seed: u64) -> Vec<TraceRequest> {
         burst_repeat_prob: 0.5,
         deadline_slack_cycles: 30_000,
         shape: ArrivalShape::BurstyExponential,
+        slo_mix,
         seed,
     })
 }
@@ -103,7 +110,7 @@ proptest! {
         let plans = tiny_plans();
         // Small caps exercise admission rejections; large ones admit all.
         let admission = if backlog_cap < 200_000 {
-            Some(AdmissionConfig { max_backlog_cycles: backlog_cap })
+            Some(AdmissionConfig::uniform(backlog_cap))
         } else {
             None
         };
@@ -236,6 +243,7 @@ fn serving_a_bursty_trace_batches_and_meets_sane_bounds() {
         burst_repeat_prob: 0.8,
         deadline_slack_cycles: 10_000_000,
         shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::AllStandard,
         seed: 0xFACE,
     });
     let report = runtime.serve(&trace);
@@ -264,8 +272,113 @@ fn tight_deadlines_are_reported_as_misses() {
         burst_repeat_prob: 0.5,
         deadline_slack_cycles: 1, // impossible
         shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::AllStandard,
         seed: 0xD0A,
     });
     let report = runtime.serve(&trace);
     assert_eq!(report.deadline_misses, report.served_requests);
+}
+
+proptest! {
+    /// Satellite contract of the session redesign: the offline wrapper and
+    /// a manually driven session (submit everything, then drain) produce
+    /// byte-identical reports — across seeds, worker counts and both
+    /// execution backends (the CI matrix flips `AIM_SERVE_BACKEND`).
+    #[test]
+    fn serve_and_session_drain_are_byte_identical(
+        requests in 1usize..24,
+        chips in 1usize..4,
+        parallel_bit in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let config = ServeConfig {
+            chips,
+            backend: matrix_backend(),
+            audit_chips: usize::from(chips > 1),
+            verify_every: 2,
+            parallel: parallel_bit == 1,
+            seed,
+            ..ServeConfig::default()
+        };
+        let runtime = ServeRuntime::from_plans(tiny_plans().clone(), config);
+        let trace = trace_with_mix(
+            requests,
+            tiny_plans().len(),
+            seed ^ 0x5E55,
+            SloMix::Mixed { latency_share: 0.25, best_effort_share: 0.25 },
+        );
+        let offline = runtime.serve(&trace);
+        let mut session = runtime.session();
+        for request in &trace {
+            session.submit(*request);
+        }
+        let online = session.drain();
+        prop_assert_eq!(&offline, &online);
+        let a = serde_json::to_string(&offline).map_err(|e| e.to_string())?;
+        let b = serde_json::to_string(&online).map_err(|e| e.to_string())?;
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    /// SLO priority invariant: on any given chip, no latency-sensitive
+    /// request completes after a best-effort request that arrived later —
+    /// latency-sensitive groups dispatch at arrival and jump queued
+    /// lower-class work, so later best-effort arrivals can never overtake
+    /// them on the same chip.
+    #[test]
+    fn latency_sensitive_never_completes_after_later_best_effort_on_same_chip(
+        requests in 2usize..32,
+        chips in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let config = ServeConfig {
+            chips,
+            backend: matrix_backend(),
+            seed,
+            ..ServeConfig::default()
+        };
+        let runtime = ServeRuntime::from_plans(tiny_plans().clone(), config);
+        let trace = trace_with_mix(
+            requests,
+            tiny_plans().len(),
+            seed ^ 0x9917,
+            SloMix::Mixed { latency_share: 0.4, best_effort_share: 0.4 },
+        );
+        let mut session = runtime.session();
+        for request in &trace {
+            session.submit(*request);
+        }
+        let _ = session.drain();
+        let outcomes = session.poll_completions();
+        prop_assert_eq!(outcomes.len(), trace.len());
+        let served: Vec<_> = outcomes
+            .iter()
+            .filter_map(|o| match o.status {
+                CompletionStatus::Served { chip, finish_cycles, .. } => {
+                    Some((o.request, o.slo, chip, finish_cycles))
+                }
+                CompletionStatus::Rejected { .. } => None,
+            })
+            .collect();
+        for &(ls_req, ls_slo, ls_chip, ls_finish) in &served {
+            if ls_slo != SloClass::LatencySensitive {
+                continue;
+            }
+            for &(be_req, be_slo, be_chip, be_finish) in &served {
+                if be_slo != SloClass::BestEffort || be_chip != ls_chip {
+                    continue;
+                }
+                if trace[be_req].arrival_cycles > trace[ls_req].arrival_cycles {
+                    prop_assert!(
+                        ls_finish <= be_finish,
+                        "latency-sensitive request {} (arrived {}, finished {}) completed after \
+                         later best-effort request {} (arrived {}, finished {}) on chip {}",
+                        ls_req, trace[ls_req].arrival_cycles, ls_finish,
+                        be_req, trace[be_req].arrival_cycles, be_finish, ls_chip
+                    );
+                }
+            }
+        }
+    }
 }

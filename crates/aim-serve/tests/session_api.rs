@@ -1,0 +1,437 @@
+//! Behavioural pins of the event-driven session API:
+//!
+//! * the consecutive-only batching gap is fixed — an interleaved `A,B,A,B`
+//!   trace batches under the session (mean batch > 1) while the offline
+//!   `form_groups` scan provably cannot, and the session batcher dominates
+//!   the scan on batching ratio;
+//! * latency-sensitive arrivals close batch windows early and jump queued
+//!   best-effort work;
+//! * completions stream out of `poll_completions` before the drain, and
+//!   incremental stepping returns byte-identical reports to the one-shot
+//!   wrapper;
+//! * `ReportAccumulator::merge` combines sharded sessions;
+//! * the `ServeConfig` builder and the deprecated `set_verify_every` shim.
+
+use std::sync::OnceLock;
+
+use aim_core::pipeline::{AimConfig, CompiledPlan};
+use aim_serve::prelude::*;
+use aim_serve::scheduler::form_groups;
+use workloads::zoo::Model;
+
+fn plans() -> &'static Vec<CompiledPlan> {
+    static PLANS: OnceLock<Vec<CompiledPlan>> = OnceLock::new();
+    PLANS.get_or_init(|| {
+        let config = AimConfig {
+            cycles_per_slice: 40,
+            ..AimConfig::baseline()
+        };
+        vec![
+            CompiledPlan::compile(
+                &Model::mobilenet_v2(),
+                &AimConfig {
+                    operator_stride: Some(13),
+                    ..config
+                },
+            ),
+            CompiledPlan::compile(
+                &Model::mobilenet_v2(),
+                &AimConfig {
+                    operator_stride: Some(17),
+                    ..config
+                },
+            ),
+        ]
+    })
+}
+
+fn req(model: usize, arrival: u64, slo: SloClass) -> TraceRequest {
+    TraceRequest {
+        model,
+        arrival_cycles: arrival,
+        deadline_cycles: arrival + 100_000_000,
+        slo,
+    }
+}
+
+/// A fully interleaved two-model trace: `A,B,A,B,…`, 100 cycles apart.
+fn interleaved_trace(requests: usize) -> Vec<TraceRequest> {
+    (0..requests)
+        .map(|i| req(i % 2, i as u64 * 100, SloClass::Standard))
+        .collect()
+}
+
+#[test]
+fn interleaved_trace_batches_under_the_session_but_not_the_offline_scan() {
+    let config = ServeConfig::builder().chips(2).max_batch(8).build();
+    let trace = interleaved_trace(32);
+
+    // The offline consecutive-only scan: every group is a singleton, by
+    // construction — the documented gap.
+    let offline_groups = form_groups(&trace, config.max_batch, config.batch_window_cycles);
+    assert_eq!(offline_groups.len(), trace.len());
+    assert!(offline_groups.iter().all(|g| g.requests.len() == 1));
+
+    // The session's per-model pending queues coalesce each model's arrivals
+    // within the window regardless of interleaving.
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let report = runtime.serve(&trace);
+    assert_eq!(report.served_requests, trace.len());
+    assert!(
+        report.mean_batch_size > 1.0,
+        "interleaved trace must batch online, got mean {}",
+        report.mean_batch_size
+    );
+    // All arrivals land within one window, so every group fills to max_batch.
+    assert_eq!(report.groups_executed, trace.len() / config.max_batch);
+    assert!((report.mean_batch_size - config.max_batch as f64).abs() < 1e-9);
+}
+
+#[test]
+fn session_batcher_dominates_form_groups_on_batching_ratio() {
+    // A mixed trace with some same-model runs: the offline scan batches a
+    // little, the session at least as much (and strictly more here).
+    let config = ServeConfig::builder().chips(2).max_batch(6).build();
+    let mut trace = Vec::new();
+    for i in 0..48u64 {
+        // Runs of two per model, alternating: A,A,B,B,A,A,…
+        trace.push(req((i as usize / 2) % 2, i * 200, SloClass::Standard));
+    }
+    let offline_groups = form_groups(&trace, config.max_batch, config.batch_window_cycles);
+    let offline_ratio = trace.len() as f64 / offline_groups.len() as f64;
+    let report = ServeRuntime::from_plans(plans().clone(), config).serve(&trace);
+    assert!(
+        report.mean_batch_size > offline_ratio,
+        "session mean batch {} must dominate the offline scan's {}",
+        report.mean_batch_size,
+        offline_ratio
+    );
+}
+
+#[test]
+fn latency_sensitive_arrival_closes_the_window_early() {
+    let config = ServeConfig::builder()
+        .chips(1)
+        .max_batch(8)
+        .batch_window_cycles(20_000)
+        .build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    // Two standards open a batch; the latency-sensitive arrival at t=20
+    // flushes it immediately — so the standard request at t=50 (still well
+    // inside the original window) lands in a *new* group.
+    let trace = vec![
+        req(0, 0, SloClass::Standard),
+        req(0, 10, SloClass::Standard),
+        req(0, 20, SloClass::LatencySensitive),
+        req(0, 50, SloClass::Standard),
+    ];
+    let mut session = runtime.session();
+    for r in &trace {
+        session.submit(*r);
+    }
+    let report = session.drain();
+    let outcomes = session.poll_completions();
+    assert_eq!(report.groups_executed, 2, "the LS arrival split the window");
+    let batch_of = |request: usize| {
+        outcomes
+            .iter()
+            .find(|o| o.request == request)
+            .and_then(|o| match o.status {
+                CompletionStatus::Served {
+                    batch_size, group, ..
+                } => Some((batch_size, group)),
+                CompletionStatus::Rejected { .. } => None,
+            })
+            .expect("request served")
+    };
+    assert_eq!(batch_of(0), (3, 0), "the LS request rides with the opener");
+    assert_eq!(batch_of(2).1, 0);
+    assert_eq!(batch_of(3), (1, 1), "post-flush arrival opens a new group");
+
+    // Control: without the LS arrival, all four ride one window.
+    let all_standard: Vec<TraceRequest> = trace
+        .iter()
+        .map(|r| TraceRequest {
+            slo: SloClass::Standard,
+            ..*r
+        })
+        .collect();
+    assert_eq!(runtime.serve(&all_standard).groups_executed, 1);
+}
+
+#[test]
+fn latency_sensitive_jumps_queued_best_effort_work() {
+    // One chip, singleton groups: a best-effort group queued behind a busy
+    // chip is overtaken by a latency-sensitive group committed later.
+    let config = ServeConfig::builder().chips(1).max_batch(1).build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let trace = vec![
+        req(0, 0, SloClass::Standard),          // occupies the chip
+        req(1, 10, SloClass::BestEffort),       // queued
+        req(0, 20, SloClass::LatencySensitive), // jumps the queue
+    ];
+    let mut session = runtime.session();
+    for r in &trace {
+        session.submit(*r);
+    }
+    let _ = session.drain();
+    let outcomes = session.poll_completions();
+    let finish_of = |request: usize| {
+        outcomes
+            .iter()
+            .find(|o| o.request == request)
+            .and_then(|o| match o.status {
+                CompletionStatus::Served { finish_cycles, .. } => Some(finish_cycles),
+                CompletionStatus::Rejected { .. } => None,
+            })
+            .expect("request served")
+    };
+    assert!(
+        finish_of(2) < finish_of(1),
+        "latency-sensitive ({}) must finish before the earlier-queued best-effort ({})",
+        finish_of(2),
+        finish_of(1)
+    );
+    assert!(
+        finish_of(0) < finish_of(2),
+        "running work is never preempted"
+    );
+}
+
+#[test]
+fn completions_stream_before_drain_and_stepping_matches_one_shot() {
+    let config = ServeConfig::builder().chips(2).max_batch(8).build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let trace = interleaved_trace(32);
+
+    let mut session = runtime.session();
+    let mut streamed = Vec::new();
+    for r in &trace {
+        session.submit(*r);
+        session.run_until(r.arrival_cycles);
+        streamed.extend(session.poll_completions());
+    }
+    assert!(
+        !streamed.is_empty(),
+        "full batches must retire and stream while traffic is still arriving"
+    );
+    let report = session.drain();
+    streamed.extend(session.poll_completions());
+    assert_eq!(
+        streamed.len(),
+        trace.len(),
+        "every request yields one outcome"
+    );
+    // Each outcome is unique and consistent with the trace.
+    let mut seen: Vec<usize> = streamed.iter().map(|o| o.request).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..trace.len()).collect::<Vec<_>>());
+    for o in &streamed {
+        assert_eq!(o.model, trace[o.request].model);
+        assert_eq!(o.slo, trace[o.request].slo);
+    }
+
+    // Incremental stepping and the one-shot wrapper agree byte for byte.
+    let one_shot = runtime.serve(&trace);
+    assert_eq!(report, one_shot);
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&one_shot).unwrap()
+    );
+}
+
+#[test]
+fn stepping_exactly_onto_a_window_closure_matches_the_wrapper() {
+    // Regression: `run_until` and `submit` must share the same window
+    // boundary convention.  Here a `run_until` target lands exactly on an
+    // open batch's close_at, and a same-model request arrives on that very
+    // cycle — the window must stay open for it (the offline scan's
+    // inclusive horizon), not close a step early.
+    let config = ServeConfig::builder()
+        .chips(1)
+        .max_batch(8)
+        .batch_window_cycles(1_000)
+        .build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let trace = vec![
+        req(0, 0, SloClass::Standard),     // opens the window: close_at = 1000
+        req(0, 1_000, SloClass::Standard), // arrives exactly at close_at
+    ];
+    let mut session = runtime.session();
+    session.submit(trace[0]);
+    session.run_until(1_000); // lands exactly on the closure boundary
+    session.submit(trace[1]);
+    let stepped = session.drain();
+    assert_eq!(stepped.groups_executed, 1, "the same-cycle arrival joins");
+    let one_shot = runtime.serve(&trace);
+    assert_eq!(stepped, one_shot);
+    assert_eq!(
+        serde_json::to_string(&stepped).unwrap(),
+        serde_json::to_string(&one_shot).unwrap()
+    );
+}
+
+#[test]
+fn per_class_admission_sheds_best_effort_first() {
+    // Saturate one chip with instantaneous arrivals; the best-effort cap is
+    // tight, the standard cap generous.
+    let admission = AdmissionConfig {
+        max_backlog_cycles: u64::MAX / 2,
+        latency_sensitive_backlog_cycles: u64::MAX / 2,
+        best_effort_backlog_cycles: 0,
+    };
+    let config = ServeConfig::builder()
+        .chips(1)
+        .max_batch(1)
+        .admission(Some(admission))
+        .build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let trace: Vec<TraceRequest> = (0..8)
+        .map(|i| {
+            req(
+                0,
+                0,
+                if i % 2 == 0 {
+                    SloClass::Standard
+                } else {
+                    SloClass::BestEffort
+                },
+            )
+        })
+        .collect();
+    let report = runtime.serve(&trace);
+    let by_class = |class: SloClass| {
+        report
+            .per_class
+            .iter()
+            .find(|c| c.class == class)
+            .copied()
+            .unwrap()
+    };
+    assert_eq!(by_class(SloClass::Standard).rejected, 0);
+    // The standard opener already occupies the chip when the first
+    // best-effort group arrives, so every best-effort group sees a nonzero
+    // backlog and the zero-cycle cap sheds all of them.
+    assert_eq!(by_class(SloClass::BestEffort).rejected, 4);
+    assert_eq!(report.served_requests + report.rejected_requests, 8);
+}
+
+#[test]
+fn sharded_sessions_merge_into_one_report() {
+    let config = ServeConfig::builder().chips(2).build();
+    let runtime_a = ServeRuntime::from_plans(plans().clone(), config);
+    let runtime_b = ServeRuntime::from_plans(plans().clone(), config);
+    let trace_a = interleaved_trace(16);
+    let trace_b: Vec<TraceRequest> = interleaved_trace(24)
+        .into_iter()
+        .map(|r| TraceRequest {
+            arrival_cycles: r.arrival_cycles + 37,
+            deadline_cycles: r.deadline_cycles + 37,
+            ..r
+        })
+        .collect();
+
+    let mut session_a = runtime_a.session();
+    for r in &trace_a {
+        session_a.submit(*r);
+    }
+    let mut session_b = runtime_b.session();
+    for r in &trace_b {
+        session_b.submit(*r);
+    }
+    let solo_a = runtime_a.serve(&trace_a);
+    let solo_b = runtime_b.serve(&trace_b);
+
+    let mut acc = session_a.drain_accumulator();
+    acc.merge(session_b.drain_accumulator());
+    let merged = acc.finish();
+
+    assert_eq!(merged.chips, 4);
+    assert_eq!(merged.total_requests, 40);
+    assert_eq!(
+        merged.served_requests,
+        solo_a.served_requests + solo_b.served_requests
+    );
+    assert_eq!(
+        merged.makespan_cycles,
+        solo_a.makespan_cycles.max(solo_b.makespan_cycles)
+    );
+    assert_eq!(merged.per_chip.len(), 4);
+    // The second shard's chips re-index after the first's.
+    for (i, chip) in merged.per_chip.iter().enumerate() {
+        assert_eq!(chip.chip, i);
+    }
+    assert_eq!(merged.per_chip[2].requests, solo_b.per_chip[0].requests);
+    assert_eq!(
+        merged.failures,
+        solo_a.failures + solo_b.failures,
+        "electrical aggregates pool across shards"
+    );
+    // The pooled latency percentiles are bracketed by the shard extremes.
+    assert!(merged.latency_max_cycles == solo_a.latency_max_cycles.max(solo_b.latency_max_cycles));
+}
+
+#[test]
+fn builder_matches_struct_literal_and_validates() {
+    let built = ServeConfig::builder()
+        .chips(8)
+        .max_batch(4)
+        .batch_window_cycles(1_000)
+        .reload_cycles_per_slice(64)
+        .dispatch(DispatchPolicy::RoundRobin)
+        .backend(BackendKind::Analytical)
+        .audit_chips(2)
+        .verify_every(5)
+        .parallel(false)
+        .seed(42)
+        .build();
+    let literal = ServeConfig {
+        chips: 8,
+        max_batch: 4,
+        batch_window_cycles: 1_000,
+        reload_cycles_per_slice: 64,
+        dispatch: DispatchPolicy::RoundRobin,
+        admission: None,
+        backend: BackendKind::Analytical,
+        audit_chips: 2,
+        verify_every: 5,
+        parallel: false,
+        seed: 42,
+    };
+    assert_eq!(built, literal);
+}
+
+#[test]
+#[should_panic(expected = "audit chips")]
+fn builder_rejects_degenerate_configs_at_build_time() {
+    let _ = ServeConfig::builder().chips(2).audit_chips(3).build();
+}
+
+#[test]
+fn deprecated_verify_cadence_shim_still_works() {
+    let config = ServeConfig::builder()
+        .chips(2)
+        .backend(BackendKind::Analytical)
+        .build();
+    let mut runtime = ServeRuntime::from_plans(plans().clone(), config);
+    #[allow(deprecated)]
+    runtime.set_verify_every(1);
+    let report = runtime.serve(&interleaved_trace(8));
+    let verification = report.verification.expect("cadence was enabled");
+    assert_eq!(verification.sampled, report.groups_executed);
+}
+
+#[test]
+fn drained_sessions_reject_further_submissions() {
+    let runtime = ServeRuntime::from_plans(plans().clone(), ServeConfig::builder().build());
+    let mut session = runtime.session();
+    session.submit(req(0, 0, SloClass::Standard));
+    let _ = session.drain();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.submit(req(0, 1, SloClass::Standard));
+    }));
+    assert!(
+        panicked.is_err(),
+        "submitting to a drained session must panic"
+    );
+}

@@ -5,7 +5,21 @@
 //!
 //! Usage:
 //! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
-//!  [--backend cycle-accurate|analytical] [--check-regression]`
+//!  [--backend cycle-accurate|analytical] [--mode offline|online]
+//!  [--check-regression]`
+//!
+//! With `--mode online` the benchmark drives the event-driven `ServeSession`
+//! instead of the offline wrapper: a fully *interleaved* mixed-SLO trace
+//! (20 % latency-sensitive / 30 % best-effort, `burst_repeat_prob` 0 so the
+//! old consecutive-only scan cannot batch it) is submitted request by
+//! request with periodic `run_until`/`poll_completions` stepping, and the
+//! record carries the per-SLO-class p99 split, the realised batching ratio
+//! versus the offline `form_groups` baseline, and how many outcomes streamed
+//! out before the final drain.  The run gates on determinism and on the
+//! session batcher dominating the offline scan's batching ratio; with
+//! `--check-regression` it also gates its virtual throughput
+//! (`serve_online_virtual_rps` / `serve_online_ana_virtual_rps` per
+//! backend).
 //!
 //! With `--backend analytical` the same fleet is additionally served through
 //! the calibrated analytical backend (sampled verification on), and the run
@@ -28,10 +42,13 @@ use std::time::Instant;
 
 use aim_bench::{append_bench_record, last_bench_value};
 use aim_core::pipeline::{AimConfig, CompiledPlan};
+use aim_serve::scheduler::form_groups;
 use aim_serve::{DispatchPolicy, ServeConfig, ServeReport, ServeRuntime};
 use pim_sim::backend::BackendKind;
 use serde::Serialize;
-use workloads::inputs::{synthetic_trace, ArrivalShape, TrafficConfig};
+use workloads::inputs::{
+    synthetic_trace, ArrivalShape, SloClass, SloMix, TraceRequest, TrafficConfig,
+};
 use workloads::zoo::Model;
 
 #[derive(Serialize)]
@@ -100,6 +117,49 @@ struct AnalyticalSmokeRecord {
     serve_ana_deterministic: bool,
 }
 
+/// Trajectory record of an online-session leg (`--mode online`).  Field
+/// names are disjoint per backend so the textual `last_bench_value` scan
+/// gates each matrix leg against its own history.
+#[derive(Serialize)]
+struct OnlineSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_online_backend: String,
+    serve_online_chips: usize,
+    serve_online_requests: usize,
+    /// Wall-clock ms of one full submit/step/poll/drain session (best of
+    /// `REPS`).
+    serve_online_wall_ms: f64,
+    /// Served requests per second of virtual chip time (deterministic; the
+    /// regression-gated figure).  `None` (recorded as `null`, which the
+    /// textual trajectory scan skips) on the analytical leg, which gates on
+    /// `serve_online_ana_virtual_rps` instead — disjoint per backend so the
+    /// matrix legs never cross-contaminate.
+    serve_online_virtual_rps: Option<f64>,
+    /// The analytical leg's gated virtual throughput; `None` elsewhere.
+    serve_online_ana_virtual_rps: Option<f64>,
+    /// Mean executed batch size of the online batcher.
+    serve_online_mean_batch: f64,
+    /// Mean batch size the offline consecutive-only `form_groups` scan
+    /// achieves on the same trace — the baseline the session must dominate.
+    serve_online_offline_scan_mean_batch: f64,
+    /// Outcomes that streamed out of `poll_completions` before the final
+    /// drain.
+    serve_online_streamed_before_drain: usize,
+    serve_online_p50_us: f64,
+    serve_online_p99_us: f64,
+    /// Per-SLO-class p99 latency split (virtual µs at 1 GHz nominal).
+    serve_online_p99_latency_sensitive_us: f64,
+    serve_online_p99_standard_us: f64,
+    serve_online_p99_best_effort_us: f64,
+    serve_online_latency_sensitive_requests: usize,
+    serve_online_best_effort_requests: usize,
+    serve_online_deadline_misses: usize,
+    serve_online_rejected: usize,
+    serve_online_deterministic: bool,
+}
+
 const REPS: usize = 3;
 
 /// The served zoo: per-model operator strides keep the one-time compile cost
@@ -125,20 +185,19 @@ fn compile_zoo() -> Vec<CompiledPlan> {
 }
 
 fn serve_config(chips: usize) -> ServeConfig {
-    ServeConfig {
-        chips,
-        max_batch: 8,
-        batch_window_cycles: 30_000,
-        reload_cycles_per_slice: 64,
-        dispatch: DispatchPolicy::LeastLoaded,
-        admission: None,
-        parallel: true,
-        seed: 0xC0FFEE,
-        ..ServeConfig::default()
-    }
+    ServeConfig::builder()
+        .chips(chips)
+        .max_batch(8)
+        .batch_window_cycles(30_000)
+        .reload_cycles_per_slice(64)
+        .dispatch(DispatchPolicy::LeastLoaded)
+        .admission(None)
+        .parallel(true)
+        .seed(0xC0FFEE)
+        .build()
 }
 
-fn smoke_trace(models: usize) -> Vec<workloads::inputs::TraceRequest> {
+fn smoke_trace(models: usize) -> Vec<TraceRequest> {
     synthetic_trace(&TrafficConfig {
         requests: 192,
         models,
@@ -146,7 +205,28 @@ fn smoke_trace(models: usize) -> Vec<workloads::inputs::TraceRequest> {
         burst_repeat_prob: 0.65,
         deadline_slack_cycles: 2_000_000,
         shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::AllStandard,
         seed: 0x77ACE,
+    })
+}
+
+/// The online-mode scenario: fully interleaved mixed-SLO traffic.  With
+/// `burst_repeat_prob: 0.0` consecutive same-model runs are rare, so the
+/// offline consecutive-only scan barely batches — exactly the gap the
+/// session's per-model pending queues close.
+fn online_trace(models: usize) -> Vec<TraceRequest> {
+    synthetic_trace(&TrafficConfig {
+        requests: 192,
+        models,
+        mean_interarrival_cycles: 3_000.0,
+        burst_repeat_prob: 0.0,
+        deadline_slack_cycles: 2_000_000,
+        shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::Mixed {
+            latency_share: 0.2,
+            best_effort_share: 0.3,
+        },
+        seed: 0x0511E,
     })
 }
 
@@ -169,6 +249,175 @@ fn bench_serve(
         .iter()
         .all(|r| serde_json::to_string(r).ok() == serde_json::to_string(&report).ok());
     (report, wall_ms, deterministic)
+}
+
+/// Drives one full online session: submissions in arrival order, a
+/// `run_until` + `poll_completions` step every 16 requests (streaming
+/// completed work out mid-trace), then a final drain.  Returns the report,
+/// how many outcomes streamed before the drain, and the wall time (ms).
+fn run_online_session(runtime: &ServeRuntime, trace: &[TraceRequest]) -> (ServeReport, usize, f64) {
+    let start = Instant::now();
+    let mut session = runtime.session();
+    let mut streamed = 0usize;
+    for (i, request) in trace.iter().enumerate() {
+        session.submit(*request);
+        if i % 16 == 15 {
+            session.run_until(request.arrival_cycles);
+            streamed += session.poll_completions().len();
+        }
+    }
+    let report = session.drain();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (report, streamed, wall_ms)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_online(label: &str, backend: BackendKind, check_regression: bool) -> ExitCode {
+    let gate_field = match backend {
+        BackendKind::CycleAccurate => "serve_online_virtual_rps",
+        BackendKind::Analytical => "serve_online_ana_virtual_rps",
+    };
+    let previous_rps = last_bench_value(gate_field);
+
+    let plans = compile_zoo();
+    let serve_models = plans.len();
+    let config = ServeConfig {
+        backend,
+        ..serve_config(8)
+    };
+    let runtime = ServeRuntime::from_plans(plans, config);
+    let trace = online_trace(serve_models);
+
+    // The offline consecutive-only scan is the batching baseline the
+    // session's per-model queues must dominate.
+    let offline_groups = form_groups(&trace, config.max_batch, config.batch_window_cycles);
+    let offline_mean_batch = trace.len() as f64 / offline_groups.len() as f64;
+
+    let mut wall_ms = f64::INFINITY;
+    let mut streamed = 0usize;
+    let mut reports: Vec<ServeReport> = Vec::new();
+    for _ in 0..REPS {
+        let (report, s, ms) = run_online_session(&runtime, &trace);
+        wall_ms = wall_ms.min(ms);
+        streamed = s;
+        reports.push(report);
+    }
+    let report = reports.pop().expect("at least one rep");
+    let json = |r: &ServeReport| serde_json::to_string(r).ok();
+    // Determinism covers both repeat runs *and* equivalence with the
+    // offline wrapper (`serve` = submit-all-then-drain through the same
+    // session machinery).
+    let deterministic = reports.iter().all(|r| json(r) == json(&report))
+        && json(&runtime.serve(&trace)) == json(&report);
+
+    let class_stats = |class: SloClass| {
+        report
+            .per_class
+            .iter()
+            .find(|c| c.class == class)
+            .copied()
+            .expect("report carries every class row")
+    };
+    let ls = class_stats(SloClass::LatencySensitive);
+    let std_class = class_stats(SloClass::Standard);
+    let be = class_stats(SloClass::BestEffort);
+
+    let record = OnlineSmokeRecord {
+        label: label.to_string(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_online_backend: match backend {
+            BackendKind::CycleAccurate => "cycle-accurate".to_string(),
+            BackendKind::Analytical => "analytical".to_string(),
+        },
+        serve_online_chips: report.chips,
+        serve_online_requests: report.total_requests,
+        serve_online_wall_ms: wall_ms,
+        serve_online_virtual_rps: (backend == BackendKind::CycleAccurate)
+            .then_some(report.throughput_rps),
+        serve_online_ana_virtual_rps: (backend == BackendKind::Analytical)
+            .then_some(report.throughput_rps),
+        serve_online_mean_batch: report.mean_batch_size,
+        serve_online_offline_scan_mean_batch: offline_mean_batch,
+        serve_online_streamed_before_drain: streamed,
+        serve_online_p50_us: report.latency_p50_cycles as f64 / 1e3,
+        serve_online_p99_us: report.latency_p99_cycles as f64 / 1e3,
+        serve_online_p99_latency_sensitive_us: ls.latency_p99_cycles as f64 / 1e3,
+        serve_online_p99_standard_us: std_class.latency_p99_cycles as f64 / 1e3,
+        serve_online_p99_best_effort_us: be.latency_p99_cycles as f64 / 1e3,
+        serve_online_latency_sensitive_requests: ls.total,
+        serve_online_best_effort_requests: be.total,
+        serve_online_deadline_misses: report.deadline_misses,
+        serve_online_rejected: report.rejected_requests,
+        serve_online_deterministic: deterministic,
+    };
+
+    println!(
+        "serve_smoke [{}] (online session, {} fleet)",
+        record.label, record.serve_online_backend
+    );
+    println!(
+        "  fleet              : {} chips, {} requests ({} latency-sensitive / {} best-effort)",
+        record.serve_online_chips,
+        record.serve_online_requests,
+        record.serve_online_latency_sensitive_requests,
+        record.serve_online_best_effort_requests
+    );
+    println!(
+        "  batching           : mean batch {:.2} online vs {:.2} offline consecutive scan",
+        record.serve_online_mean_batch, record.serve_online_offline_scan_mean_batch
+    );
+    println!(
+        "  streaming          : {} of {} outcomes polled before drain",
+        record.serve_online_streamed_before_drain, record.serve_online_requests
+    );
+    println!(
+        "  throughput         : {:>9.0} req/s virtual   ({:.1} ms wall/session)",
+        report.throughput_rps, record.serve_online_wall_ms
+    );
+    println!(
+        "  latency p99 (us)   : {:.1} overall | {:.1} latency-sensitive  {:.1} standard  {:.1} best-effort",
+        record.serve_online_p99_us,
+        record.serve_online_p99_latency_sensitive_us,
+        record.serve_online_p99_standard_us,
+        record.serve_online_p99_best_effort_us
+    );
+    println!(
+        "  deterministic      : {} ({} deadline misses, {} rejected)",
+        record.serve_online_deterministic,
+        record.serve_online_deadline_misses,
+        record.serve_online_rejected
+    );
+
+    append_bench_record(&record);
+
+    if !record.serve_online_deterministic {
+        eprintln!("error: online session replays diverged from each other or from serve() — determinism contract broken");
+        return ExitCode::FAILURE;
+    }
+    if record.serve_online_mean_batch + 1e-9 < record.serve_online_offline_scan_mean_batch {
+        eprintln!(
+            "error: online batcher ({:.2}) fell below the offline consecutive scan ({:.2})",
+            record.serve_online_mean_batch, record.serve_online_offline_scan_mean_batch
+        );
+        return ExitCode::FAILURE;
+    }
+    if record.serve_online_mean_batch <= 1.0 {
+        eprintln!(
+            "error: interleaved trace did not batch (mean {:.2}) — the per-model queues regressed",
+            record.serve_online_mean_batch
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(gate_field, report.throughput_rps, previous_rps) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn regression_gate(label: &str, current: f64, previous: Option<f64>) -> Result<(), String> {
@@ -209,6 +458,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1).map(String::as_str))
+    {
+        None | Some("offline") => {}
+        Some("online") => return run_online(&label, backend, check_regression),
+        Some(other) => {
+            eprintln!("error: unknown --mode {other} (use offline|online)");
+            return ExitCode::FAILURE;
+        }
+    }
     // Read the trajectory *before* appending this run's record.  The gate
     // compares *virtual* throughput — a pure function of the scheduler and
     // the simulated fleet, byte-identical across hosts — so a slower CI
@@ -313,13 +574,19 @@ fn main() -> ExitCode {
         ..config
     };
     let calibrate_start = Instant::now();
-    let mut ana_runtime = ServeRuntime::from_plans(plans, ana_config);
+    let ana_runtime = ServeRuntime::from_plans(plans.clone(), ana_config);
     let serve_ana_calibrate_ms = calibrate_start.elapsed().as_secs_f64() * 1e3;
     let (ana_report, serve_ana_wall_ms, ana_deterministic) = bench_serve(&ana_runtime, &trace);
-    // The drift run reuses the already-calibrated plan views — only the
-    // sampling cadence changes.
-    ana_runtime.set_verify_every(16);
-    let verification = ana_runtime
+    // The drift run only changes the sampling cadence — configured up front
+    // on a separate runtime so the timed fleet stays verification-free.
+    let verify_runtime = ServeRuntime::from_plans(
+        plans,
+        ServeConfig {
+            verify_every: 16,
+            ..ana_config
+        },
+    );
+    let verification = verify_runtime
         .serve(&trace)
         .verification
         .expect("analytical fleet reports verification stats");

@@ -95,6 +95,54 @@ pub fn flip_fractions(class: InputClass, cycles: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// Service-level-objective class of a serving request.
+///
+/// The variants are declared in ascending scheduling priority, so the
+/// derived `Ord` ranks urgency directly: `BestEffort < Standard <
+/// LatencySensitive`.  A serving scheduler reads the class three ways —
+/// batch-window treatment (latency-sensitive arrivals close an open window
+/// immediately), dispatch priority (higher classes jump queued lower-class
+/// work that has not started), and per-class admission caps.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SloClass {
+    /// Throughput traffic with no latency promise: lowest dispatch priority,
+    /// shed first under load.
+    BestEffort,
+    /// The default interactive tier: batched within the configured window.
+    #[default]
+    Standard,
+    /// Tight-latency traffic: closes its model's batch window on arrival and
+    /// dispatches ahead of queued lower-class groups.
+    LatencySensitive,
+}
+
+impl SloClass {
+    /// All classes, in ascending priority order.
+    pub const ALL: [Self; 3] = [Self::BestEffort, Self::Standard, Self::LatencySensitive];
+
+    /// Stable index of the class (ascending priority), for per-class tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::BestEffort => 0,
+            Self::Standard => 1,
+            Self::LatencySensitive => 2,
+        }
+    }
+
+    /// Human-readable class name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BestEffort => "best_effort",
+            Self::Standard => "standard",
+            Self::LatencySensitive => "latency_sensitive",
+        }
+    }
+}
+
 /// One inference request of a synthetic serving trace.
 ///
 /// Times are virtual, in nominal-frequency chip cycles since trace start, so
@@ -108,6 +156,8 @@ pub struct TraceRequest {
     pub arrival_cycles: u64,
     /// Completion deadline, cycles since trace start.
     pub deadline_cycles: u64,
+    /// Service-level-objective class the request is served under.
+    pub slo: SloClass,
 }
 
 /// Arrival-process shape of a synthetic serving trace.
@@ -133,6 +183,24 @@ pub enum ArrivalShape {
     },
 }
 
+/// SLO-class composition of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SloMix {
+    /// Every request is [`SloClass::Standard`] — the historical single-class
+    /// traffic, byte-identical to traces generated before classes existed.
+    AllStandard,
+    /// Classes drawn per request from a dedicated RNG stream (so the
+    /// arrival/model streams stay byte-identical to `AllStandard` at the
+    /// same seed): `latency_share` of requests are latency-sensitive,
+    /// `best_effort_share` best-effort, the rest standard.
+    Mixed {
+        /// Fraction of latency-sensitive requests, in `[0, 1]`.
+        latency_share: f64,
+        /// Fraction of best-effort requests, in `[0, 1]`.
+        best_effort_share: f64,
+    },
+}
+
 /// Shape of a synthetic serving-traffic trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrafficConfig {
@@ -150,6 +218,8 @@ pub struct TrafficConfig {
     pub deadline_slack_cycles: u64,
     /// Arrival-process shape.
     pub shape: ArrivalShape,
+    /// SLO-class composition of the generated requests.
+    pub slo_mix: SloMix,
     /// Seed of the trace stream.
     pub seed: u64,
 }
@@ -163,6 +233,7 @@ impl Default for TrafficConfig {
             burst_repeat_prob: 0.6,
             deadline_slack_cycles: 100_000,
             shape: ArrivalShape::BurstyExponential,
+            slo_mix: SloMix::AllStandard,
             seed: 0x5E21E,
         }
     }
@@ -180,6 +251,9 @@ impl Default for TrafficConfig {
 pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
     assert!(config.models > 0, "a trace needs at least one model");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // SLO classes come from a *separate* stream so that enabling a mixed
+    // class composition never perturbs the frozen arrival/model draws.
+    let mut slo_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0051_0C1A_55E5);
     let mut arrival: u64 = 0;
     let mut previous_model: Option<usize> = None;
     (0..config.requests)
@@ -213,10 +287,27 @@ pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
                 }
             };
             previous_model = Some(model);
+            let slo = match config.slo_mix {
+                SloMix::AllStandard => SloClass::Standard,
+                SloMix::Mixed {
+                    latency_share,
+                    best_effort_share,
+                } => {
+                    let u: f64 = slo_rng.gen_range(0.0..1.0);
+                    if u < latency_share {
+                        SloClass::LatencySensitive
+                    } else if u < latency_share + best_effort_share {
+                        SloClass::BestEffort
+                    } else {
+                        SloClass::Standard
+                    }
+                }
+            };
             TraceRequest {
                 model,
                 arrival_cycles: arrival,
                 deadline_cycles: arrival.saturating_add(config.deadline_slack_cycles),
+                slo,
             }
         })
         .collect()
@@ -442,6 +533,59 @@ mod tests {
             models: 0,
             ..TrafficConfig::default()
         });
+    }
+
+    #[test]
+    fn default_mix_is_all_standard_and_class_draws_leave_arrivals_untouched() {
+        let base = TrafficConfig {
+            requests: 400,
+            ..TrafficConfig::default()
+        };
+        let plain = synthetic_trace(&base);
+        assert!(plain.iter().all(|r| r.slo == SloClass::Standard));
+        // Mixing in SLO classes must not move a single arrival or model
+        // choice: the class stream is independent of the frozen trace draws.
+        let mixed = synthetic_trace(&TrafficConfig {
+            slo_mix: SloMix::Mixed {
+                latency_share: 0.3,
+                best_effort_share: 0.3,
+            },
+            ..base
+        });
+        for (a, b) in plain.iter().zip(&mixed) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.arrival_cycles, b.arrival_cycles);
+            assert_eq!(a.deadline_cycles, b.deadline_cycles);
+        }
+    }
+
+    #[test]
+    fn mixed_slo_shares_are_respected_and_deterministic() {
+        let config = TrafficConfig {
+            requests: 4_000,
+            slo_mix: SloMix::Mixed {
+                latency_share: 0.2,
+                best_effort_share: 0.3,
+            },
+            ..TrafficConfig::default()
+        };
+        let trace = synthetic_trace(&config);
+        assert_eq!(trace, synthetic_trace(&config));
+        let count = |class: SloClass| trace.iter().filter(|r| r.slo == class).count() as f64;
+        let n = trace.len() as f64;
+        assert!((count(SloClass::LatencySensitive) / n - 0.2).abs() < 0.05);
+        assert!((count(SloClass::BestEffort) / n - 0.3).abs() < 0.05);
+        assert!((count(SloClass::Standard) / n - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn slo_classes_order_by_priority() {
+        assert!(SloClass::LatencySensitive > SloClass::Standard);
+        assert!(SloClass::Standard > SloClass::BestEffort);
+        assert_eq!(SloClass::default(), SloClass::Standard);
+        for (i, class) in SloClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
     }
 
     #[test]
