@@ -61,6 +61,16 @@
 //! [`runtime::ServeRuntime::serve`] feeds the whole trace into a fresh
 //! session and drains it, so both paths share one scheduler.
 //!
+//! Above the single session sits the **fault-tolerant elastic fleet**
+//! ([`fleet::FleetSession`]): requests shard across multiple sessions,
+//! chips die and degrade at scripted virtual-time points
+//! ([`workloads::inputs::FaultPlan`]), not-yet-started work fails over to
+//! survivors, worker counts follow per-class backlog pressure with
+//! hysteresis ([`fleet::ScalingConfig`]), and the final
+//! [`fleet::FleetReport`] merges shard accumulators and adds availability
+//! metrics.  The [`scenario`] module freezes named chaos scenarios as
+//! golden files.
+//!
 //! ## Determinism contract
 //!
 //! Everything the scheduler decides is derived from the submission
@@ -77,11 +87,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fleet;
 pub mod report;
 pub mod runtime;
+pub mod scenario;
 pub mod scheduler;
 pub mod session;
 
+pub use fleet::{
+    AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
+    ScalingConfig, ShardPolicy,
+};
 pub use report::{
     ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
 };
@@ -89,15 +105,22 @@ pub use runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};
 pub use session::{CompletionStatus, RequestOutcome, ServeSession};
 
-/// One-stop imports for serving code: the runtime, session, config builder,
-/// report types, and the workload-side request/SLO vocabulary.
+/// One-stop imports for serving code: the runtime, session, fleet layer,
+/// config builder, report types, and the workload-side request/SLO/fault
+/// vocabulary.
 pub mod prelude {
+    pub use crate::fleet::{
+        AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
+        ScalingConfig, ShardPolicy,
+    };
     pub use crate::report::{
         ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
     };
     pub use crate::runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
     pub use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy, RequestGroup};
     pub use crate::session::{CompletionStatus, RequestOutcome, ServeSession};
-    pub use pim_sim::backend::BackendKind;
-    pub use workloads::inputs::{SloClass, TraceRequest};
+    pub use pim_sim::backend::{BackendKind, ChipHealth};
+    pub use workloads::inputs::{
+        chaos_fault_plan, ChaosConfig, FaultEvent, FaultKind, FaultPlan, SloClass, TraceRequest,
+    };
 }

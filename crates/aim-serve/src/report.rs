@@ -336,8 +336,25 @@ impl ReportAccumulator {
     }
 
     /// Folds another shard's accumulator into this one (see the type-level
-    /// docs for the sharding semantics).
+    /// docs for the sharding semantics).  The merge is associative — the
+    /// counters add, the float vectors concatenate in argument order, and
+    /// the bound folds through `max` — so a shard tree can combine in any
+    /// grouping (not any *order*: chips re-index in merge order); the
+    /// resulting seed is the left-most shard's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards disagree on the nominal frequency: the merged
+    /// throughput figure divides by one cycles-to-seconds factor, so a
+    /// silent mismatch would misreport every merged rate.
     pub fn merge(&mut self, other: Self) {
+        assert!(
+            (self.nominal_ghz - other.nominal_ghz).abs() < 1e-12,
+            "sharded sessions must share one nominal frequency \
+             ({} GHz vs {} GHz)",
+            self.nominal_ghz,
+            other.nominal_ghz
+        );
         self.chips += other.chips;
         self.analytical_chips += other.analytical_chips;
         self.verify_enabled |= other.verify_enabled;

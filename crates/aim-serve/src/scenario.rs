@@ -1,0 +1,261 @@
+//! The named chaos-scenario catalogue, FoundationDB-simulation style: each
+//! scenario is plain data — a traffic shape, a fleet shape and a fault
+//! schedule — and running one is a pure function of that data, so whole
+//! fleet runs freeze as golden files under
+//! `crates/aim-serve/tests/goldens/` and re-verify byte for byte on every
+//! checkout, worker count and execution backend.
+//!
+//! Three scenarios are frozen:
+//!
+//! * **`steady-state`** — mixed-SLO bursty traffic, no faults, elastic
+//!   scaling live: the control run that pins the scaling hysteresis.
+//! * **`chip-death-at-peak`** — diurnal-wave traffic with two chips dying
+//!   near the first wave crest, while scaling fights the lost capacity:
+//!   pins failover (requeue, exactly-once, availability ledger).
+//! * **`rolling-degradation`** — a degradation wave sweeping chip to chip
+//!   (degrade → recover → next chip), one chip left degraded at drain:
+//!   pins the [`ChipHealth`](pim_sim::backend::ChipHealth) derate under
+//!   both backends and the fractional capacity-loss accounting.
+//!
+//! Together the fault plans cover every
+//! [`FaultKind`](workloads::inputs::FaultKind) variant — a coverage test
+//! keeps that true as variants are added.
+
+use aim_core::pipeline::{AimConfig, CompiledPlan};
+use pim_sim::backend::BackendKind;
+use workloads::inputs::{
+    synthetic_trace, ArrivalShape, FaultEvent, FaultKind, FaultPlan, SloMix, TrafficConfig,
+};
+use workloads::zoo::Model;
+
+use crate::fleet::{FleetConfig, FleetReport, FleetSession, ScalingConfig, ShardPolicy};
+use crate::runtime::{ServeConfig, ServeRuntime};
+use crate::scheduler::DispatchPolicy;
+
+/// One frozen chaos scenario: everything a run depends on, as plain data.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Stable scenario name (doubles as the golden file stem).
+    pub name: &'static str,
+    /// The synthetic traffic the fleet serves.
+    pub traffic: TrafficConfig,
+    /// Per-shard serving configuration (the backend field is overridden by
+    /// [`Self::run`]).
+    pub serve: ServeConfig,
+    /// Fleet shape: shards, routing, elasticity.
+    pub fleet: FleetConfig,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+}
+
+impl ChaosScenario {
+    /// Runs the scenario on `plans` under `backend`, submit-all-then-drain.
+    #[must_use]
+    pub fn run(&self, plans: Vec<CompiledPlan>, backend: BackendKind) -> FleetReport {
+        let runtime = ServeRuntime::from_plans(
+            plans,
+            ServeConfig {
+                backend,
+                ..self.serve
+            },
+        );
+        let trace = synthetic_trace(&self.traffic);
+        FleetSession::serve_trace(&runtime, self.fleet, self.faults.clone(), &trace)
+    }
+}
+
+/// The plan set every scenario serves: two small MobileNetV2 variants (the
+/// same pair the property suites compile), cheap enough for CI yet
+/// exercising real mapped batches under both backends.
+#[must_use]
+pub fn reference_plans() -> Vec<CompiledPlan> {
+    let config = AimConfig {
+        cycles_per_slice: 40,
+        ..AimConfig::baseline()
+    };
+    vec![
+        CompiledPlan::compile(
+            &Model::mobilenet_v2(),
+            &AimConfig {
+                operator_stride: Some(13),
+                ..config
+            },
+        ),
+        CompiledPlan::compile(
+            &Model::mobilenet_v2(),
+            &AimConfig {
+                operator_stride: Some(17),
+                ..config
+            },
+        ),
+    ]
+}
+
+/// Per-shard serving configuration shared by the scenarios.
+fn scenario_serve() -> ServeConfig {
+    ServeConfig {
+        chips: 3,
+        max_batch: 4,
+        batch_window_cycles: 10_000,
+        reload_cycles_per_slice: 32,
+        dispatch: DispatchPolicy::LeastLoaded,
+        admission: None,
+        backend: BackendKind::CycleAccurate,
+        audit_chips: 0,
+        verify_every: 0,
+        parallel: true,
+        seed: 0xF1EE7,
+    }
+}
+
+/// Mixed-SLO traffic shared by the steady-state and degradation scenarios.
+fn scenario_traffic(requests: usize, seed: u64) -> TrafficConfig {
+    TrafficConfig {
+        requests,
+        models: 2,
+        mean_interarrival_cycles: 1_500.0,
+        burst_repeat_prob: 0.55,
+        deadline_slack_cycles: 120_000,
+        shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::Mixed {
+            latency_share: 0.2,
+            best_effort_share: 0.3,
+        },
+        seed,
+    }
+}
+
+/// The frozen scenario catalogue, in golden order.
+#[must_use]
+pub fn all() -> Vec<ChaosScenario> {
+    vec![steady_state(), chip_death_at_peak(), rolling_degradation()]
+}
+
+/// Looks a scenario up by name.
+#[must_use]
+pub fn named(name: &str) -> Option<ChaosScenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// Mixed-SLO traffic, no faults, elastic scaling live — the control run.
+#[must_use]
+pub fn steady_state() -> ChaosScenario {
+    ChaosScenario {
+        name: "steady-state",
+        traffic: TrafficConfig {
+            mean_interarrival_cycles: 400.0,
+            // One day-night wave: the crest piles backlog onto the single
+            // starting worker (scale-up), the trough drains it (scale-down).
+            shape: ArrivalShape::DiurnalWave {
+                period_cycles: 30_000,
+                amplitude: 0.85,
+            },
+            ..scenario_traffic(96, 0x57EAD)
+        },
+        serve: scenario_serve(),
+        fleet: FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 1,
+            scaling: Some(ScalingConfig {
+                check_interval_cycles: 5_000,
+                scale_up_backlog_cycles: 12_000,
+                scale_down_backlog_cycles: 2_000,
+                min_workers: 1,
+                max_workers: 0,
+                class_weights: [1, 2, 4],
+            }),
+        },
+        faults: FaultPlan::none(),
+    }
+}
+
+/// Two chips die near the first crest of a diurnal wave while scaling
+/// fights the lost capacity.
+#[must_use]
+pub fn chip_death_at_peak() -> ChaosScenario {
+    ChaosScenario {
+        name: "chip-death-at-peak",
+        traffic: TrafficConfig {
+            requests: 96,
+            models: 2,
+            mean_interarrival_cycles: 600.0,
+            burst_repeat_prob: 0.55,
+            deadline_slack_cycles: 150_000,
+            shape: ArrivalShape::DiurnalWave {
+                period_cycles: 120_000,
+                amplitude: 0.8,
+            },
+            slo_mix: SloMix::Mixed {
+                latency_share: 0.2,
+                best_effort_share: 0.3,
+            },
+            seed: 0xDEAD5,
+        },
+        serve: scenario_serve(),
+        fleet: FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 0,
+            scaling: Some(ScalingConfig {
+                check_interval_cycles: 10_000,
+                scale_up_backlog_cycles: 60_000,
+                scale_down_backlog_cycles: 6_000,
+                min_workers: 1,
+                max_workers: 0,
+                class_weights: [1, 2, 4],
+            }),
+        },
+        // The wave crests around a quarter period (~30k cycles): both
+        // deaths strike in the thick of it, one per shard.
+        faults: FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 25_000,
+                kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+            },
+            FaultEvent {
+                at_cycles: 35_000,
+                kind: FaultKind::ChipDeath { shard: 1, chip: 0 },
+            },
+        ]),
+    }
+}
+
+/// A degradation wave sweeps chip to chip; the last chip stays degraded
+/// through drain so the open-interval capacity accounting is exercised.
+#[must_use]
+pub fn rolling_degradation() -> ChaosScenario {
+    let episode = |at: u64, shard: usize, chip: usize, slowdown_percent: u32| FaultEvent {
+        at_cycles: at,
+        kind: FaultKind::Degradation {
+            shard,
+            chip,
+            slowdown_percent,
+        },
+    };
+    let recover = |at: u64, shard: usize, chip: usize| FaultEvent {
+        at_cycles: at,
+        kind: FaultKind::Recovery { shard, chip },
+    };
+    ChaosScenario {
+        name: "rolling-degradation",
+        traffic: scenario_traffic(80, 0x0DE64),
+        serve: scenario_serve(),
+        fleet: FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::ByModel,
+            initial_workers: 0,
+            scaling: None,
+        },
+        faults: FaultPlan::new(vec![
+            episode(15_000, 0, 0, 80),
+            recover(45_000, 0, 0),
+            episode(45_000, 0, 1, 80),
+            recover(75_000, 0, 1),
+            episode(60_000, 1, 0, 50),
+            recover(90_000, 1, 0),
+            // This one never recovers: open at drain.
+            episode(90_000, 1, 2, 120),
+        ]),
+    }
+}

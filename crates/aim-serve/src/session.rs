@@ -48,6 +48,21 @@
 //! `parallel`, of the worker-thread count, and of how the caller interleaves
 //! `run_until`/`poll_completions` between submissions.
 //!
+//! ## Faults and elasticity
+//!
+//! Three hooks let a fleet layer (see [`crate::fleet`]) reshape a running
+//! session at deterministic virtual-time points: [`kill_chip`] marks a chip
+//! dead and fails its not-yet-started queue over to the survivors (the
+//! executed prefix — judged by the *estimated* schedule, the same rule
+//! priority insertion uses — stays immutable), [`set_chip_health`] applies a
+//! [`ChipHealth`] derate that stretches both estimated and measured service
+//! cycles from that point on, and [`set_worker_count`] grows or shrinks the
+//! dispatch-eligible worker set (deactivated chips drain).  All three step
+//! the session to the change point first, so their effect is a pure function
+//! of the submission/fault sequence — never of how the caller interleaved
+//! `run_until` — and the determinism contract below survives chaos
+//! scenarios unchanged.
+//!
 //! To keep that last guarantee exact — the report's float accumulation
 //! order is group-commit order no matter when groups retire — the session
 //! retains every request and group record until [`drain`], which replays
@@ -60,6 +75,9 @@
 //! [`run_until`]: ServeSession::run_until
 //! [`poll_completions`]: ServeSession::poll_completions
 //! [`drain`]: ServeSession::drain
+//! [`kill_chip`]: ServeSession::kill_chip
+//! [`set_chip_health`]: ServeSession::set_chip_health
+//! [`set_worker_count`]: ServeSession::set_worker_count
 //! [`form_groups`]: crate::scheduler::form_groups
 //! [`RequestGroup`]: crate::scheduler::RequestGroup
 //! [`AdmissionConfig::cap_for`]: crate::scheduler::AdmissionConfig::cap_for
@@ -70,7 +88,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use aim_core::pipeline::PlanExecution;
-use pim_sim::backend::BackendKind;
+use pim_sim::backend::{BackendKind, ChipHealth};
 use pim_sim::chip::SimSession;
 use workloads::inputs::{SloClass, TraceRequest};
 
@@ -97,6 +115,10 @@ pub enum CompletionStatus {
         latency_cycles: u64,
         /// Whether the request finished past its deadline.
         deadline_missed: bool,
+        /// Whether the request's group was requeued off a dead chip before
+        /// executing ([`ServeSession::kill_chip`]) — "failed over and
+        /// served".
+        failed_over: bool,
     },
     /// Admission control bounced the request's group.
     Rejected {
@@ -132,7 +154,7 @@ struct OpenBatch {
 }
 
 /// One committed group in a chip's queue, with its estimated schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Slot {
     gid: usize,
     model: usize,
@@ -142,6 +164,10 @@ struct Slot {
     est_start: u64,
     est_finish: u64,
     verify: bool,
+    /// Chip health in effect at the slot's estimated start — resolved by
+    /// [`ChipLane::recompute_est`], applied to both the estimated and the
+    /// measured service time (so scheduling and execution stay consistent).
+    health: ChipHealth,
 }
 
 /// Measured outcome of one executed group.
@@ -164,6 +190,18 @@ struct GroupRecord {
     /// `None` when admission control rejected the group.
     chip: Option<usize>,
     done: Option<ExecDone>,
+    /// Whether the group was requeued off a dead chip before starting.
+    failed_over: bool,
+}
+
+/// Chip health in effect at virtual time `at`: the latest registered change
+/// not after `at`, healthy before the first change.
+fn health_at(changes: &[(u64, ChipHealth)], at: u64) -> ChipHealth {
+    changes
+        .iter()
+        .rev()
+        .find(|&&(t, _)| t <= at)
+        .map_or(ChipHealth::Healthy, |&(_, h)| h)
 }
 
 /// Per-chip queue plus the chip's execution state.
@@ -177,6 +215,14 @@ struct ChipLane {
     /// Measured finish of the last executed slot.
     actual_free: u64,
     actual_last_model: Option<usize>,
+    /// `false` once the chip died ([`ServeSession::kill_chip`]): no new
+    /// dispatch, no further execution (its queue was failed over).
+    alive: bool,
+    /// Elastic-scaling eligibility: an inactive chip drains its queue but
+    /// receives no new dispatch ([`ServeSession::set_worker_count`]).
+    active: bool,
+    /// Health changes in ascending time order; empty means always healthy.
+    health_changes: Vec<(u64, ChipHealth)>,
     sim: SimSession,
 }
 
@@ -187,7 +233,8 @@ impl ChipLane {
     }
 
     /// Recomputes the estimated schedule from slot `from` onward (queue
-    /// order, reload charged on model switches).
+    /// order, reload charged on model switches, the chip's health derate at
+    /// each slot's estimated start applied to its service time).
     fn recompute_est(&mut self, from: usize, cost: &CostModel) {
         for i in from..self.slots.len() {
             let (prev_finish, prev_model) = if i == 0 {
@@ -204,11 +251,31 @@ impl ChipLane {
                 switching,
             );
             let start = prev_finish.max(slot.ready);
-            let finish = start + duration;
+            let health = health_at(&self.health_changes, start);
+            let finish = start + health.scale_cycles(duration);
             let slot = &mut self.slots[i];
             slot.est_start = start;
             slot.est_finish = finish;
+            slot.health = health;
         }
+    }
+
+    /// Queue position for a group of `class` committed at virtual time
+    /// `clock`: after everything already started (by the estimated
+    /// schedule) and after equal-or-higher classes, ahead of queued
+    /// strictly-lower classes — "jumping the backlog".  Executed slots all
+    /// have `est_start <= clock` (the execution eligibility rule under a
+    /// monotone clock), so the scan starts at the executed prefix instead
+    /// of walking every retired slot again.
+    fn insertion_position(&self, class: SloClass, clock: u64) -> usize {
+        let pending_from = self.slots[self.executed..]
+            .iter()
+            .position(|s| s.est_start > clock)
+            .map_or(self.slots.len(), |p| self.executed + p);
+        self.slots[pending_from..]
+            .iter()
+            .position(|s| s.class < class)
+            .map_or(self.slots.len(), |p| pending_from + p)
     }
 }
 
@@ -257,6 +324,9 @@ impl<'rt> ServeSession<'rt> {
                 executed: 0,
                 actual_free: 0,
                 actual_last_model: None,
+                alive: true,
+                active: true,
+                health_changes: Vec::new(),
                 sim: SimSession::new(),
             })
             .collect();
@@ -435,6 +505,44 @@ impl<'rt> ServeSession<'rt> {
 
     // --- dispatch ----------------------------------------------------------
 
+    /// Picks the chip a group ready at `ready` dispatches to, honouring the
+    /// configured policy over the dispatchable chips: live *and*
+    /// scaling-active, falling back to any live chip when elastic scaling
+    /// has deactivated every survivor (failover must always have a target).
+    /// Allocation-free — this runs on every group commit.
+    fn choose_chip(&mut self, ready: u64) -> usize {
+        let any_active = self.lanes.iter().any(|l| l.alive && l.active);
+        let eligible = move |l: &&ChipLane| {
+            if any_active {
+                l.alive && l.active
+            } else {
+                l.alive
+            }
+        };
+        match self.runtime.config().dispatch {
+            DispatchPolicy::RoundRobin => {
+                let count = self.lanes.iter().filter(eligible).count();
+                assert!(count > 0, "every chip in the fleet is dead");
+                let index = self.next_round_robin % count;
+                self.next_round_robin += 1;
+                self.lanes
+                    .iter()
+                    .filter(eligible)
+                    .nth(index)
+                    .expect("index < eligible count")
+                    .chip
+            }
+            DispatchPolicy::LeastLoaded => {
+                self.lanes
+                    .iter()
+                    .filter(eligible)
+                    .min_by_key(|l| (l.est_avail().max(ready), l.chip))
+                    .expect("every chip in the fleet is dead")
+                    .chip
+            }
+        }
+    }
+
     /// Dispatches a closed batch: chip choice, priority insertion, per-class
     /// admission.
     fn commit_group(&mut self, model: usize, batch: OpenBatch) {
@@ -443,32 +551,9 @@ impl<'rt> ServeSession<'rt> {
         let class = batch.class;
         let ready = batch.last_arrival;
 
-        let chip = match config.dispatch {
-            DispatchPolicy::RoundRobin => {
-                let c = self.next_round_robin % config.chips;
-                self.next_round_robin += 1;
-                c
-            }
-            DispatchPolicy::LeastLoaded => (0..config.chips)
-                .min_by_key(|&c| (self.lanes[c].est_avail().max(ready), c))
-                .expect("a fleet has at least one chip"),
-        };
-
-        // Queue position: after everything already started (by the
-        // estimated schedule) and after equal-or-higher classes, ahead of
-        // queued strictly-lower classes — "jumping the backlog".  Executed
-        // slots all have `est_start <= clock` (the execution eligibility
-        // rule under a monotone clock), so the scan starts at the executed
-        // prefix instead of walking every retired slot again.
+        let chip = self.choose_chip(ready);
         let lane = &self.lanes[chip];
-        let pending_from = lane.slots[lane.executed..]
-            .iter()
-            .position(|s| s.est_start > self.clock)
-            .map_or(lane.slots.len(), |p| lane.executed + p);
-        let position = lane.slots[pending_from..]
-            .iter()
-            .position(|s| s.class < class)
-            .map_or(lane.slots.len(), |p| pending_from + p);
+        let position = lane.insertion_position(class, self.clock);
         let prev_finish = if position == 0 {
             0
         } else {
@@ -496,6 +581,7 @@ impl<'rt> ServeSession<'rt> {
                     requests: batch.requests,
                     chip: None,
                     done: None,
+                    failed_over: false,
                 });
                 return;
             }
@@ -523,6 +609,7 @@ impl<'rt> ServeSession<'rt> {
                 est_start: 0,
                 est_finish: 0,
                 verify,
+                health: ChipHealth::Healthy,
             },
         );
         lane.recompute_est(position, &self.cost);
@@ -531,7 +618,197 @@ impl<'rt> ServeSession<'rt> {
             requests: batch.requests,
             chip: Some(chip),
             done: None,
+            failed_over: false,
         });
+    }
+
+    // --- faults and elasticity ---------------------------------------------
+
+    /// Kills `chip` at virtual time `at_cycles`: the chip's *executed
+    /// prefix* — every queued group whose estimated start lies at or before
+    /// the death — stays immutable and completes (mirroring the priority
+    /// rule: work that has started is never disturbed), while every group
+    /// that had not started fails over to the surviving chips through the
+    /// session's dispatch policy, bypassing admission control (admitted work
+    /// is never shed by a fault).  Requeued groups surface as
+    /// `Served { failed_over: true }` in [`Self::poll_completions`].
+    ///
+    /// Returns `(groups, requests)` failed over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was drained, `chip` is out of range or already
+    /// dead, or the death would leave the session without a live chip
+    /// (failover needs a survivor — a fleet layer keeps at least one chip
+    /// per shard alive).
+    pub fn kill_chip(&mut self, chip: usize, at_cycles: u64) -> (usize, usize) {
+        assert!(!self.drained, "cannot kill a chip in a drained session");
+        assert!(chip < self.lanes.len(), "chip {chip} outside the fleet");
+        assert!(self.lanes[chip].alive, "chip {chip} is already dead");
+        assert!(
+            self.lanes.iter().filter(|l| l.alive).count() > 1,
+            "killing chip {chip} would leave no live chip to fail over to"
+        );
+        // Close batch windows and execute everything that started (by the
+        // estimated schedule) before the death — the immutable prefix.
+        self.run_until(at_cycles);
+        let lane = &mut self.lanes[chip];
+        lane.alive = false;
+        lane.active = false;
+        let executed = lane.executed;
+        let orphans: Vec<Slot> = lane.slots.split_off(executed);
+        // The death may have taken down the only dispatch-eligible chip;
+        // keep at least one survivor accepting work.
+        if !self.lanes.iter().any(|l| l.alive && l.active) {
+            let survivor = self
+                .lanes
+                .iter()
+                .position(|l| l.alive)
+                .expect("a survivor exists (asserted above)");
+            self.lanes[survivor].active = true;
+        }
+        let mut requests = 0usize;
+        for slot in &orphans {
+            self.groups[slot.gid].failed_over = true;
+            requests += self.groups[slot.gid].requests.len();
+            // Failover cannot happen before the death is observed.
+            let ready = slot.ready.max(at_cycles);
+            let target = self.choose_chip(ready);
+            self.groups[slot.gid].chip = Some(target);
+            let lane = &mut self.lanes[target];
+            let position = lane.insertion_position(slot.class, self.clock);
+            lane.slots.insert(position, Slot { ready, ..*slot });
+            lane.recompute_est(position, &self.cost);
+        }
+        (orphans.len(), requests)
+    }
+
+    /// Changes `chip`'s health at virtual time `at_cycles`.  Groups whose
+    /// estimated start lies at or before the change keep the health they
+    /// were scheduled (and, having started, executed) under; later groups
+    /// are re-estimated — and will execute — under the new derate.  The
+    /// derate scales service *cycles* only ([`ChipHealth::scale_cycles`]),
+    /// so it slows the chip identically under both execution backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was drained, `chip` is out of range or dead, or
+    /// health changes arrive out of time order.
+    pub fn set_chip_health(&mut self, chip: usize, health: ChipHealth, at_cycles: u64) {
+        assert!(
+            !self.drained,
+            "cannot change chip health in a drained session"
+        );
+        assert!(chip < self.lanes.len(), "chip {chip} outside the fleet");
+        assert!(
+            self.lanes[chip].alive,
+            "cannot change the health of dead chip {chip}"
+        );
+        self.run_until(at_cycles);
+        let lane = &mut self.lanes[chip];
+        if let Some(&(last, _)) = lane.health_changes.last() {
+            assert!(
+                last <= at_cycles,
+                "health changes must arrive in time order ({last} then {at_cycles})"
+            );
+        }
+        lane.health_changes.push((at_cycles, health));
+        let from = lane.executed;
+        lane.recompute_est(from, &self.cost);
+    }
+
+    /// Sets the number of dispatch-eligible workers at virtual time
+    /// `at_cycles` — the elastic-scaling hook.  Scaling up activates the
+    /// lowest-indexed live inactive chips; scaling down deactivates the
+    /// highest-indexed active ones.  A deactivated chip *drains*: it keeps
+    /// executing everything already queued but receives no new dispatch.
+    /// The target is clamped to at least one worker and at most the live
+    /// chip count.
+    ///
+    /// Returns `(activated, deactivated)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was drained.
+    pub fn set_worker_count(&mut self, target: usize, at_cycles: u64) -> (usize, usize) {
+        assert!(!self.drained, "cannot scale a drained session");
+        // Process pending window closures first so batches committed before
+        // the scaling point dispatch under the old worker set.
+        self.run_until(at_cycles);
+        let target = target.max(1);
+        let (mut activated, mut deactivated) = (0usize, 0usize);
+        loop {
+            let active = self.lanes.iter().filter(|l| l.alive && l.active).count();
+            if active < target {
+                let Some(lane) = self.lanes.iter_mut().find(|l| l.alive && !l.active) else {
+                    break;
+                };
+                lane.active = true;
+                activated += 1;
+            } else if active > target {
+                let lane = self
+                    .lanes
+                    .iter_mut()
+                    .rev()
+                    .find(|l| l.alive && l.active)
+                    .expect("active > target >= 1 implies an active lane");
+                lane.active = false;
+                deactivated += 1;
+            } else {
+                break;
+            }
+        }
+        (activated, deactivated)
+    }
+
+    /// Live chips currently eligible for new dispatch.
+    #[must_use]
+    pub fn active_workers(&self) -> usize {
+        self.lanes.iter().filter(|l| l.alive && l.active).count()
+    }
+
+    /// Chips that have not died.
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.lanes.iter().filter(|l| l.alive).count()
+    }
+
+    /// The health `chip` currently operates under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is outside the fleet.
+    #[must_use]
+    pub fn chip_health(&self, chip: usize) -> ChipHealth {
+        health_at(&self.lanes[chip].health_changes, self.clock)
+    }
+
+    /// Estimated service cycles of committed-but-not-started work, per SLO
+    /// class (ascending priority order, [`SloClass::ALL`]) — the backlog
+    /// pressure an elastic scaler reads.  Call after stepping the session to
+    /// the decision point so "not started" reflects that virtual time.
+    #[must_use]
+    pub fn class_backlog_cycles(&self) -> [u64; 3] {
+        let mut backlog = [0u64; 3];
+        for lane in &self.lanes {
+            for slot in &lane.slots[lane.executed..] {
+                backlog[slot.class.index()] += slot.est_finish - slot.est_start;
+            }
+        }
+        backlog
+    }
+
+    /// `(groups, requests)` failed over off dead chips so far.
+    #[must_use]
+    pub fn failed_over(&self) -> (usize, usize) {
+        let groups = self.groups.iter().filter(|g| g.failed_over).count();
+        let requests = self
+            .groups
+            .iter()
+            .filter(|g| g.failed_over)
+            .map(|g| g.requests.len())
+            .sum();
+        (groups, requests)
     }
 
     // --- execution ---------------------------------------------------------
@@ -576,8 +853,15 @@ impl<'rt> ServeSession<'rt> {
                 };
                 let slot = &lane.slots[lane.executed];
                 let switching = lane.actual_last_model != Some(slot.model);
-                let duration =
-                    group_service_cycles(slot.batch, exec.cycles, reload[slot.model], switching);
+                // The same health derate the estimate was scheduled under
+                // stretches the measured service time — identically for
+                // cycle-accurate measurements and analytical predictions.
+                let duration = slot.health.scale_cycles(group_service_cycles(
+                    slot.batch,
+                    exec.cycles,
+                    reload[slot.model],
+                    switching,
+                ));
                 let start = lane.actual_free.max(slot.ready);
                 let finish = start + duration;
                 results.push(SlotResult {
@@ -616,6 +900,7 @@ impl<'rt> ServeSession<'rt> {
             let record = &mut self.groups[result.gid];
             record.done = Some(result.done);
             let batch_size = record.requests.len();
+            let failed_over = record.failed_over;
             for &ri in &record.requests {
                 let request = &self.requests[ri];
                 self.completions.push(RequestOutcome {
@@ -630,6 +915,7 @@ impl<'rt> ServeSession<'rt> {
                         finish_cycles: result.done.finish,
                         latency_cycles: result.done.finish - request.arrival_cycles,
                         deadline_missed: result.done.finish > request.deadline_cycles,
+                        failed_over,
                     },
                 });
             }

@@ -1,0 +1,203 @@
+//! Golden-file pinning of the chaos-scenario suite.
+//!
+//! Every named scenario in [`aim_serve::scenario`] runs here under the
+//! backend selected by `AIM_SERVE_BACKEND` (the CI matrix flips it), and its
+//! *entire* serialized form — traffic shape, fleet shape, fault plan, and
+//! the resulting [`FleetReport`] — must match the committed golden byte for
+//! byte.  A scheduler refactor that silently moves one failover, one
+//! scaling decision or one float sum shows up as a golden diff immediately,
+//! on either backend.
+//!
+//! Goldens are frozen per backend (`<name>.<backend>.json`): the analytical
+//! fast path predicts different cycle counts than the cycle-accurate
+//! engine, so each leg pins its own bytes and *both* must be rerun-stable.
+//!
+//! Updating a golden is a deliberate act:
+//!
+//! ```text
+//! UPDATE_CHAOS_GOLDENS=1 cargo test -p aim-serve --test chaos_goldens
+//! AIM_SERVE_BACKEND=analytical UPDATE_CHAOS_GOLDENS=1 \
+//!     cargo test -p aim-serve --test chaos_goldens
+//! ```
+//!
+//! then inspect the diff before committing.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use aim_serve::prelude::*;
+use aim_serve::scenario::{self, ChaosScenario};
+use workloads::inputs::{FaultKind, TrafficConfig};
+
+fn matrix_backend() -> BackendKind {
+    match std::env::var("AIM_SERVE_BACKEND").as_deref() {
+        Ok("analytical") => BackendKind::Analytical,
+        _ => BackendKind::CycleAccurate,
+    }
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// The frozen form of one scenario: everything the run depended on plus
+/// everything it produced.
+#[derive(Serialize)]
+struct ScenarioGolden {
+    name: String,
+    backend: String,
+    traffic: TrafficConfig,
+    serve: ServeConfig,
+    fleet: FleetConfig,
+    faults: workloads::inputs::FaultPlan,
+    report: FleetReport,
+}
+
+fn golden_bytes(scenario: &ChaosScenario, backend: BackendKind, report: &FleetReport) -> String {
+    let golden = ScenarioGolden {
+        name: scenario.name.to_string(),
+        backend: backend.name().to_string(),
+        traffic: scenario.traffic,
+        serve: ServeConfig {
+            backend,
+            ..scenario.serve
+        },
+        fleet: scenario.fleet,
+        faults: scenario.faults.clone(),
+        report: report.clone(),
+    };
+    let mut body = serde_json::to_string_pretty(&golden).expect("scenario goldens serialize");
+    body.push('\n');
+    body
+}
+
+#[test]
+fn scenario_runs_match_their_committed_goldens() {
+    let backend = matrix_backend();
+    let update = std::env::var("UPDATE_CHAOS_GOLDENS").is_ok();
+    let mut failures = Vec::new();
+    for scenario in scenario::all() {
+        let report = scenario.run(scenario::reference_plans(), backend);
+        let bytes = golden_bytes(&scenario, backend, &report);
+        let path = goldens_dir().join(format!("{}.{}.json", scenario.name, backend.name()));
+        if update {
+            fs::write(&path, &bytes).expect("goldens directory is writable");
+            eprintln!("refreshed {}", path.display());
+            continue;
+        }
+        let committed = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if committed != bytes {
+            failures.push(scenario.name);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "chaos scenarios drifted from their goldens: {failures:?}\n\
+         If the change is intentional, rerun with UPDATE_CHAOS_GOLDENS=1 \
+         (under both AIM_SERVE_BACKEND legs), inspect the diff and commit; \
+         otherwise a scheduler change broke deterministic chaos replay."
+    );
+}
+
+#[test]
+fn every_fault_kind_appears_in_at_least_one_scenario() {
+    // The catalogue *is* the golden content (the byte-compare above pins
+    // it), so coverage over the catalogue is coverage over the goldens.
+    let mut covered: Vec<&str> = scenario::all()
+        .iter()
+        .flat_map(|s| s.faults.events.iter().map(|e| e.kind.tag()))
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    for tag in FaultKind::TAGS {
+        assert!(
+            covered.contains(&tag),
+            "no frozen scenario injects a `{tag}` fault — extend the \
+             catalogue so every FaultKind variant stays pinned"
+        );
+    }
+}
+
+#[test]
+fn scenario_catalogue_is_well_formed() {
+    let scenarios = scenario::all();
+    assert_eq!(scenarios.len(), 3);
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        scenarios.len(),
+        "scenario names must be unique"
+    );
+    for scenario in &scenarios {
+        assert!(scenario::named(scenario.name).is_some());
+        assert!(scenario
+            .faults
+            .events
+            .windows(2)
+            .all(|w| w[0].at_cycles <= w[1].at_cycles));
+    }
+    assert!(scenario::named("no-such-scenario").is_none());
+}
+
+#[test]
+fn scenarios_exercise_the_machinery_they_claim_to_pin() {
+    let backend = matrix_backend();
+    let plans = scenario::reference_plans();
+
+    let steady = scenario::steady_state().run(plans.clone(), backend);
+    assert_eq!(steady.availability.faults_injected, 0);
+    assert_eq!(steady.availability.chip_cycles_lost, 0);
+    assert!(
+        steady.availability.scale_ups > 0,
+        "steady-state must exercise elastic scale-up"
+    );
+    assert!(
+        steady.availability.scale_downs > 0,
+        "steady-state must exercise elastic scale-down"
+    );
+
+    let death = scenario::chip_death_at_peak().run(plans.clone(), backend);
+    assert_eq!(death.availability.chip_deaths, 2);
+    assert!(
+        death.availability.requests_failed_over > 0,
+        "the peak deaths must catch queued work"
+    );
+    assert!(death.availability.chip_cycles_lost > 0);
+    // The acceptance criterion: a chip death mid-trace loses zero requests.
+    assert_eq!(
+        death.serve.served_requests + death.serve.rejected_requests,
+        death.serve.total_requests
+    );
+
+    let rolling = scenario::rolling_degradation().run(plans.clone(), backend);
+    assert_eq!(rolling.availability.degradations, 4);
+    assert_eq!(rolling.availability.recoveries, 3);
+    assert!(rolling.availability.chip_cycles_lost > 0);
+    assert_eq!(
+        rolling.serve.served_requests + rolling.serve.rejected_requests,
+        rolling.serve.total_requests
+    );
+
+    // Worker-count independence of the golden bytes: the same scenario on a
+    // single-threaded fleet reports identically.
+    let sequential_scenario = ChaosScenario {
+        serve: ServeConfig {
+            parallel: false,
+            ..scenario::steady_state().serve
+        },
+        ..scenario::steady_state()
+    };
+    let sequential = sequential_scenario.run(plans, backend);
+    assert_eq!(
+        serde_json::to_string(&steady).unwrap(),
+        serde_json::to_string(&sequential).unwrap(),
+        "golden bytes must not depend on the worker-thread fan-out"
+    );
+}

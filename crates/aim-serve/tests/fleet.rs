@@ -1,0 +1,583 @@
+//! Invariants of the fault-tolerant elastic fleet:
+//!
+//! * **conservation under chaos** — every submitted request is exactly once
+//!   served, rejected, or failed-over-and-served, under arbitrary generated
+//!   `FaultPlan`s, worker counts and both execution backends;
+//! * **determinism** — report bytes are invariant to `run_until` stepping
+//!   granularity (including steps landing exactly on fault times), to shard
+//!   polling order, and to the worker-thread fan-out;
+//! * **degenerate-fleet equivalence** — a 1-shard fleet with no faults and
+//!   no scaling reports byte-identically to a plain `ServeSession`;
+//! * targeted behaviour pins: failover requeues exactly the not-yet-started
+//!   groups, degradation stretches service time consistently, elastic
+//!   scaling reacts to backlog pressure with hysteresis.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use aim_core::pipeline::CompiledPlan;
+use aim_serve::prelude::*;
+use pim_sim::backend::BackendKind;
+use workloads::inputs::{synthetic_trace, ArrivalShape, SloMix, TrafficConfig};
+
+/// Backend the fleet invariants run under, selectable from the CI matrix
+/// (`AIM_SERVE_BACKEND=analytical cargo test -p aim-serve --test fleet`).
+fn matrix_backend() -> BackendKind {
+    match std::env::var("AIM_SERVE_BACKEND").as_deref() {
+        Ok("analytical") => BackendKind::Analytical,
+        _ => BackendKind::CycleAccurate,
+    }
+}
+
+fn plans() -> &'static Vec<CompiledPlan> {
+    static PLANS: OnceLock<Vec<CompiledPlan>> = OnceLock::new();
+    PLANS.get_or_init(aim_serve::scenario::reference_plans)
+}
+
+fn trace_for(requests: usize, seed: u64) -> Vec<TraceRequest> {
+    synthetic_trace(&TrafficConfig {
+        requests,
+        models: plans().len(),
+        mean_interarrival_cycles: 600.0,
+        burst_repeat_prob: 0.5,
+        deadline_slack_cycles: 50_000,
+        shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::Mixed {
+            latency_share: 0.25,
+            best_effort_share: 0.25,
+        },
+        seed,
+    })
+}
+
+fn fleet_report_json(report: &FleetReport) -> String {
+    serde_json::to_string(report).expect("fleet reports serialize")
+}
+
+proptest! {
+    /// The acceptance-criterion invariant: chips dying and degrading
+    /// mid-trace lose zero requests.  Every submitted request comes back in
+    /// exactly one completion; served + rejected add up to the total; the
+    /// failed-over ledger matches the streamed `failed_over` flags; and the
+    /// whole report is byte-identical between the rayon fan-out and a
+    /// single-threaded run.
+    #[test]
+    fn requests_are_conserved_under_arbitrary_fault_plans(
+        requests in 1usize..16,
+        chips in 2usize..5,
+        shards in 1usize..4,
+        deaths in 0usize..4,
+        degradations in 0usize..3,
+        scaling_bit in 0usize..2,
+        policy_bit in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let faults = chaos_fault_plan(&ChaosConfig {
+            shards,
+            chips_per_shard: chips,
+            horizon_cycles: 40_000,
+            deaths,
+            degradations,
+            max_slowdown_percent: 150,
+            recovery_prob: 0.5,
+            seed,
+        });
+        let serve = ServeConfig {
+            chips,
+            max_batch: 4,
+            batch_window_cycles: 5_000,
+            backend: matrix_backend(),
+            audit_chips: usize::from(chips > 2),
+            verify_every: 3,
+            seed,
+            ..ServeConfig::default()
+        };
+        let fleet_config = FleetConfig {
+            shards,
+            shard_policy: if policy_bit == 0 {
+                ShardPolicy::RoundRobin
+            } else {
+                ShardPolicy::ByModel
+            },
+            initial_workers: 0,
+            scaling: (scaling_bit == 1).then(|| ScalingConfig {
+                check_interval_cycles: 7_000,
+                scale_up_backlog_cycles: 30_000,
+                scale_down_backlog_cycles: 3_000,
+                ..ScalingConfig::default()
+            }),
+        };
+        let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+        let trace = trace_for(requests, seed ^ 0xF1EE7);
+
+        let mut fleet = FleetSession::new(&runtime, fleet_config, faults.clone());
+        for request in &trace {
+            fleet.submit(*request);
+        }
+        let report = fleet.drain();
+        let outcomes = fleet.poll_completions();
+
+        // Exactly one completion per submitted request.
+        prop_assert_eq!(outcomes.len(), trace.len());
+        let mut seen: Vec<usize> = outcomes.iter().map(|o| o.outcome.request).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..trace.len()).collect::<Vec<_>>());
+
+        // Served + rejected == total; no request vanishes into a fault.
+        prop_assert_eq!(report.serve.total_requests, trace.len());
+        prop_assert_eq!(
+            report.serve.served_requests + report.serve.rejected_requests,
+            report.serve.total_requests
+        );
+
+        // The failed-over ledger agrees with the streamed flags, and every
+        // failed-over request was *served* (failover never sheds work).
+        let streamed_failed_over = outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.outcome.status,
+                    CompletionStatus::Served { failed_over: true, .. }
+                )
+            })
+            .count();
+        prop_assert_eq!(report.availability.requests_failed_over, streamed_failed_over);
+        prop_assert_eq!(report.availability.chip_deaths + report.availability.degradations
+            + report.availability.recoveries, faults.len());
+
+        // Worker-thread independence: single-threaded bytes are identical.
+        let sequential_runtime = ServeRuntime::from_plans(
+            plans().clone(),
+            ServeConfig { parallel: false, ..serve },
+        );
+        let sequential =
+            FleetSession::serve_trace(&sequential_runtime, fleet_config, faults, &trace);
+        prop_assert_eq!(&report, &sequential);
+        prop_assert_eq!(fleet_report_json(&report), fleet_report_json(&sequential));
+    }
+}
+
+#[test]
+fn report_bytes_are_invariant_to_stepping_granularity_and_polling_order() {
+    let faults = FaultPlan::new(vec![
+        FaultEvent {
+            at_cycles: 9_000,
+            kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+        },
+        FaultEvent {
+            at_cycles: 14_000,
+            kind: FaultKind::Degradation {
+                shard: 1,
+                chip: 0,
+                slowdown_percent: 60,
+            },
+        },
+        FaultEvent {
+            at_cycles: 30_000,
+            kind: FaultKind::Recovery { shard: 1, chip: 0 },
+        },
+    ]);
+    let config = FleetConfig {
+        shards: 2,
+        scaling: Some(ScalingConfig {
+            check_interval_cycles: 5_000,
+            scale_up_backlog_cycles: 40_000,
+            scale_down_backlog_cycles: 4_000,
+            ..ScalingConfig::default()
+        }),
+        initial_workers: 1,
+        shard_policy: ShardPolicy::RoundRobin,
+    };
+    let serve = ServeConfig {
+        chips: 3,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    let trace = trace_for(24, 0x57E9);
+
+    // (a) submit-all-then-drain, poll once at the end.
+    let baseline = FleetSession::serve_trace(&runtime, config, faults.clone(), &trace);
+
+    // (b) step after every submission, polling each shard as we go.
+    let mut stepped = FleetSession::new(&runtime, config, faults.clone());
+    let mut outcomes = Vec::new();
+    for request in &trace {
+        stepped.submit(*request);
+        stepped.run_until(request.arrival_cycles);
+        outcomes.extend(stepped.poll_completions());
+    }
+    let stepped_report = stepped.drain();
+    outcomes.extend(stepped.poll_completions());
+    assert_eq!(outcomes.len(), trace.len());
+
+    // (c) steps landing *exactly* on the fault cycles (the boundary
+    // collision), taken as the trace crosses each fault time — stepping
+    // must respect arrival order, since a target beyond a future arrival
+    // clamps that arrival to "now" (the documented submit semantics) and
+    // genuinely changes the submission sequence.
+    let mut aligned = FleetSession::new(&runtime, config, faults.clone());
+    for request in &trace {
+        for fault_time in [9_000, 14_000, 30_000] {
+            if aligned.clock() < fault_time && request.arrival_cycles >= fault_time {
+                aligned.run_until(fault_time);
+            }
+        }
+        aligned.submit(*request);
+    }
+    let aligned_report = aligned.drain();
+
+    // (d) stepping far past the last scheduled event before draining —
+    // regression for the horizon clamp: with elastic scaling live, an
+    // uncapped run_until would keep firing scaling checks into the idle
+    // future (decisions a submit-all-then-drain caller never sees) and
+    // drift the final batches' dispatch.
+    let mut overstepped = FleetSession::new(&runtime, config, faults);
+    for request in &trace {
+        overstepped.submit(*request);
+    }
+    overstepped.run_until(50_000_000);
+    let overstepped_report = overstepped.drain();
+
+    assert_eq!(
+        fleet_report_json(&baseline),
+        fleet_report_json(&stepped_report)
+    );
+    assert_eq!(
+        fleet_report_json(&baseline),
+        fleet_report_json(&aligned_report)
+    );
+    assert_eq!(
+        fleet_report_json(&baseline),
+        fleet_report_json(&overstepped_report)
+    );
+}
+
+#[test]
+fn one_shard_fleet_without_faults_equals_a_plain_session_byte_for_byte() {
+    let serve = ServeConfig {
+        chips: 3,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    let trace = trace_for(32, 0x1F1EE);
+
+    let plain = runtime.serve(&trace);
+    let fleet = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 0,
+            scaling: None,
+        },
+        FaultPlan::none(),
+        &trace,
+    );
+    assert_eq!(fleet.serve, plain);
+    assert_eq!(
+        serde_json::to_string(&fleet.serve).unwrap(),
+        serde_json::to_string(&plain).unwrap()
+    );
+    assert_eq!(fleet.availability.requests_failed_over, 0);
+    assert_eq!(fleet.availability.chip_cycles_lost, 0);
+    assert_eq!(fleet.availability.faults_injected, 0);
+}
+
+#[test]
+fn chip_death_requeues_only_not_yet_started_groups() {
+    // Single shard, 2 chips, round-robin singleton groups so the queue
+    // shape is knowable: the chip dies while work is queued behind a long
+    // backlog; everything not started fails over and still serves.
+    let serve = ServeConfig {
+        chips: 2,
+        max_batch: 1,
+        dispatch: DispatchPolicy::RoundRobin,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    // All requests arrive at once: chip 0 gets groups 0,2,4,..., chip 1
+    // gets 1,3,5,...; killing chip 1 right after arrival leaves only its
+    // currently-started group on it.
+    let trace: Vec<TraceRequest> = (0..10)
+        .map(|i| TraceRequest {
+            model: i % 2,
+            arrival_cycles: 0,
+            deadline_cycles: 100_000_000,
+            slo: SloClass::Standard,
+        })
+        .collect();
+    let faults = FaultPlan::new(vec![FaultEvent {
+        at_cycles: 1,
+        kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+    }]);
+    let report = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        faults,
+        &trace,
+    );
+    assert_eq!(
+        report.serve.served_requests, 10,
+        "no request lost to the death"
+    );
+    assert_eq!(report.availability.chip_deaths, 1);
+    assert!(
+        report.availability.requests_failed_over >= 3,
+        "most of chip 1's queue had not started at the death, got {}",
+        report.availability.requests_failed_over
+    );
+    assert!(report.availability.chip_cycles_lost > 0);
+    // The dead chip's executed prefix stays on its ledger; the survivor
+    // absorbed the rest.
+    let dead_chip = &report.serve.per_chip[1];
+    assert!(
+        dead_chip.requests >= 1,
+        "started work completes on the dead chip"
+    );
+    assert!(report.serve.per_chip[0].requests > 5);
+}
+
+#[test]
+fn degradation_stretches_service_time_and_recovery_restores_it() {
+    let serve = ServeConfig {
+        chips: 1,
+        max_batch: 1,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    let trace: Vec<TraceRequest> = (0..6)
+        .map(|i| TraceRequest {
+            model: 0,
+            arrival_cycles: i * 10,
+            deadline_cycles: 100_000_000,
+            slo: SloClass::Standard,
+        })
+        .collect();
+    let healthy = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        FaultPlan::none(),
+        &trace,
+    );
+    let degraded = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        FaultPlan::new(vec![FaultEvent {
+            at_cycles: 0,
+            kind: FaultKind::Degradation {
+                shard: 0,
+                chip: 0,
+                slowdown_percent: 100,
+            },
+        }]),
+        &trace,
+    );
+    // A 100 % slowdown doubles every service interval on the only chip, so
+    // the makespan roughly doubles (arrival offsets are negligible here).
+    assert!(
+        degraded.serve.makespan_cycles > healthy.serve.makespan_cycles * 3 / 2,
+        "degradation must stretch the makespan: {} vs {}",
+        degraded.serve.makespan_cycles,
+        healthy.serve.makespan_cycles
+    );
+    assert!(degraded.availability.chip_cycles_lost > 0);
+    assert_eq!(
+        degraded.serve.served_requests,
+        healthy.serve.served_requests
+    );
+
+    // Degrading and immediately recovering before traffic lands changes
+    // nothing but the fault ledger.
+    let recovered = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 0,
+                kind: FaultKind::Degradation {
+                    shard: 0,
+                    chip: 0,
+                    slowdown_percent: 100,
+                },
+            },
+            FaultEvent {
+                at_cycles: 0,
+                kind: FaultKind::Recovery { shard: 0, chip: 0 },
+            },
+        ]),
+        &trace,
+    );
+    assert_eq!(
+        recovered.serve.makespan_cycles,
+        healthy.serve.makespan_cycles
+    );
+    assert_eq!(recovered.availability.recoveries, 1);
+}
+
+#[test]
+fn elastic_scaling_grows_under_pressure_and_drains_when_idle() {
+    let serve = ServeConfig {
+        chips: 4,
+        max_batch: 1,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    // A dense burst up front, then a long quiet tail with stragglers: the
+    // fleet must scale up into the burst and back down during the tail.
+    let mut trace: Vec<TraceRequest> = (0..24)
+        .map(|i| TraceRequest {
+            model: i % 2,
+            arrival_cycles: i as u64 * 50,
+            deadline_cycles: 100_000_000,
+            slo: SloClass::Standard,
+        })
+        .collect();
+    for i in 0..6 {
+        trace.push(TraceRequest {
+            model: 0,
+            arrival_cycles: 2_000_000 + i * 400_000,
+            deadline_cycles: 100_000_000,
+            slo: SloClass::Standard,
+        });
+    }
+    let config = FleetConfig {
+        shards: 1,
+        shard_policy: ShardPolicy::RoundRobin,
+        initial_workers: 1,
+        scaling: Some(ScalingConfig {
+            check_interval_cycles: 10_000,
+            scale_up_backlog_cycles: 50_000,
+            scale_down_backlog_cycles: 5_000,
+            min_workers: 1,
+            max_workers: 0,
+            class_weights: [1, 2, 4],
+        }),
+    };
+    let mut fleet = FleetSession::new(&runtime, config, FaultPlan::none());
+    assert_eq!(fleet.active_workers(), 1);
+    for request in &trace {
+        fleet.submit(*request);
+    }
+    let report = fleet.drain();
+    assert!(
+        report.availability.scale_ups > 0,
+        "the burst must push the shard past one worker"
+    );
+    assert!(
+        report.availability.peak_workers > 1,
+        "peak worker count must reflect the scale-up"
+    );
+    assert!(
+        report.availability.scale_downs > 0,
+        "the quiet tail must drain workers back down"
+    );
+    assert_eq!(
+        report.availability.final_workers, 1,
+        "idle tail ends back at the floor"
+    );
+    assert_eq!(report.serve.served_requests, trace.len());
+}
+
+#[test]
+fn by_model_routing_keeps_each_model_on_one_shard() {
+    let serve = ServeConfig {
+        chips: 2,
+        backend: matrix_backend(),
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    let trace = trace_for(24, 0xB10D);
+    let mut fleet = FleetSession::new(
+        &runtime,
+        FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::ByModel,
+            ..FleetConfig::default()
+        },
+        FaultPlan::none(),
+    );
+    for request in &trace {
+        fleet.submit(*request);
+    }
+    let _ = fleet.drain();
+    for FleetOutcome { shard, outcome } in fleet.poll_completions() {
+        assert_eq!(shard, outcome.model % 2, "model routing violated");
+    }
+}
+
+#[test]
+#[should_panic(expected = "no live chip")]
+fn killing_the_last_live_chip_is_rejected() {
+    let serve = ServeConfig {
+        chips: 1,
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+    let faults = FaultPlan::new(vec![FaultEvent {
+        at_cycles: 0,
+        kind: FaultKind::ChipDeath { shard: 0, chip: 0 },
+    }]);
+    let _ = FleetSession::serve_trace(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        faults,
+        &[],
+    );
+}
+
+#[test]
+#[should_panic(expected = "hysteresis")]
+fn inverted_scaling_thresholds_are_rejected() {
+    let runtime = ServeRuntime::from_plans(plans().clone(), ServeConfig::default());
+    let _ = FleetSession::new(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            scaling: Some(ScalingConfig {
+                scale_up_backlog_cycles: 10,
+                scale_down_backlog_cycles: 10,
+                ..ScalingConfig::default()
+            }),
+            ..FleetConfig::default()
+        },
+        FaultPlan::none(),
+    );
+}
+
+#[test]
+#[should_panic(expected = "fault targets shard")]
+fn fault_plans_addressing_missing_shards_are_rejected() {
+    let runtime = ServeRuntime::from_plans(plans().clone(), ServeConfig::default());
+    let _ = FleetSession::new(
+        &runtime,
+        FleetConfig {
+            shards: 1,
+            ..FleetConfig::default()
+        },
+        FaultPlan::new(vec![FaultEvent {
+            at_cycles: 0,
+            kind: FaultKind::ChipDeath { shard: 5, chip: 0 },
+        }]),
+    );
+}

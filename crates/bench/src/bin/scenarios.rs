@@ -1,0 +1,85 @@
+//! Chaos-scenario matrix runner: replays every named scenario from
+//! [`aim_serve::scenario`] under the selected execution backend, prints the
+//! availability summary, and gates on the properties the suite promises —
+//! request conservation under faults and byte-determinism across replays.
+//!
+//! Usage:
+//! `cargo run --release -p aim-bench --bin scenarios
+//!  [-- --backend cycle-accurate|analytical]`
+//!
+//! CI runs this under both backends (the `fleet` job's matrix); the golden
+//! byte-compare itself lives in `crates/aim-serve/tests/chaos_goldens.rs` —
+//! this binary is the release-mode end-to-end sweep of the same catalogue.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use aim_serve::scenario;
+use pim_sim::backend::BackendKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = match args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1).map(String::as_str))
+    {
+        None | Some("cycle-accurate") => BackendKind::CycleAccurate,
+        Some("analytical") => BackendKind::Analytical,
+        Some(other) => {
+            eprintln!("error: unknown --backend {other} (use cycle-accurate|analytical)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let plans = scenario::reference_plans();
+    println!("chaos scenario matrix ({} fleet)", backend.name());
+    println!(
+        "  {:<22} {:>5} {:>6} {:>6} {:>8} {:>9} {:>7} {:>7}  slo attainment (ls/std/be)",
+        "scenario", "req", "served", "rej", "failover", "lost(cyc)", "scaleup", "scaledn",
+    );
+
+    let mut failed = false;
+    for s in scenario::all() {
+        let start = Instant::now();
+        let report = s.run(plans.clone(), backend);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let replay = s.run(plans.clone(), backend);
+        let deterministic =
+            serde_json::to_string(&report).ok() == serde_json::to_string(&replay).ok();
+        let conserved = report.serve.served_requests + report.serve.rejected_requests
+            == report.serve.total_requests;
+        let attainment: Vec<String> = report
+            .availability
+            .per_class_slo_attainment
+            .iter()
+            .rev()
+            .map(|c| format!("{:.3}", c.attainment))
+            .collect();
+        println!(
+            "  {:<22} {:>5} {:>6} {:>6} {:>8} {:>9} {:>7} {:>7}  {}   ({wall_ms:.0} ms)",
+            s.name,
+            report.serve.total_requests,
+            report.serve.served_requests,
+            report.serve.rejected_requests,
+            report.availability.requests_failed_over,
+            report.availability.chip_cycles_lost,
+            report.availability.scale_ups,
+            report.availability.scale_downs,
+            attainment.join("/"),
+        );
+        if !conserved {
+            eprintln!("error: scenario {} lost requests under chaos", s.name);
+            failed = true;
+        }
+        if !deterministic {
+            eprintln!("error: scenario {} replays diverged", s.name);
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("  all scenarios conserved requests and replayed byte-identically");
+    ExitCode::SUCCESS
+}

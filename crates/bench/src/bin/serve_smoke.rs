@@ -5,8 +5,16 @@
 //!
 //! Usage:
 //! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
-//!  [--backend cycle-accurate|analytical] [--mode offline|online]
+//!  [--backend cycle-accurate|analytical] [--mode offline|online|fleet]
 //!  [--check-regression]`
+//!
+//! With `--mode fleet` the benchmark drives a 2-shard [`FleetSession`]
+//! through a scripted chaos drill — one chip death mid-burst, one
+//! degradation/recovery episode, elastic scaling live — and gates on
+//! request conservation (nothing lost to the faults), failover actually
+//! firing, byte-determinism across replays, and (with `--check-regression`)
+//! the per-backend virtual throughput under faults
+//! (`serve_fleet_virtual_rps` / `serve_fleet_ana_virtual_rps`).
 //!
 //! With `--mode online` the benchmark drives the event-driven `ServeSession`
 //! instead of the offline wrapper: a fully *interleaved* mixed-SLO trace
@@ -43,11 +51,15 @@ use std::time::Instant;
 use aim_bench::{append_bench_record, last_bench_value};
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::scheduler::form_groups;
-use aim_serve::{DispatchPolicy, ServeConfig, ServeReport, ServeRuntime};
+use aim_serve::{
+    DispatchPolicy, FleetConfig, FleetReport, FleetSession, ScalingConfig, ServeConfig,
+    ServeReport, ServeRuntime, ShardPolicy,
+};
 use pim_sim::backend::BackendKind;
 use serde::Serialize;
 use workloads::inputs::{
-    synthetic_trace, ArrivalShape, SloClass, SloMix, TraceRequest, TrafficConfig,
+    synthetic_trace, ArrivalShape, FaultEvent, FaultKind, FaultPlan, SloClass, SloMix,
+    TraceRequest, TrafficConfig,
 };
 use workloads::zoo::Model;
 
@@ -158,6 +170,43 @@ struct OnlineSmokeRecord {
     serve_online_deadline_misses: usize,
     serve_online_rejected: usize,
     serve_online_deterministic: bool,
+}
+
+/// Trajectory record of a fleet-mode leg (`--mode fleet`).  Field names are
+/// disjoint per backend so the textual `last_bench_value` scan gates each
+/// matrix leg against its own history.
+#[derive(Serialize)]
+struct FleetSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_fleet_backend: String,
+    serve_fleet_shards: usize,
+    serve_fleet_chips_per_shard: usize,
+    serve_fleet_requests: usize,
+    /// Wall-clock ms of one full chaos session (best of `REPS`).
+    serve_fleet_wall_ms: f64,
+    /// Served requests per second of virtual chip time under faults
+    /// (deterministic; the regression-gated figure).  `None` on the
+    /// analytical leg, which gates on `serve_fleet_ana_virtual_rps`.
+    serve_fleet_virtual_rps: Option<f64>,
+    /// The analytical leg's gated virtual throughput; `None` elsewhere.
+    serve_fleet_ana_virtual_rps: Option<f64>,
+    serve_fleet_chip_deaths: usize,
+    serve_fleet_degradations: usize,
+    serve_fleet_requests_failed_over: usize,
+    serve_fleet_chip_seconds_lost: f64,
+    serve_fleet_scale_ups: usize,
+    serve_fleet_scale_downs: usize,
+    serve_fleet_peak_workers: usize,
+    /// Per-class SLO attainment under the injected faults.
+    serve_fleet_attainment_latency_sensitive: f64,
+    serve_fleet_attainment_standard: f64,
+    serve_fleet_attainment_best_effort: f64,
+    /// Whether every submitted request was served or rejected exactly once
+    /// despite the chaos (the conservation gate).
+    serve_fleet_conserved: bool,
+    serve_fleet_deterministic: bool,
 }
 
 const REPS: usize = 3;
@@ -420,6 +469,202 @@ fn run_online(label: &str, backend: BackendKind, check_regression: bool) -> Exit
     ExitCode::SUCCESS
 }
 
+/// The fleet-mode chaos: one chip death mid-burst plus one
+/// degradation/recovery episode, against a 2-shard fleet with elastic
+/// scaling — the production failure drill, deterministic end to end.
+fn fleet_faults() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_cycles: 80_000,
+            kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+        },
+        FaultEvent {
+            at_cycles: 160_000,
+            kind: FaultKind::Degradation {
+                shard: 1,
+                chip: 0,
+                slowdown_percent: 75,
+            },
+        },
+        FaultEvent {
+            at_cycles: 320_000,
+            kind: FaultKind::Recovery { shard: 1, chip: 0 },
+        },
+    ])
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        shards: 2,
+        shard_policy: ShardPolicy::RoundRobin,
+        initial_workers: 2,
+        scaling: Some(ScalingConfig {
+            check_interval_cycles: 20_000,
+            scale_up_backlog_cycles: 120_000,
+            scale_down_backlog_cycles: 12_000,
+            min_workers: 1,
+            max_workers: 0,
+            class_weights: [1, 2, 4],
+        }),
+    }
+}
+
+/// The fleet-mode trace: the online scenario's interleaved mixed-SLO
+/// traffic, denser so the chaos strikes a loaded fleet.
+fn fleet_trace(models: usize) -> Vec<TraceRequest> {
+    synthetic_trace(&TrafficConfig {
+        requests: 192,
+        models,
+        mean_interarrival_cycles: 1_200.0,
+        burst_repeat_prob: 0.3,
+        deadline_slack_cycles: 2_000_000,
+        shape: ArrivalShape::BurstyExponential,
+        slo_mix: SloMix::Mixed {
+            latency_share: 0.2,
+            best_effort_share: 0.3,
+        },
+        seed: 0xF1EE5,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitCode {
+    let gate_field = match backend {
+        BackendKind::CycleAccurate => "serve_fleet_virtual_rps",
+        BackendKind::Analytical => "serve_fleet_ana_virtual_rps",
+    };
+    let previous_rps = last_bench_value(gate_field);
+
+    let plans = compile_zoo();
+    let serve_models = plans.len();
+    let config = ServeConfig {
+        backend,
+        chips: 4,
+        ..serve_config(4)
+    };
+    let runtime = ServeRuntime::from_plans(plans, config);
+    let trace = fleet_trace(serve_models);
+
+    let mut wall_ms = f64::INFINITY;
+    let mut reports: Vec<FleetReport> = Vec::new();
+    let mut conserved = true;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut fleet = FleetSession::new(&runtime, fleet_config(), fleet_faults());
+        for request in &trace {
+            fleet.submit(*request);
+        }
+        let report = fleet.drain();
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let outcomes = fleet.poll_completions();
+        conserved &= outcomes.len() == trace.len()
+            && report.serve.total_requests == trace.len()
+            && report.serve.served_requests + report.serve.rejected_requests
+                == report.serve.total_requests;
+        reports.push(report);
+    }
+    let report = reports.pop().expect("at least one rep");
+    let json = |r: &FleetReport| serde_json::to_string(r).ok();
+    let deterministic = reports.iter().all(|r| json(r) == json(&report));
+
+    let attainment = |class: SloClass| {
+        report
+            .availability
+            .per_class_slo_attainment
+            .iter()
+            .find(|c| c.class == class)
+            .map_or(1.0, |c| c.attainment)
+    };
+    let record = FleetSmokeRecord {
+        label: label.to_string(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_fleet_backend: backend.name().to_string(),
+        serve_fleet_shards: report.availability.shards,
+        serve_fleet_chips_per_shard: config.chips,
+        serve_fleet_requests: report.serve.total_requests,
+        serve_fleet_wall_ms: wall_ms,
+        serve_fleet_virtual_rps: (backend == BackendKind::CycleAccurate)
+            .then_some(report.serve.throughput_rps),
+        serve_fleet_ana_virtual_rps: (backend == BackendKind::Analytical)
+            .then_some(report.serve.throughput_rps),
+        serve_fleet_chip_deaths: report.availability.chip_deaths,
+        serve_fleet_degradations: report.availability.degradations,
+        serve_fleet_requests_failed_over: report.availability.requests_failed_over,
+        serve_fleet_chip_seconds_lost: report.availability.chip_seconds_lost,
+        serve_fleet_scale_ups: report.availability.scale_ups,
+        serve_fleet_scale_downs: report.availability.scale_downs,
+        serve_fleet_peak_workers: report.availability.peak_workers,
+        serve_fleet_attainment_latency_sensitive: attainment(SloClass::LatencySensitive),
+        serve_fleet_attainment_standard: attainment(SloClass::Standard),
+        serve_fleet_attainment_best_effort: attainment(SloClass::BestEffort),
+        serve_fleet_conserved: conserved,
+        serve_fleet_deterministic: deterministic,
+    };
+
+    println!(
+        "serve_smoke [{}] (fleet mode, {} fleet)",
+        record.label, record.serve_fleet_backend
+    );
+    println!(
+        "  fleet              : {} shards x {} chips, {} requests",
+        record.serve_fleet_shards, record.serve_fleet_chips_per_shard, record.serve_fleet_requests
+    );
+    println!(
+        "  chaos              : {} deaths, {} degradations, {} requests failed over, {:.1} chip-us lost",
+        record.serve_fleet_chip_deaths,
+        record.serve_fleet_degradations,
+        record.serve_fleet_requests_failed_over,
+        record.serve_fleet_chip_seconds_lost * 1e6
+    );
+    println!(
+        "  elasticity         : {} scale-ups, {} scale-downs, peak {} workers",
+        record.serve_fleet_scale_ups,
+        record.serve_fleet_scale_downs,
+        record.serve_fleet_peak_workers
+    );
+    println!(
+        "  slo attainment     : {:.3} latency-sensitive  {:.3} standard  {:.3} best-effort",
+        record.serve_fleet_attainment_latency_sensitive,
+        record.serve_fleet_attainment_standard,
+        record.serve_fleet_attainment_best_effort
+    );
+    println!(
+        "  throughput         : {:>9.0} req/s virtual   ({:.1} ms wall/session)",
+        report.serve.throughput_rps, record.serve_fleet_wall_ms
+    );
+    println!(
+        "  conserved          : {} | deterministic: {}",
+        record.serve_fleet_conserved, record.serve_fleet_deterministic
+    );
+
+    append_bench_record(&record);
+
+    if !record.serve_fleet_conserved {
+        eprintln!("error: chaos lost or duplicated requests — conservation contract broken");
+        return ExitCode::FAILURE;
+    }
+    if !record.serve_fleet_deterministic {
+        eprintln!("error: fleet replays diverged — determinism contract broken");
+        return ExitCode::FAILURE;
+    }
+    if record.serve_fleet_requests_failed_over == 0 {
+        eprintln!(
+            "error: the scripted chip death failed over no requests — the drill lost its teeth"
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(gate_field, report.serve.throughput_rps, previous_rps) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn regression_gate(label: &str, current: f64, previous: Option<f64>) -> Result<(), String> {
     if let Some(prev) = previous {
         let floor = 0.8 * prev;
@@ -465,8 +710,9 @@ fn main() -> ExitCode {
     {
         None | Some("offline") => {}
         Some("online") => return run_online(&label, backend, check_regression),
+        Some("fleet") => return run_fleet(&label, backend, check_regression),
         Some(other) => {
-            eprintln!("error: unknown --mode {other} (use offline|online)");
+            eprintln!("error: unknown --mode {other} (use offline|online|fleet)");
             return ExitCode::FAILURE;
         }
     }

@@ -60,6 +60,51 @@ impl BackendKind {
     }
 }
 
+/// Health of one simulated chip, as a serving fleet sees it.
+///
+/// A degraded chip still produces correct results but takes longer: its
+/// service cycles stretch by `slowdown_percent` (a chip at `Degraded {
+/// slowdown_percent: 50 }` needs 1.5× the healthy cycle count).  The knob is
+/// pure integer arithmetic on the *cycle count* an execution reports, so it
+/// slows a chip identically whichever [`ExecutionBackend`] produced the
+/// count — cycle-accurate measurements and analytical predictions stretch by
+/// the same factor, keeping heterogeneous fleets consistent under fault
+/// injection.  Electrical aggregates (power, droop) are deliberately left
+/// untouched: degradation models a timing derate (e.g. a thermally throttled
+/// or margin-limited chip), not a different electrical operating point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChipHealth {
+    /// Nominal service rate — [`Self::scale_cycles`] is the identity.
+    #[default]
+    Healthy,
+    /// Timing-derated chip: service cycles stretch by `slowdown_percent`.
+    Degraded {
+        /// Relative stretch of the chip's service cycles, in percent
+        /// (50 ⇒ 1.5× the healthy cycle count).
+        slowdown_percent: u32,
+    },
+}
+
+impl ChipHealth {
+    /// Applies the health derate to a cycle count (integer arithmetic,
+    /// rounding toward zero — deterministic and backend-independent).
+    #[must_use]
+    pub fn scale_cycles(self, cycles: u64) -> u64 {
+        match self {
+            Self::Healthy => cycles,
+            Self::Degraded { slowdown_percent } => {
+                cycles.saturating_mul(100 + u64::from(slowdown_percent)) / 100
+            }
+        }
+    }
+
+    /// Whether the chip runs at its nominal service rate.
+    #[must_use]
+    pub fn is_healthy(self) -> bool {
+        self == Self::Healthy
+    }
+}
+
 /// Strategy evaluating one chip simulation run.
 ///
 /// Implementations must be deterministic functions of `(sim, controller,
@@ -1229,5 +1274,48 @@ mod tests {
         assert!((normal_tail(1.0) - 0.158_655).abs() < 1e-4);
         assert!((normal_tail(-1.0) - 0.841_345).abs() < 1e-4);
         assert!(normal_tail(6.0) < 1e-8);
+    }
+
+    #[test]
+    fn chip_health_scales_cycles_deterministically() {
+        assert!(ChipHealth::default().is_healthy());
+        assert_eq!(ChipHealth::Healthy.scale_cycles(12_345), 12_345);
+        let half_slower = ChipHealth::Degraded {
+            slowdown_percent: 50,
+        };
+        assert!(!half_slower.is_healthy());
+        assert_eq!(half_slower.scale_cycles(1_000), 1_500);
+        // Integer arithmetic: rounding toward zero, zero stays zero.
+        assert_eq!(half_slower.scale_cycles(0), 0);
+        assert_eq!(half_slower.scale_cycles(1), 1);
+        assert_eq!(
+            ChipHealth::Degraded {
+                slowdown_percent: 0
+            }
+            .scale_cycles(777),
+            777
+        );
+        // A derate never speeds a chip up, and is monotone in the slowdown.
+        for pct in [1u32, 10, 25, 100, 400] {
+            let h = ChipHealth::Degraded {
+                slowdown_percent: pct,
+            };
+            assert!(h.scale_cycles(9_999) >= 9_999);
+            assert!(
+                h.scale_cycles(9_999)
+                    <= ChipHealth::Degraded {
+                        slowdown_percent: pct + 1
+                    }
+                    .scale_cycles(9_999)
+            );
+        }
+        // No overflow panic near the top of the range.
+        assert_eq!(
+            ChipHealth::Degraded {
+                slowdown_percent: 100
+            }
+            .scale_cycles(u64::MAX),
+            u64::MAX / 100
+        );
     }
 }

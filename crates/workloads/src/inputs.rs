@@ -313,6 +313,256 @@ pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
         .collect()
 }
 
+/// One kind of injected infrastructure fault in a chaos scenario.
+///
+/// Faults address a chip by `(shard, chip)` — the coordinate system of a
+/// sharded serving fleet, where each shard owns its own chip group.  The
+/// variants are workload vocabulary (like [`TraceRequest`]): the serving
+/// layer decides what each one does to scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The chip stops executing permanently.  Work it has not started must
+    /// fail over to surviving chips.
+    ChipDeath {
+        /// Shard owning the chip.
+        shard: usize,
+        /// Chip index within the shard.
+        chip: usize,
+    },
+    /// The chip keeps serving but its service cycles stretch by
+    /// `slowdown_percent` (a thermally throttled or margin-limited chip).
+    Degradation {
+        /// Shard owning the chip.
+        shard: usize,
+        /// Chip index within the shard.
+        chip: usize,
+        /// Relative service-cycle stretch, in percent (50 ⇒ 1.5× slower).
+        slowdown_percent: u32,
+    },
+    /// A degraded chip returns to its nominal service rate.
+    Recovery {
+        /// Shard owning the chip.
+        shard: usize,
+        /// Chip index within the shard.
+        chip: usize,
+    },
+}
+
+impl FaultKind {
+    /// Stable tags of every variant, for coverage accounting ("does each
+    /// fault kind appear in at least one frozen scenario?").  Keep in sync
+    /// with [`Self::tag`]; `tag` returns exactly one of these.
+    pub const TAGS: [&'static str; 3] = ["chip_death", "degradation", "recovery"];
+
+    /// Stable tag of the variant (one of [`Self::TAGS`]).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::ChipDeath { .. } => "chip_death",
+            Self::Degradation { .. } => "degradation",
+            Self::Recovery { .. } => "recovery",
+        }
+    }
+
+    /// Shard the fault targets.
+    #[must_use]
+    pub fn shard(self) -> usize {
+        match self {
+            Self::ChipDeath { shard, .. }
+            | Self::Degradation { shard, .. }
+            | Self::Recovery { shard, .. } => shard,
+        }
+    }
+
+    /// Chip (within its shard) the fault targets.
+    #[must_use]
+    pub fn chip(self) -> usize {
+        match self {
+            Self::ChipDeath { chip, .. }
+            | Self::Degradation { chip, .. }
+            | Self::Recovery { chip, .. } => chip,
+        }
+    }
+
+    /// Rank used for deterministic ordering of same-cycle faults.
+    fn rank(self) -> usize {
+        match self {
+            Self::ChipDeath { .. } => 0,
+            Self::Degradation { .. } => 1,
+            Self::Recovery { .. } => 2,
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes at virtual cycle `at_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time the fault strikes (cycles since trace start).
+    pub at_cycles: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of infrastructure faults, sorted by strike time.
+///
+/// Like a [`TraceRequest`] trace, a plan is plain data: fixed bytes in,
+/// fixed behaviour out.  Construct via [`FaultPlan::new`] (which sorts) so
+/// two plans built from the same events compare — and serialize — equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, ascending by `(at_cycles, kind)`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the steady-state scenario).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan, sorting the events into the canonical order: ascending
+    /// strike time, ties broken by variant rank (deaths before degradations
+    /// before recoveries), then shard, then chip.
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.at_cycles, e.kind.rank(), e.kind.shard(), e.kind.chip()));
+        Self { events }
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Shape of a synthetic chaos-fault schedule for a sharded fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Shards in the fleet the plan addresses.
+    pub shards: usize,
+    /// Chips per shard.
+    pub chips_per_shard: usize,
+    /// Faults strike uniformly inside `[0, horizon_cycles)`.
+    pub horizon_cycles: u64,
+    /// Chip deaths to attempt.  Capped so every shard always keeps at least
+    /// one chip alive (dead chips must have survivors to fail over to).
+    pub deaths: usize,
+    /// Degradation episodes to schedule.  Episodes never target a chip that
+    /// dies, so a plan is valid under any interleaving of its events.
+    pub degradations: usize,
+    /// Degradation slowdowns are drawn uniformly from
+    /// `[10, max_slowdown_percent]`.
+    pub max_slowdown_percent: u32,
+    /// Probability that a degradation episode recovers inside the horizon.
+    pub recovery_prob: f64,
+    /// Seed of the fault stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            chips_per_shard: 4,
+            horizon_cycles: 500_000,
+            deaths: 1,
+            degradations: 1,
+            max_slowdown_percent: 100,
+            recovery_prob: 0.5,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+/// Generates a deterministic chaos-fault schedule for a sharded fleet.
+///
+/// The generator draws from a **dedicated RNG stream** (the seed is folded
+/// with a fault-stream constant), exactly like [`SloMix::Mixed`]'s class
+/// stream: attaching a fault plan to an existing workload never perturbs the
+/// frozen arrival/model draws of [`synthetic_trace`] at the same seed.
+///
+/// Generated plans are valid by construction:
+///
+/// * deaths never reduce a shard below one live chip, and no chip dies
+///   twice;
+/// * degradation episodes only target chips that never die, so every
+///   `Degradation`/`Recovery` addresses a live chip whenever it strikes;
+/// * recoveries always strike strictly after their episode's degradation.
+///
+/// # Panics
+///
+/// Panics if `shards` or `chips_per_shard` is zero.
+#[must_use]
+pub fn chaos_fault_plan(config: &ChaosConfig) -> FaultPlan {
+    assert!(config.shards > 0, "a fleet needs at least one shard");
+    assert!(
+        config.chips_per_shard > 0,
+        "a shard needs at least one chip"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x00FA_17C4_A055);
+    let horizon = config.horizon_cycles.max(1);
+    let mut alive: Vec<Vec<bool>> = vec![vec![true; config.chips_per_shard]; config.shards];
+    let mut events = Vec::new();
+
+    for _ in 0..config.deaths {
+        // Shards that can still lose a chip (at least two alive).
+        let candidates: Vec<usize> = (0..config.shards)
+            .filter(|&s| alive[s].iter().filter(|&&a| a).count() > 1)
+            .collect();
+        let Some(&shard) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+            break;
+        };
+        let live: Vec<usize> = (0..config.chips_per_shard)
+            .filter(|&c| alive[shard][c])
+            .collect();
+        let chip = live[rng.gen_range(0..live.len())];
+        alive[shard][chip] = false;
+        events.push(FaultEvent {
+            at_cycles: rng.gen_range(0..horizon),
+            kind: FaultKind::ChipDeath { shard, chip },
+        });
+    }
+
+    // Degradations avoid every death target, so episode validity never
+    // depends on event ordering.
+    let stable: Vec<(usize, usize)> = (0..config.shards)
+        .flat_map(|s| (0..config.chips_per_shard).map(move |c| (s, c)))
+        .filter(|&(s, c)| alive[s][c])
+        .collect();
+    for _ in 0..config.degradations {
+        if stable.is_empty() {
+            break;
+        }
+        let (shard, chip) = stable[rng.gen_range(0..stable.len())];
+        let at = rng.gen_range(0..horizon);
+        let slowdown_percent = rng.gen_range(10..=config.max_slowdown_percent.max(10));
+        events.push(FaultEvent {
+            at_cycles: at,
+            kind: FaultKind::Degradation {
+                shard,
+                chip,
+                slowdown_percent,
+            },
+        });
+        if rng.gen_range(0.0..1.0) < config.recovery_prob && at + 1 < horizon {
+            events.push(FaultEvent {
+                at_cycles: rng.gen_range(at + 1..horizon),
+                kind: FaultKind::Recovery { shard, chip },
+            });
+        }
+    }
+
+    FaultPlan::new(events)
+}
+
 /// Empirical bit-flip fraction between consecutive values of a batch when
 /// streamed bit-serially (averaged over all 8 bit positions).
 #[must_use]
@@ -586,6 +836,151 @@ mod tests {
         for (i, class) in SloClass::ALL.iter().enumerate() {
             assert_eq!(class.index(), i);
         }
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_sorted_and_seed_sensitive() {
+        let config = ChaosConfig {
+            deaths: 3,
+            degradations: 4,
+            ..ChaosConfig::default()
+        };
+        let a = chaos_fault_plan(&config);
+        let b = chaos_fault_plan(&config);
+        assert_eq!(a, b, "same seed must reproduce the plan");
+        assert!(!a.is_empty());
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| w[0].at_cycles <= w[1].at_cycles));
+        let other = chaos_fault_plan(&ChaosConfig {
+            seed: config.seed + 1,
+            ..config
+        });
+        assert_ne!(a, other, "a different seed must change the plan");
+    }
+
+    #[test]
+    fn chaos_plans_keep_every_shard_alive_and_never_kill_twice() {
+        for seed in 0..32u64 {
+            let config = ChaosConfig {
+                shards: 3,
+                chips_per_shard: 3,
+                deaths: 20, // far more than the fleet can absorb
+                degradations: 5,
+                seed,
+                ..ChaosConfig::default()
+            };
+            let plan = chaos_fault_plan(&config);
+            let mut dead: Vec<Vec<bool>> = vec![vec![false; 3]; 3];
+            for event in &plan.events {
+                match event.kind {
+                    FaultKind::ChipDeath { shard, chip } => {
+                        assert!(!dead[shard][chip], "chip died twice (seed {seed})");
+                        dead[shard][chip] = true;
+                    }
+                    FaultKind::Degradation { shard, chip, .. }
+                    | FaultKind::Recovery { shard, chip } => {
+                        assert!(
+                            !dead[shard][chip],
+                            "degradation episode targets a death target (seed {seed})"
+                        );
+                    }
+                }
+            }
+            for (shard, chips) in dead.iter().enumerate() {
+                assert!(
+                    chips.iter().any(|&d| !d),
+                    "shard {shard} lost every chip (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_recoveries_strike_after_their_degradation() {
+        let plan = chaos_fault_plan(&ChaosConfig {
+            shards: 2,
+            chips_per_shard: 4,
+            deaths: 0,
+            degradations: 12,
+            recovery_prob: 1.0,
+            seed: 7,
+            ..ChaosConfig::default()
+        });
+        for event in &plan.events {
+            if let FaultKind::Recovery { shard, chip } = event.kind {
+                let degraded_before = plan.events.iter().any(|e| {
+                    e.at_cycles < event.at_cycles
+                        && matches!(
+                            e.kind,
+                            FaultKind::Degradation { shard: s, chip: c, .. }
+                                if s == shard && c == chip
+                        )
+                });
+                assert!(degraded_before, "recovery without a prior degradation");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_stream_is_independent_of_the_trace_stream() {
+        // Generating a fault plan must not perturb the frozen trace draws —
+        // the chaos generator owns a dedicated RNG stream.
+        let traffic = TrafficConfig {
+            requests: 200,
+            ..TrafficConfig::default()
+        };
+        let before = synthetic_trace(&traffic);
+        let _ = chaos_fault_plan(&ChaosConfig {
+            seed: traffic.seed, // even sharing the seed changes nothing
+            ..ChaosConfig::default()
+        });
+        assert_eq!(before, synthetic_trace(&traffic));
+    }
+
+    #[test]
+    fn fault_kind_tags_cover_every_variant() {
+        let kinds = [
+            FaultKind::ChipDeath { shard: 0, chip: 0 },
+            FaultKind::Degradation {
+                shard: 0,
+                chip: 1,
+                slowdown_percent: 30,
+            },
+            FaultKind::Recovery { shard: 1, chip: 0 },
+        ];
+        for kind in kinds {
+            assert!(FaultKind::TAGS.contains(&kind.tag()));
+        }
+        let tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags, FaultKind::TAGS);
+        assert_eq!(kinds[1].shard(), 0);
+        assert_eq!(kinds[1].chip(), 1);
+    }
+
+    #[test]
+    fn fault_plans_sort_into_canonical_order() {
+        let death = FaultEvent {
+            at_cycles: 100,
+            kind: FaultKind::ChipDeath { shard: 1, chip: 0 },
+        };
+        let degrade = FaultEvent {
+            at_cycles: 100,
+            kind: FaultKind::Degradation {
+                shard: 0,
+                chip: 0,
+                slowdown_percent: 25,
+            },
+        };
+        let early = FaultEvent {
+            at_cycles: 5,
+            kind: FaultKind::Recovery { shard: 0, chip: 2 },
+        };
+        let plan = FaultPlan::new(vec![degrade, death, early]);
+        assert_eq!(plan.events, vec![early, death, degrade]);
+        assert_eq!(plan.len(), 3);
+        assert!(FaultPlan::none().is_empty());
     }
 
     #[test]

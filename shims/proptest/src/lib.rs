@@ -84,6 +84,20 @@ impl Arbitrary for bool {
     }
 }
 
+macro_rules! impl_arbitrary_tuple {
+    ($($t:ident),*) => {
+        impl<$($t: Arbitrary),*> Arbitrary for ($($t,)*) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)*)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         // Finite values only, spanning a wide magnitude range.
