@@ -120,6 +120,97 @@ impl Default for ScalingConfig {
     }
 }
 
+impl ScalingConfig {
+    /// Starts a builder seeded with [`ScalingConfig::default`].
+    #[must_use]
+    pub fn builder() -> ScalingConfigBuilder {
+        ScalingConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Rejects degenerate policies at construction time rather than letting
+    /// them surface as scheduling anomalies mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero check interval, inverted or collapsed hysteresis
+    /// (`scale_down >= scale_up`), or a zero worker floor.
+    pub fn validate(&self) {
+        assert!(
+            self.check_interval_cycles >= 1,
+            "the scaling check interval must be at least one cycle"
+        );
+        assert!(
+            self.scale_down_backlog_cycles < self.scale_up_backlog_cycles,
+            "hysteresis requires scale_down < scale_up"
+        );
+        assert!(self.min_workers >= 1, "min_workers must be at least 1");
+    }
+}
+
+/// Builder for [`ScalingConfig`]; [`build`](Self::build) validates, so an
+/// inverted hysteresis band or a zero floor fails where it is written.
+#[derive(Debug, Clone)]
+pub struct ScalingConfigBuilder {
+    config: ScalingConfig,
+}
+
+impl ScalingConfigBuilder {
+    /// Sets the virtual cycles between scaling decisions.
+    #[must_use]
+    pub fn check_interval_cycles(mut self, cycles: u64) -> Self {
+        self.config.check_interval_cycles = cycles;
+        self
+    }
+
+    /// Sets the pressure above which a shard activates one more worker.
+    #[must_use]
+    pub fn scale_up_backlog_cycles(mut self, cycles: u64) -> Self {
+        self.config.scale_up_backlog_cycles = cycles;
+        self
+    }
+
+    /// Sets the pressure below which a shard drains one worker.
+    #[must_use]
+    pub fn scale_down_backlog_cycles(mut self, cycles: u64) -> Self {
+        self.config.scale_down_backlog_cycles = cycles;
+        self
+    }
+
+    /// Sets the floor of dispatch-eligible workers per shard.
+    #[must_use]
+    pub fn min_workers(mut self, workers: usize) -> Self {
+        self.config.min_workers = workers;
+        self
+    }
+
+    /// Sets the ceiling of dispatch-eligible workers per shard (0 = all).
+    #[must_use]
+    pub fn max_workers(mut self, workers: usize) -> Self {
+        self.config.max_workers = workers;
+        self
+    }
+
+    /// Sets the per-class pressure weights (ascending priority order).
+    #[must_use]
+    pub fn class_weights(mut self, weights: [u64; 3]) -> Self {
+        self.config.class_weights = weights;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy is degenerate — see [`ScalingConfig::validate`].
+    #[must_use]
+    pub fn build(self) -> ScalingConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
 /// Configuration of a [`FleetSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -280,16 +371,9 @@ impl<'rt> FleetSession<'rt> {
             config.initial_workers
         );
         if let Some(scaling) = &config.scaling {
-            assert!(
-                scaling.check_interval_cycles >= 1,
-                "the scaling check interval must be at least one cycle"
-            );
-            assert!(
-                scaling.scale_down_backlog_cycles < scaling.scale_up_backlog_cycles,
-                "hysteresis requires scale_down < scale_up"
-            );
-            assert!(scaling.min_workers >= 1, "min_workers must be at least 1");
+            scaling.validate();
         }
+        faults.validate();
         for event in &faults.events {
             assert!(
                 event.kind.shard() < config.shards,
@@ -512,6 +596,50 @@ impl<'rt> FleetSession<'rt> {
             serve,
             availability,
         }
+    }
+
+    /// Estimated service cycles of committed-but-not-started work per SLO
+    /// class (ascending priority order), summed over all shards — the
+    /// backlog pressure a region-level router reads.  Call after stepping
+    /// the fleet to the decision point.
+    #[must_use]
+    pub fn class_backlog_cycles(&self) -> [u64; 3] {
+        let mut backlog = [0u64; 3];
+        for session in &self.shards {
+            for (slot, shard) in backlog.iter_mut().zip(session.class_backlog_cycles()) {
+                *slot = slot.saturating_add(shard);
+            }
+        }
+        backlog
+    }
+
+    /// Evicts every committed-but-not-started group and open batch across
+    /// all shards at virtual time `at_cycles`, returning the evicted
+    /// requests as `(fleet submission index, request)` pairs, ascending by
+    /// index — the migration hook a multi-region router uses when this
+    /// fleet's region goes down.
+    ///
+    /// The eviction is itself an externally scheduled event, so it extends
+    /// the fleet's event horizon; every fault and scaling check due at or
+    /// before it applies first.  Started work is never disturbed (the
+    /// [`ServeSession::evict_pending`] prefix rule), and evicted requests
+    /// leave this fleet's accounting entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was drained.
+    pub fn evict_pending(&mut self, at_cycles: u64) -> Vec<(usize, TraceRequest)> {
+        assert!(!self.drained, "cannot evict from a drained fleet");
+        self.horizon = self.horizon.max(at_cycles);
+        self.advance(at_cycles);
+        let mut out: Vec<(usize, TraceRequest)> = Vec::new();
+        for (shard, session) in self.shards.iter_mut().enumerate() {
+            for (local, request) in session.evict_pending(at_cycles) {
+                out.push((self.request_map[shard][local], request));
+            }
+        }
+        out.sort_unstable_by_key(|&(fleet_index, _)| fleet_index);
+        out
     }
 
     /// Offline convenience: submit the whole trace, then drain — the fleet

@@ -71,6 +71,14 @@
 //! metrics.  The [`scenario`] module freezes named chaos scenarios as
 //! golden files.
 //!
+//! Above the fleet sits **multi-region orchestration**
+//! ([`global::GlobalRouter`]): N heterogeneous fleet regions (different
+//! silicon per region), explicit model placement/replication, deterministic
+//! routing, a per-region health state machine driven by scripted
+//! [`workloads::inputs::RegionFaultPlan`]s, migration of not-yet-started
+//! work off dead regions under a bounded retry budget with virtual-time
+//! backoff, and graceful degradation that sheds best-effort traffic first.
+//!
 //! ## Determinism contract
 //!
 //! Everything the scheduler decides is derived from the submission
@@ -88,6 +96,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fleet;
+pub mod global;
 pub mod report;
 pub mod runtime;
 pub mod scenario;
@@ -97,6 +106,11 @@ pub mod session;
 pub use fleet::{
     AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
     ScalingConfig, ShardPolicy,
+};
+pub use global::{
+    place_models, GlobalAvailability, GlobalConfig, GlobalOutcome, GlobalReport, GlobalRouter,
+    GlobalStatus, GlobalSummary, PlacementStats, RegionHealth, RegionReport, RegionSpec,
+    RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
 };
 pub use report::{
     ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
@@ -113,6 +127,11 @@ pub mod prelude {
         AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
         ScalingConfig, ShardPolicy,
     };
+    pub use crate::global::{
+        place_models, GlobalAvailability, GlobalConfig, GlobalOutcome, GlobalReport, GlobalRouter,
+        GlobalStatus, GlobalSummary, PlacementStats, RegionHealth, RegionReport, RegionSpec,
+        RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
+    };
     pub use crate::report::{
         ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
     };
@@ -121,6 +140,8 @@ pub mod prelude {
     pub use crate::session::{CompletionStatus, RequestOutcome, ServeSession};
     pub use pim_sim::backend::{BackendKind, ChipHealth};
     pub use workloads::inputs::{
-        chaos_fault_plan, ChaosConfig, FaultEvent, FaultKind, FaultPlan, SloClass, TraceRequest,
+        chaos_fault_plan, region_chaos_plan, with_flash_crowds, ChaosConfig, FaultEvent, FaultKind,
+        FaultPlan, RegionChaosConfig, RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloClass,
+        TraceRequest,
     };
 }

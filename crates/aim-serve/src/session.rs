@@ -192,6 +192,10 @@ struct GroupRecord {
     done: Option<ExecDone>,
     /// Whether the group was requeued off a dead chip before starting.
     failed_over: bool,
+    /// Whether the group was evicted before starting ([`ServeSession::
+    /// evict_pending`]); evicted groups leave the session's accounting
+    /// entirely — their requests are someone else's to serve.
+    evicted: bool,
 }
 
 /// Chip health in effect at virtual time `at`: the latest registered change
@@ -582,6 +586,7 @@ impl<'rt> ServeSession<'rt> {
                     chip: None,
                     done: None,
                     failed_over: false,
+                    evicted: false,
                 });
                 return;
             }
@@ -619,6 +624,7 @@ impl<'rt> ServeSession<'rt> {
             chip: Some(chip),
             done: None,
             failed_over: false,
+            evicted: false,
         });
     }
 
@@ -798,17 +804,55 @@ impl<'rt> ServeSession<'rt> {
         backlog
     }
 
+    /// Evicts every committed-but-not-started group and every open batch at
+    /// virtual time `at_cycles`, returning the evicted requests as
+    /// `(submission index, request)` pairs, ascending by index — the
+    /// migration hook a multi-region router uses when this session's region
+    /// goes down.
+    ///
+    /// The *executed prefix* — every group whose estimated start lies at or
+    /// before `at_cycles` — stays immutable and completes, exactly the cut
+    /// [`Self::kill_chip`] applies: work that has started is never
+    /// disturbed (drain-don't-strand).  Evicted groups and requests leave
+    /// this session's accounting entirely: they produce no completions here
+    /// and are excluded from the drained report's totals, so a router can
+    /// re-submit them elsewhere without double counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was drained.
+    pub fn evict_pending(&mut self, at_cycles: u64) -> Vec<(usize, TraceRequest)> {
+        assert!(!self.drained, "cannot evict from a drained session");
+        // Step to the eviction point first so the executed prefix reflects
+        // that virtual time.
+        self.run_until(at_cycles);
+        let mut evicted: Vec<usize> = Vec::new();
+        for lane in &mut self.lanes {
+            let executed = lane.executed;
+            for slot in lane.slots.split_off(executed) {
+                self.groups[slot.gid].evicted = true;
+                evicted.extend(self.groups[slot.gid].requests.iter().copied());
+            }
+        }
+        // Open batches have not even committed; their queued window-closure
+        // events go stale and are ignored by the generation liveness check.
+        for batch in self.open.iter_mut().filter_map(Option::take) {
+            evicted.extend(batch.requests);
+        }
+        evicted.sort_unstable();
+        evicted
+            .into_iter()
+            .map(|ri| (ri, self.requests[ri]))
+            .collect()
+    }
+
     /// `(groups, requests)` failed over off dead chips so far.
     #[must_use]
     pub fn failed_over(&self) -> (usize, usize) {
-        let groups = self.groups.iter().filter(|g| g.failed_over).count();
-        let requests = self
-            .groups
-            .iter()
-            .filter(|g| g.failed_over)
-            .map(|g| g.requests.len())
-            .sum();
-        (groups, requests)
+        // An evicted group left this session's accounting entirely, even if
+        // it had been requeued off a dead chip first.
+        let failed = || self.groups.iter().filter(|g| g.failed_over && !g.evicted);
+        (failed().count(), failed().map(|g| g.requests.len()).sum())
     }
 
     // --- execution ---------------------------------------------------------
@@ -944,6 +988,11 @@ impl<'rt> ServeSession<'rt> {
             fleet_bound,
         );
         for record in &self.groups {
+            // Evicted groups migrated to another session before starting;
+            // whoever served them accounts for them.
+            if record.evicted {
+                continue;
+            }
             acc.note_group_formed();
             let Some(chip) = record.chip else {
                 for &ri in &record.requests {

@@ -201,3 +201,197 @@ fn scenarios_exercise_the_machinery_they_claim_to_pin() {
         "golden bytes must not depend on the worker-thread fan-out"
     );
 }
+
+// --- the multi-region golden suite -----------------------------------------
+
+use aim_serve::global::GlobalReport;
+use aim_serve::scenario::{GlobalScenario, GlobalScenarioRegion};
+use workloads::inputs::{RegionFaultKind, RegionFaultPlan};
+
+/// The frozen form of one multi-region scenario: everything the run
+/// depended on plus everything it produced.
+#[derive(Serialize)]
+struct GlobalScenarioGolden {
+    name: String,
+    backend: String,
+    traffic: TrafficConfig,
+    models: usize,
+    regions: Vec<GlobalScenarioRegion>,
+    global: aim_serve::global::GlobalConfig,
+    region_faults: RegionFaultPlan,
+    report: GlobalReport,
+}
+
+fn global_golden_bytes(
+    scenario: &GlobalScenario,
+    backend: BackendKind,
+    report: &GlobalReport,
+) -> String {
+    let golden = GlobalScenarioGolden {
+        name: scenario.name.to_string(),
+        backend: backend.name().to_string(),
+        traffic: scenario.traffic,
+        models: scenario.models,
+        regions: scenario.regions.clone(),
+        global: scenario.global,
+        region_faults: scenario.region_faults.clone(),
+        report: report.clone(),
+    };
+    let mut body = serde_json::to_string_pretty(&golden).expect("global goldens serialize");
+    body.push('\n');
+    body
+}
+
+#[test]
+fn global_scenario_runs_match_their_committed_goldens() {
+    let backend = matrix_backend();
+    let update = std::env::var("UPDATE_CHAOS_GOLDENS").is_ok();
+    let mut failures = Vec::new();
+    for scenario in scenario::global_all() {
+        let report = scenario.run(backend);
+        let bytes = global_golden_bytes(&scenario, backend, &report);
+        let path = goldens_dir().join(format!("{}.{}.json", scenario.name, backend.name()));
+        if update {
+            fs::write(&path, &bytes).expect("goldens directory is writable");
+            eprintln!("refreshed {}", path.display());
+            continue;
+        }
+        let committed = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if committed != bytes {
+            failures.push(scenario.name);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "global chaos scenarios drifted from their goldens: {failures:?}\n\
+         If the change is intentional, rerun with UPDATE_CHAOS_GOLDENS=1 \
+         (under both AIM_SERVE_BACKEND legs), inspect the diff and commit; \
+         otherwise a router or scheduler change broke deterministic \
+         region-loss replay."
+    );
+}
+
+#[test]
+fn every_region_fault_kind_appears_in_at_least_one_global_scenario() {
+    let mut covered: Vec<&str> = scenario::global_all()
+        .iter()
+        .flat_map(|s| s.region_faults.events.iter().map(|e| e.kind.tag()))
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    for tag in RegionFaultKind::TAGS {
+        assert!(
+            covered.contains(&tag),
+            "no frozen global scenario injects a `{tag}` event — extend the \
+             catalogue so every RegionFaultKind variant stays pinned"
+        );
+    }
+}
+
+#[test]
+fn global_scenario_catalogue_is_well_formed() {
+    let scenarios = scenario::global_all();
+    assert_eq!(scenarios.len(), 3);
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 3, "global scenario names must be unique");
+    for scenario in &scenarios {
+        assert!(scenario::global_named(scenario.name).is_some());
+        assert!(
+            scenario.regions.len() >= 2,
+            "a multi-region scenario needs at least two regions"
+        );
+        assert!(scenario
+            .region_faults
+            .events
+            .windows(2)
+            .all(|w| w[0].at_cycles <= w[1].at_cycles));
+        // Heterogeneity is the point: no global scenario runs one silicon.
+        let first = scenario.regions[0].hardware;
+        assert!(
+            scenario.regions.iter().any(|r| r.hardware != first),
+            "global scenarios must mix region hardware"
+        );
+    }
+    assert!(scenario::global_named("no-such-scenario").is_none());
+}
+
+#[test]
+fn global_scenarios_exercise_the_machinery_they_claim_to_pin() {
+    let backend = matrix_backend();
+
+    let outage = scenario::global_named("region-outage-at-peak")
+        .unwrap()
+        .run(backend);
+    assert_eq!(outage.availability.outages, 1);
+    assert_eq!(outage.availability.recoveries, 0);
+    assert!(
+        outage.availability.migration_events > 0,
+        "the peak outage must catch queued work and migrate it"
+    );
+    assert_eq!(
+        outage.availability.migrated_and_served, outage.availability.requests_migrated,
+        "every migrated request must be served (drain-don't-strand)"
+    );
+    assert!(outage.availability.region_cycles_lost > 0);
+    assert!(outage.availability.region_seconds_lost > 0.0);
+    assert_eq!(
+        outage.summary.served_requests + outage.summary.rejected_requests,
+        outage.summary.total_requests,
+        "a region loss must not lose requests"
+    );
+
+    let failback = scenario::global_named("cross-region-failback")
+        .unwrap()
+        .run(backend);
+    assert_eq!(failback.availability.outages, 1);
+    assert_eq!(failback.availability.recoveries, 1);
+    assert!(
+        failback.availability.retries_scheduled > 0,
+        "the sole-holder outage must push requests through the retry queue"
+    );
+    assert_eq!(failback.summary.shed_requests, 0);
+    // The down interval closed at recovery: the region ends Healthy and its
+    // lost region-time is exactly the scripted dark window plus the grace.
+    assert!(failback
+        .regions
+        .iter()
+        .all(|r| r.final_health == aim_serve::global::RegionHealth::Healthy));
+    assert!(failback.availability.region_cycles_lost > 0);
+    // The outage window shows a real SLO-attainment dip.
+    assert!(failback.availability.outage_window_requests > 0);
+    assert!(failback
+        .availability
+        .per_class_outage_attainment
+        .iter()
+        .any(|a| a.attainment < 1.0));
+
+    let flash = scenario::global_named("flash-crowd").unwrap().run(backend);
+    assert_eq!(flash.availability.flash_crowd_events, 1);
+    let shed = flash.availability.shed_by_class;
+    assert!(
+        shed[0] > 0,
+        "the flash crowd must shed best-effort traffic first"
+    );
+    assert_eq!(shed[2], 0, "latency-sensitive traffic must never shed");
+    assert_eq!(
+        flash.summary.served_requests
+            + flash.summary.rejected_requests
+            + flash.summary.shed_requests,
+        flash.summary.total_requests
+    );
+
+    // Worker-count independence of the global golden bytes.
+    let mut sequential_scenario = scenario::global_named("region-outage-at-peak").unwrap();
+    for region in &mut sequential_scenario.regions {
+        region.serve.parallel = false;
+    }
+    let sequential = sequential_scenario.run(backend);
+    assert_eq!(
+        serde_json::to_string(&outage).unwrap(),
+        serde_json::to_string(&sequential).unwrap(),
+        "global golden bytes must not depend on the worker-thread fan-out"
+    );
+}

@@ -77,6 +77,57 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    println!();
+    println!(
+        "multi-region scenario matrix ({} deployments)",
+        backend.name()
+    );
+    println!(
+        "  {:<22} {:>5} {:>6} {:>5} {:>5} {:>8} {:>7} {:>9}  outage attainment (ls/std/be)",
+        "scenario", "req", "served", "rej", "shed", "migrated", "retries", "lost(cyc)",
+    );
+    for s in scenario::global_all() {
+        let start = Instant::now();
+        let report = s.run(backend);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let replay = s.run(backend);
+        let deterministic =
+            serde_json::to_string(&report).ok() == serde_json::to_string(&replay).ok();
+        let conserved = report.summary.served_requests
+            + report.summary.rejected_requests
+            + report.summary.shed_requests
+            == report.summary.total_requests;
+        let attainment: Vec<String> = report
+            .availability
+            .per_class_outage_attainment
+            .iter()
+            .rev()
+            .map(|c| format!("{:.3}", c.attainment))
+            .collect();
+        println!(
+            "  {:<22} {:>5} {:>6} {:>5} {:>5} {:>8} {:>7} {:>9}  {}   ({wall_ms:.0} ms)",
+            s.name,
+            report.summary.total_requests,
+            report.summary.served_requests,
+            report.summary.rejected_requests,
+            report.summary.shed_requests,
+            report.availability.requests_migrated,
+            report.availability.retries_scheduled,
+            report.availability.region_cycles_lost,
+            attainment.join("/"),
+        );
+        if !conserved {
+            eprintln!(
+                "error: scenario {} lost requests under region chaos",
+                s.name
+            );
+            failed = true;
+        }
+        if !deterministic {
+            eprintln!("error: scenario {} replays diverged", s.name);
+            failed = true;
+        }
+    }
     if failed {
         return ExitCode::FAILURE;
     }

@@ -5,8 +5,8 @@
 //!
 //! Usage:
 //! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
-//!  [--backend cycle-accurate|analytical] [--mode offline|online|fleet]
-//!  [--check-regression]`
+//!  [--backend cycle-accurate|analytical]
+//!  [--mode offline|online|fleet|global] [--check-regression]`
 //!
 //! With `--mode fleet` the benchmark drives a 2-shard [`FleetSession`]
 //! through a scripted chaos drill — one chip death mid-burst, one
@@ -15,6 +15,16 @@
 //! firing, byte-determinism across replays, and (with `--check-regression`)
 //! the per-backend virtual throughput under faults
 //! (`serve_fleet_virtual_rps` / `serve_fleet_ana_virtual_rps`).
+//!
+//! With `--mode global` the benchmark stands up a two-region
+//! [`GlobalRouter`] deployment — low-power silicon west, sprint silicon
+//! east — and scripts a region loss mid-burst, a best-effort flash crowd
+//! while the fleet is a region short, and a late failback.  It gates on
+//! request conservation *across the region loss* (served + rejected + shed
+//! equals submitted), byte-determinism across replays, the migration
+//! machinery actually firing, and (with `--check-regression`) the
+//! per-backend virtual throughput under region loss
+//! (`serve_global_virtual_rps` / `serve_global_ana_virtual_rps`).
 //!
 //! With `--mode online` the benchmark drives the event-driven `ServeSession`
 //! instead of the offline wrapper: a fully *interleaved* mixed-SLO trace
@@ -52,14 +62,16 @@ use aim_bench::{append_bench_record, last_bench_value};
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::scheduler::form_groups;
 use aim_serve::{
-    DispatchPolicy, FleetConfig, FleetReport, FleetSession, ScalingConfig, ServeConfig,
-    ServeReport, ServeRuntime, ShardPolicy,
+    DispatchPolicy, FleetConfig, FleetReport, FleetSession, GlobalConfig, GlobalReport,
+    GlobalRouter, RegionSpec, RetryConfig, RoutePolicy, ScalingConfig, ServeConfig, ServeReport,
+    ServeRuntime, ShardPolicy, ShedPolicy,
 };
 use pim_sim::backend::BackendKind;
 use serde::Serialize;
 use workloads::inputs::{
-    synthetic_trace, ArrivalShape, FaultEvent, FaultKind, FaultPlan, SloClass, SloMix,
-    TraceRequest, TrafficConfig,
+    synthetic_trace, with_flash_crowds, ArrivalShape, FaultEvent, FaultKind, FaultPlan,
+    RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloClass, SloMix, TraceRequest,
+    TrafficConfig,
 };
 use workloads::zoo::Model;
 
@@ -214,7 +226,12 @@ const REPS: usize = 3;
 /// The served zoo: per-model operator strides keep the one-time compile cost
 /// in the seconds range while preserving each model's operator mix.
 fn compile_zoo() -> Vec<CompiledPlan> {
-    let base = AimConfig::full_low_power();
+    compile_zoo_with(AimConfig::full_low_power())
+}
+
+/// The zoo under an arbitrary chip config — global mode compiles it twice,
+/// once per region hardware tier.
+fn compile_zoo_with(base: AimConfig) -> Vec<CompiledPlan> {
     let quick = |stride: usize| AimConfig {
         operator_stride: Some(stride),
         cycles_per_slice: 150,
@@ -665,6 +682,251 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
     ExitCode::SUCCESS
 }
 
+/// Trajectory record of a global-mode leg (`--mode global`).  Field names
+/// are disjoint per backend so each matrix leg gates against its own
+/// history.
+#[derive(Serialize)]
+struct GlobalSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_global_backend: String,
+    serve_global_regions: usize,
+    serve_global_models: usize,
+    serve_global_requests: usize,
+    /// Wall-clock ms of one full multi-region chaos session (best of
+    /// `REPS`).
+    serve_global_wall_ms: f64,
+    /// Served requests per second of virtual time under region loss
+    /// (deterministic; the regression-gated figure).  `None` on the
+    /// analytical leg, which gates on `serve_global_ana_virtual_rps`.
+    serve_global_virtual_rps: Option<f64>,
+    /// The analytical leg's gated virtual throughput; `None` elsewhere.
+    serve_global_ana_virtual_rps: Option<f64>,
+    serve_global_outages: usize,
+    serve_global_recoveries: usize,
+    serve_global_requests_migrated: usize,
+    serve_global_migration_events: usize,
+    serve_global_retries_scheduled: usize,
+    serve_global_requests_shed: usize,
+    serve_global_region_seconds_lost: f64,
+    /// Per-class SLO attainment for requests arriving inside the outage
+    /// window — the measured degradation cost of losing a region.
+    serve_global_outage_attainment_latency_sensitive: f64,
+    serve_global_outage_attainment_standard: f64,
+    serve_global_outage_attainment_best_effort: f64,
+    /// Whether every submitted request was served, rejected or shed exactly
+    /// once despite the region loss (the conservation gate).
+    serve_global_conserved: bool,
+    serve_global_deterministic: bool,
+}
+
+/// The global-mode chaos: the low-power region dies mid-burst and recovers
+/// much later, with a best-effort flash crowd landing while the fleet is a
+/// region short — migration, retries and graceful degradation all live.
+fn global_faults() -> RegionFaultPlan {
+    RegionFaultPlan::new(vec![
+        RegionFaultEvent {
+            at_cycles: 80_000,
+            kind: RegionFaultKind::RegionOutage { region: 0 },
+        },
+        RegionFaultEvent {
+            at_cycles: 120_000,
+            kind: RegionFaultKind::FlashCrowd {
+                model: 1,
+                requests: 64,
+                mean_gap_cycles: 400,
+            },
+        },
+        RegionFaultEvent {
+            at_cycles: 200_000,
+            kind: RegionFaultKind::RegionRecovery { region: 0 },
+        },
+    ])
+}
+
+fn global_config() -> GlobalConfig {
+    GlobalConfig {
+        route: RoutePolicy::LeastBacklog,
+        retry: RetryConfig {
+            max_attempts: 4,
+            backoff_base_cycles: 20_000,
+            backoff_multiplier: 2,
+        },
+        shed: ShedPolicy {
+            backlog_ceiling_cycles: [400_000, u64::MAX, u64::MAX],
+        },
+        suspect_grace_cycles: 5_000,
+        recovery_warmup_cycles: 10_000,
+        class_weights: [1, 2, 4],
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_global(label: &str, backend: BackendKind, check_regression: bool) -> ExitCode {
+    let gate_field = match backend {
+        BackendKind::CycleAccurate => "serve_global_virtual_rps",
+        BackendKind::Analytical => "serve_global_ana_virtual_rps",
+    };
+    let previous_rps = last_bench_value(gate_field);
+
+    // Two heterogeneous regions over the same four-model zoo: the low-power
+    // silicon serves the baseline, the sprint silicon absorbs the failover.
+    let low_plans = compile_zoo_with(AimConfig::full_low_power());
+    let sprint_plans = compile_zoo_with(AimConfig::full_sprint());
+    let models = low_plans.len();
+    let config = ServeConfig {
+        backend,
+        chips: 4,
+        ..serve_config(4)
+    };
+    let low_runtime = ServeRuntime::from_plans(low_plans, config);
+    let sprint_runtime = ServeRuntime::from_plans(sprint_plans, config);
+    let resident: Vec<usize> = (0..models).collect();
+    let faults = global_faults();
+    let base = fleet_trace(models);
+    let trace = with_flash_crowds(&base, &faults, 2_000_000, 0xF1EE5);
+    let specs = || {
+        vec![
+            RegionSpec {
+                name: "lowpower-west".to_string(),
+                runtime: &low_runtime,
+                fleet: fleet_config(),
+                faults: FaultPlan::none(),
+                models: resident.clone(),
+            },
+            RegionSpec {
+                name: "sprint-east".to_string(),
+                runtime: &sprint_runtime,
+                fleet: fleet_config(),
+                faults: FaultPlan::none(),
+                models: resident.clone(),
+            },
+        ]
+    };
+
+    let mut wall_ms = f64::INFINITY;
+    let mut reports: Vec<GlobalReport> = Vec::new();
+    let mut conserved = true;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut router = GlobalRouter::new(specs(), models, global_config(), faults.clone());
+        for request in &trace {
+            router.submit(*request);
+        }
+        let report = router.drain();
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let outcomes = router.poll_completions();
+        conserved &= outcomes.len() == trace.len()
+            && report.summary.total_requests == trace.len()
+            && report.summary.served_requests
+                + report.summary.rejected_requests
+                + report.summary.shed_requests
+                == report.summary.total_requests;
+        reports.push(report);
+    }
+    let report = reports.pop().expect("at least one rep");
+    let json = |r: &GlobalReport| serde_json::to_string(r).ok();
+    let deterministic = reports.iter().all(|r| json(r) == json(&report));
+
+    let attainment = |class: SloClass| {
+        report
+            .availability
+            .per_class_outage_attainment
+            .iter()
+            .find(|c| c.class == class)
+            .map_or(1.0, |c| c.attainment)
+    };
+    let record = GlobalSmokeRecord {
+        label: label.to_string(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_global_backend: backend.name().to_string(),
+        serve_global_regions: report.availability.regions,
+        serve_global_models: models,
+        serve_global_requests: report.summary.total_requests,
+        serve_global_wall_ms: wall_ms,
+        serve_global_virtual_rps: (backend == BackendKind::CycleAccurate)
+            .then_some(report.summary.throughput_rps),
+        serve_global_ana_virtual_rps: (backend == BackendKind::Analytical)
+            .then_some(report.summary.throughput_rps),
+        serve_global_outages: report.availability.outages,
+        serve_global_recoveries: report.availability.recoveries,
+        serve_global_requests_migrated: report.availability.requests_migrated,
+        serve_global_migration_events: report.availability.migration_events,
+        serve_global_retries_scheduled: report.availability.retries_scheduled,
+        serve_global_requests_shed: report.availability.requests_shed,
+        serve_global_region_seconds_lost: report.availability.region_seconds_lost,
+        serve_global_outage_attainment_latency_sensitive: attainment(SloClass::LatencySensitive),
+        serve_global_outage_attainment_standard: attainment(SloClass::Standard),
+        serve_global_outage_attainment_best_effort: attainment(SloClass::BestEffort),
+        serve_global_conserved: conserved,
+        serve_global_deterministic: deterministic,
+    };
+
+    println!(
+        "serve_smoke [{}] (global mode, {} regions, {} backend)",
+        record.label, record.serve_global_regions, record.serve_global_backend
+    );
+    println!(
+        "  deployment         : {} regions x {} models, {} requests",
+        record.serve_global_regions, record.serve_global_models, record.serve_global_requests
+    );
+    println!(
+        "  region chaos       : {} outages, {} recoveries, {:.1} region-us lost",
+        record.serve_global_outages,
+        record.serve_global_recoveries,
+        record.serve_global_region_seconds_lost * 1e6
+    );
+    println!(
+        "  resilience         : {} migrated ({} events), {} retries, {} shed",
+        record.serve_global_requests_migrated,
+        record.serve_global_migration_events,
+        record.serve_global_retries_scheduled,
+        record.serve_global_requests_shed
+    );
+    println!(
+        "  outage attainment  : {:.3} latency-sensitive  {:.3} standard  {:.3} best-effort",
+        record.serve_global_outage_attainment_latency_sensitive,
+        record.serve_global_outage_attainment_standard,
+        record.serve_global_outage_attainment_best_effort
+    );
+    println!(
+        "  throughput         : {:>9.0} req/s virtual   ({:.1} ms wall/session)",
+        report.summary.throughput_rps, record.serve_global_wall_ms
+    );
+    println!(
+        "  conserved          : {} | deterministic: {}",
+        record.serve_global_conserved, record.serve_global_deterministic
+    );
+
+    append_bench_record(&record);
+
+    if !record.serve_global_conserved {
+        eprintln!("error: region loss lost or duplicated requests — conservation contract broken");
+        return ExitCode::FAILURE;
+    }
+    if !record.serve_global_deterministic {
+        eprintln!("error: global replays diverged — determinism contract broken");
+        return ExitCode::FAILURE;
+    }
+    if record.serve_global_migration_events == 0 {
+        eprintln!(
+            "error: the scripted region outage migrated no requests — the drill lost its teeth"
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(gate_field, report.summary.throughput_rps, previous_rps) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn regression_gate(label: &str, current: f64, previous: Option<f64>) -> Result<(), String> {
     if let Some(prev) = previous {
         let floor = 0.8 * prev;
@@ -711,8 +973,9 @@ fn main() -> ExitCode {
         None | Some("offline") => {}
         Some("online") => return run_online(&label, backend, check_regression),
         Some("fleet") => return run_fleet(&label, backend, check_regression),
+        Some("global") => return run_global(&label, backend, check_regression),
         Some(other) => {
-            eprintln!("error: unknown --mode {other} (use offline|online|fleet)");
+            eprintln!("error: unknown --mode {other} (use offline|online|fleet|global)");
             return ExitCode::FAILURE;
         }
     }

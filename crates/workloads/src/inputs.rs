@@ -441,6 +441,57 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Rejects nonsensical scripts loudly instead of letting them be
+    /// silently ignored at serve time: a chip that died by [`ChipDeath`]
+    /// stays dead, so a second death of the same chip or any later
+    /// `Degradation`/`Recovery` addressed to it is a scripting bug.
+    ///
+    /// Generators ([`chaos_fault_plan`]) and fleet construction both call
+    /// this, so a bad plan fails at the source with a message naming the
+    /// offending event rather than surfacing as a scheduling panic deep in a
+    /// chaos run.
+    ///
+    /// [`ChipDeath`]: FaultKind::ChipDeath
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate `ChipDeath` or on a `Degradation`/`Recovery`
+    /// targeting a chip that an earlier (or same-cycle) `ChipDeath` killed.
+    pub fn validate(&self) {
+        let mut deaths: Vec<(usize, usize, u64)> = Vec::new();
+        // Events are kept in canonical order (deaths sort first on ties), so
+        // a single pass sees every death before the events it invalidates.
+        for event in &self.events {
+            let (shard, chip) = (event.kind.shard(), event.kind.chip());
+            let died = deaths
+                .iter()
+                .find(|&&(s, c, _)| s == shard && c == chip)
+                .map(|&(_, _, at)| at);
+            match event.kind {
+                FaultKind::ChipDeath { .. } => {
+                    assert!(
+                        died.is_none(),
+                        "invalid fault plan: duplicate ChipDeath for chip {chip} of shard \
+                         {shard} at cycle {} (it already died at cycle {})",
+                        event.at_cycles,
+                        died.unwrap_or_default(),
+                    );
+                    deaths.push((shard, chip, event.at_cycles));
+                }
+                FaultKind::Degradation { .. } | FaultKind::Recovery { .. } => {
+                    assert!(
+                        died.is_none(),
+                        "invalid fault plan: {} targets chip {chip} of shard {shard} at cycle \
+                         {}, but that chip died at cycle {} and dead chips never come back",
+                        event.kind.tag(),
+                        event.at_cycles,
+                        died.unwrap_or_default(),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Shape of a synthetic chaos-fault schedule for a sharded fleet.
@@ -560,7 +611,355 @@ pub fn chaos_fault_plan(config: &ChaosConfig) -> FaultPlan {
         }
     }
 
-    FaultPlan::new(events)
+    let plan = FaultPlan::new(events);
+    plan.validate();
+    plan
+}
+
+/// One kind of region-level event in a multi-region chaos script.
+///
+/// Regions are whole serving fleets; these events are the vocabulary a
+/// global router reacts to, exactly as [`FaultKind`] is the vocabulary of a
+/// single fleet.  The serving layer decides what each one does to routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionFaultKind {
+    /// The entire region stops accepting and starting new work (network
+    /// partition, power event).  Work it has not started must migrate to
+    /// surviving regions.
+    RegionOutage {
+        /// Region index the outage strikes.
+        region: usize,
+    },
+    /// A downed region returns to service and may take traffic again.
+    RegionRecovery {
+        /// Region index that recovers.
+        region: usize,
+    },
+    /// A sudden surge of best-effort traffic on one model (a viral moment).
+    /// The surge is materialised into the trace by [`with_flash_crowds`];
+    /// the router only counts the event.
+    FlashCrowd {
+        /// Global model index the crowd hammers.
+        model: usize,
+        /// Extra best-effort requests the surge injects.
+        requests: usize,
+        /// Mean exponential gap between surge arrivals, in cycles.
+        mean_gap_cycles: u64,
+    },
+}
+
+impl RegionFaultKind {
+    /// Stable tags of every variant, for coverage accounting (mirrors
+    /// [`FaultKind::TAGS`]).  Keep in sync with [`Self::tag`].
+    pub const TAGS: [&'static str; 3] = ["region_outage", "region_recovery", "flash_crowd"];
+
+    /// Stable tag of the variant (one of [`Self::TAGS`]).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::RegionOutage { .. } => "region_outage",
+            Self::RegionRecovery { .. } => "region_recovery",
+            Self::FlashCrowd { .. } => "flash_crowd",
+        }
+    }
+
+    /// Region the event targets (`None` for [`Self::FlashCrowd`], which
+    /// targets a model, not a region).
+    #[must_use]
+    pub fn region(self) -> Option<usize> {
+        match self {
+            Self::RegionOutage { region } | Self::RegionRecovery { region } => Some(region),
+            Self::FlashCrowd { .. } => None,
+        }
+    }
+
+    /// Rank used for deterministic ordering of same-cycle events.
+    fn rank(self) -> usize {
+        match self {
+            Self::RegionOutage { .. } => 0,
+            Self::RegionRecovery { .. } => 1,
+            Self::FlashCrowd { .. } => 2,
+        }
+    }
+
+    /// Secondary sort index: the region targeted, or the model for crowds.
+    fn sort_index(self) -> usize {
+        match self {
+            Self::RegionOutage { region } | Self::RegionRecovery { region } => region,
+            Self::FlashCrowd { model, .. } => model,
+        }
+    }
+}
+
+/// One scheduled region event: `kind` strikes at virtual cycle `at_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionFaultEvent {
+    /// Virtual time the event strikes (cycles since trace start).
+    pub at_cycles: u64,
+    /// What happens.
+    pub kind: RegionFaultKind,
+}
+
+/// A deterministic schedule of region-level events, sorted by strike time.
+///
+/// Plain data like [`FaultPlan`]: fixed bytes in, fixed behaviour out.
+/// Construct via [`RegionFaultPlan::new`] (which sorts) so two plans built
+/// from the same events compare — and serialize — equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionFaultPlan {
+    /// The scheduled events, ascending by `(at_cycles, kind)`.
+    pub events: Vec<RegionFaultEvent>,
+}
+
+impl RegionFaultPlan {
+    /// A plan with no region events (the steady-state scenario).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan, sorting the events into the canonical order: ascending
+    /// strike time, ties broken by variant rank (outages before recoveries
+    /// before crowds), then by targeted region/model.
+    #[must_use]
+    pub fn new(mut events: Vec<RegionFaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.at_cycles, e.kind.rank(), e.kind.sort_index()));
+        Self { events }
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Rejects nonsensical scripts loudly, against a topology of `regions`
+    /// regions serving `models` global models (mirrors
+    /// [`FaultPlan::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an event addresses a region or model out of range, when
+    /// an outage strikes a region that is already out, when a recovery
+    /// targets a region that is not out, or when a flash crowd injects zero
+    /// requests.
+    pub fn validate(&self, regions: usize, models: usize) {
+        let mut out = vec![false; regions];
+        for event in &self.events {
+            match event.kind {
+                RegionFaultKind::RegionOutage { region } => {
+                    assert!(
+                        region < regions,
+                        "invalid region plan: outage targets region {region} of a \
+                         {regions}-region topology"
+                    );
+                    assert!(
+                        !out[region],
+                        "invalid region plan: duplicate RegionOutage for region {region} at \
+                         cycle {} (it is already out)",
+                        event.at_cycles,
+                    );
+                    out[region] = true;
+                }
+                RegionFaultKind::RegionRecovery { region } => {
+                    assert!(
+                        region < regions,
+                        "invalid region plan: recovery targets region {region} of a \
+                         {regions}-region topology"
+                    );
+                    assert!(
+                        out[region],
+                        "invalid region plan: RegionRecovery for region {region} at cycle {} \
+                         without a preceding open outage",
+                        event.at_cycles,
+                    );
+                    out[region] = false;
+                }
+                RegionFaultKind::FlashCrowd {
+                    model, requests, ..
+                } => {
+                    assert!(
+                        model < models,
+                        "invalid region plan: flash crowd targets model {model} of a \
+                         {models}-model catalogue"
+                    );
+                    assert!(
+                        requests > 0,
+                        "invalid region plan: flash crowd at cycle {} injects zero requests",
+                        event.at_cycles,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shape of a synthetic region-level chaos schedule for a global router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionChaosConfig {
+    /// Regions in the topology the plan addresses.
+    pub regions: usize,
+    /// Global models the topology serves (flash crowds target one).
+    pub models: usize,
+    /// Events strike uniformly inside `[0, horizon_cycles)`.
+    pub horizon_cycles: u64,
+    /// Region outages to attempt.  Capped so at least one region never goes
+    /// out (migrated work needs a potential destination).
+    pub outages: usize,
+    /// Probability that an outage recovers inside the horizon.
+    pub recovery_prob: f64,
+    /// Flash-crowd surges to schedule.
+    pub flash_crowds: usize,
+    /// Extra best-effort requests per surge.
+    pub flash_requests: usize,
+    /// Mean exponential gap between surge arrivals, in cycles.
+    pub flash_mean_gap_cycles: u64,
+    /// Seed of the region-chaos stream.
+    pub seed: u64,
+}
+
+impl Default for RegionChaosConfig {
+    fn default() -> Self {
+        Self {
+            regions: 2,
+            models: 2,
+            horizon_cycles: 500_000,
+            outages: 1,
+            recovery_prob: 0.5,
+            flash_crowds: 1,
+            flash_requests: 16,
+            flash_mean_gap_cycles: 500,
+            seed: 0x6E0C4A05,
+        }
+    }
+}
+
+/// Generates a deterministic region-level chaos schedule.
+///
+/// Draws from a **dedicated RNG stream** (the seed is folded with a
+/// region-stream constant), like [`chaos_fault_plan`] and [`SloMix::Mixed`]:
+/// attaching a region plan to an existing workload never perturbs the frozen
+/// arrival/model or chip-fault draws at the same seed.
+///
+/// Generated plans are valid by construction and pass
+/// [`RegionFaultPlan::validate`]: one region (chosen from the stream) never
+/// goes out, no region is outaged while already out, and recoveries strike
+/// strictly after their outage.
+///
+/// # Panics
+///
+/// Panics if `regions` or `models` is zero.
+#[must_use]
+pub fn region_chaos_plan(config: &RegionChaosConfig) -> RegionFaultPlan {
+    assert!(config.regions > 0, "a topology needs at least one region");
+    assert!(config.models > 0, "a topology needs at least one model");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0012_E610_FA11);
+    let horizon = config.horizon_cycles.max(2);
+    // One region is never outaged so migrations always have a potential
+    // destination (whether it holds the right model is the router's problem).
+    let safe = rng.gen_range(0..config.regions);
+    // `true` = currently out, `Some(at)` in `last` = may be re-outaged
+    // strictly after `at` (its recovery time).
+    let mut out = vec![false; config.regions];
+    let mut available_after = vec![0u64; config.regions];
+    let mut events = Vec::new();
+
+    for _ in 0..config.outages {
+        let candidates: Vec<usize> = (0..config.regions)
+            .filter(|&r| r != safe && !out[r] && available_after[r] + 1 < horizon)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let region = candidates[rng.gen_range(0..candidates.len())];
+        let at = rng.gen_range(available_after[region]..horizon - 1);
+        events.push(RegionFaultEvent {
+            at_cycles: at,
+            kind: RegionFaultKind::RegionOutage { region },
+        });
+        if rng.gen_range(0.0..1.0) < config.recovery_prob {
+            let back = rng.gen_range(at + 1..horizon);
+            events.push(RegionFaultEvent {
+                at_cycles: back,
+                kind: RegionFaultKind::RegionRecovery { region },
+            });
+            available_after[region] = back;
+        } else {
+            out[region] = true;
+        }
+    }
+
+    for _ in 0..config.flash_crowds {
+        if config.flash_requests == 0 {
+            break;
+        }
+        events.push(RegionFaultEvent {
+            at_cycles: rng.gen_range(0..horizon),
+            kind: RegionFaultKind::FlashCrowd {
+                model: rng.gen_range(0..config.models),
+                requests: config.flash_requests,
+                mean_gap_cycles: config.flash_mean_gap_cycles.max(1),
+            },
+        });
+    }
+
+    let plan = RegionFaultPlan::new(events);
+    plan.validate(config.regions, config.models);
+    plan
+}
+
+/// Materialises every [`RegionFaultKind::FlashCrowd`] event of `plan` into
+/// extra best-effort [`TraceRequest`]s merged (stably, by arrival) into
+/// `base`.
+///
+/// Each surge draws its exponential gaps from a **dedicated per-event RNG
+/// stream** (seed folded with a flash-stream constant and the event index),
+/// so adding a surge never perturbs the frozen base trace and two surges
+/// never share draws.  Surge arrivals start strictly after the event's
+/// strike time; deadlines get `deadline_slack_cycles` of slack.
+#[must_use]
+pub fn with_flash_crowds(
+    base: &[TraceRequest],
+    plan: &RegionFaultPlan,
+    deadline_slack_cycles: u64,
+    seed: u64,
+) -> Vec<TraceRequest> {
+    let mut merged: Vec<TraceRequest> = base.to_vec();
+    for (index, event) in plan.events.iter().enumerate() {
+        let RegionFaultKind::FlashCrowd {
+            model,
+            requests,
+            mean_gap_cycles,
+        } = event.kind
+        else {
+            continue;
+        };
+        let stream =
+            seed ^ 0x00F1_A5C0_11D5 ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+        let mut arrival = event.at_cycles;
+        for _ in 0..requests {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap = (-u.ln() * mean_gap_cycles.max(1) as f64).round().max(1.0);
+            arrival = arrival.saturating_add(gap as u64);
+            merged.push(TraceRequest {
+                model,
+                arrival_cycles: arrival,
+                deadline_cycles: arrival.saturating_add(deadline_slack_cycles),
+                slo: SloClass::BestEffort,
+            });
+        }
+    }
+    // Stable by arrival: base requests keep their submission order, surge
+    // requests slot in after base requests sharing an arrival cycle.
+    merged.sort_by_key(|r| r.arrival_cycles);
+    merged
 }
 
 /// Empirical bit-flip fraction between consecutive values of a batch when
@@ -990,5 +1389,233 @@ mod tests {
             class: InputClass::TokenLike,
         };
         assert_eq!(empirical_flip_fraction(&b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ChipDeath")]
+    fn duplicate_chip_deaths_fail_validation() {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 10,
+                kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+            },
+            FaultEvent {
+                at_cycles: 90,
+                kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+            },
+        ])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dead chips never come back")]
+    fn recovery_of_a_dead_chip_fails_validation() {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 10,
+                kind: FaultKind::ChipDeath { shard: 1, chip: 0 },
+            },
+            FaultEvent {
+                at_cycles: 50,
+                kind: FaultKind::Recovery { shard: 1, chip: 0 },
+            },
+        ])
+        .validate();
+    }
+
+    #[test]
+    fn validation_accepts_faults_on_distinct_chips() {
+        // Same chip index on a *different* shard is a different chip.
+        FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 10,
+                kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+            },
+            FaultEvent {
+                at_cycles: 50,
+                kind: FaultKind::Degradation {
+                    shard: 1,
+                    chip: 1,
+                    slowdown_percent: 40,
+                },
+            },
+            FaultEvent {
+                at_cycles: 80,
+                kind: FaultKind::Recovery { shard: 1, chip: 1 },
+            },
+        ])
+        .validate();
+    }
+
+    #[test]
+    fn region_fault_kinds_expose_stable_tags() {
+        let kinds = [
+            RegionFaultKind::RegionOutage { region: 0 },
+            RegionFaultKind::RegionRecovery { region: 0 },
+            RegionFaultKind::FlashCrowd {
+                model: 1,
+                requests: 8,
+                mean_gap_cycles: 100,
+            },
+        ];
+        let tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags, RegionFaultKind::TAGS);
+        assert_eq!(kinds[0].region(), Some(0));
+        assert_eq!(kinds[2].region(), None);
+    }
+
+    #[test]
+    fn region_plans_sort_into_canonical_order() {
+        let outage = RegionFaultEvent {
+            at_cycles: 100,
+            kind: RegionFaultKind::RegionOutage { region: 1 },
+        };
+        let crowd = RegionFaultEvent {
+            at_cycles: 100,
+            kind: RegionFaultKind::FlashCrowd {
+                model: 0,
+                requests: 4,
+                mean_gap_cycles: 50,
+            },
+        };
+        let early = RegionFaultEvent {
+            at_cycles: 5,
+            kind: RegionFaultKind::RegionOutage { region: 0 },
+        };
+        let plan = RegionFaultPlan::new(vec![crowd, outage, early]);
+        assert_eq!(plan.events, vec![early, outage, crowd]);
+        assert_eq!(plan.len(), 3);
+        assert!(RegionFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate RegionOutage")]
+    fn double_outage_of_one_region_fails_validation() {
+        RegionFaultPlan::new(vec![
+            RegionFaultEvent {
+                at_cycles: 10,
+                kind: RegionFaultKind::RegionOutage { region: 0 },
+            },
+            RegionFaultEvent {
+                at_cycles: 90,
+                kind: RegionFaultKind::RegionOutage { region: 0 },
+            },
+        ])
+        .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding open outage")]
+    fn recovery_without_an_outage_fails_validation() {
+        RegionFaultPlan::new(vec![RegionFaultEvent {
+            at_cycles: 40,
+            kind: RegionFaultKind::RegionRecovery { region: 1 },
+        }])
+        .validate(2, 1);
+    }
+
+    #[test]
+    fn outage_recovery_outage_cycles_are_valid() {
+        RegionFaultPlan::new(vec![
+            RegionFaultEvent {
+                at_cycles: 10,
+                kind: RegionFaultKind::RegionOutage { region: 0 },
+            },
+            RegionFaultEvent {
+                at_cycles: 50,
+                kind: RegionFaultKind::RegionRecovery { region: 0 },
+            },
+            RegionFaultEvent {
+                at_cycles: 80,
+                kind: RegionFaultKind::RegionOutage { region: 0 },
+            },
+        ])
+        .validate(1, 1);
+    }
+
+    #[test]
+    fn region_chaos_plans_are_deterministic_and_valid() {
+        let config = RegionChaosConfig {
+            regions: 3,
+            models: 2,
+            outages: 3,
+            flash_crowds: 2,
+            ..RegionChaosConfig::default()
+        };
+        let a = region_chaos_plan(&config);
+        let b = region_chaos_plan(&config);
+        assert_eq!(a, b);
+        a.validate(config.regions, config.models);
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, RegionFaultKind::RegionOutage { .. })));
+    }
+
+    #[test]
+    fn region_chaos_stream_is_independent_of_the_other_streams() {
+        // Same seed, three different generators: the trace, the chip-fault
+        // plan and the region plan each read a dedicated stream, so no one
+        // of them perturbs another.
+        let seed = 0xABCDE;
+        let trace_before = synthetic_trace(&TrafficConfig {
+            seed,
+            ..TrafficConfig::default()
+        });
+        let chips_before = chaos_fault_plan(&ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        });
+        let _regions = region_chaos_plan(&RegionChaosConfig {
+            seed,
+            ..RegionChaosConfig::default()
+        });
+        let trace_after = synthetic_trace(&TrafficConfig {
+            seed,
+            ..TrafficConfig::default()
+        });
+        let chips_after = chaos_fault_plan(&ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(trace_before, trace_after);
+        assert_eq!(chips_before, chips_after);
+    }
+
+    #[test]
+    fn flash_crowds_amplify_the_trace_without_perturbing_the_base() {
+        let base = synthetic_trace(&TrafficConfig::default());
+        let plan = RegionFaultPlan::new(vec![RegionFaultEvent {
+            at_cycles: 1_000,
+            kind: RegionFaultKind::FlashCrowd {
+                model: 1,
+                requests: 12,
+                mean_gap_cycles: 200,
+            },
+        }]);
+        let merged = with_flash_crowds(&base, &plan, 30_000, 0x5E21E);
+        assert_eq!(merged.len(), base.len() + 12);
+        // Every base request survives untouched.
+        let surged: Vec<&TraceRequest> = merged
+            .iter()
+            .filter(|r| r.slo == SloClass::BestEffort && r.model == 1)
+            .collect();
+        assert!(surged.len() >= 12);
+        assert!(surged.iter().all(|r| r.arrival_cycles > 1_000));
+        // Arrivals stay sorted after the merge.
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].arrival_cycles <= w[1].arrival_cycles));
+        // And the merge is a pure function of its inputs.
+        assert_eq!(merged, with_flash_crowds(&base, &plan, 30_000, 0x5E21E));
+    }
+
+    #[test]
+    fn an_empty_region_plan_leaves_the_trace_byte_identical() {
+        let base = synthetic_trace(&TrafficConfig::default());
+        assert_eq!(
+            with_flash_crowds(&base, &RegionFaultPlan::none(), 30_000, 7),
+            base
+        );
     }
 }
