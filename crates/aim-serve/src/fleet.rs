@@ -237,8 +237,10 @@ impl Default for FleetConfig {
     }
 }
 
-/// One streamed fleet-level outcome: a shard's [`RequestOutcome`] with the
-/// request index rewritten to the *fleet* submission index.
+/// One streamed fleet-level outcome: a shard's [`RequestOutcome`] whose
+/// request id *is* the fleet submission index (each shard is handed the
+/// fleet index at submission via [`ServeSession::submit_with_id`], so no
+/// per-request translation table exists anywhere in the fleet).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetOutcome {
     /// Shard that served (or rejected) the request.
@@ -323,8 +325,6 @@ pub struct FleetSession<'rt> {
     runtime: &'rt ServeRuntime,
     config: FleetConfig,
     shards: Vec<ServeSession<'rt>>,
-    /// Per shard: local submission index → fleet submission index.
-    request_map: Vec<Vec<usize>>,
     submitted: usize,
     clock: u64,
     drained: bool,
@@ -402,7 +402,6 @@ impl<'rt> FleetSession<'rt> {
         Self {
             runtime,
             config,
-            request_map: vec![Vec::new(); config.shards],
             shards,
             submitted: 0,
             clock: 0,
@@ -482,9 +481,8 @@ impl<'rt> FleetSession<'rt> {
             }
             ShardPolicy::ByModel => request.model % self.shards.len(),
         };
-        self.request_map[shard].push(self.submitted);
+        self.shards[shard].submit_with_id(self.submitted, request);
         self.submitted += 1;
-        self.shards[shard].submit(request);
     }
 
     /// Steps the fleet up to virtual cycle `target`: applies due faults and
@@ -506,17 +504,30 @@ impl<'rt> FleetSession<'rt> {
     }
 
     /// Drains the accumulated per-request outcomes of every shard (shard
-    /// order, group-commit order within a shard), with request indices
-    /// rewritten to fleet submission order.
+    /// order, group-commit order within a shard); request indices are in
+    /// fleet submission order (shards are handed the fleet index at
+    /// submission).
     pub fn poll_completions(&mut self) -> Vec<FleetOutcome> {
         let mut out = Vec::new();
         for (shard, session) in self.shards.iter_mut().enumerate() {
-            for mut outcome in session.poll_completions() {
-                outcome.request = self.request_map[shard][outcome.request];
+            for outcome in session.poll_completions() {
                 out.push(FleetOutcome { shard, outcome });
             }
         }
         out
+    }
+
+    /// Streamed outcomes dropped across all shards under the configured
+    /// unpolled-outcome bound ([`ServeConfig::completion_capacity`]); 0
+    /// when the bound is unset or never hit.
+    ///
+    /// [`ServeConfig::completion_capacity`]: crate::runtime::ServeConfig::completion_capacity
+    #[must_use]
+    pub fn completions_dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ServeSession::completions_dropped)
+            .sum()
     }
 
     /// Applies every remaining fault, flushes and executes every shard, and
@@ -633,10 +644,8 @@ impl<'rt> FleetSession<'rt> {
         self.horizon = self.horizon.max(at_cycles);
         self.advance(at_cycles);
         let mut out: Vec<(usize, TraceRequest)> = Vec::new();
-        for (shard, session) in self.shards.iter_mut().enumerate() {
-            for (local, request) in session.evict_pending(at_cycles) {
-                out.push((self.request_map[shard][local], request));
-            }
+        for session in &mut self.shards {
+            out.extend(session.evict_pending(at_cycles));
         }
         out.sort_unstable_by_key(|&(fleet_index, _)| fleet_index);
         out

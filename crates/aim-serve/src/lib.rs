@@ -113,7 +113,8 @@ pub use global::{
     RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
 };
 pub use report::{
-    ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
+    ChipServeStats, ClassServeStats, LatencySketch, ReportAccumulator, ServeReport,
+    VerificationStats,
 };
 pub use runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};
@@ -133,7 +134,8 @@ pub mod prelude {
         RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
     };
     pub use crate::report::{
-        ChipServeStats, ClassServeStats, ReportAccumulator, ServeReport, VerificationStats,
+        ChipServeStats, ClassServeStats, LatencySketch, ReportAccumulator, ServeReport,
+        VerificationStats,
     };
     pub use crate::runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
     pub use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy, RequestGroup};

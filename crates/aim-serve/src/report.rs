@@ -3,6 +3,14 @@
 //! aggregates — plus the incremental [`ReportAccumulator`] the event-driven
 //! session feeds group by group (and [`ReportAccumulator::merge`]s across
 //! sharded sessions) before freezing a [`ServeReport`].
+//!
+//! The accumulator is **bounded**: latency distributions live in a
+//! fixed-size [`LatencySketch`] and the electrical/verification folds keep
+//! integer running aggregates, so absorbing ten requests and absorbing ten
+//! million cost the same memory.  All aggregate state is associative and
+//! order-free (integer sums, maxima, element-wise bucket adds), which is
+//! what makes [`ReportAccumulator::merge`] byte-stable across shard
+//! groupings.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +26,9 @@ pub struct VerificationStats {
     /// Number of groups replayed cycle-accurately for verification.
     pub sampled: usize,
     /// Mean relative cycle drift `|analytical - accurate| / accurate` over
-    /// the sampled groups (0 when nothing was sampled).
+    /// the sampled groups (0 when nothing was sampled).  Accumulated in
+    /// fixed point (parts per 10^12), so the mean is quantized to 1e-12 —
+    /// far below any calibrated bound — in exchange for an order-free sum.
     pub mean_cycle_drift: f64,
     /// Worst relative cycle drift observed.
     pub max_cycle_drift: f64,
@@ -47,9 +57,10 @@ pub struct ClassServeStats {
     pub rejected: usize,
     /// Served requests of this class that finished past their deadline.
     pub deadline_misses: usize,
-    /// Median served latency of the class (cycles).
+    /// Median served latency of the class (cycles, sketch-quantized).
     pub latency_p50_cycles: u64,
-    /// 99th-percentile served latency of the class (cycles).
+    /// 99th-percentile served latency of the class (cycles,
+    /// sketch-quantized).
     pub latency_p99_cycles: u64,
 }
 
@@ -73,6 +84,10 @@ pub struct ChipServeStats {
 /// Every field derives from the trace, the serve configuration and
 /// deterministic simulation — a fixed seed and configuration reproduce the
 /// report byte for byte, independent of the worker-thread count.
+///
+/// Latency percentiles come from a [`LatencySketch`], so they are upper
+/// bounds on the exact nearest-rank values with relative error at most
+/// `1/32` (~3.125%); `latency_max_cycles` stays exact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Serve seed the run used.
@@ -101,7 +116,7 @@ pub struct ServeReport {
     pub latency_p95_cycles: u64,
     /// 99th-percentile served latency (cycles).
     pub latency_p99_cycles: u64,
-    /// Worst served latency (cycles).
+    /// Worst served latency (cycles, exact).
     pub latency_max_cycles: u64,
     /// Served requests per second of virtual time at the nominal frequency.
     pub throughput_rps: f64,
@@ -126,36 +141,253 @@ pub struct ServeReport {
     pub per_class: Vec<ClassServeStats>,
 }
 
+/// Nearest rank (1-based) of quantile `q` in a sample of `len` elements,
+/// computed entirely in integer arithmetic.
+///
+/// `q` is quantized to parts-per-billion first, which captures every
+/// decimal quantile anyone writes (0.5, 0.95, 0.999, ...) exactly; the
+/// rank is then `ceil(q_ppb * len / 1e9)` — no float product, so no
+/// representation-boundary mis-rank at large `len` (the old
+/// `(q * len as f64).ceil()` path returns rank 210_001 instead of 210_000
+/// for `q = 0.07, len = 3_000_000`).
+fn nearest_rank(len: usize, q: f64) -> usize {
+    debug_assert!(q.is_finite());
+    let q_ppb = (q.clamp(0.0, 1.0) * 1e9).round() as u128;
+    let rank = (q_ppb * len as u128).div_ceil(1_000_000_000) as usize;
+    rank.clamp(1, len.max(1))
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample (`q` in `(0, 1]`).
-/// Returns 0 for an empty sample.
+/// Returns 0 for an empty sample.  The rank is computed in integer
+/// arithmetic (see [`nearest_rank`]); results are exact, unlike the
+/// sketch-quantized percentiles in [`ServeReport`].
 #[must_use]
 pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    sorted[nearest_rank(sorted.len(), q) - 1]
 }
 
-/// Electrical aggregate of one executed group, kept in absorption order so
-/// floating-point accumulation stays byte-deterministic at [`finish`].
+/// Sub-bucket resolution: 2^5 = 32 buckets per octave, giving a one-sided
+/// relative quantile error of at most `1/32` (~3.125%).
+const SKETCH_SUB_BITS: u32 = 5;
+const SKETCH_SUB_BUCKETS: usize = 1 << SKETCH_SUB_BITS;
+/// Octaves above the linear range: values up to `u64::MAX` land in octave
+/// `63 - SKETCH_SUB_BITS = 58`, so 59 octaves of 32 buckets follow the 32
+/// exact linear buckets.
+const SKETCH_OCTAVES: usize = 64 - SKETCH_SUB_BITS as usize;
+/// Total bucket count: 32 linear + 59 × 32 log buckets = 1920.
+const SKETCH_BUCKETS: usize = SKETCH_SUB_BUCKETS * (1 + SKETCH_OCTAVES);
+
+/// A deterministic fixed-bucket quantile sketch for `u64` latency samples.
 ///
-/// [`finish`]: ReportAccumulator::finish
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct ExecSample {
-    cycles: u64,
+/// HDR-histogram layout: values below 64 are recorded exactly (the first
+/// two rows of buckets have width 1); above that, each octave `[2^k,
+/// 2^(k+1))` splits into 32 equal-width buckets, so a quantile read
+/// over-estimates the exact nearest-rank value by less than `1/32` of it.
+/// Memory is a flat `1920 × u64` count array (~15 KiB) regardless of how
+/// many samples are recorded — the point of the sketch.
+///
+/// Quantile reads report the **upper bound** of the selected bucket,
+/// clamped to the exact tracked maximum: `exact ≤ sketch ≤ exact * 33/32`,
+/// and `percentile(q)` never exceeds [`Self::max`].
+///
+/// [`Self::merge`] adds count arrays element-wise and takes the larger
+/// maximum, making it associative *and* commutative — shards combine into
+/// byte-identical sketches in any order or grouping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySketch {
+    count: u64,
+    max: u64,
+    counts: Vec<u64>,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// Documented one-sided relative error denominator: quantile reads
+    /// over-estimate by at most `1/SKETCH_ERROR_DENOM` of the exact value.
+    pub const ERROR_DENOM: u64 = SKETCH_SUB_BUCKETS as u64;
+
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            max: 0,
+            counts: vec![0; SKETCH_BUCKETS],
+        }
+    }
+
+    /// Bucket index of `value`: exact below 64, then 32 buckets per octave.
+    fn bucket_index(value: u64) -> usize {
+        if value < SKETCH_SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let octave = (63 - value.leading_zeros() - SKETCH_SUB_BITS) as usize;
+        let sub = ((value >> octave) as usize) - SKETCH_SUB_BUCKETS;
+        SKETCH_SUB_BUCKETS + octave * SKETCH_SUB_BUCKETS + sub
+    }
+
+    /// Largest value mapping to bucket `index` (the quantile
+    /// representative).
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SKETCH_SUB_BUCKETS {
+            return index as u64;
+        }
+        let octave = (index - SKETCH_SUB_BUCKETS) / SKETCH_SUB_BUCKETS;
+        let sub = ((index - SKETCH_SUB_BUCKETS) % SKETCH_SUB_BUCKETS) as u64;
+        ((SKETCH_SUB_BUCKETS as u64 + sub) << octave) + ((1u64 << octave) - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile read (`q` in `(0, 1]`; 0 when empty): the
+    /// upper bound of the bucket holding the rank, clamped to the exact
+    /// maximum.  Over-estimates the exact nearest-rank value by at most
+    /// `1/32` of it and is monotone in `q`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = nearest_rank(self.count as usize, q) as u64;
+        let mut cumulative = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another sketch into this one: counts add element-wise, the
+    /// maximum is the larger of the two.  Associative and commutative.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// Fixed-point scale for the cycle-weighted power sum: micro-(mW·cycles).
+/// Rounding each group's contribution to an integer *before* summing makes
+/// the fold associative — the sum is identical in any absorption or merge
+/// order, unlike an `f64` running sum.
+const POWER_FP_SCALE: f64 = 1e6;
+/// Fixed-point scale for the drift sum: parts per 10^12.
+const DRIFT_FP_SCALE: f64 = 1e12;
+
+/// Order-free electrical aggregate over all executed groups: integer sums
+/// (fixed-point for the power numerator) plus an `f64` maximum, all of
+/// which are associative folds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct ExecAgg {
+    simulated_cycles: u64,
     failures: u64,
-    avg_macro_power_mw: f64,
+    /// `sum(round(avg_macro_power_mw * cycles.max(1) * 1e6))` per group.
+    power_weighted_fp: u128,
+    /// `sum(cycles.max(1))` per group — the denominator weight.
+    weight_cycles: u128,
     worst_irdrop_mv: f64,
 }
 
-/// One sampled-verification measurement, carrying its own plan's calibrated
-/// bound so merged shards judge each sample against the right promise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct VerifyEntry {
-    analytical_cycles: u64,
-    accurate_cycles: u64,
-    error_bound: f64,
+impl ExecAgg {
+    fn absorb(&mut self, exec: &PlanExecution) {
+        let weight = exec.cycles.max(1);
+        self.simulated_cycles += exec.cycles;
+        self.failures += exec.failures;
+        self.power_weighted_fp +=
+            (exec.avg_macro_power_mw * weight as f64 * POWER_FP_SCALE).round() as u128;
+        self.weight_cycles += u128::from(weight);
+        self.worst_irdrop_mv = self.worst_irdrop_mv.max(exec.worst_irdrop_mv);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.simulated_cycles += other.simulated_cycles;
+        self.failures += other.failures;
+        self.power_weighted_fp += other.power_weighted_fp;
+        self.weight_cycles += other.weight_cycles;
+        self.worst_irdrop_mv = self.worst_irdrop_mv.max(other.worst_irdrop_mv);
+    }
+
+    fn avg_macro_power_mw(&self) -> f64 {
+        if self.weight_cycles == 0 {
+            0.0
+        } else {
+            (self.power_weighted_fp as f64 / POWER_FP_SCALE) / self.weight_cycles as f64
+        }
+    }
+}
+
+/// Order-free verification aggregate: each sample's relative drift is
+/// quantized to parts-per-10^12 and summed as an integer; the worst drift
+/// folds through `max` and bound violations through a sticky flag.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct VerifyAgg {
+    sampled: usize,
+    drift_fp_sum: u128,
+    max_cycle_drift: f64,
+    bound_violated: bool,
+}
+
+impl VerifyAgg {
+    fn absorb(&mut self, analytical_cycles: u64, accurate_cycles: u64, error_bound: f64) {
+        let drift = (analytical_cycles as f64 - accurate_cycles as f64).abs()
+            / accurate_cycles.max(1) as f64;
+        self.sampled += 1;
+        self.drift_fp_sum += (drift * DRIFT_FP_SCALE).round() as u128;
+        self.max_cycle_drift = self.max_cycle_drift.max(drift);
+        if drift > error_bound {
+            self.bound_violated = true;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.sampled += other.sampled;
+        self.drift_fp_sum += other.drift_fp_sum;
+        self.max_cycle_drift = self.max_cycle_drift.max(other.max_cycle_drift);
+        self.bound_violated |= other.bound_violated;
+    }
+
+    fn mean_cycle_drift(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            (self.drift_fp_sum as f64 / DRIFT_FP_SCALE) / self.sampled as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -164,28 +396,27 @@ struct ClassAcc {
     served: usize,
     rejected: usize,
     deadline_misses: usize,
-    latencies: Vec<u64>,
+    latencies: LatencySketch,
 }
 
 /// Incremental [`ServeReport`] builder: absorb request groups one at a
-/// time, then [`Self::finish`] freezes the percentiles, utilizations and
-/// order-sensitive float sums.  The event-driven session feeds one of
-/// these at drain time, replaying its retained group records in commit
-/// order (so the float-sum order never depends on when groups happened to
-/// retire); sharded deployments can also drive accumulators directly.
+/// time, then [`Self::finish`] freezes the percentiles and utilizations.
+/// The event-driven session feeds one of these *as groups retire* (state
+/// is dropped once absorbed, so session memory stays bounded); sharded
+/// deployments can also drive accumulators directly.
 ///
 /// Two accumulators from *sharded* sessions (disjoint chip pools fed
 /// disjoint traffic over the same virtual timeline) combine with
-/// [`Self::merge`]: counters add, latency samples pool, the other shard's
-/// chips re-index after this shard's, and the makespan is the later of the
-/// two — so a fleet split across sessions reports exactly like one session
-/// serving the union.
+/// [`Self::merge`]: counters add, latency sketches add element-wise, the
+/// other shard's chips re-index after this shard's, and the makespan is
+/// the later of the two — so a fleet split across sessions reports exactly
+/// like one session serving the union.
 ///
-/// Determinism: every absorb method appends to order-preserving vectors, so
-/// callers that absorb in a deterministic order (the session uses
-/// group-commit order) get byte-identical finished reports; `u64` counters
-/// and the sorted latency pools are order-free by construction, leaving the
-/// float sums as the only order-carrying state.
+/// Determinism: every aggregate is an associative integer fold (or a
+/// maximum), so the finished report is byte-identical regardless of merge
+/// grouping and — for everything except the chip re-indexing and the
+/// left-most seed — merge *order*.  Memory is O(chips + classes), never
+/// O(requests).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReportAccumulator {
     seed: u64,
@@ -199,11 +430,11 @@ pub struct ReportAccumulator {
     deadline_misses: usize,
     groups_formed: usize,
     makespan_cycles: u64,
-    latencies: Vec<u64>,
+    latencies: LatencySketch,
     per_chip: Vec<ChipServeStats>,
     per_class: Vec<ClassAcc>,
-    exec: Vec<ExecSample>,
-    verify: Vec<VerifyEntry>,
+    exec: ExecAgg,
+    verify: VerifyAgg,
 }
 
 impl ReportAccumulator {
@@ -224,7 +455,7 @@ impl ReportAccumulator {
             deadline_misses: 0,
             groups_formed: 0,
             makespan_cycles: 0,
-            latencies: Vec::new(),
+            latencies: LatencySketch::new(),
             per_chip: (0..chips)
                 .map(|chip| ChipServeStats {
                     chip,
@@ -235,8 +466,8 @@ impl ReportAccumulator {
                 })
                 .collect(),
             per_class: vec![ClassAcc::default(); SloClass::ALL.len()],
-            exec: Vec::new(),
-            verify: Vec::new(),
+            exec: ExecAgg::default(),
+            verify: VerifyAgg::default(),
         }
     }
 
@@ -278,14 +509,14 @@ impl ReportAccumulator {
         deadline_missed: bool,
     ) {
         self.total_requests += 1;
-        self.latencies.push(latency_cycles);
+        self.latencies.record(latency_cycles);
         if deadline_missed {
             self.deadline_misses += 1;
         }
         let acc = &mut self.per_class[slo.index()];
         acc.total += 1;
         acc.served += 1;
-        acc.latencies.push(latency_cycles);
+        acc.latencies.record(latency_cycles);
         if deadline_missed {
             acc.deadline_misses += 1;
         }
@@ -311,12 +542,7 @@ impl ReportAccumulator {
         stats.requests += batch_size;
         stats.busy_cycles += finish_cycles - start_cycles;
         self.makespan_cycles = self.makespan_cycles.max(finish_cycles);
-        self.exec.push(ExecSample {
-            cycles: exec.cycles,
-            failures: exec.failures,
-            avg_macro_power_mw: exec.avg_macro_power_mw,
-            worst_irdrop_mv: exec.worst_irdrop_mv,
-        });
+        self.exec.absorb(exec);
     }
 
     /// Absorbs one sampled-verification measurement (an analytical group
@@ -328,18 +554,15 @@ impl ReportAccumulator {
         accurate_cycles: u64,
         error_bound: f64,
     ) {
-        self.verify.push(VerifyEntry {
-            analytical_cycles,
-            accurate_cycles,
-            error_bound,
-        });
+        self.verify
+            .absorb(analytical_cycles, accurate_cycles, error_bound);
     }
 
     /// Folds another shard's accumulator into this one (see the type-level
     /// docs for the sharding semantics).  The merge is associative — the
-    /// counters add, the float vectors concatenate in argument order, and
-    /// the bound folds through `max` — so a shard tree can combine in any
-    /// grouping (not any *order*: chips re-index in merge order); the
+    /// counters and fixed-point sums add, the sketches add element-wise,
+    /// and the bounds fold through `max` — so a shard tree can combine in
+    /// any grouping (not any *order*: chips re-index in merge order); the
     /// resulting seed is the left-most shard's.
     ///
     /// # Panics
@@ -364,30 +587,28 @@ impl ReportAccumulator {
         self.deadline_misses += other.deadline_misses;
         self.groups_formed += other.groups_formed;
         self.makespan_cycles = self.makespan_cycles.max(other.makespan_cycles);
-        self.latencies.extend(other.latencies);
+        self.latencies.merge(&other.latencies);
         let offset = self.per_chip.len();
         self.per_chip
             .extend(other.per_chip.into_iter().map(|mut c| {
                 c.chip += offset;
                 c
             }));
-        for (mine, theirs) in self.per_class.iter_mut().zip(other.per_class) {
+        for (mine, theirs) in self.per_class.iter_mut().zip(&other.per_class) {
             mine.total += theirs.total;
             mine.served += theirs.served;
             mine.rejected += theirs.rejected;
             mine.deadline_misses += theirs.deadline_misses;
-            mine.latencies.extend(theirs.latencies);
+            mine.latencies.merge(&theirs.latencies);
         }
-        self.exec.extend(other.exec);
-        self.verify.extend(other.verify);
+        self.exec.merge(&other.exec);
+        self.verify.merge(&other.verify);
     }
 
     /// Freezes the accumulated state into a [`ServeReport`].
     #[must_use]
     pub fn finish(&self) -> ServeReport {
-        let mut latencies = self.latencies.clone();
-        latencies.sort_unstable();
-        let served_requests = latencies.len();
+        let served_requests = self.latencies.count() as usize;
 
         let mut per_chip = self.per_chip.clone();
         for stats in &mut per_chip {
@@ -402,60 +623,27 @@ impl ReportAccumulator {
             .iter()
             .map(|&class| {
                 let acc = &self.per_class[class.index()];
-                let mut lat = acc.latencies.clone();
-                lat.sort_unstable();
                 ClassServeStats {
                     class,
                     total: acc.total,
                     served: acc.served,
                     rejected: acc.rejected,
                     deadline_misses: acc.deadline_misses,
-                    latency_p50_cycles: percentile_sorted(&lat, 0.50),
-                    latency_p99_cycles: percentile_sorted(&lat, 0.99),
+                    latency_p50_cycles: acc.latencies.percentile(0.50),
+                    latency_p99_cycles: acc.latencies.percentile(0.99),
                 }
             })
             .collect();
 
-        // Electrical aggregates, summed in absorption order.
-        let mut simulated_cycles = 0u64;
-        let mut failures = 0u64;
-        let mut power_weighted = 0.0f64;
-        let mut weight = 0.0f64;
-        let mut worst_irdrop_mv = 0.0f64;
-        for s in &self.exec {
-            let w = s.cycles.max(1) as f64;
-            simulated_cycles += s.cycles;
-            failures += s.failures;
-            power_weighted += s.avg_macro_power_mw * w;
-            weight += w;
-            worst_irdrop_mv = worst_irdrop_mv.max(s.worst_irdrop_mv);
-        }
-
         let verification = if self.verify_enabled {
-            let mut max_cycle_drift = 0.0f64;
-            let mut drift_sum = 0.0f64;
-            let mut within_bound = true;
-            for s in &self.verify {
-                let drift = (s.analytical_cycles as f64 - s.accurate_cycles as f64).abs()
-                    / s.accurate_cycles.max(1) as f64;
-                max_cycle_drift = max_cycle_drift.max(drift);
-                drift_sum += drift;
-                if drift > s.error_bound {
-                    within_bound = false;
-                }
-            }
             Some(VerificationStats {
-                sampled: self.verify.len(),
-                mean_cycle_drift: if self.verify.is_empty() {
-                    0.0
-                } else {
-                    drift_sum / self.verify.len() as f64
-                },
-                max_cycle_drift,
+                sampled: self.verify.sampled,
+                mean_cycle_drift: self.verify.mean_cycle_drift(),
+                max_cycle_drift: self.verify.max_cycle_drift,
                 error_bound: self.fleet_error_bound,
                 // Zero samples is not a pass: a gate keyed on this field
                 // must never go green without a measurement.
-                within_bound: within_bound && !self.verify.is_empty(),
+                within_bound: !self.verify.bound_violated && self.verify.sampled > 0,
             })
         } else {
             None
@@ -477,23 +665,19 @@ impl ReportAccumulator {
                 served_requests as f64 / groups_executed as f64
             },
             makespan_cycles: self.makespan_cycles,
-            latency_p50_cycles: percentile_sorted(&latencies, 0.50),
-            latency_p95_cycles: percentile_sorted(&latencies, 0.95),
-            latency_p99_cycles: percentile_sorted(&latencies, 0.99),
-            latency_max_cycles: latencies.last().copied().unwrap_or(0),
+            latency_p50_cycles: self.latencies.percentile(0.50),
+            latency_p95_cycles: self.latencies.percentile(0.95),
+            latency_p99_cycles: self.latencies.percentile(0.99),
+            latency_max_cycles: self.latencies.max(),
             throughput_rps: if self.makespan_cycles == 0 {
                 0.0
             } else {
                 served_requests as f64 / (self.makespan_cycles as f64 / (self.nominal_ghz * 1e9))
             },
-            avg_macro_power_mw: if weight == 0.0 {
-                0.0
-            } else {
-                power_weighted / weight
-            },
-            worst_irdrop_mv,
-            failures,
-            simulated_cycles,
+            avg_macro_power_mw: self.exec.avg_macro_power_mw(),
+            worst_irdrop_mv: self.exec.worst_irdrop_mv,
+            failures: self.exec.failures,
+            simulated_cycles: self.exec.simulated_cycles,
             analytical_chips: self.analytical_chips,
             verification,
             per_chip,
@@ -522,5 +706,79 @@ mod tests {
         assert_eq!(percentile_sorted(&[7], 0.99), 7);
         assert_eq!(percentile_sorted(&[3, 9], 0.5), 3);
         assert_eq!(percentile_sorted(&[3, 9], 0.51), 9);
+    }
+
+    /// Regression for the float nearest-rank: `(0.07 * 3_000_000.0).ceil()`
+    /// lands on a representation boundary and returns rank 210_001; the
+    /// integer path must return the true nearest rank 210_000.
+    #[test]
+    fn percentile_rank_is_exact_at_hyperscale_lengths() {
+        let float_rank = (0.07f64 * 3_000_000f64).ceil() as usize;
+        assert_eq!(float_rank, 210_001, "platform reproduces the float bug");
+
+        let sample: Vec<u64> = (1..=3_000_000).collect();
+        assert_eq!(percentile_sorted(&sample, 0.07), 210_000);
+        assert_eq!(percentile_sorted(&sample, 0.95), 2_850_000);
+        assert_eq!(percentile_sorted(&sample, 0.999), 2_997_000);
+        assert_eq!(percentile_sorted(&sample, 1.0), 3_000_000);
+    }
+
+    #[test]
+    fn sketch_is_exact_below_sixty_four() {
+        let mut sketch = LatencySketch::new();
+        for v in 0..64u64 {
+            sketch.record(v);
+        }
+        assert_eq!(sketch.count(), 64);
+        assert_eq!(sketch.max(), 63);
+        for v in 0..64u64 {
+            let q = (v + 1) as f64 / 64.0;
+            assert_eq!(sketch.percentile(q), v);
+        }
+    }
+
+    #[test]
+    fn sketch_percentile_bounds_and_clamps_to_max() {
+        let mut sketch = LatencySketch::new();
+        let mut exact = Vec::new();
+        let mut v = 1u64;
+        while v < 1_000_000_000 {
+            sketch.record(v);
+            exact.push(v);
+            v = v * 3 + 1;
+        }
+        exact.sort_unstable();
+        for &q in &[0.05, 0.50, 0.95, 0.99, 1.0] {
+            let s = sketch.percentile(q);
+            let e = percentile_sorted(&exact, q);
+            assert!(s >= e, "sketch {s} under-estimates exact {e} at q={q}");
+            assert!(
+                (s - e).saturating_mul(LatencySketch::ERROR_DENOM) <= e,
+                "sketch {s} beyond 1/32 above exact {e} at q={q}"
+            );
+        }
+        assert_eq!(sketch.percentile(1.0), sketch.max());
+    }
+
+    #[test]
+    fn sketch_merge_matches_pooled_recording() {
+        let mut left = LatencySketch::new();
+        let mut right = LatencySketch::new();
+        let mut pooled = LatencySketch::new();
+        for i in 0..1000u64 {
+            let v = i * i * 37 + 5;
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+            pooled.record(v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, pooled);
+        let mut reversed = right;
+        reversed.merge(&left);
+        assert_eq!(reversed, pooled);
     }
 }

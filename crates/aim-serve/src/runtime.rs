@@ -55,6 +55,17 @@ pub struct ServeConfig {
     pub parallel: bool,
     /// Serve seed, folded into every request replay's input activity.
     pub seed: u64,
+    /// Upper bound on *unpolled* [`RequestOutcome`]s a session retains
+    /// between `poll_completions` calls; 0 (the default) keeps every
+    /// outcome.  When the bound is hit the oldest unpolled outcome is
+    /// dropped (counted by [`ServeSession::completions_dropped`]) — the
+    /// drained report still accounts for every request, only the streamed
+    /// outcome is shed.  Report-only hyperscale runs set a small cap so
+    /// memory stays independent of the request count.
+    ///
+    /// [`RequestOutcome`]: crate::session::RequestOutcome
+    /// [`ServeSession::completions_dropped`]: crate::session::ServeSession::completions_dropped
+    pub completion_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +82,7 @@ impl Default for ServeConfig {
             verify_every: 0,
             parallel: true,
             seed: 0xF1EE7,
+            completion_capacity: 0,
         }
     }
 }
@@ -143,6 +155,9 @@ impl ServeConfigBuilder {
         parallel: bool,
         /// Sets the serve seed (see [`ServeConfig::seed`]).
         seed: u64,
+        /// Bounds the unpolled-outcome buffer (see
+        /// [`ServeConfig::completion_capacity`]).
+        completion_capacity: usize,
     }
 
     /// Finishes the builder.

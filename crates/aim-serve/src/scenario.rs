@@ -125,6 +125,7 @@ fn scenario_serve() -> ServeConfig {
         verify_every: 0,
         parallel: true,
         seed: 0xF1EE7,
+        completion_capacity: 0,
     }
 }
 

@@ -63,13 +63,19 @@
 //! `run_until` — and the determinism contract below survives chaos
 //! scenarios unchanged.
 //!
-//! To keep that last guarantee exact — the report's float accumulation
-//! order is group-commit order no matter when groups retire — the session
-//! retains every request and group record until [`drain`], which replays
-//! them into the [`ReportAccumulator`] in commit order.  Memory is
-//! therefore proportional to the traffic a single session has absorbed;
-//! for an indefinitely running front door, shard traffic across sessions
-//! and [`ReportAccumulator::merge`] the drained shards.
+//! ## Bounded memory
+//!
+//! Session memory is proportional to *in-flight* work, never to the total
+//! traffic absorbed.  Request state lives inside its open batch and then
+//! its group record; executed chip-queue slots are popped as they retire,
+//! and resolved group records are absorbed into the session's
+//! [`ReportAccumulator`] — itself fixed-size — **in commit order** and
+//! dropped.  (The strict commit-order absorption is what keeps the report
+//! byte-identical no matter when groups happened to retire.)  The only
+//! per-request state that can outlive its group is the unpolled
+//! [`RequestOutcome`] stream, and `ServeConfig::completion_capacity` bounds
+//! that too — report-only callers that never poll hold a fixed window, with
+//! the overflow counted by [`Self::completions_dropped`].
 //!
 //! [`submit`]: ServeSession::submit
 //! [`run_until`]: ServeSession::run_until
@@ -81,8 +87,9 @@
 //! [`form_groups`]: crate::scheduler::form_groups
 //! [`RequestGroup`]: crate::scheduler::RequestGroup
 //! [`AdmissionConfig::cap_for`]: crate::scheduler::AdmissionConfig::cap_for
+//! [`ServeConfig::completion_capacity`]: crate::runtime::ServeConfig::completion_capacity
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -133,7 +140,9 @@ pub enum CompletionStatus {
 /// [`ServeSession::poll_completions`] as groups retire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestOutcome {
-    /// Submission index of the request (0 for the first `submit`).
+    /// The request's external id: its submission index for
+    /// [`ServeSession::submit`], or whatever the caller passed to
+    /// [`ServeSession::submit_with_id`].
     pub request: usize,
     /// Model the request targeted.
     pub model: usize,
@@ -143,10 +152,11 @@ pub struct RequestOutcome {
     pub status: CompletionStatus,
 }
 
-/// A model's open (not yet dispatched) batch.
+/// A model's open (not yet dispatched) batch, owning its members' request
+/// state as `(external id, request)` pairs.
 #[derive(Debug, Clone)]
 struct OpenBatch {
-    requests: Vec<usize>,
+    requests: Vec<(usize, TraceRequest)>,
     last_arrival: u64,
     close_at: u64,
     class: SloClass,
@@ -182,11 +192,13 @@ struct ExecDone {
     verify: Option<(u64, u64)>,
 }
 
-/// Everything the session knows about one committed group.
+/// Everything the session knows about one committed group, including its
+/// members' request state — dropped wholesale once the group is absorbed
+/// into the report accumulator.
 #[derive(Debug, Clone)]
 struct GroupRecord {
     model: usize,
-    requests: Vec<usize>,
+    requests: Vec<(usize, TraceRequest)>,
     /// `None` when admission control rejected the group.
     chip: Option<usize>,
     done: Option<ExecDone>,
@@ -208,14 +220,19 @@ fn health_at(changes: &[(u64, ChipHealth)], at: u64) -> ChipHealth {
         .map_or(ChipHealth::Healthy, |&(_, h)| h)
 }
 
-/// Per-chip queue plus the chip's execution state.
+/// Per-chip queue plus the chip's execution state.  `slots` holds only
+/// *pending* work: an executed slot is popped at harvest, its estimated
+/// finish/model chained into `est_prev_*` so later estimates see the same
+/// predecessor they would have with the full history retained.
 #[derive(Debug)]
 struct ChipLane {
     chip: usize,
     backend: BackendKind,
-    slots: Vec<Slot>,
-    /// Executed prefix length of `slots`.
-    executed: usize,
+    slots: VecDeque<Slot>,
+    /// Estimated finish of the last retired slot (0 before any retired).
+    est_prev_finish: u64,
+    /// Model of the last retired slot, for the reload-on-switch charge.
+    est_prev_model: Option<usize>,
     /// Measured finish of the last executed slot.
     actual_free: u64,
     actual_last_model: Option<usize>,
@@ -227,22 +244,28 @@ struct ChipLane {
     active: bool,
     /// Health changes in ascending time order; empty means always healthy.
     health_changes: Vec<(u64, ChipHealth)>,
+    /// Estimated service cycles of pending slots per SLO class, maintained
+    /// incrementally so backlog reads are O(1) per lane.
+    backlog: [u64; 3],
     sim: SimSession,
 }
 
 impl ChipLane {
     /// Estimated time the chip finishes everything currently queued.
     fn est_avail(&self) -> u64 {
-        self.slots.last().map_or(0, |s| s.est_finish)
+        self.slots
+            .back()
+            .map_or(self.est_prev_finish, |s| s.est_finish)
     }
 
     /// Recomputes the estimated schedule from slot `from` onward (queue
     /// order, reload charged on model switches, the chip's health derate at
-    /// each slot's estimated start applied to its service time).
+    /// each slot's estimated start applied to its service time), keeping
+    /// the per-class backlog counters in step.
     fn recompute_est(&mut self, from: usize, cost: &CostModel) {
         for i in from..self.slots.len() {
             let (prev_finish, prev_model) = if i == 0 {
-                (0, None)
+                (self.est_prev_finish, self.est_prev_model)
             } else {
                 (self.slots[i - 1].est_finish, Some(self.slots[i - 1].model))
             };
@@ -257,27 +280,48 @@ impl ChipLane {
             let start = prev_finish.max(slot.ready);
             let health = health_at(&self.health_changes, start);
             let finish = start + health.scale_cycles(duration);
+            let class = slot.class.index();
+            self.backlog[class] -= slot.est_finish - slot.est_start;
             let slot = &mut self.slots[i];
             slot.est_start = start;
             slot.est_finish = finish;
             slot.health = health;
+            self.backlog[class] += finish - start;
         }
+    }
+
+    /// Pops the front (executed) slot, chaining its estimate into
+    /// `est_prev_*` and releasing its backlog contribution.
+    fn retire_front(&mut self) -> Slot {
+        let slot = self.slots.pop_front().expect("retiring an empty lane");
+        self.backlog[slot.class.index()] -= slot.est_finish - slot.est_start;
+        self.est_prev_finish = slot.est_finish;
+        self.est_prev_model = Some(slot.model);
+        slot
+    }
+
+    /// Drains every pending slot (fault/eviction paths), clearing the
+    /// backlog counters without chaining the estimates — the drained work
+    /// is leaving this lane, not retiring on it.
+    fn drain_pending(&mut self) -> Vec<Slot> {
+        self.backlog = [0; 3];
+        self.slots.drain(..).collect()
     }
 
     /// Queue position for a group of `class` committed at virtual time
     /// `clock`: after everything already started (by the estimated
     /// schedule) and after equal-or-higher classes, ahead of queued
-    /// strictly-lower classes — "jumping the backlog".  Executed slots all
-    /// have `est_start <= clock` (the execution eligibility rule under a
-    /// monotone clock), so the scan starts at the executed prefix instead
-    /// of walking every retired slot again.
+    /// strictly-lower classes — "jumping the backlog".  Executed slots are
+    /// popped at harvest, so the scan only ever walks pending work.
     fn insertion_position(&self, class: SloClass, clock: u64) -> usize {
-        let pending_from = self.slots[self.executed..]
+        let pending_from = self
+            .slots
             .iter()
             .position(|s| s.est_start > clock)
-            .map_or(self.slots.len(), |p| self.executed + p);
-        self.slots[pending_from..]
+            .map_or(self.slots.len(), |p| p);
+        self.slots
             .iter()
+            .skip(pending_from)
             .position(|s| s.class < class)
             .map_or(self.slots.len(), |p| pending_from + p)
     }
@@ -299,20 +343,28 @@ pub struct ServeSession<'rt> {
     /// Virtual "now": the latest arrival or `run_until` target seen.
     clock: u64,
     drained: bool,
-    /// Every submitted request, by submission index.
-    requests: Vec<TraceRequest>,
+    /// Requests submitted so far.
+    submitted: usize,
     /// Per-model open batch.
     open: Vec<Option<OpenBatch>>,
     /// Pending window closures: `(close_at, generation) -> model`.
     events: BTreeMap<(u64, u64), usize>,
     next_generation: u64,
-    /// Committed groups, by commit index (= group id).
-    groups: Vec<GroupRecord>,
+    /// Committed groups not yet absorbed into the accumulator; the group
+    /// with commit index `gid` lives at `groups[gid - groups_base]`.
+    groups: VecDeque<GroupRecord>,
+    /// Commit index of the front of `groups` (= groups already absorbed).
+    groups_base: usize,
+    /// The running report, fed in commit order as groups resolve.
+    acc: ReportAccumulator,
     lanes: Vec<ChipLane>,
     next_round_robin: usize,
     /// Admitted groups seen on analytical chips, for the verify cadence.
     analytical_seen: usize,
-    completions: Vec<RequestOutcome>,
+    completions: VecDeque<RequestOutcome>,
+    completions_dropped: u64,
+    failed_over_groups: usize,
+    failed_over_requests: usize,
 }
 
 impl<'rt> ServeSession<'rt> {
@@ -324,13 +376,15 @@ impl<'rt> ServeSession<'rt> {
             .map(|chip| ChipLane {
                 chip,
                 backend: runtime.chip_backend(chip),
-                slots: Vec::new(),
-                executed: 0,
+                slots: VecDeque::new(),
+                est_prev_finish: 0,
+                est_prev_model: None,
                 actual_free: 0,
                 actual_last_model: None,
                 alive: true,
                 active: true,
                 health_changes: Vec::new(),
+                backlog: [0; 3],
                 sim: SimSession::new(),
             })
             .collect();
@@ -339,16 +393,40 @@ impl<'rt> ServeSession<'rt> {
             cost: runtime.cost_model(),
             clock: 0,
             drained: false,
-            requests: Vec::new(),
+            submitted: 0,
             open: vec![None; runtime.plans().len()],
             events: BTreeMap::new(),
             next_generation: 0,
-            groups: Vec::new(),
+            groups: VecDeque::new(),
+            groups_base: 0,
+            acc: Self::fresh_accumulator(runtime),
             lanes,
             next_round_robin: 0,
             analytical_seen: 0,
-            completions: Vec::new(),
+            completions: VecDeque::new(),
+            completions_dropped: 0,
+            failed_over_groups: 0,
+            failed_over_requests: 0,
         }
+    }
+
+    /// An empty accumulator carrying the runtime's fleet shape and
+    /// analytical context — everything [`ReportAccumulator`] needs before
+    /// the first group is absorbed.
+    fn fresh_accumulator(runtime: &ServeRuntime) -> ReportAccumulator {
+        let config = runtime.config();
+        let nominal_ghz = runtime.plans()[0].chip_params().nominal_frequency_ghz;
+        let mut acc = ReportAccumulator::new(config.seed, config.chips, nominal_ghz);
+        let analytical = runtime.analytical_plans();
+        let verify_enabled = analytical.is_some() && config.verify_every > 0;
+        let fleet_bound = analytical.map_or(0.0, |plans| {
+            plans
+                .iter()
+                .map(aim_core::analytical::AnalyticalPlan::error_bound)
+                .fold(0.0f64, f64::max)
+        });
+        acc.set_analytical_context(runtime.analytical_chip_count(), verify_enabled, fleet_bound);
+        acc
     }
 
     /// The session's virtual clock (cycles).
@@ -360,10 +438,11 @@ impl<'rt> ServeSession<'rt> {
     /// Requests submitted so far.
     #[must_use]
     pub fn submitted(&self) -> usize {
-        self.requests.len()
+        self.submitted
     }
 
-    /// Accepts one request at the session's virtual "now".
+    /// Accepts one request at the session's virtual "now", tagged with its
+    /// submission index (0 for the first submission).
     ///
     /// Submissions are expected in nondecreasing arrival order (an online
     /// front door sees time move forward); a request whose stated arrival
@@ -376,6 +455,21 @@ impl<'rt> ServeSession<'rt> {
     /// Panics if the request names a model the runtime has no plan for, or
     /// if the session was already drained.
     pub fn submit(&mut self, request: TraceRequest) {
+        self.submit_with_id(self.submitted, request);
+    }
+
+    /// Like [`Self::submit`], but tags the request with a caller-chosen
+    /// external id instead of the submission index.  The id is opaque to
+    /// the session — it only flows back out as [`RequestOutcome::request`]
+    /// and through [`Self::evict_pending`] — so a sharding layer can hand
+    /// each shard its fleet-wide submission indices without any per-request
+    /// translation table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request names a model the runtime has no plan for, or
+    /// if the session was already drained.
+    pub fn submit_with_id(&mut self, external_id: usize, request: TraceRequest) {
         assert!(!self.drained, "cannot submit to a drained session");
         assert!(
             request.model < self.runtime.plans().len(),
@@ -388,16 +482,16 @@ impl<'rt> ServeSession<'rt> {
         // the offline scan's inclusive window horizon.
         self.process_events(arrival, false);
         self.clock = arrival;
-        let index = self.requests.len();
-        self.requests.push(request);
+        self.submitted += 1;
 
         let config = self.runtime.config();
         let model = request.model;
+        let slo = request.slo;
         let joined = match &mut self.open[model] {
             Some(batch) if arrival <= batch.close_at && batch.requests.len() < config.max_batch => {
-                batch.requests.push(index);
+                batch.requests.push((external_id, request));
                 batch.last_arrival = arrival;
-                batch.class = batch.class.max(request.slo);
+                batch.class = batch.class.max(slo);
                 true
             }
             _ => false,
@@ -406,7 +500,7 @@ impl<'rt> ServeSession<'rt> {
             let full = self.open[model]
                 .as_ref()
                 .is_some_and(|b| b.requests.len() >= config.max_batch);
-            if full || request.slo == SloClass::LatencySensitive {
+            if full || slo == SloClass::LatencySensitive {
                 self.flush_model(model);
             }
             return;
@@ -420,13 +514,13 @@ impl<'rt> ServeSession<'rt> {
         self.next_generation += 1;
         let close_at = arrival.saturating_add(config.batch_window_cycles);
         self.open[model] = Some(OpenBatch {
-            requests: vec![index],
+            requests: vec![(external_id, request)],
             last_arrival: arrival,
             close_at,
-            class: request.slo,
+            class: slo,
             generation,
         });
-        if request.slo == SloClass::LatencySensitive || config.max_batch == 1 {
+        if slo == SloClass::LatencySensitive || config.max_batch == 1 {
             self.flush_model(model);
         } else {
             self.events.insert((close_at, generation), model);
@@ -452,9 +546,20 @@ impl<'rt> ServeSession<'rt> {
     }
 
     /// Drains the accumulated per-request outcomes, in group-commit order
-    /// within each harvest.
+    /// within each harvest.  When `ServeConfig::completion_capacity` is
+    /// set, outcomes beyond the cap were dropped oldest-first — see
+    /// [`Self::completions_dropped`].
     pub fn poll_completions(&mut self) -> Vec<RequestOutcome> {
-        std::mem::take(&mut self.completions)
+        self.completions.drain(..).collect()
+    }
+
+    /// Outcomes dropped (oldest first) because the bounded completion
+    /// buffer overflowed between polls; 0 when the capacity is unbounded.
+    /// Dropped outcomes are still fully accounted in the drained report —
+    /// only the per-request stream is lossy.
+    #[must_use]
+    pub fn completions_dropped(&self) -> u64 {
+        self.completions_dropped
     }
 
     /// Flushes every open batch, executes everything still queued, and
@@ -471,7 +576,11 @@ impl<'rt> ServeSession<'rt> {
         self.process_events(u64::MAX, true);
         self.drained = true;
         self.execute_ready(u64::MAX);
-        self.build_accumulator()
+        debug_assert!(
+            self.groups.is_empty(),
+            "drain leaves no unresolved group behind"
+        );
+        std::mem::replace(&mut self.acc, Self::fresh_accumulator(self.runtime))
     }
 
     // --- the online batcher ------------------------------------------------
@@ -551,7 +660,7 @@ impl<'rt> ServeSession<'rt> {
     /// admission.
     fn commit_group(&mut self, model: usize, batch: OpenBatch) {
         let config = self.runtime.config();
-        let gid = self.groups.len();
+        let gid = self.groups_base + self.groups.len();
         let class = batch.class;
         let ready = batch.last_arrival;
 
@@ -559,7 +668,7 @@ impl<'rt> ServeSession<'rt> {
         let lane = &self.lanes[chip];
         let position = lane.insertion_position(class, self.clock);
         let prev_finish = if position == 0 {
-            0
+            lane.est_prev_finish
         } else {
             lane.slots[position - 1].est_finish
         };
@@ -569,18 +678,18 @@ impl<'rt> ServeSession<'rt> {
             let backlog = est_start.saturating_sub(ready);
             let cap = admission.cap_for(class);
             if backlog > cap {
-                for &ri in &batch.requests {
-                    self.completions.push(RequestOutcome {
+                for &(ri, ref request) in &batch.requests {
+                    self.push_completion(RequestOutcome {
                         request: ri,
                         model,
-                        slo: self.requests[ri].slo,
+                        slo: request.slo,
                         status: CompletionStatus::Rejected {
                             backlog_cycles: backlog,
                             backlog_cap_cycles: cap,
                         },
                     });
                 }
-                self.groups.push(GroupRecord {
+                self.groups.push_back(GroupRecord {
                     model,
                     requests: batch.requests,
                     chip: None,
@@ -588,6 +697,7 @@ impl<'rt> ServeSession<'rt> {
                     failed_over: false,
                     evicted: false,
                 });
+                self.absorb_resolved();
                 return;
             }
         }
@@ -618,7 +728,7 @@ impl<'rt> ServeSession<'rt> {
             },
         );
         lane.recompute_est(position, &self.cost);
-        self.groups.push(GroupRecord {
+        self.groups.push_back(GroupRecord {
             model,
             requests: batch.requests,
             chip: Some(chip),
@@ -661,8 +771,7 @@ impl<'rt> ServeSession<'rt> {
         let lane = &mut self.lanes[chip];
         lane.alive = false;
         lane.active = false;
-        let executed = lane.executed;
-        let orphans: Vec<Slot> = lane.slots.split_off(executed);
+        let orphans = lane.drain_pending();
         // The death may have taken down the only dispatch-eligible chip;
         // keep at least one survivor accepting work.
         if !self.lanes.iter().any(|l| l.alive && l.active) {
@@ -675,15 +784,31 @@ impl<'rt> ServeSession<'rt> {
         }
         let mut requests = 0usize;
         for slot in &orphans {
-            self.groups[slot.gid].failed_over = true;
-            requests += self.groups[slot.gid].requests.len();
+            let record = &mut self.groups[slot.gid - self.groups_base];
+            if !record.failed_over {
+                record.failed_over = true;
+                self.failed_over_groups += 1;
+                self.failed_over_requests += record.requests.len();
+            }
+            requests += record.requests.len();
             // Failover cannot happen before the death is observed.
             let ready = slot.ready.max(at_cycles);
             let target = self.choose_chip(ready);
-            self.groups[slot.gid].chip = Some(target);
+            self.groups[slot.gid - self.groups_base].chip = Some(target);
             let lane = &mut self.lanes[target];
             let position = lane.insertion_position(slot.class, self.clock);
-            lane.slots.insert(position, Slot { ready, ..*slot });
+            // Zero the estimate span: the target lane's backlog never saw
+            // this slot, and `recompute_est` releases the old span before
+            // accounting the fresh one.
+            lane.slots.insert(
+                position,
+                Slot {
+                    ready,
+                    est_start: 0,
+                    est_finish: 0,
+                    ..*slot
+                },
+            );
             lane.recompute_est(position, &self.cost);
         }
         (orphans.len(), requests)
@@ -719,8 +844,7 @@ impl<'rt> ServeSession<'rt> {
             );
         }
         lane.health_changes.push((at_cycles, health));
-        let from = lane.executed;
-        lane.recompute_est(from, &self.cost);
+        lane.recompute_est(0, &self.cost);
     }
 
     /// Sets the number of dispatch-eligible workers at virtual time
@@ -793,12 +917,13 @@ impl<'rt> ServeSession<'rt> {
     /// class (ascending priority order, [`SloClass::ALL`]) — the backlog
     /// pressure an elastic scaler reads.  Call after stepping the session to
     /// the decision point so "not started" reflects that virtual time.
+    /// O(chips): the per-lane counters are maintained incrementally.
     #[must_use]
     pub fn class_backlog_cycles(&self) -> [u64; 3] {
         let mut backlog = [0u64; 3];
         for lane in &self.lanes {
-            for slot in &lane.slots[lane.executed..] {
-                backlog[slot.class.index()] += slot.est_finish - slot.est_start;
+            for (total, lane_class) in backlog.iter_mut().zip(lane.backlog) {
+                *total += lane_class;
             }
         }
         backlog
@@ -806,9 +931,9 @@ impl<'rt> ServeSession<'rt> {
 
     /// Evicts every committed-but-not-started group and every open batch at
     /// virtual time `at_cycles`, returning the evicted requests as
-    /// `(submission index, request)` pairs, ascending by index — the
-    /// migration hook a multi-region router uses when this session's region
-    /// goes down.
+    /// `(external id, request)` pairs, ascending by id — the migration
+    /// hook a multi-region router uses when this session's region goes
+    /// down.
     ///
     /// The *executed prefix* — every group whose estimated start lies at or
     /// before `at_cycles` — stays immutable and completes, exactly the cut
@@ -826,36 +951,51 @@ impl<'rt> ServeSession<'rt> {
         // Step to the eviction point first so the executed prefix reflects
         // that virtual time.
         self.run_until(at_cycles);
-        let mut evicted: Vec<usize> = Vec::new();
+        let mut evicted: Vec<(usize, TraceRequest)> = Vec::new();
+        let mut orphans: Vec<Slot> = Vec::new();
         for lane in &mut self.lanes {
-            let executed = lane.executed;
-            for slot in lane.slots.split_off(executed) {
-                self.groups[slot.gid].evicted = true;
-                evicted.extend(self.groups[slot.gid].requests.iter().copied());
+            orphans.extend(lane.drain_pending());
+        }
+        for slot in orphans {
+            let record = &mut self.groups[slot.gid - self.groups_base];
+            record.evicted = true;
+            if record.failed_over {
+                // The group leaves this session's accounting entirely, even
+                // though it had been requeued off a dead chip first.
+                self.failed_over_groups -= 1;
+                self.failed_over_requests -= record.requests.len();
             }
+            evicted.extend(record.requests.iter().copied());
         }
         // Open batches have not even committed; their queued window-closure
         // events go stale and are ignored by the generation liveness check.
         for batch in self.open.iter_mut().filter_map(Option::take) {
             evicted.extend(batch.requests);
         }
-        evicted.sort_unstable();
+        self.absorb_resolved();
+        evicted.sort_unstable_by_key(|&(ri, _)| ri);
         evicted
-            .into_iter()
-            .map(|ri| (ri, self.requests[ri]))
-            .collect()
     }
 
-    /// `(groups, requests)` failed over off dead chips so far.
+    /// `(groups, requests)` failed over off dead chips so far (excluding
+    /// groups later evicted).  O(1): maintained incrementally.
     #[must_use]
     pub fn failed_over(&self) -> (usize, usize) {
-        // An evicted group left this session's accounting entirely, even if
-        // it had been requeued off a dead chip first.
-        let failed = || self.groups.iter().filter(|g| g.failed_over && !g.evicted);
-        (failed().count(), failed().map(|g| g.requests.len()).sum())
+        (self.failed_over_groups, self.failed_over_requests)
     }
 
     // --- execution ---------------------------------------------------------
+
+    /// Pushes one outcome, enforcing the configured completion capacity by
+    /// dropping the oldest unpolled outcome when full.
+    fn push_completion(&mut self, outcome: RequestOutcome) {
+        let capacity = self.runtime.config().completion_capacity;
+        if capacity > 0 && self.completions.len() >= capacity {
+            self.completions.pop_front();
+            self.completions_dropped += 1;
+        }
+        self.completions.push_back(outcome);
+    }
 
     /// Executes every queued slot whose estimated start is at or before
     /// `horizon`, fanning chips out across worker threads when configured,
@@ -864,8 +1004,9 @@ impl<'rt> ServeSession<'rt> {
         let has_work = self
             .lanes
             .iter()
-            .any(|l| l.executed < l.slots.len() && l.slots[l.executed].est_start <= horizon);
+            .any(|l| l.slots.front().is_some_and(|s| s.est_start <= horizon));
         if !has_work {
+            self.absorb_resolved();
             return;
         }
         let runtime = self.runtime;
@@ -874,9 +1015,8 @@ impl<'rt> ServeSession<'rt> {
         let lanes = std::mem::take(&mut self.lanes);
         let run = |mut lane: ChipLane| -> (ChipLane, Vec<SlotResult>) {
             let mut results = Vec::new();
-            while lane.executed < lane.slots.len() && lane.slots[lane.executed].est_start <= horizon
-            {
-                let slot = &lane.slots[lane.executed];
+            while lane.slots.front().is_some_and(|s| s.est_start <= horizon) {
+                let slot = lane.slots[0];
                 let plan = &runtime.plans()[slot.model];
                 let seed_offset = replay_seed_offset(seed, slot.gid);
                 let (exec, verify) = match lane.backend {
@@ -895,7 +1035,6 @@ impl<'rt> ServeSession<'rt> {
                         (predicted, verify)
                     }
                 };
-                let slot = &lane.slots[lane.executed];
                 let switching = lane.actual_last_model != Some(slot.model);
                 // The same health derate the estimate was scheduled under
                 // stretches the measured service time — identically for
@@ -920,7 +1059,7 @@ impl<'rt> ServeSession<'rt> {
                 });
                 lane.actual_free = finish;
                 lane.actual_last_model = Some(slot.model);
-                lane.executed += 1;
+                lane.retire_front();
             }
             (lane, results)
         };
@@ -941,15 +1080,17 @@ impl<'rt> ServeSession<'rt> {
         // output order never depends on chip interleaving.
         retired.sort_unstable_by_key(|r| r.gid);
         for result in retired {
-            let record = &mut self.groups[result.gid];
+            let record = &mut self.groups[result.gid - self.groups_base];
             record.done = Some(result.done);
             let batch_size = record.requests.len();
             let failed_over = record.failed_over;
-            for &ri in &record.requests {
-                let request = &self.requests[ri];
-                self.completions.push(RequestOutcome {
+            let model = record.model;
+            for pair_index in 0..batch_size {
+                let record = &self.groups[result.gid - self.groups_base];
+                let (ri, request) = record.requests[pair_index];
+                self.push_completion(RequestOutcome {
                     request: ri,
-                    model: record.model,
+                    model,
                     slo: request.slo,
                     status: CompletionStatus::Served {
                         chip: result.done.chip,
@@ -964,68 +1105,62 @@ impl<'rt> ServeSession<'rt> {
                 });
             }
         }
+        self.absorb_resolved();
     }
 
     // --- reporting ---------------------------------------------------------
 
-    /// Builds the report accumulator over every committed group, in commit
-    /// order (the float-sum order contract of [`ReportAccumulator`]).
-    fn build_accumulator(&self) -> ReportAccumulator {
-        let config = self.runtime.config();
-        let nominal_ghz = self.runtime.plans()[0].chip_params().nominal_frequency_ghz;
-        let mut acc = ReportAccumulator::new(config.seed, config.chips, nominal_ghz);
-        let analytical = self.runtime.analytical_plans();
-        let verify_enabled = analytical.is_some() && config.verify_every > 0;
-        let fleet_bound = analytical.map_or(0.0, |plans| {
-            plans
-                .iter()
-                .map(aim_core::analytical::AnalyticalPlan::error_bound)
-                .fold(0.0f64, f64::max)
-        });
-        acc.set_analytical_context(
-            self.runtime.analytical_chip_count(),
-            verify_enabled,
-            fleet_bound,
-        );
-        for record in &self.groups {
+    /// Absorbs the resolved prefix of the group deque into the session's
+    /// accumulator — strictly in commit order, so the accumulation sequence
+    /// never depends on when groups happened to retire — and drops the
+    /// absorbed records.  A group is resolved once it was rejected,
+    /// evicted, or executed; an unresolved group blocks everything behind
+    /// it (the deque is the in-flight window, bounded by queue depth).
+    fn absorb_resolved(&mut self) {
+        while let Some(front) = self.groups.front() {
+            let resolved = front.evicted || front.chip.is_none() || front.done.is_some();
+            if !resolved {
+                break;
+            }
+            let record = self.groups.pop_front().expect("front exists");
+            self.groups_base += 1;
             // Evicted groups migrated to another session before starting;
             // whoever served them accounts for them.
             if record.evicted {
                 continue;
             }
-            acc.note_group_formed();
+            self.acc.note_group_formed();
             let Some(chip) = record.chip else {
-                for &ri in &record.requests {
-                    acc.absorb_rejected_request(self.requests[ri].slo);
+                for (_, request) in &record.requests {
+                    self.acc.absorb_rejected_request(request.slo);
                 }
                 continue;
             };
-            let done = record
-                .done
-                .as_ref()
-                .expect("drained sessions have executed every admitted group");
-            acc.absorb_executed_group(
+            let done = record.done.expect("a resolved admitted group has executed");
+            self.acc.absorb_executed_group(
                 chip,
                 done.start,
                 done.finish,
                 record.requests.len(),
                 &done.exec,
             );
-            for &ri in &record.requests {
-                let request = &self.requests[ri];
-                acc.absorb_served_request(
+            for &(_, request) in &record.requests {
+                self.acc.absorb_served_request(
                     request.slo,
                     done.finish - request.arrival_cycles,
                     done.finish > request.deadline_cycles,
                 );
             }
             if let Some((analytical_cycles, accurate_cycles)) = done.verify {
-                let bound =
-                    analytical.expect("verified groups are analytical")[record.model].error_bound();
-                acc.absorb_verify_sample(analytical_cycles, accurate_cycles, bound);
+                let bound = self
+                    .runtime
+                    .analytical_plans()
+                    .expect("verified groups are analytical")[record.model]
+                    .error_bound();
+                self.acc
+                    .absorb_verify_sample(analytical_cycles, accurate_cycles, bound);
             }
         }
-        acc
     }
 }
 

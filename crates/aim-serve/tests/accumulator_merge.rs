@@ -289,7 +289,15 @@ proptest! {
             solo_a.latency_max_cycles.max(solo_b.latency_max_cycles)
         );
         prop_assert!(report.latency_p50_cycles >= solo_a.latency_p50_cycles.min(solo_b.latency_p50_cycles));
-        prop_assert!(report.latency_p99_cycles <= solo_a.latency_p99_cycles.max(solo_b.latency_p99_cycles));
+        // The sketch reports bucket uppers clamped to the tracked max, so a
+        // merged percentile can land one bucket above the larger solo figure
+        // (the solo was clamped to its own max, the merged one was not).  The
+        // one-sided 1/32 sketch error still brackets it:
+        //   merged_p99 <= exact_merged_p99 * 33/32
+        //             <= max(exact solo p99) * 33/32
+        //             <= max(sketch solo p99) * 33/32.
+        let solo_p99_max = solo_a.latency_p99_cycles.max(solo_b.latency_p99_cycles);
+        prop_assert!(report.latency_p99_cycles * 32 <= solo_p99_max * 33);
         for (class_row, (ca, cb)) in report
             .per_class
             .iter()

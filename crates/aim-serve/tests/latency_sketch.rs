@@ -1,0 +1,98 @@
+//! Properties of [`LatencySketch`], the bounded quantile structure behind
+//! every latency figure in a [`ServeReport`]:
+//!
+//! * merging is associative and commutative, and the merged bytes are
+//!   independent of the shard order — the fleet/global layers merge shard
+//!   accumulators in whatever grouping their topology dictates;
+//! * sketch percentiles stay within the documented one-sided error of the
+//!   exact nearest-rank percentile: `exact <= sketch <= exact * 33/32`
+//!   (exact below 64 cycles), with the maximum reported exactly.
+
+use proptest::prelude::*;
+
+use aim_serve::report::percentile_sorted;
+use aim_serve::LatencySketch;
+
+fn sketch_of(values: &[u64]) -> LatencySketch {
+    let mut s = LatencySketch::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+fn json(s: &LatencySketch) -> String {
+    serde_json::to_string(s).expect("serializable")
+}
+
+proptest! {
+    /// Any shard order, any merge grouping: same bytes.
+    #[test]
+    fn merge_is_associative_commutative_and_order_free(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..40),
+            2..6,
+        ),
+        rotate in any::<usize>(),
+    ) {
+        // Left fold in shard order.
+        let mut left = LatencySketch::new();
+        for shard in &shards {
+            left.merge(&sketch_of(shard));
+        }
+
+        // Right fold (associativity).
+        let mut right = LatencySketch::new();
+        for shard in shards.iter().rev() {
+            let mut tail = sketch_of(shard);
+            tail.merge(&right);
+            right = tail;
+        }
+
+        // Rotated shard order (commutativity / order freedom).
+        let pivot = rotate % shards.len();
+        let mut rotated = LatencySketch::new();
+        for shard in shards[pivot..].iter().chain(&shards[..pivot]) {
+            rotated.merge(&sketch_of(shard));
+        }
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &rotated);
+        prop_assert_eq!(json(&left), json(&right));
+        prop_assert_eq!(json(&left), json(&rotated));
+
+        // The merged sketch is the pooled sketch.
+        let pooled: Vec<u64> = shards.concat();
+        prop_assert_eq!(&left, &sketch_of(&pooled));
+    }
+}
+
+proptest! {
+    /// Sketch percentiles bracket the exact nearest-rank value from above,
+    /// within the documented `1/32` relative error, at every quantile.
+    #[test]
+    fn percentiles_stay_within_the_documented_error(
+        values in proptest::collection::vec(0u64..1 << 48, 1..200),
+        quantile_ppm in 0u32..1_000_001,
+    ) {
+        let sketch = sketch_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let q = f64::from(quantile_ppm) / 1e6;
+
+        let exact = percentile_sorted(&values, q);
+        let approx = sketch.percentile(q);
+        prop_assert!(approx >= exact, "sketch must bound from above: {approx} < {exact}");
+        prop_assert!(
+            (approx - exact) * LatencySketch::ERROR_DENOM <= exact,
+            "error beyond 1/{}: exact {exact}, sketch {approx}",
+            LatencySketch::ERROR_DENOM,
+        );
+        if exact < 64 {
+            // Values below 64 land in width-1 buckets: tracked exactly.
+            prop_assert_eq!(approx, exact);
+        }
+        prop_assert_eq!(sketch.percentile(1.0), *values.last().unwrap());
+        prop_assert_eq!(sketch.max(), *values.last().unwrap());
+    }
+}

@@ -384,6 +384,7 @@ fn builder_matches_struct_literal_and_validates() {
         .verify_every(5)
         .parallel(false)
         .seed(42)
+        .completion_capacity(256)
         .build();
     let literal = ServeConfig {
         chips: 8,
@@ -397,6 +398,7 @@ fn builder_matches_struct_literal_and_validates() {
         verify_every: 5,
         parallel: false,
         seed: 42,
+        completion_capacity: 256,
     };
     assert_eq!(built, literal);
 }

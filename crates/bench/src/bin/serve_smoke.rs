@@ -6,7 +6,21 @@
 //! Usage:
 //! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
 //!  [--backend cycle-accurate|analytical]
-//!  [--mode offline|online|fleet|global] [--check-regression]`
+//!  [--mode offline|online|fleet|global|hyperscale] [--check-regression]
+//!  [--requests <n>]`
+//!
+//! With `--mode hyperscale` the benchmark streams a **million-request**
+//! diurnal-wave trace (`--requests` overrides the count) straight off the
+//! [`TraceStream`] generator into a 64-shard × 4-chip analytical fleet with
+//! chip deaths, a degradation episode and elastic scaling live.  Nothing
+//! scales with the request count: the trace is never materialised, latency
+//! pools are fixed-size sketches, served session state retires as groups
+//! resolve, and the streamed-outcome buffer is capped.  The run gates on
+//! request conservation, on byte-identical reports between a parallel
+//! coarse-stepped and a sequential fine-stepped session (worker-count and
+//! `run_until`-granularity independence at scale), on peak process RSS
+//! (`VmHWM`) staying under a ceiling independent of the request count, and
+//! (with `--check-regression`) on `serve_hyper_virtual_rps`.
 //!
 //! With `--mode fleet` the benchmark drives a 2-shard [`FleetSession`]
 //! through a scripted chaos drill — one chip death mid-burst, one
@@ -71,7 +85,7 @@ use serde::Serialize;
 use workloads::inputs::{
     synthetic_trace, with_flash_crowds, ArrivalShape, FaultEvent, FaultKind, FaultPlan,
     RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloClass, SloMix, TraceRequest,
-    TrafficConfig,
+    TraceStream, TrafficConfig,
 };
 use workloads::zoo::Model;
 
@@ -927,6 +941,320 @@ fn run_global(label: &str, backend: BackendKind, check_regression: bool) -> Exit
     ExitCode::SUCCESS
 }
 
+/// Trajectory record of a hyperscale leg (`--mode hyperscale`): a
+/// million-request diurnal trace over a 64-shard analytical fleet, with
+/// faults and elastic scaling live, streamed off the [`TraceStream`]
+/// generator so memory stays independent of the request count.
+#[derive(Serialize)]
+struct HyperscaleSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_hyper_shards: usize,
+    serve_hyper_chips: usize,
+    serve_hyper_requests: usize,
+    /// Wall-clock ms of the parallel streamed session (submission through
+    /// drain; the CI wall ceiling watches the whole process instead).
+    serve_hyper_wall_ms: f64,
+    /// Served requests per second of virtual chip time (deterministic; the
+    /// regression-gated figure).
+    serve_hyper_virtual_rps: f64,
+    /// Peak resident set of the whole process (`VmHWM`), MiB — gated
+    /// against [`HYPER_RSS_CEILING_MIB`], a bound independent of the
+    /// request count.
+    serve_hyper_peak_rss_mib: Option<f64>,
+    /// Streamed outcomes shed under the completion-capacity bound (the
+    /// drained report still accounts every request).
+    serve_hyper_completions_dropped: u64,
+    /// Outcomes that streamed out of `poll_completions` mid-run.
+    serve_hyper_streamed: usize,
+    serve_hyper_p50_us: f64,
+    serve_hyper_p99_us: f64,
+    serve_hyper_mean_batch: f64,
+    serve_hyper_deadline_misses: usize,
+    serve_hyper_rejected: usize,
+    serve_hyper_requests_failed_over: usize,
+    serve_hyper_scale_ups: usize,
+    serve_hyper_scale_downs: usize,
+    /// served + rejected == submitted, and streamed + dropped + retained
+    /// covers every outcome.
+    serve_hyper_conserved: bool,
+    /// Byte-identical reports between the parallel coarse-stepped leg and
+    /// the sequential fine-stepped leg.
+    serve_hyper_deterministic: bool,
+}
+
+/// Hyperscale fleet shape: 64 shards of 4 analytical chips = 256 chips.
+const HYPER_SHARDS: usize = 64;
+const HYPER_CHIPS_PER_SHARD: usize = 4;
+/// Default (and CI) request count: one million.
+const HYPER_REQUESTS: usize = 1_000_000;
+/// Peak-RSS ceiling of the hyperscale run, MiB.  The bound is a property of
+/// the *fleet shape*, not the trace length: the trace streams off the
+/// generator, latency pools are fixed-size sketches, served session state
+/// retires as it resolves, and the completion buffer is capped — doubling
+/// the request count must not move the peak.  Documented in PERF.md.
+const HYPER_RSS_CEILING_MIB: f64 = 512.0;
+
+fn hyper_traffic(requests: usize) -> TrafficConfig {
+    // ~60 cycles mean inter-arrival over a million requests spans a
+    // ~6e7-cycle virtual horizon; three diurnal waves fit inside it and
+    // the fleet runs hot enough (crest rate 1.6x) that queues build and
+    // chip deaths catch in-flight work.
+    TrafficConfig {
+        requests,
+        models: 4,
+        mean_interarrival_cycles: 60.0,
+        burst_repeat_prob: 0.35,
+        deadline_slack_cycles: 4_000_000,
+        shape: ArrivalShape::DiurnalWave {
+            period_cycles: 20_000_000,
+            amplitude: 0.6,
+        },
+        slo_mix: SloMix::Mixed {
+            latency_share: 0.2,
+            best_effort_share: 0.3,
+        },
+        seed: 0x44E52,
+    }
+}
+
+/// Faults and scaling stay live at hyperscale: two chip deaths and one
+/// degradation/recovery episode spread across the diurnal horizon.
+fn hyper_faults() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_cycles: 8_000_000,
+            kind: FaultKind::Degradation {
+                shard: 17,
+                chip: 0,
+                slowdown_percent: 60,
+            },
+        },
+        // Both deaths land on diurnal crests (period/4 + k*period), where
+        // the killed chip is most likely to hold in-flight work to orphan.
+        FaultEvent {
+            at_cycles: 25_000_000,
+            kind: FaultKind::ChipDeath { shard: 3, chip: 1 },
+        },
+        FaultEvent {
+            at_cycles: 30_000_000,
+            kind: FaultKind::Recovery { shard: 17, chip: 0 },
+        },
+        FaultEvent {
+            at_cycles: 45_000_000,
+            kind: FaultKind::ChipDeath { shard: 40, chip: 2 },
+        },
+    ])
+}
+
+fn hyper_fleet_config() -> FleetConfig {
+    FleetConfig {
+        shards: HYPER_SHARDS,
+        shard_policy: ShardPolicy::RoundRobin,
+        initial_workers: 3,
+        scaling: Some(ScalingConfig {
+            check_interval_cycles: 2_000_000,
+            scale_up_backlog_cycles: 400_000,
+            scale_down_backlog_cycles: 40_000,
+            min_workers: 1,
+            max_workers: 0,
+            class_weights: [1, 2, 4],
+        }),
+    }
+}
+
+/// One streamed hyperscale session: requests submitted straight off the
+/// [`TraceStream`] (never materialised), outcomes polled every
+/// `poll_every` submissions, `run_until` optionally stepped at arrival
+/// midpoints (`fine_steps`) to vary the stepping granularity.  Returns the
+/// report, outcomes streamed mid-run, outcomes dropped, and wall ms.
+fn run_hyperscale_session(
+    runtime: &ServeRuntime,
+    traffic: &TrafficConfig,
+    poll_every: usize,
+    fine_steps: bool,
+) -> (FleetReport, usize, u64, f64) {
+    let start = Instant::now();
+    let mut fleet = FleetSession::new(runtime, hyper_fleet_config(), hyper_faults());
+    let mut streamed = 0usize;
+    let mut previous_arrival = 0u64;
+    for (i, request) in TraceStream::new(traffic).enumerate() {
+        if fine_steps {
+            // Step to the midpoint between consecutive arrivals first: a
+            // different run_until granularity that must not move a byte.
+            fleet.run_until(previous_arrival.midpoint(request.arrival_cycles));
+            previous_arrival = request.arrival_cycles;
+        }
+        fleet.submit(request);
+        if i % poll_every == poll_every - 1 {
+            streamed += fleet.poll_completions().len();
+        }
+    }
+    let report = fleet.drain();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    streamed += fleet.poll_completions().len();
+    let dropped = fleet.completions_dropped();
+    (report, streamed, dropped, wall_ms)
+}
+
+/// Peak resident set (`VmHWM`) of this process in MiB, when the platform
+/// exposes it.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_hyperscale(label: &str, requests: usize, check_regression: bool) -> ExitCode {
+    let gate_field = "serve_hyper_virtual_rps";
+    let previous_rps = last_bench_value(gate_field);
+
+    let plans = compile_zoo();
+    let traffic = hyper_traffic(requests);
+    // A small completion cap keeps the streamed-outcome buffer bounded
+    // between polls; the drained report still accounts every request.
+    let base_config = ServeConfig {
+        backend: BackendKind::Analytical,
+        audit_chips: 0,
+        verify_every: 0,
+        completion_capacity: 4_096,
+        ..serve_config(HYPER_CHIPS_PER_SHARD)
+    };
+    let runtime = ServeRuntime::from_plans(plans.clone(), base_config);
+
+    // Leg A: parallel workers, coarse stepping (submissions drive time).
+    let (report, streamed, dropped, wall_ms) =
+        run_hyperscale_session(&runtime, &traffic, 4_096, false);
+
+    // Leg B: sequential workers, fine-grained stepping — the determinism
+    // cross-check demanded at hyperscale: report bytes must not depend on
+    // the worker count or the run_until granularity.
+    let seq_runtime = ServeRuntime::from_plans(
+        plans,
+        ServeConfig {
+            parallel: false,
+            ..base_config
+        },
+    );
+    let (seq_report, _, _, _) = run_hyperscale_session(&seq_runtime, &traffic, 10_007, true);
+    let json = |r: &FleetReport| serde_json::to_string(r).ok();
+    let deterministic = json(&report) == json(&seq_report);
+
+    let conserved = report.serve.total_requests == requests
+        && report.serve.served_requests + report.serve.rejected_requests
+            == report.serve.total_requests
+        && streamed as u64 + dropped == requests as u64;
+    let peak_rss = peak_rss_mib();
+
+    let record = HyperscaleSmokeRecord {
+        label: label.to_string(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_hyper_shards: HYPER_SHARDS,
+        serve_hyper_chips: HYPER_SHARDS * HYPER_CHIPS_PER_SHARD,
+        serve_hyper_requests: report.serve.total_requests,
+        serve_hyper_wall_ms: wall_ms,
+        serve_hyper_virtual_rps: report.serve.throughput_rps,
+        serve_hyper_peak_rss_mib: peak_rss,
+        serve_hyper_completions_dropped: dropped,
+        serve_hyper_streamed: streamed,
+        serve_hyper_p50_us: report.serve.latency_p50_cycles as f64 / 1e3,
+        serve_hyper_p99_us: report.serve.latency_p99_cycles as f64 / 1e3,
+        serve_hyper_mean_batch: report.serve.mean_batch_size,
+        serve_hyper_deadline_misses: report.serve.deadline_misses,
+        serve_hyper_rejected: report.serve.rejected_requests,
+        serve_hyper_requests_failed_over: report.availability.requests_failed_over,
+        serve_hyper_scale_ups: report.availability.scale_ups,
+        serve_hyper_scale_downs: report.availability.scale_downs,
+        serve_hyper_conserved: conserved,
+        serve_hyper_deterministic: deterministic,
+    };
+
+    println!(
+        "serve_smoke [{}] (hyperscale mode, analytical fleet)",
+        record.label
+    );
+    println!(
+        "  fleet              : {} shards x {} chips = {} chips, {} requests (diurnal wave)",
+        record.serve_hyper_shards,
+        HYPER_CHIPS_PER_SHARD,
+        record.serve_hyper_chips,
+        record.serve_hyper_requests
+    );
+    println!(
+        "  chaos              : {} requests failed over, {} scale-ups, {} scale-downs",
+        record.serve_hyper_requests_failed_over,
+        record.serve_hyper_scale_ups,
+        record.serve_hyper_scale_downs
+    );
+    println!(
+        "  streaming          : {} outcomes polled, {} shed under the {}-outcome cap",
+        record.serve_hyper_streamed,
+        record.serve_hyper_completions_dropped,
+        base_config.completion_capacity
+    );
+    println!(
+        "  throughput         : {:>9.0} req/s virtual   ({:.0} ms wall/session)",
+        record.serve_hyper_virtual_rps, record.serve_hyper_wall_ms
+    );
+    println!(
+        "  latency (virtual)  : p50 {:.1} us  p99 {:.1} us  (batch {:.2}, {} misses, {} rejected)",
+        record.serve_hyper_p50_us,
+        record.serve_hyper_p99_us,
+        record.serve_hyper_mean_batch,
+        record.serve_hyper_deadline_misses,
+        record.serve_hyper_rejected
+    );
+    match peak_rss {
+        Some(mib) => {
+            println!("  peak rss           : {mib:.0} MiB (ceiling {HYPER_RSS_CEILING_MIB:.0} MiB)")
+        }
+        None => println!("  peak rss           : unavailable on this platform"),
+    }
+    println!(
+        "  conserved          : {} | deterministic: {}",
+        record.serve_hyper_conserved, record.serve_hyper_deterministic
+    );
+
+    append_bench_record(&record);
+
+    if !record.serve_hyper_conserved {
+        eprintln!(
+            "error: hyperscale run lost or duplicated requests — conservation contract broken"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !record.serve_hyper_deterministic {
+        eprintln!(
+            "error: parallel coarse-stepped and sequential fine-stepped reports diverged — \
+             determinism contract broken at hyperscale"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(mib) = peak_rss {
+        if mib > HYPER_RSS_CEILING_MIB {
+            eprintln!(
+                "error: peak RSS {mib:.0} MiB exceeds the {HYPER_RSS_CEILING_MIB:.0} MiB \
+                 hyperscale ceiling — memory grew with the request count"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(gate_field, record.serve_hyper_virtual_rps, previous_rps)
+        {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn regression_gate(label: &str, current: f64, previous: Option<f64>) -> Result<(), String> {
     if let Some(prev) = previous {
         let floor = 0.8 * prev;
@@ -974,8 +1302,17 @@ fn main() -> ExitCode {
         Some("online") => return run_online(&label, backend, check_regression),
         Some("fleet") => return run_fleet(&label, backend, check_regression),
         Some("global") => return run_global(&label, backend, check_regression),
+        Some("hyperscale") => {
+            let requests = args
+                .iter()
+                .position(|a| a == "--requests")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(HYPER_REQUESTS);
+            return run_hyperscale(&label, requests, check_regression);
+        }
         Some(other) => {
-            eprintln!("error: unknown --mode {other} (use offline|online|fleet|global)");
+            eprintln!("error: unknown --mode {other} (use offline|online|fleet|global|hyperscale)");
             return ExitCode::FAILURE;
         }
     }

@@ -239,78 +239,151 @@ impl Default for TrafficConfig {
     }
 }
 
+/// A streaming synthetic-trace generator: the iterator equivalent of
+/// [`synthetic_trace`], producing **byte-identical** draws one request at a
+/// time without ever materialising the trace.
+///
+/// A million-request diurnal trace costs 32 MiB as a `Vec<TraceRequest>`;
+/// hyperscale harnesses submit straight off this iterator instead, keeping
+/// generator memory O(1) in the request count.  [`synthetic_trace`] is now a
+/// thin `collect()` over this type, so the two can never drift: the RNG
+/// draw order (arrival gap, then model, then SLO class from its dedicated
+/// stream) is frozen — committed serving benchmarks replay traces by seed.
+///
+/// ## Arrival overflow
+///
+/// Virtual arrival times saturate at `u64::MAX` instead of wrapping: on a
+/// long enough horizon (or an absurd `mean_interarrival_cycles`) every
+/// subsequent request arrives at `u64::MAX` with its deadline clamped to
+/// `u64::MAX` too, so traces stay sorted and deadlines never precede
+/// arrivals.  The per-request gap itself is also saturated on the float →
+/// integer cast (Rust's `as` clamps), so a non-finite or oversized gap can
+/// never wrap a small arrival around zero.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    config: TrafficConfig,
+    rng: ChaCha8Rng,
+    /// SLO classes come from a *separate* stream so that enabling a mixed
+    /// class composition never perturbs the frozen arrival/model draws.
+    slo_rng: ChaCha8Rng,
+    arrival: u64,
+    previous_model: Option<usize>,
+    emitted: usize,
+}
+
+impl TraceStream {
+    /// Opens a stream over the configured traffic shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is zero.
+    #[must_use]
+    pub fn new(config: &TrafficConfig) -> Self {
+        assert!(config.models > 0, "a trace needs at least one model");
+        Self {
+            config: *config,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            slo_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0x0051_0C1A_55E5),
+            arrival: 0,
+            previous_model: None,
+            emitted: 0,
+        }
+    }
+
+    /// Requests still to come.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.config.requests - self.emitted
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceRequest;
+
+    fn next(&mut self) -> Option<TraceRequest> {
+        if self.emitted >= self.config.requests {
+            return None;
+        }
+        self.emitted += 1;
+        let config = &self.config;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        // The RNG draw order of the BurstyExponential arm is frozen:
+        // committed serving benchmarks replay its traces by seed.
+        let gap = match config.shape {
+            ArrivalShape::BurstyExponential | ArrivalShape::Poisson => {
+                (-u.ln() * config.mean_interarrival_cycles).round()
+            }
+            ArrivalShape::DiurnalWave {
+                period_cycles,
+                amplitude,
+            } => {
+                let period = period_cycles.max(1) as f64;
+                let swing = amplitude.clamp(0.0, 0.99);
+                let phase = 2.0 * std::f64::consts::PI * (self.arrival as f64 / period);
+                let rate = 1.0 + swing * phase.sin();
+                (-u.ln() * config.mean_interarrival_cycles / rate).round()
+            }
+        };
+        // `as u64` saturates (NaN -> 0, oversized -> u64::MAX), and the add
+        // saturates again: arrivals pin at u64::MAX rather than wrapping.
+        self.arrival = self.arrival.saturating_add(gap as u64);
+        let model = match config.shape {
+            ArrivalShape::Poisson => self.rng.gen_range(0..config.models),
+            ArrivalShape::BurstyExponential | ArrivalShape::DiurnalWave { .. } => {
+                match self.previous_model {
+                    Some(m) if self.rng.gen_range(0.0..1.0) < config.burst_repeat_prob => m,
+                    _ => self.rng.gen_range(0..config.models),
+                }
+            }
+        };
+        self.previous_model = Some(model);
+        let slo = match config.slo_mix {
+            SloMix::AllStandard => SloClass::Standard,
+            SloMix::Mixed {
+                latency_share,
+                best_effort_share,
+            } => {
+                let u: f64 = self.slo_rng.gen_range(0.0..1.0);
+                if u < latency_share {
+                    SloClass::LatencySensitive
+                } else if u < latency_share + best_effort_share {
+                    SloClass::BestEffort
+                } else {
+                    SloClass::Standard
+                }
+            }
+        };
+        Some(TraceRequest {
+            model,
+            arrival_cycles: self.arrival,
+            deadline_cycles: self.arrival.saturating_add(config.deadline_slack_cycles),
+            slo,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.remaining();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
+impl std::iter::FusedIterator for TraceStream {}
+
 /// Generates a synthetic serving trace with the configured [`ArrivalShape`]:
 /// bursty-exponential (the original behaviour, byte-identical per seed),
 /// memoryless Poisson, or a diurnal rate wave.  Requests come back sorted by
 /// arrival time.  Deterministic per `(shape, seed)`.
+///
+/// This is the eager `collect()` over [`TraceStream`]; harnesses that never
+/// need the whole trace at once iterate the stream directly.
 ///
 /// # Panics
 ///
 /// Panics if `models` is zero.
 #[must_use]
 pub fn synthetic_trace(config: &TrafficConfig) -> Vec<TraceRequest> {
-    assert!(config.models > 0, "a trace needs at least one model");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    // SLO classes come from a *separate* stream so that enabling a mixed
-    // class composition never perturbs the frozen arrival/model draws.
-    let mut slo_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0051_0C1A_55E5);
-    let mut arrival: u64 = 0;
-    let mut previous_model: Option<usize> = None;
-    (0..config.requests)
-        .map(|_| {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            // The RNG draw order of the BurstyExponential arm is frozen:
-            // committed serving benchmarks replay its traces by seed.
-            let gap = match config.shape {
-                ArrivalShape::BurstyExponential | ArrivalShape::Poisson => {
-                    (-u.ln() * config.mean_interarrival_cycles).round()
-                }
-                ArrivalShape::DiurnalWave {
-                    period_cycles,
-                    amplitude,
-                } => {
-                    let period = period_cycles.max(1) as f64;
-                    let swing = amplitude.clamp(0.0, 0.99);
-                    let phase = 2.0 * std::f64::consts::PI * (arrival as f64 / period);
-                    let rate = 1.0 + swing * phase.sin();
-                    (-u.ln() * config.mean_interarrival_cycles / rate).round()
-                }
-            };
-            arrival = arrival.saturating_add(gap as u64);
-            let model = match config.shape {
-                ArrivalShape::Poisson => rng.gen_range(0..config.models),
-                ArrivalShape::BurstyExponential | ArrivalShape::DiurnalWave { .. } => {
-                    match previous_model {
-                        Some(m) if rng.gen_range(0.0..1.0) < config.burst_repeat_prob => m,
-                        _ => rng.gen_range(0..config.models),
-                    }
-                }
-            };
-            previous_model = Some(model);
-            let slo = match config.slo_mix {
-                SloMix::AllStandard => SloClass::Standard,
-                SloMix::Mixed {
-                    latency_share,
-                    best_effort_share,
-                } => {
-                    let u: f64 = slo_rng.gen_range(0.0..1.0);
-                    if u < latency_share {
-                        SloClass::LatencySensitive
-                    } else if u < latency_share + best_effort_share {
-                        SloClass::BestEffort
-                    } else {
-                        SloClass::Standard
-                    }
-                }
-            };
-            TraceRequest {
-                model,
-                arrival_cycles: arrival,
-                deadline_cycles: arrival.saturating_add(config.deadline_slack_cycles),
-                slo,
-            }
-        })
-        .collect()
+    TraceStream::new(config).collect()
 }
 
 /// One kind of injected infrastructure fault in a chaos scenario.
@@ -1182,6 +1255,100 @@ mod tests {
             models: 0,
             ..TrafficConfig::default()
         });
+    }
+
+    #[test]
+    fn streamed_traces_match_the_eager_generator_byte_for_byte() {
+        // The stream and the eager generator must never drift: every shape
+        // and SLO mix, request by request.
+        for shape in [
+            ArrivalShape::BurstyExponential,
+            ArrivalShape::Poisson,
+            ArrivalShape::DiurnalWave {
+                period_cycles: 40_000,
+                amplitude: 0.7,
+            },
+        ] {
+            for slo_mix in [
+                SloMix::AllStandard,
+                SloMix::Mixed {
+                    latency_share: 0.25,
+                    best_effort_share: 0.25,
+                },
+            ] {
+                let config = TrafficConfig {
+                    requests: 1_000,
+                    shape,
+                    slo_mix,
+                    ..TrafficConfig::default()
+                };
+                let eager = synthetic_trace(&config);
+                let streamed: Vec<TraceRequest> = TraceStream::new(&config).collect();
+                assert_eq!(eager, streamed, "{shape:?}/{slo_mix:?} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_stream_reports_exact_length_and_fuses() {
+        let config = TrafficConfig {
+            requests: 17,
+            ..TrafficConfig::default()
+        };
+        let mut stream = TraceStream::new(&config);
+        assert_eq!(stream.len(), 17);
+        assert_eq!(stream.size_hint(), (17, Some(17)));
+        for left in (0..17usize).rev() {
+            assert!(stream.next().is_some());
+            assert_eq!(stream.remaining(), left);
+        }
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none(), "the stream must fuse");
+        assert_eq!(stream.len(), 0);
+    }
+
+    #[test]
+    fn arrivals_saturate_instead_of_wrapping_on_long_horizons() {
+        // An absurd mean drives every gap past u64::MAX: arrivals must pin
+        // at the ceiling (sorted, deadline clamped), never wrap past zero.
+        for shape in [
+            ArrivalShape::BurstyExponential,
+            ArrivalShape::DiurnalWave {
+                period_cycles: 1_000,
+                amplitude: 0.9,
+            },
+        ] {
+            let trace = synthetic_trace(&TrafficConfig {
+                requests: 8,
+                mean_interarrival_cycles: 1e40,
+                deadline_slack_cycles: u64::MAX,
+                shape,
+                ..TrafficConfig::default()
+            });
+            assert!(
+                trace
+                    .iter()
+                    .all(|r| r.arrival_cycles == u64::MAX && r.deadline_cycles == u64::MAX),
+                "{shape:?} must saturate at the u64 ceiling"
+            );
+            assert!(trace
+                .windows(2)
+                .all(|w| w[0].arrival_cycles <= w[1].arrival_cycles));
+        }
+    }
+
+    #[test]
+    fn saturated_deadlines_never_precede_their_arrival() {
+        // Near the ceiling the deadline add saturates too: deadline >=
+        // arrival holds even when arrival + slack would wrap.
+        let trace = synthetic_trace(&TrafficConfig {
+            requests: 64,
+            mean_interarrival_cycles: 2e18, // gaps straddle the u64 boundary
+            deadline_slack_cycles: u64::MAX / 2,
+            ..TrafficConfig::default()
+        });
+        assert!(trace.iter().all(|r| r.deadline_cycles >= r.arrival_cycles));
+        assert_eq!(trace.last().unwrap().arrival_cycles, u64::MAX);
     }
 
     #[test]

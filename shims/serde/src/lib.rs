@@ -64,6 +64,15 @@ impl Serialize for u64 {
 }
 impl Deserialize for u64 {}
 
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // JSON has no 128-bit integer; a decimal string keeps every value
+        // exact (and byte-stable) instead of silently rounding through f64.
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for u128 {}
+
 impl Serialize for usize {
     fn to_value(&self) -> Value {
         Value::UInt(*self as u64)
