@@ -27,7 +27,7 @@ use nn_quant::qat::{train_layer, QatConfig};
 use nn_quant::wds::apply_wds_to_layer;
 use pim_sim::backend::{CycleAccurate, ExecutionBackend};
 use pim_sim::chip::{
-    ChipConfig, ChipSimulator, MacroTask, RunReport, SimSession, StaticController, VfController,
+    ChipConfig, ChipSimulator, ChipTemplate, RunReport, SimSession, StaticController, VfController,
 };
 use workloads::zoo::Model;
 
@@ -290,7 +290,10 @@ pub fn build_batches(outcomes: &[OperatorOutcome], params: &ProcessParams) -> Ve
 /// stage produced, plus the cycle budget the runtime grants the batch.
 #[derive(Debug, Clone)]
 pub struct PlannedBatch {
-    tasks: Vec<Option<MacroTask>>,
+    /// Compile-once chip template for the batch: task mapping, set
+    /// derivation and electrical models are frozen here, so replays only
+    /// pay the cheap seed-dependent half ([`ChipTemplate::with_seed`]).
+    template: ChipTemplate,
     /// Cycle budget handed to the simulator (longest slice × 64 + 10k).
     max_cycles: u64,
     /// Useful cycles of the longest slice — the batch's ideal runtime under a
@@ -373,7 +376,7 @@ impl CompiledPlan {
                 let tasks = mapping.to_macro_tasks(batch);
                 let ideal_cycles = batch.iter().map(|s| s.cycles).max().unwrap_or(0);
                 PlannedBatch {
-                    tasks,
+                    template: ChipTemplate::new(chip_config.clone(), tasks),
                     max_cycles: ideal_cycles * 64 + 10_000,
                     ideal_cycles,
                     slices: batch.len(),
@@ -449,18 +452,18 @@ impl CompiledPlan {
     /// flip-sequence seed so a serving runtime can give every request replay
     /// distinct (but reproducible) input activity; offset 0 reproduces
     /// [`run_model`] exactly.
+    ///
+    /// Instantiation goes through the batch's compile-once [`ChipTemplate`]:
+    /// topology and electrical models are shared, and the flip bank for a
+    /// given seed is served from the template's bounded cache, so repeated
+    /// replays of the same plan (calibration probes, audit chips, offset-0
+    /// serve paths) pay no reconstruction beyond an `Arc` clone.
     pub(crate) fn batch_simulator(&self, batch_idx: usize, seed_offset: u64) -> ChipSimulator {
-        let batch = &self.batches[batch_idx];
-        ChipSimulator::new(
-            ChipConfig {
-                seed: self
-                    .chip_config
-                    .seed
-                    .wrapping_add(batch_idx as u64)
-                    .wrapping_add(seed_offset),
-                ..self.chip_config.clone()
-            },
-            batch.tasks.clone(),
+        self.batches[batch_idx].template.with_seed(
+            self.chip_config
+                .seed
+                .wrapping_add(batch_idx as u64)
+                .wrapping_add(seed_offset),
         )
     }
 

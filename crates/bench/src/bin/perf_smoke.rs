@@ -11,7 +11,7 @@ use aim_bench::{append_bench_record, quick_pipeline};
 use aim_core::booster::{BoosterConfig, IrBoosterController};
 use aim_core::pipeline::{run_model, AimConfig};
 use ir_model::process::ProcessParams;
-use pim_sim::chip::{ChipConfig, ChipSimulator, MacroTask, StaticController};
+use pim_sim::chip::{ChipConfig, ChipSimulator, ChipTemplate, MacroTask, StaticController};
 use serde::Serialize;
 use workloads::zoo::Model;
 
@@ -30,9 +30,23 @@ struct PerfRecord {
     /// Wall-clock ms for the reduced ResNet-18 AIM pipeline (baseline +
     /// full-low-power, the two runs the headline experiment needs per model).
     resnet18_pipeline_ms: f64,
+    /// Wall-clock µs of one full legacy-path construction
+    /// (`ChipSimulator::new`: template + 64 × 512-sample flip bank), best of
+    /// `CONSTRUCT_REPS`.
+    construct_fresh_us: f64,
+    /// Wall-clock µs of `ChipTemplate::with_seed` at an unseen seed (shared
+    /// topology, bank regenerated — the serve replay cache-miss cost).
+    construct_with_seed_us: f64,
+    /// Wall-clock µs of `ChipTemplate::with_seed` at a cached seed (the
+    /// calibration-probe / offset-0 replay cost).
+    construct_cached_us: f64,
+    /// `construct_fresh_us / construct_cached_us` — the repeated-replay
+    /// construction speedup the compile-once template buys.
+    construct_speedup: f64,
 }
 
 const REPS: usize = 5;
+const CONSTRUCT_REPS: usize = 200;
 
 fn bench_tasks() -> Vec<Option<MacroTask>> {
     let params = ProcessParams::dpim_7nm();
@@ -79,6 +93,35 @@ fn main() {
         sim.run(&mut booster, 10_000).total_cycles
     });
 
+    // Construction split: legacy fresh path vs template reuse vs cache hit.
+    // Seeds advance on the fresh/with-seed paths so no run benefits from the
+    // bank cache; the cached path deliberately repeats one seed.
+    let construct_config = ChipConfig {
+        flip_sequence_len: 512,
+        ..ChipConfig::default()
+    };
+    let mut seed = 1u64;
+    let (construct_fresh_us, _) = best_of(CONSTRUCT_REPS, || {
+        seed = seed.wrapping_add(1);
+        let sim = ChipSimulator::new(
+            ChipConfig {
+                seed,
+                ..construct_config.clone()
+            },
+            bench_tasks(),
+        );
+        u64::from(!sim.sets().is_empty())
+    });
+    let template = ChipTemplate::new(construct_config.clone(), bench_tasks());
+    let (construct_with_seed_us, _) = best_of(CONSTRUCT_REPS, || {
+        seed = seed.wrapping_add(1);
+        u64::from(!template.with_seed(seed).sets().is_empty())
+    });
+    let _ = template.with_seed(42);
+    let (construct_cached_us, _) = best_of(CONSTRUCT_REPS, || {
+        u64::from(!template.with_seed(42).sets().is_empty())
+    });
+
     let model = Model::resnet18();
     let (resnet18_pipeline_ms, _) = best_of(2, || {
         let base = run_model(&model, &quick_pipeline(AimConfig::baseline(), 5));
@@ -96,6 +139,10 @@ fn main() {
         chip_sim_booster_ms,
         static_cycles_per_sec: static_cycles as f64 / (chip_sim_static_ms / 1e3),
         resnet18_pipeline_ms,
+        construct_fresh_us: construct_fresh_us * 1e3,
+        construct_with_seed_us: construct_with_seed_us * 1e3,
+        construct_cached_us: construct_cached_us * 1e3,
+        construct_speedup: construct_fresh_us / construct_cached_us.max(f64::MIN_POSITIVE),
     };
 
     println!("perf_smoke [{}]", record.label);
@@ -110,6 +157,13 @@ fn main() {
     println!(
         "  resnet18 pipeline : {:>9.2} ms (baseline + full low-power)",
         record.resnet18_pipeline_ms
+    );
+    println!(
+        "  construct fresh   : {:>9.2} us / with_seed {:.2} us / cached {:.2} us ({:.1}x)",
+        record.construct_fresh_us,
+        record.construct_with_seed_us,
+        record.construct_cached_us,
+        record.construct_speedup
     );
 
     append_bench_record(&record);

@@ -233,6 +233,16 @@ struct FleetSmokeRecord {
     /// despite the chaos (the conservation gate).
     serve_fleet_conserved: bool,
     serve_fleet_deterministic: bool,
+    /// Sampled-verification cadence this leg ran with (0 = off).  The
+    /// analytical fleet verifies in-band now that cycle-accurate replays are
+    /// cheap; the cycle-accurate leg has nothing to verify.
+    serve_fleet_verify_every: usize,
+    /// Audit-drift figures from the in-fleet sampled verification; `None`
+    /// on the cycle-accurate leg.
+    serve_fleet_verified_groups: Option<usize>,
+    serve_fleet_drift_max: Option<f64>,
+    serve_fleet_error_bound: Option<f64>,
+    serve_fleet_within_bound: Option<bool>,
 }
 
 const REPS: usize = 3;
@@ -568,9 +578,19 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
 
     let plans = compile_zoo();
     let serve_models = plans.len();
+    // The analytical fleet now carries sampled verification *in-band*
+    // (every 8th analytical group replayed cycle-accurately) — the
+    // compile-once template and fused kernel made those audit replays cheap
+    // enough to spend inside the timed chaos session.  Cycle-accurate
+    // fleets have nothing to verify, so their cadence stays 0.
+    let verify_every = match backend {
+        BackendKind::Analytical => 8,
+        BackendKind::CycleAccurate => 0,
+    };
     let config = ServeConfig {
         backend,
         chips: 4,
+        verify_every,
         ..serve_config(4)
     };
     let runtime = ServeRuntime::from_plans(plans, config);
@@ -633,6 +653,15 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
         serve_fleet_attainment_best_effort: attainment(SloClass::BestEffort),
         serve_fleet_conserved: conserved,
         serve_fleet_deterministic: deterministic,
+        serve_fleet_verify_every: verify_every,
+        serve_fleet_verified_groups: report.serve.verification.as_ref().map(|v| v.sampled),
+        serve_fleet_drift_max: report
+            .serve
+            .verification
+            .as_ref()
+            .map(|v| v.max_cycle_drift),
+        serve_fleet_error_bound: report.serve.verification.as_ref().map(|v| v.error_bound),
+        serve_fleet_within_bound: report.serve.verification.as_ref().map(|v| v.within_bound),
     };
 
     println!(
@@ -670,6 +699,24 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
         "  conserved          : {} | deterministic: {}",
         record.serve_fleet_conserved, record.serve_fleet_deterministic
     );
+    if let (Some(sampled), Some(drift), Some(bound)) = (
+        record.serve_fleet_verified_groups,
+        record.serve_fleet_drift_max,
+        record.serve_fleet_error_bound,
+    ) {
+        println!(
+            "  verification       : every {} groups, {} sampled, drift max {:.4}, bound {:.4} ({})",
+            record.serve_fleet_verify_every,
+            sampled,
+            drift,
+            bound,
+            if record.serve_fleet_within_bound == Some(true) {
+                "within bound"
+            } else {
+                "EXCEEDED"
+            }
+        );
+    }
 
     append_bench_record(&record);
 
@@ -684,6 +731,13 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
     if record.serve_fleet_requests_failed_over == 0 {
         eprintln!(
             "error: the scripted chip death failed over no requests — the drill lost its teeth"
+        );
+        return ExitCode::FAILURE;
+    }
+    if record.serve_fleet_within_bound == Some(false) {
+        eprintln!(
+            "error: in-fleet sampled verification drift {:?} exceeds the calibrated bound {:?}",
+            record.serve_fleet_drift_max, record.serve_fleet_error_bound
         );
         return ExitCode::FAILURE;
     }

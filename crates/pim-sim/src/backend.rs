@@ -190,58 +190,87 @@ impl ExecutionBackend for CycleAccurate {
         let mut droop_samples = 0u64;
         let mut freq_weighted_useful = 0.0f64;
 
+        let topo = sim.topology.as_ref();
         let mut cycle: u64 = 0;
         while cycle < max_cycles && unfinished > 0 {
-            // --- per-macro activity this cycle ---------------------------------
+            // --- fused activity / droop / monitoring sweep ----------------------
+            // One group-major pass replaces the legacy per-macro activity pass
+            // and both per-group member loops (droop + worst-known HR).  Flat
+            // macro order equals group-major order (groups are contiguous), so
+            // the RNG draw order and every floating-point accumulation order
+            // are unchanged.  Failure effects are *deferred* (see
+            // `SimScratch::pending_failures`): in the legacy three-pass loop
+            // the activity pass completed before any failure write, so a
+            // fused sweep must not let group g's failure stall a set mate in
+            // group g' > g before that mate sampled its activity this cycle.
             scratch.rtog.fill(0.0);
-            for m in 0..total_macros {
-                if scratch.remaining[m] == 0 {
-                    scratch.busy[m] = false;
-                    report.idle_macro_cycles += 1;
-                    continue;
-                }
-                scratch.busy[m] = true;
-                // A macro that is recomputing (V-f adjustment) or stalled by a
-                // set mate is not streaming inputs, so its bitstreams do not
-                // toggle this cycle.
-                if cycle < scratch.penalty_until[m] || cycle < scratch.stall_until[m] {
-                    continue;
-                }
-                let task = sim.tasks[m].as_ref().expect("busy macro must have a task");
-                let flip = sim.flip_sequences[m].at(cycle);
-                // Input-determined operators have no offline HR; their
-                // runtime toggle behaviour is still bounded by the actual
-                // operand Hamming rate, modelled with a small jitter.
-                let hr = if task.input_determined {
-                    (task.weight_hr + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0)
-                } else {
-                    task.weight_hr
-                };
-                scratch.rtog[m] = (hr * flip).clamp(0.0, 1.0);
-            }
-
-            // --- group-level droop, monitoring and failure handling ------------
             scratch.observations.clear();
+            scratch.pending_failures.clear();
+            let flip_row = sim.flip_bank.row(cycle);
             let mut worst_droop_this_cycle = 0.0f64;
             for g in 0..groups {
                 let point = scratch.points[g];
-                let members = (g * mpg)..((g + 1) * mpg);
                 let mut group_active = false;
                 let mut worst_macro = None;
                 let mut worst_droop = 0.0f64;
-                for m in members.clone() {
-                    if !scratch.busy[m] {
+                let mut worst_known: Option<f64> = None;
+                let mut unknown = false;
+                // `m` indexes half a dozen scratch arrays besides
+                // `flip_row`; a range loop is the clearest form.
+                #[allow(clippy::needless_range_loop)]
+                for m in (g * mpg)..((g + 1) * mpg) {
+                    if scratch.remaining[m] == 0 {
+                        scratch.busy[m] = false;
+                        report.idle_macro_cycles += 1;
                         continue;
                     }
+                    scratch.busy[m] = true;
+                    // A macro that is recomputing (V-f adjustment) or stalled
+                    // by a set mate is not streaming inputs, so its bitstreams
+                    // do not toggle this cycle.
+                    if cycle >= scratch.penalty_until[m] && cycle >= scratch.stall_until[m] {
+                        let task = topo.tasks[m].as_ref().expect("busy macro must have a task");
+                        // Input-determined operators have no offline HR; their
+                        // runtime toggle behaviour is still bounded by the
+                        // actual operand Hamming rate, modelled with jitter.
+                        let hr = if task.input_determined {
+                            (task.weight_hr + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0)
+                        } else {
+                            task.weight_hr
+                        };
+                        scratch.rtog[m] = (hr * flip_row[m]).clamp(0.0, 1.0);
+                    }
                     group_active = true;
-                    let droop =
-                        sim.irdrop
-                            .irdrop_mv(scratch.rtog[m], point.voltage, point.frequency_ghz);
+                    let rtog = scratch.rtog[m];
+                    // Stalled/recomputing macros evaluate the droop model at
+                    // toggle 0 — a pure function of the operating point, so
+                    // the per-group memo returns the identical bits without
+                    // re-evaluating.
+                    let droop = topo
+                        .irdrop
+                        .irdrop_mv(rtog, point.voltage, point.frequency_ghz);
                     droop_accum += droop;
                     droop_samples += 1;
                     if droop > worst_droop {
                         worst_droop = droop;
                         worst_macro = Some(m);
+                    }
+                }
+                // Worst offline-known HR for the controller's safe-level
+                // logic.  Kept as a separate mini-loop over static task data:
+                // folding it into the sweep above adds enough live state to
+                // measurably slow the whole kernel (register pressure).
+                for m in (g * mpg)..((g + 1) * mpg) {
+                    if !scratch.busy[m] {
+                        continue;
+                    }
+                    let task = topo.tasks[m].as_ref().expect("busy macro must have a task");
+                    if task.input_determined {
+                        unknown = true;
+                    } else {
+                        worst_known = Some(
+                            worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)),
+                        );
                     }
                 }
                 report.worst_irdrop_mv = report.worst_irdrop_mv.max(worst_droop);
@@ -251,51 +280,16 @@ impl ExecutionBackend for CycleAccurate {
                 // minus the configured setup margin.  The vmin bisection only
                 // reruns when the group's frequency actually changed.
                 monitor.set_threshold(
-                    scratch.vmin_threshold(g, point.frequency_ghz, &sim.timing) - margin,
+                    scratch.vmin_threshold(g, point.frequency_ghz, &topo.timing) - margin,
                 );
                 let v_eff = point.voltage - worst_droop * 1e-3;
                 let failure = group_active && monitor.is_failure(v_eff);
                 if failure {
                     report.failures += 1;
                     if let Some(fm) = worst_macro {
-                        let until = cycle + sim.config.recompute_penalty_cycles;
-                        scratch.penalty_until[fm] = scratch.penalty_until[fm].max(until);
-                        // Stall every other member of the failing macro's set
-                        // (partial sums must stay consistent, Fig. 11)...
-                        if let Some(set_idx) = sim.set_index[fm] {
-                            for &mate in &sim.sets[set_idx].members {
-                                if mate != fm && scratch.remaining[mate] > 0 {
-                                    scratch.stall_until[mate] =
-                                        scratch.stall_until[mate].max(until);
-                                }
-                            }
-                        }
-                        // ...and every other macro of the failing group: the
-                        // group shares one LDO/PLL, so its V-f re-adjustment
-                        // pauses all of them — the interference that makes
-                        // mixing unrelated tasks in one group expensive.
-                        for mate in g * mpg..(g + 1) * mpg {
-                            if mate != fm && scratch.remaining[mate] > 0 {
-                                scratch.stall_until[mate] = scratch.stall_until[mate].max(until);
-                            }
-                        }
-                    }
-                }
-
-                // Worst offline-known HR for the controller's safe-level logic.
-                let mut worst_known: Option<f64> = None;
-                let mut unknown = false;
-                for m in members {
-                    if !scratch.busy[m] {
-                        continue;
-                    }
-                    let task = sim.tasks[m].as_ref().expect("busy macro must have a task");
-                    if task.input_determined {
-                        unknown = true;
-                    } else {
-                        worst_known = Some(
-                            worst_known.map_or(task.weight_hr, |w: f64| w.max(task.weight_hr)),
-                        );
+                        scratch
+                            .pending_failures
+                            .push((fm, cycle + sim.config.recompute_penalty_cycles));
                     }
                 }
                 scratch.observations.push(GroupObservation {
@@ -307,12 +301,42 @@ impl ExecutionBackend for CycleAccurate {
                 });
             }
 
+            // --- deferred failure effects ---------------------------------------
+            // Applied in group order, exactly the writes the legacy loop made
+            // inline; all of them are max-merges, so deferral changes no value.
+            for &(fm, until) in &scratch.pending_failures {
+                scratch.penalty_until[fm] = scratch.penalty_until[fm].max(until);
+                // Stall every other member of the failing macro's set
+                // (partial sums must stay consistent, Fig. 11)...
+                if let Some(set_idx) = topo.set_index[fm] {
+                    for &mate in &topo.sets[set_idx].members {
+                        if mate != fm && scratch.remaining[mate] > 0 {
+                            scratch.stall_until[mate] = scratch.stall_until[mate].max(until);
+                        }
+                    }
+                }
+                // ...and every other macro of the failing group: the group
+                // shares one LDO/PLL, so its V-f re-adjustment pauses all of
+                // them — the interference that makes mixing unrelated tasks
+                // in one group expensive.
+                let fg = topo.macro_group[fm];
+                for mate in fg * mpg..(fg + 1) * mpg {
+                    if mate != fm && scratch.remaining[mate] > 0 {
+                        scratch.stall_until[mate] = scratch.stall_until[mate].max(until);
+                    }
+                }
+            }
+
             // --- progress, power and accounting ---------------------------------
+            // This sweep must stay separate from the fused one: it reads the
+            // deferred `stall_until`/`penalty_until` writes of *every* group
+            // in the same cycle (sets span groups).
             for m in 0..total_macros {
                 if !scratch.busy[m] {
                     continue;
                 }
-                let point = scratch.points[sim.macro_group[m]];
+                let g = topo.macro_group[m];
+                let point = scratch.points[g];
                 let in_penalty = cycle < scratch.penalty_until[m];
                 let in_stall = cycle < scratch.stall_until[m];
                 let (toggle, progressed) = if in_penalty || in_stall {
@@ -333,21 +357,24 @@ impl ExecutionBackend for CycleAccurate {
                     report.stall_macro_cycles += 1;
                     report.per_macro_stall_cycles[m] += 1;
                 }
-                let p = sim
+                // Zero-toggle power is a pure function of the operating
+                // point; the memo hands back the identical bits.
+                let p_mw = topo
                     .power
-                    .macro_power(toggle, point.voltage, point.frequency_ghz, true);
-                power_accum += p.total_mw();
+                    .macro_power(toggle, point.voltage, point.frequency_ghz, true)
+                    .total_mw();
+                power_accum += p_mw;
                 power_samples += 1;
             }
 
             // --- optional trace --------------------------------------------------
             if sim.config.trace_interval > 0 && cycle.is_multiple_of(sim.config.trace_interval) {
-                let macro_voltage: Vec<f64> = sim
+                let macro_voltage: Vec<f64> = topo
                     .macro_group
                     .iter()
                     .map(|&g| scratch.points[g].voltage)
                     .collect();
-                let macro_frequency: Vec<f64> = sim
+                let macro_frequency: Vec<f64> = topo
                     .macro_group
                     .iter()
                     .map(|&g| scratch.points[g].frequency_ghz)
@@ -705,7 +732,7 @@ fn predict(
     let stages: Vec<Vec<GroupStage>> = (0..groups)
         .map(|g| {
             let members: Vec<(usize, &MacroTask)> = (g * mpg..(g + 1) * mpg)
-                .filter_map(|m| sim.tasks[m].as_ref().map(|t| (m, t)))
+                .filter_map(|m| sim.topology.tasks[m].as_ref().map(|t| (m, t)))
                 .collect();
             let mut thresholds: Vec<u64> = members.iter().map(|(_, t)| t.cycles).collect();
             thresholds.sort_unstable();
@@ -733,7 +760,7 @@ fn predict(
                             .iter()
                             .map(|&&(m, t)| MacroInfo {
                                 hr: t.weight_hr,
-                                set_idx: sim.set_index[m],
+                                set_idx: sim.topology.set_index[m],
                             })
                             .collect(),
                         worst_known_hr: if unknown { None } else { worst_known },
@@ -748,12 +775,13 @@ fn predict(
     // group's mapped population — the static structure behind the
     // cross-group stall coupling.
     let set_group_count: Vec<Vec<f64>> = sim
+        .topology
         .sets
         .iter()
         .map(|set| {
             let mut counts = vec![0.0f64; groups];
             for &m in &set.members {
-                counts[sim.macro_group[m]] += 1.0;
+                counts[sim.topology.macro_group[m]] += 1.0;
             }
             counts
         })
@@ -761,7 +789,7 @@ fn predict(
     let mapped_count: Vec<f64> = (0..groups)
         .map(|g| {
             (g * mpg..(g + 1) * mpg)
-                .filter(|&m| sim.tasks[m].is_some())
+                .filter(|&m| sim.topology.tasks[m].is_some())
                 .count() as f64
         })
         .collect();
@@ -784,7 +812,7 @@ fn predict(
     let mut decisions = Vec::with_capacity(groups);
 
     let mut unfinished: usize = (0..total_macros)
-        .filter(|&m| sim.tasks[m].is_some())
+        .filter(|&m| sim.topology.tasks[m].is_some())
         .count();
 
     let mut useful: u64 = 0;
@@ -953,6 +981,7 @@ fn predict(
             let flip_q = (flip_mean + flip_std * max_of_n_zscore(e.progress_dwell)).clamp(0.0, 1.0);
             let rtog = (e.max_hr * flip_q).clamp(0.0, 1.0);
             let droop = sim
+                .topology
                 .irdrop
                 .irdrop_mv(rtog, e.point.voltage, e.point.frequency_ghz);
             worst_droop = worst_droop.max(droop);
@@ -983,7 +1012,7 @@ fn predict(
     let mut per_macro_stall_cycles = vec![0u64; total_macros];
     for (g, &group_stall) in per_group_stall.iter().enumerate() {
         let mapped: Vec<usize> = (g * mpg..(g + 1) * mpg)
-            .filter(|&m| sim.tasks[m].is_some())
+            .filter(|&m| sim.topology.tasks[m].is_some())
             .collect();
         if mapped.is_empty() {
             continue;
@@ -1033,7 +1062,7 @@ fn build_point_stats(
 ) -> PointStats {
     let params = &sim.config.params;
     let margin = sim.config.failure_margin_v;
-    monitor.set_threshold(sim.timing.vmin(point.frequency_ghz) - margin);
+    monitor.set_threshold(sim.topology.timing.vmin(point.frequency_ghz) - margin);
 
     // The monitor decision is monotone in the effective voltage; bisect for
     // the smallest non-failing v_eff to recover the critical droop, then
@@ -1083,12 +1112,14 @@ fn build_point_stats(
         p_none *= 1.0 - p_m;
         let expected_rtog = (hr * flip_mean).clamp(0.0, 1.0);
         progress_power_sum += sim
+            .topology
             .power
             .macro_power(expected_rtog, point.voltage, point.frequency_ghz, true)
             .total_mw();
-        droop_mean_sum += sim
-            .irdrop
-            .irdrop_mv(expected_rtog, point.voltage, point.frequency_ghz);
+        droop_mean_sum +=
+            sim.topology
+                .irdrop
+                .irdrop_mv(expected_rtog, point.voltage, point.frequency_ghz);
     }
 
     // Cross-group coupling: given a failure here, which macro failed is
@@ -1120,6 +1151,7 @@ fn build_point_stats(
         p_fail: 1.0 - p_none,
         progress_power_sum,
         stall_power_mw: sim
+            .topology
             .power
             .macro_power(0.0, point.voltage, point.frequency_ghz, true)
             .total_mw(),

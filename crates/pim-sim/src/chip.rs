@@ -20,6 +20,8 @@
 //! provides mechanisms (droop, monitoring, stalls, recompute, accounting),
 //! the controller provides policy (which V-f pair to run).
 
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
 
 use ir_model::irdrop::IrDropModel;
@@ -30,7 +32,7 @@ use ir_model::vf::VfPair;
 
 use crate::backend::{CycleAccurate, ExecutionBackend};
 use crate::group::{group_of, GroupId, MacroId, MacroSet, SetId};
-use crate::stream::FlipSequence;
+use crate::stream::FlipBank;
 
 /// Configuration of a chip simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -275,17 +277,13 @@ impl RunReport {
     }
 }
 
-/// The chip simulator: geometry, tasks and per-macro runtime state.
-///
-/// The simulator itself is pure mechanism description (tasks, sets,
-/// electrical models); *how* a run is evaluated is the job of an
-/// [`ExecutionBackend`](crate::backend::ExecutionBackend) — the per-cycle
-/// engine ([`CycleAccurate`]) or the calibrated closed-form fast path
-/// ([`crate::backend::AnalyticalBackend`]).  [`Self::run`] keeps the
-/// historical cycle-accurate behaviour.
-#[derive(Debug, Clone)]
-pub struct ChipSimulator {
-    pub(crate) config: ChipConfig,
+/// The seed-independent half of a chip simulator: task mapping, logical
+/// sets, group geometry and the electrical models.  Everything here is a
+/// pure function of `(ChipConfig minus seed, tasks)`, so one topology is
+/// derived once per mapping and shared (via [`Arc`]) across every replay of
+/// that mapping — replays only differ in their flip-sequence seed.
+#[derive(Debug)]
+pub(crate) struct ChipTopology {
     pub(crate) tasks: Vec<Option<MacroTask>>,
     pub(crate) sets: Vec<MacroSet>,
     /// For each macro, the index into `sets` of its task's logical set
@@ -294,10 +292,198 @@ pub struct ChipSimulator {
     pub(crate) set_index: Vec<Option<usize>>,
     /// Flat macro id → group id, precomputed so the hot loop never divides.
     pub(crate) macro_group: Vec<GroupId>,
-    pub(crate) flip_sequences: Vec<FlipSequence>,
     pub(crate) irdrop: IrDropModel,
     pub(crate) power: PowerModel,
     pub(crate) timing: TimingModel,
+}
+
+impl ChipTopology {
+    /// Derives the topology for a task mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task vector length does not match the macro count.
+    fn new(config: &ChipConfig, tasks: Vec<Option<MacroTask>>) -> Self {
+        let total = config.params.total_macros();
+        assert_eq!(tasks.len(), total, "need one task slot per macro ({total})");
+        // Derive the logical sets and each macro's set index in one pass:
+        // the sorted-deduped id list gives every set its position up front
+        // (binary search), so neither the member lists nor `set_index` ever
+        // rescan `sets` — the old path was O(sets × macros) twice over.
+        let mut set_ids: Vec<SetId> = tasks.iter().flatten().map(|t| t.set_id).collect();
+        set_ids.sort_unstable();
+        set_ids.dedup();
+        let mut members: Vec<Vec<MacroId>> = vec![Vec::new(); set_ids.len()];
+        let set_index: Vec<Option<usize>> = tasks
+            .iter()
+            .enumerate()
+            .map(|(m, t)| {
+                t.as_ref().map(|t| {
+                    let idx = set_ids
+                        .binary_search(&t.set_id)
+                        .expect("every task's set id was collected above");
+                    members[idx].push(m);
+                    idx
+                })
+            })
+            .collect();
+        let sets: Vec<MacroSet> = set_ids
+            .into_iter()
+            .zip(members)
+            .map(|(sid, mem)| MacroSet::new(sid, mem))
+            .collect();
+        let mpg = config.params.macros_per_group;
+        let macro_group: Vec<GroupId> = (0..total).map(|m| group_of(m, mpg)).collect();
+        Self {
+            tasks,
+            sets,
+            set_index,
+            macro_group,
+            irdrop: IrDropModel::new(config.params),
+            power: PowerModel::new(config.params),
+            timing: TimingModel::from_process(&config.params),
+        }
+    }
+}
+
+/// Key of one cached flip bank: `(seed, len, mean bits, std bits)`.  The
+/// generated bank is a pure function of the key, so cache hits are
+/// byte-identical to regeneration by construction.
+type BankKey = (u64, usize, u64, u64);
+
+/// How many distinct seeds' flip banks one template retains.  Repeated
+/// replays of the same seed (calibration probes, sampled verification,
+/// golden replays) hit; one-shot serving offsets stream through without
+/// growing the cache beyond this bound.
+const FLIP_BANK_CACHE_CAP: usize = 16;
+
+/// The compile-once half of [`ChipSimulator::new`]: a seed-independent
+/// [`ChipTopology`] plus the chip configuration, from which
+/// [`Self::with_seed`] stamps out simulators for pennies.
+///
+/// Construction cost splits as: set derivation + electrical models (paid
+/// once, here) and the `macros × flip_sequence_len` Box–Muller flip bank
+/// (paid per *distinct* seed, behind a bounded cache shared across clones).
+/// A serving runtime replaying one plan thousands of times therefore stops
+/// paying construction on its audit/verification path entirely, and every
+/// instantiation stays bit-identical to a from-scratch
+/// [`ChipSimulator::new`].
+#[derive(Debug, Clone)]
+pub struct ChipTemplate {
+    config: ChipConfig,
+    topology: Arc<ChipTopology>,
+    /// Bounded LRU of generated flip banks, shared across template clones
+    /// (a cloned plan keeps hitting the same cache).
+    bank_cache: BankCache,
+}
+
+/// Bounded LRU of flip banks: most-recently-used last, capped at
+/// [`FLIP_BANK_CACHE_CAP`] entries.
+type BankCache = Arc<Mutex<Vec<(BankKey, Arc<FlipBank>)>>>;
+
+impl ChipTemplate {
+    /// Builds the template for a task mapping.  `config.seed` is only the
+    /// default seed — [`Self::with_seed`] overrides it per instantiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task vector length does not match the macro count.
+    #[must_use]
+    pub fn new(config: ChipConfig, tasks: Vec<Option<MacroTask>>) -> Self {
+        let topology = Arc::new(ChipTopology::new(&config, tasks));
+        Self {
+            config,
+            topology,
+            bank_cache: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The template's configuration (its `seed` field is the default seed).
+    #[must_use]
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The task mapped on each macro.
+    #[must_use]
+    pub fn tasks(&self) -> &[Option<MacroTask>] {
+        &self.topology.tasks
+    }
+
+    /// Instantiates a simulator for `seed`, reusing the shared topology and
+    /// the cached flip bank when this seed was instantiated before.
+    /// Bit-identical to `ChipSimulator::new` with the same config and tasks.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> ChipSimulator {
+        let flip_bank = self.flip_bank_for(seed);
+        ChipSimulator {
+            config: ChipConfig {
+                seed,
+                ..self.config.clone()
+            },
+            topology: Arc::clone(&self.topology),
+            flip_bank,
+        }
+    }
+
+    /// The flip bank for `seed`: cached if seen before, generated (and
+    /// cached, evicting the least recently used entry past the bound)
+    /// otherwise.  Generation runs outside the lock; a concurrent miss on
+    /// the same key generates an identical bank, so whichever insert lands
+    /// first wins without affecting any result byte.
+    fn flip_bank_for(&self, seed: u64) -> Arc<FlipBank> {
+        let key: BankKey = (
+            seed,
+            self.config.flip_sequence_len,
+            self.config.flip_mean.to_bits(),
+            self.config.flip_std.to_bits(),
+        );
+        {
+            let mut cache = self.bank_cache.lock().expect("flip-bank cache poisoned");
+            if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+                let entry = cache.remove(pos);
+                let bank = Arc::clone(&entry.1);
+                cache.push(entry);
+                return bank;
+            }
+        }
+        let bank = Arc::new(FlipBank::normal(
+            self.config.params.total_macros(),
+            self.config.flip_sequence_len,
+            self.config.flip_mean,
+            self.config.flip_std,
+            seed,
+        ));
+        let mut cache = self.bank_cache.lock().expect("flip-bank cache poisoned");
+        if let Some((_, cached)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(cached);
+        }
+        if cache.len() >= FLIP_BANK_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, Arc::clone(&bank)));
+        bank
+    }
+}
+
+/// The chip simulator: geometry, tasks and per-macro runtime state.
+///
+/// The simulator itself is pure mechanism description (tasks, sets,
+/// electrical models); *how* a run is evaluated is the job of an
+/// [`ExecutionBackend`](crate::backend::ExecutionBackend) — the per-cycle
+/// engine ([`CycleAccurate`]) or the calibrated closed-form fast path
+/// ([`crate::backend::AnalyticalBackend`]).  [`Self::run`] keeps the
+/// historical cycle-accurate behaviour.
+///
+/// The seed-independent parts live in a shared [`ChipTemplate`] /
+/// [`ChipTopology`]; a simulator is the pairing of one topology with one
+/// seed's [`FlipBank`].  Cloning is therefore cheap (two `Arc` bumps plus
+/// the config).
+#[derive(Debug, Clone)]
+pub struct ChipSimulator {
+    pub(crate) config: ChipConfig,
+    pub(crate) topology: Arc<ChipTopology>,
+    pub(crate) flip_bank: Arc<FlipBank>,
 }
 
 /// Reusable per-run state of [`ChipSimulator::run`].
@@ -323,6 +509,13 @@ pub struct SimScratch {
     /// relative to the cycle rate, so this removes the 80-step `vmin`
     /// bisection from almost every cycle.
     pub(crate) vmin_cache: Vec<(f64, f64)>,
+    /// Failure effects `(failing macro, penalty deadline)` detected during
+    /// the fused activity/droop sweep, applied to `penalty_until` /
+    /// `stall_until` only after the sweep.  Deferral keeps the fused kernel
+    /// bit-identical to the legacy three-pass loop: stall writes must reach
+    /// the progress pass of the *same* cycle but must not be visible to the
+    /// activity sampling of later groups in that cycle.
+    pub(crate) pending_failures: Vec<(usize, u64)>,
 }
 
 impl SimScratch {
@@ -339,6 +532,7 @@ impl SimScratch {
             observations: Vec::with_capacity(groups),
             decisions: Vec::with_capacity(groups),
             vmin_cache: vec![(f64::NAN, 0.0); groups],
+            pending_failures: Vec::new(),
         }
     }
 
@@ -354,7 +548,7 @@ impl SimScratch {
         );
         self.rtog.fill(0.0);
         self.busy.fill(false);
-        for (r, t) in self.remaining.iter_mut().zip(&sim.tasks) {
+        for (r, t) in self.remaining.iter_mut().zip(&sim.topology.tasks) {
             *r = t.as_ref().map_or(0, |t| t.cycles);
         }
         self.penalty_until.fill(0);
@@ -366,6 +560,7 @@ impl SimScratch {
         self.observations.clear();
         self.decisions.clear();
         self.vmin_cache.fill((f64::NAN, 0.0));
+        self.pending_failures.clear();
     }
 
     /// Monitor threshold voltage for group `g` at `frequency_ghz`, recomputed
@@ -480,60 +675,8 @@ impl ChipSimulator {
     /// Panics if the task vector length does not match the macro count.
     #[must_use]
     pub fn new(config: ChipConfig, tasks: Vec<Option<MacroTask>>) -> Self {
-        let total = config.params.total_macros();
-        assert_eq!(tasks.len(), total, "need one task slot per macro ({total})");
-        // Derive the logical sets from the tasks.
-        let mut set_ids: Vec<SetId> = tasks.iter().flatten().map(|t| t.set_id).collect();
-        set_ids.sort_unstable();
-        set_ids.dedup();
-        let sets: Vec<MacroSet> = set_ids
-            .into_iter()
-            .map(|sid| {
-                let members: Vec<MacroId> = tasks
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(m, t)| t.as_ref().filter(|t| t.set_id == sid).map(|_| m))
-                    .collect();
-                MacroSet::new(sid, members)
-            })
-            .collect();
-        let flip_sequences = (0..total)
-            .map(|m| {
-                FlipSequence::normal(
-                    config.flip_sequence_len,
-                    config.flip_mean,
-                    config.flip_std,
-                    config.seed.wrapping_add(m as u64 * 7919),
-                )
-            })
-            .collect();
-        let irdrop = IrDropModel::new(config.params);
-        let power = PowerModel::new(config.params);
-        let timing = TimingModel::from_process(&config.params);
-        // Index each macro's set once so the failure path never scans.
-        let set_index: Vec<Option<usize>> = tasks
-            .iter()
-            .map(|t| {
-                t.as_ref().map(|t| {
-                    sets.iter()
-                        .position(|s| s.id == t.set_id)
-                        .expect("every task's set was derived above")
-                })
-            })
-            .collect();
-        let mpg = config.params.macros_per_group;
-        let macro_group: Vec<GroupId> = (0..total).map(|m| group_of(m, mpg)).collect();
-        Self {
-            config,
-            tasks,
-            sets,
-            set_index,
-            macro_group,
-            flip_sequences,
-            irdrop,
-            power,
-            timing,
-        }
+        let seed = config.seed;
+        ChipTemplate::new(config, tasks).with_seed(seed)
     }
 
     /// The simulator's configuration.
@@ -545,13 +688,13 @@ impl ChipSimulator {
     /// The logical sets derived from the mapping.
     #[must_use]
     pub fn sets(&self) -> &[MacroSet] {
-        &self.sets
+        &self.topology.sets
     }
 
     /// The task mapped on each macro.
     #[must_use]
     pub fn tasks(&self) -> &[Option<MacroTask>] {
-        &self.tasks
+        &self.topology.tasks
     }
 
     /// Worst offline-known HR per group (the HRG of §5.5.1), or `None` for
@@ -564,7 +707,7 @@ impl ChipSimulator {
                 let members = (g * mpg)..((g + 1) * mpg);
                 let mut worst: Option<f64> = None;
                 for m in members {
-                    if let Some(task) = &self.tasks[m] {
+                    if let Some(task) = &self.topology.tasks[m] {
                         if task.input_determined {
                             return None;
                         }

@@ -55,7 +55,9 @@ pub mod stream;
 
 pub use backend::{AnalyticalBackend, BackendKind, Calibration, CycleAccurate, ExecutionBackend};
 pub use bank::{Bank, MacResult};
-pub use chip::{ChipConfig, ChipSimulator, MacroTask, RunReport, StaticController, VfController};
+pub use chip::{
+    ChipConfig, ChipSimulator, ChipTemplate, MacroTask, RunReport, StaticController, VfController,
+};
 pub use compensator::ShiftCompensator;
 pub use group::{GroupState, MacroSet};
 pub use pim_macro::{DigitalMacro, MacroActivity};

@@ -202,6 +202,92 @@ impl FlipSequence {
     }
 }
 
+/// A struct-of-arrays flip bank: every macro's statistical flip sequence for
+/// one chip, stored cycle-major so the per-cycle hot loop reads one
+/// contiguous stride-1 row instead of chasing `macros` separate `Vec<f64>`s.
+///
+/// `at(m, cycle)` is bit-for-bit identical to
+/// `FlipSequence::normal(len, mean, std, seed + m * 7919).at(cycle)`: the
+/// bank is generated macro by macro in the exact per-macro RNG draw order of
+/// the legacy path (Box–Muller over `ChaCha8Rng`, unchanged), only the
+/// storage is transposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipBank {
+    macros: usize,
+    len: usize,
+    /// `fractions[cycle * macros + m]`, `cycle` reduced modulo `len`.
+    fractions: Vec<f64>,
+}
+
+impl FlipBank {
+    /// Samples a `macros × len` bank of flip fractions.  Macro `m`'s row is
+    /// drawn from seed `base_seed + m * 7919` (wrapping), matching the
+    /// per-macro seed derivation of the chip simulator.
+    #[must_use]
+    pub fn normal(macros: usize, len: usize, mean: f64, std: f64, base_seed: u64) -> Self {
+        let mut fractions = vec![0.0f64; macros * len];
+        for m in 0..macros {
+            let mut rng = ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(m as u64 * 7919));
+            for cycle in 0..len {
+                // Box–Muller, draw-for-draw the legacy `FlipSequence::normal`.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                fractions[cycle * macros + m] = (mean + std * z).clamp(0.0, 1.0);
+            }
+        }
+        Self {
+            macros,
+            len,
+            fractions,
+        }
+    }
+
+    /// Number of macros (row width).
+    #[must_use]
+    pub fn macros(&self) -> usize {
+        self.macros
+    }
+
+    /// Sequence length per macro (rows; wrapped for longer runs).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bank holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 || self.macros == 0
+    }
+
+    /// The contiguous per-macro row for `cycle` (wrapping like
+    /// [`FlipSequence::at`]): `row(cycle)[m]` is macro `m`'s flip fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is empty.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, cycle: u64) -> &[f64] {
+        assert!(!self.is_empty(), "flip bank is empty");
+        let r = (cycle % self.len as u64) as usize;
+        &self.fractions[r * self.macros..(r + 1) * self.macros]
+    }
+
+    /// Flip fraction of macro `m` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is empty or `m` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, m: usize, cycle: u64) -> f64 {
+        assert!(m < self.macros, "macro {m} out of range");
+        self.row(cycle)[m]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +365,39 @@ mod tests {
     fn empty_sequence_at_panics() {
         let f = FlipSequence::from_fractions(&[]);
         let _ = f.at(0);
+    }
+
+    #[test]
+    fn flip_bank_matches_legacy_sequences_bit_for_bit() {
+        let (macros, len, mean, std, seed) = (64, 37, 0.5, 0.15, 0xA1A1u64);
+        let bank = FlipBank::normal(macros, len, mean, std, seed);
+        for m in 0..macros {
+            let legacy = FlipSequence::normal(len, mean, std, seed.wrapping_add(m as u64 * 7919));
+            for cycle in 0..(len as u64 * 2 + 5) {
+                assert_eq!(
+                    bank.at(m, cycle).to_bits(),
+                    legacy.at(cycle).to_bits(),
+                    "macro {m} cycle {cycle} diverged from the legacy draw"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flip_bank_rows_are_contiguous_and_wrap() {
+        let bank = FlipBank::normal(4, 3, 0.5, 0.1, 7);
+        assert_eq!(bank.macros(), 4);
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.row(0), bank.row(3));
+        assert_eq!(bank.row(2), bank.row(5));
+        assert_eq!(bank.row(1).len(), 4);
+        assert_eq!(bank.at(2, 4), bank.row(1)[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip bank is empty")]
+    fn empty_bank_row_panics() {
+        let bank = FlipBank::normal(4, 0, 0.5, 0.1, 7);
+        let _ = bank.row(0);
     }
 }

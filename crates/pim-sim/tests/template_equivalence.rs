@@ -1,0 +1,134 @@
+//! Byte-equivalence property tests for the compile-once template path.
+//!
+//! The perf refactor split `ChipSimulator::new` into a seed-independent
+//! [`ChipTemplate`] plus a cheap `with_seed` instantiation backed by a
+//! bounded flip-bank cache, and replaced the per-macro `Vec<FlipSequence>`
+//! with one flat SoA [`FlipBank`].  These tests pin the contract that made
+//! that refactor admissible: for random `(ChipConfig, mapping)` pairs, every
+//! construction path yields the same `RunReport` *bytes* under both
+//! execution backends, and the SoA bank reproduces the legacy per-macro
+//! sequences bit-for-bit.
+
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pim_sim::backend::{AnalyticalBackend, CycleAccurate, ExecutionBackend};
+use pim_sim::chip::{ChipConfig, ChipSimulator, ChipTemplate, MacroTask, StaticController};
+use pim_sim::stream::{FlipBank, FlipSequence};
+
+/// Draws a random but valid chip configuration.
+fn random_config(rng: &mut ChaCha8Rng) -> ChipConfig {
+    let lens = [64usize, 128, 256];
+    ChipConfig {
+        recompute_penalty_cycles: rng.gen_range(3..9),
+        flip_mean: rng.gen_range(0.2..0.7),
+        flip_std: rng.gen_range(0.05..0.25),
+        flip_sequence_len: lens[rng.gen_range(0..lens.len())],
+        seed: rng.next_u64(),
+        ..ChipConfig::default()
+    }
+}
+
+/// Draws a random task mapping: one slot per macro, ~10% idle, random HR,
+/// cycle counts, set assignment and input-determined flags.
+fn random_mapping(rng: &mut ChaCha8Rng, total_macros: usize) -> Vec<Option<MacroTask>> {
+    (0..total_macros)
+        .map(|m| {
+            if rng.gen_bool(0.1) {
+                return None;
+            }
+            let mut task = MacroTask::new(
+                format!("prop-op-{m}"),
+                rng.gen_range(0.05..0.95),
+                rng.gen_range(200..1_500),
+                rng.gen_range(0..10usize),
+            );
+            task.input_determined = rng.gen_bool(0.3);
+            Some(task)
+        })
+        .collect()
+}
+
+fn report_bytes(backend: &dyn ExecutionBackend, sim: &ChipSimulator, max_cycles: u64) -> String {
+    let mut controller = StaticController::nominal(&sim.config().params);
+    let report = backend.run(sim, &mut controller, max_cycles);
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+/// `ChipTemplate::with_seed(s)` must be byte-equivalent to a fresh
+/// `ChipSimulator::new` at the same seed, under both backends, including
+/// repeated instantiations served from the template's flip-bank cache.
+#[test]
+fn template_with_seed_matches_fresh_construction() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB17E_5EED);
+    let cycle_accurate = CycleAccurate;
+    let analytical = AnalyticalBackend::uncalibrated();
+
+    for trial in 0..8 {
+        let config = random_config(&mut rng);
+        let tasks = random_mapping(&mut rng, config.params.total_macros());
+        let template = ChipTemplate::new(config.clone(), tasks.clone());
+
+        for seed_offset in [0u64, 1, 17] {
+            let seed = config.seed.wrapping_add(seed_offset);
+            let fresh = ChipSimulator::new(
+                ChipConfig {
+                    seed,
+                    ..config.clone()
+                },
+                tasks.clone(),
+            );
+            let templated = template.with_seed(seed);
+            // Second instantiation at the same seed exercises the cache-hit
+            // path — it must not change a single byte either.
+            let cached = template.with_seed(seed);
+
+            for backend in [&cycle_accurate as &dyn ExecutionBackend, &analytical] {
+                let want = report_bytes(backend, &fresh, 3_000);
+                assert_eq!(
+                    want,
+                    report_bytes(backend, &templated, 3_000),
+                    "trial {trial} offset {seed_offset}: template diverged from \
+                     fresh construction under {:?}",
+                    backend.kind(),
+                );
+                assert_eq!(
+                    want,
+                    report_bytes(backend, &cached, 3_000),
+                    "trial {trial} offset {seed_offset}: cached flip bank diverged \
+                     under {:?}",
+                    backend.kind(),
+                );
+            }
+        }
+    }
+}
+
+/// The SoA flip bank must reproduce the legacy per-macro `FlipSequence`
+/// fractions bit-for-bit for random distribution parameters.
+#[test]
+fn flip_bank_matches_legacy_sequences_for_random_params() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF11B_BA2C);
+    for _ in 0..12 {
+        let macros = rng.gen_range(1..96);
+        let len = rng.gen_range(1..300);
+        let mean = rng.gen_range(0.0..1.0);
+        let std = rng.gen_range(0.0..0.4);
+        let base_seed: u64 = rng.next_u64();
+
+        let bank = FlipBank::normal(macros, len, mean, std, base_seed);
+        for m in 0..macros {
+            let legacy =
+                FlipSequence::normal(len, mean, std, base_seed.wrapping_add(m as u64 * 7919));
+            for cycle in 0..(len as u64 * 2) {
+                assert_eq!(
+                    bank.at(m, cycle).to_bits(),
+                    legacy.at(cycle).to_bits(),
+                    "macro {m} cycle {cycle} diverged from legacy sequence",
+                );
+            }
+        }
+    }
+}
