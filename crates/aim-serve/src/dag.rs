@@ -1,0 +1,659 @@
+//! DAG orchestration: multi-stage requests over the fault-tolerant fleet.
+//!
+//! A [`workloads::dag::DagRequest`] names a [`DagTemplate`] — a stage graph
+//! over the model zoo — plus an arrival, a whole-DAG deadline and per-stage
+//! think gaps.  The [`DagOrchestrator`] turns each instance into ordinary
+//! fleet traffic:
+//!
+//! 1. **Dependency-driven submission** — a stage is submitted the moment
+//!    every parent stage has completed (plus the stage's think gap), as a
+//!    plain [`TraceRequest`] whose stated arrival is the dependency-ready
+//!    time.
+//! 2. **Per-stage deadline budgets** — the whole-DAG deadline splits into
+//!    per-stage deadlines proportional to critical-path position
+//!    ([`split_dag_deadline`]), so every tail stage's budget lands exactly
+//!    on the DAG deadline.
+//! 3. **Priority inheritance** — with
+//!    [`DagOrchestratorConfig::inherit_priority`] on, each stage runs under
+//!    the highest class of itself and everything downstream of it
+//!    ([`DagTemplate::inherited_classes`]), so a latency-sensitive tail
+//!    promotes its not-yet-started upstream stages through the session's
+//!    priority-insertion rule.
+//! 4. **Per-DAG admission** — with an [`AdmissionConfig`] set, an arriving
+//!    DAG is admitted or shed *whole* against the fleet's mean per-shard
+//!    backlog: a mid-DAG stage is never orphaned by letting half a pipeline
+//!    into a fleet that cannot take the rest.
+//!
+//! ## The canonical event walk
+//!
+//! The orchestrator never steps the fleet to caller-chosen times.  It walks
+//! a canonical virtual-time event sequence — the merge of its own
+//! dependency-ready queue and the fleet's event horizon
+//! ([`FleetSession::next_event_cycles`]), observing completions via
+//! [`FleetSession::observe_until`] — and the caller's
+//! [`DagOrchestrator::run_until`] merely bounds how far the walk proceeds.
+//! Every time the orchestrator acts on is therefore a pure function of
+//! `(submissions, faults, config)`, which is what keeps the drained report
+//! **byte-identical** across stepping granularity and worker counts, for
+//! either execution backend.
+//!
+//! ## Conservation
+//!
+//! Every stage of every submitted DAG resolves exactly once: `Served` or
+//! `Rejected` through the fleet, or `Shed` by the orchestrator (whole-DAG
+//! admission, a failed sibling stage, or [`DagOrchestrator::evict_pending`]).
+//! The drained [`FleetReport::dag`] stats pin `served + rejected + shed ==
+//! stages_total` and `completed + failed == dags`.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use workloads::dag::{DagRequest, DagTemplate, SessionItem, SessionItemKind};
+use workloads::inputs::{FaultPlan, SloClass, TraceRequest};
+
+use crate::fleet::{FleetConfig, FleetReport, FleetSession};
+use crate::report::DagAccumulator;
+use crate::runtime::ServeRuntime;
+use crate::scheduler::{split_dag_deadline, AdmissionConfig, CostModel};
+use crate::session::CompletionStatus;
+
+/// Orchestrator policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagOrchestratorConfig {
+    /// Promote each stage to the highest class of itself and its
+    /// descendants (priority inheritance).  Off, every stage runs under its
+    /// own class (template override or the DAG instance's class).
+    pub inherit_priority: bool,
+    /// Whole-DAG admission control: an arriving DAG is shed outright —
+    /// every stage resolved `Shed`, nothing submitted — when the fleet's
+    /// mean per-shard backlog (all classes) exceeds the cap of the DAG's
+    /// class.  `None` admits every DAG (stages still face the session's
+    /// own per-stage admission).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl Default for DagOrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            inherit_priority: true,
+            admission: None,
+        }
+    }
+}
+
+/// How one stage (or point request) left the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageStatus {
+    /// The stage was submitted and resolved by the fleet.
+    Fleet {
+        /// Shard that served (or rejected) the stage.
+        shard: usize,
+        /// The per-request completion.
+        status: CompletionStatus,
+    },
+    /// The orchestrator shed the stage without the fleet ever resolving
+    /// it: whole-DAG admission, a failed sibling stage, or eviction.
+    Shed,
+}
+
+/// One resolved stage, streamed by [`DagOrchestrator::poll_outcomes`].
+/// Point requests flow through the same stream as single-stage non-DAG
+/// items (`dag == false`, `stage == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageOutcome {
+    /// Orchestrator item id, in submission order (points and DAGs share
+    /// one sequence).
+    pub item: usize,
+    /// Stage index within the item's template (0 for points).
+    pub stage: usize,
+    /// Total stages of the item (1 for points).
+    pub stages: usize,
+    /// Whether the item is a DAG instance.
+    pub dag: bool,
+    /// Model the stage targeted.
+    pub model: usize,
+    /// Class the stage was submitted under (after inheritance, when on).
+    pub class: SloClass,
+    /// How the stage resolved.
+    pub status: StageStatus,
+}
+
+/// Where one fleet submission index points back to.
+#[derive(Debug, Clone, Copy)]
+enum SubmissionRef {
+    Point { item: usize },
+    Stage { item: usize, stage: usize },
+}
+
+/// Orchestrator-side state of one live DAG instance.
+#[derive(Debug)]
+struct DagInstance {
+    template: usize,
+    arrival: u64,
+    deadline: u64,
+    class: SloClass,
+    /// Class each stage is submitted under (inheritance applied).
+    effective: Vec<SloClass>,
+    /// Per-stage deadline budgets ([`split_dag_deadline`]).
+    stage_deadlines: Vec<u64>,
+    /// Think gaps of this instance.
+    gaps: Vec<u64>,
+    submitted: Vec<bool>,
+    resolved: Vec<bool>,
+    /// Parents still unserved, per stage.
+    pending_parents: Vec<usize>,
+    /// Running `max(parent finish + gap)` per stage — the dependency-ready
+    /// time once `pending_parents` hits zero.
+    child_ready: Vec<u64>,
+    /// Stages not yet resolved.
+    unresolved: usize,
+    /// A stage was rejected or shed: no further submissions for this DAG.
+    failed: bool,
+    /// Latest measured stage finish (the end-to-end completion time).
+    max_finish: u64,
+}
+
+/// One submitted item: a point request or a DAG instance.
+#[derive(Debug)]
+enum Item {
+    Point { resolved: bool },
+    Dag(Box<DagInstance>),
+}
+
+/// Multi-stage orchestration over a [`FleetSession`] — see the
+/// [module docs](self) for the submission, deadline, inheritance and
+/// admission rules.
+#[derive(Debug)]
+pub struct DagOrchestrator<'rt> {
+    fleet: FleetSession<'rt>,
+    config: DagOrchestratorConfig,
+    templates: Vec<DagTemplate>,
+    /// Child lists per template, derived once.
+    children: Vec<Vec<Vec<usize>>>,
+    cost: CostModel,
+    items: Vec<Item>,
+    /// Fleet submission index -> orchestrator item/stage.
+    submissions: Vec<SubmissionRef>,
+    /// Dependency-ready stages awaiting submission:
+    /// `(ready_at, item, stage)` — the BTreeSet order *is* the canonical
+    /// submission order.
+    ready: BTreeSet<(u64, usize, usize)>,
+    outcomes: VecDeque<StageOutcome>,
+    acc: DagAccumulator,
+    drained: bool,
+}
+
+impl<'rt> DagOrchestrator<'rt> {
+    /// Opens an orchestrated fleet over the runtime with the fault schedule
+    /// armed and the template catalogue fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid template (see [`DagTemplate::validate`]) or an
+    /// invalid fleet configuration.
+    #[must_use]
+    pub fn new(
+        runtime: &'rt ServeRuntime,
+        fleet: FleetConfig,
+        faults: FaultPlan,
+        templates: Vec<DagTemplate>,
+        config: DagOrchestratorConfig,
+    ) -> Self {
+        for template in &templates {
+            template.validate();
+        }
+        let children = templates.iter().map(DagTemplate::children).collect();
+        Self {
+            fleet: FleetSession::new(runtime, fleet, faults),
+            config,
+            children,
+            cost: runtime.cost_model(),
+            templates,
+            items: Vec::new(),
+            submissions: Vec::new(),
+            ready: BTreeSet::new(),
+            outcomes: VecDeque::new(),
+            acc: DagAccumulator::new(),
+            drained: false,
+        }
+    }
+
+    /// The orchestrator's virtual clock: the underlying fleet's.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.fleet.clock()
+    }
+
+    /// Items (points + DAGs) submitted so far.
+    #[must_use]
+    pub fn items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The underlying fleet (read-only).
+    #[must_use]
+    pub fn fleet(&self) -> &FleetSession<'rt> {
+        &self.fleet
+    }
+
+    /// Submits one [`SessionItem`] (point or DAG), returning its item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Self::submit_point`] /
+    /// [`Self::submit_dag`].
+    pub fn submit_item(&mut self, item: &SessionItem) -> usize {
+        match &item.kind {
+            SessionItemKind::Point(request) => self.submit_point(*request),
+            SessionItemKind::Dag(dag) => self.submit_dag(dag),
+        }
+    }
+
+    /// Submits one point request, returning its item id.  Points bypass
+    /// whole-DAG admission (the session's per-stage admission still
+    /// applies) and flow through the fleet untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orchestrator was drained or the request names an
+    /// unknown model.
+    pub fn submit_point(&mut self, request: TraceRequest) -> usize {
+        assert!(!self.drained, "cannot submit to a drained orchestrator");
+        self.pump(request.arrival_cycles);
+        let item = self.items.len();
+        self.items.push(Item::Point { resolved: false });
+        self.acc.note_point();
+        self.submissions.push(SubmissionRef::Point { item });
+        self.fleet.submit(request);
+        item
+    }
+
+    /// Submits one DAG instance, returning its item id.  Root stages are
+    /// submitted at the DAG's arrival; downstream stages are submitted by
+    /// the canonical event walk as their parents complete.  With
+    /// [`DagOrchestratorConfig::admission`] set, the whole DAG may be shed
+    /// here instead — every stage resolves `Shed` and nothing reaches the
+    /// fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orchestrator was drained, the template index is out
+    /// of range, or the instance's gap vector does not match the template.
+    pub fn submit_dag(&mut self, dag: &DagRequest) -> usize {
+        assert!(!self.drained, "cannot submit to a drained orchestrator");
+        let template = self
+            .templates
+            .get(dag.template)
+            .unwrap_or_else(|| panic!("unknown DAG template index {}", dag.template))
+            .clone();
+        let stages = template.stages.len();
+        assert_eq!(
+            dag.stage_gaps.len(),
+            stages,
+            "DAG instance carries one think gap per template stage"
+        );
+        // Process every canonical event due before this arrival first, so
+        // the admission read and the root submissions see the same fleet
+        // state regardless of caller stepping.
+        self.pump(dag.arrival_cycles);
+
+        let item = self.items.len();
+        self.acc.note_dag(dag.slo, stages);
+
+        if let Some(admission) = self.config.admission {
+            self.fleet.observe_until(dag.arrival_cycles);
+            let backlog: u64 = self
+                .fleet
+                .class_backlog_cycles()
+                .iter()
+                .fold(0u64, |a, &b| a.saturating_add(b));
+            let mean_per_shard = backlog / self.fleet.shards() as u64;
+            if mean_per_shard > admission.cap_for(dag.slo) {
+                // Shed the whole DAG: never orphan a mid-DAG stage.
+                for stage in 0..stages {
+                    self.outcomes.push_back(StageOutcome {
+                        item,
+                        stage,
+                        stages,
+                        dag: true,
+                        model: template.stages[stage].model,
+                        class: template.own_class(stage, dag.slo),
+                        status: StageStatus::Shed,
+                    });
+                    self.acc.absorb_stage_shed();
+                }
+                self.acc.absorb_dag_failed();
+                self.items.push(Item::Dag(Box::new(DagInstance {
+                    template: dag.template,
+                    arrival: dag.arrival_cycles,
+                    deadline: dag.deadline_cycles,
+                    class: dag.slo,
+                    effective: Vec::new(),
+                    stage_deadlines: Vec::new(),
+                    gaps: Vec::new(),
+                    submitted: vec![false; stages],
+                    resolved: vec![true; stages],
+                    pending_parents: Vec::new(),
+                    child_ready: Vec::new(),
+                    unresolved: 0,
+                    failed: true,
+                    max_finish: 0,
+                })));
+                return item;
+            }
+        }
+
+        let effective = if self.config.inherit_priority {
+            template.inherited_classes(dag.slo)
+        } else {
+            (0..stages)
+                .map(|s| template.own_class(s, dag.slo))
+                .collect()
+        };
+        for (stage, &class) in effective.iter().enumerate() {
+            if class > template.own_class(stage, dag.slo) {
+                self.acc.note_promotion();
+            }
+        }
+        let stage_deadlines = split_dag_deadline(
+            &template,
+            &dag.stage_gaps,
+            &self.cost,
+            dag.arrival_cycles,
+            dag.deadline_cycles,
+        );
+        let pending_parents: Vec<usize> = template.stages.iter().map(|s| s.parents.len()).collect();
+        let instance = DagInstance {
+            template: dag.template,
+            arrival: dag.arrival_cycles,
+            deadline: dag.deadline_cycles,
+            class: dag.slo,
+            effective,
+            stage_deadlines,
+            gaps: dag.stage_gaps.clone(),
+            submitted: vec![false; stages],
+            resolved: vec![false; stages],
+            pending_parents: pending_parents.clone(),
+            child_ready: vec![dag.arrival_cycles; stages],
+            unresolved: stages,
+            failed: false,
+            max_finish: 0,
+        };
+        self.items.push(Item::Dag(Box::new(instance)));
+        // Root stages issue at the DAG's arrival (their think gap, if any,
+        // is ignored — a gap models the pause *after* a parent completes).
+        for (stage, &parents) in pending_parents.iter().enumerate() {
+            if parents == 0 {
+                self.submit_stage(item, stage, dag.arrival_cycles);
+            }
+        }
+        item
+    }
+
+    /// Steps orchestration up to virtual cycle `target`: walks every
+    /// canonical event (dependency-ready submission or fleet event) due at
+    /// or before then.  Stepping granularity never changes the drained
+    /// report bytes.
+    pub fn run_until(&mut self, target: u64) {
+        self.pump(target);
+    }
+
+    /// Drains the resolved stage/point outcomes accumulated since the last
+    /// poll, in resolution order.
+    pub fn poll_outcomes(&mut self) -> Vec<StageOutcome> {
+        self.outcomes.drain(..).collect()
+    }
+
+    /// Evicts every committed-but-not-started request across the fleet at
+    /// virtual time `at_cycles` — the region-loss analogue.  Each evicted
+    /// point resolves `Shed`; each evicted stage resolves `Shed` and fails
+    /// its DAG, shedding the DAG's not-yet-submitted stages too (each
+    /// exactly once).  In-flight sibling stages still resolve through the
+    /// fleet.  Returns the number of requests evicted from the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orchestrator was drained.
+    pub fn evict_pending(&mut self, at_cycles: u64) -> usize {
+        assert!(!self.drained, "cannot evict from a drained orchestrator");
+        self.pump(at_cycles);
+        let evicted = self.fleet.evict_pending(at_cycles);
+        let count = evicted.len();
+        for (fleet_id, request) in evicted {
+            match self.submissions[fleet_id] {
+                SubmissionRef::Point { item } => {
+                    let Item::Point { resolved } = &mut self.items[item] else {
+                        unreachable!("point submission maps to a point item");
+                    };
+                    assert!(!*resolved, "evicted point already resolved");
+                    *resolved = true;
+                    self.outcomes.push_back(StageOutcome {
+                        item,
+                        stage: 0,
+                        stages: 1,
+                        dag: false,
+                        model: request.model,
+                        class: request.slo,
+                        status: StageStatus::Shed,
+                    });
+                }
+                SubmissionRef::Stage { item, stage } => {
+                    self.resolve_shed_stage(item, stage);
+                    self.fail_dag(item);
+                    self.finalize_if_done(item);
+                }
+            }
+        }
+        count
+    }
+
+    /// Walks every remaining canonical event, drains the fleet and freezes
+    /// the report with the DAG-level stats attached
+    /// ([`FleetReport::dag`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orchestrator was already drained.
+    pub fn drain(&mut self) -> FleetReport {
+        assert!(!self.drained, "orchestrator already drained");
+        self.pump(u64::MAX);
+        self.drained = true;
+        debug_assert!(self.ready.is_empty(), "drain leaves no stage unsubmitted");
+        let mut report = self.fleet.drain();
+        report.dag = Some(self.acc.finish());
+        report
+    }
+
+    // --- the canonical event walk ------------------------------------------
+
+    /// Processes every canonical event due at or before `target`, in time
+    /// order; dependency-ready submissions run before fleet observations on
+    /// ties (a submission at `t` must enter the estimated schedule before
+    /// anything else is derived from it).
+    fn pump(&mut self, target: u64) {
+        loop {
+            let ready_head = self.ready.iter().next().copied();
+            let fleet_event = self.fleet.next_event_cycles();
+            let next = match (ready_head, fleet_event) {
+                (None, None) => break,
+                (Some((r, _, _)), None) => r,
+                (None, Some(e)) => e,
+                (Some((r, _, _)), Some(e)) => r.min(e),
+            };
+            if next > target {
+                break;
+            }
+            if let Some((ready_at, item, stage)) = ready_head.filter(|&(r, _, _)| r <= next) {
+                self.ready.remove(&(ready_at, item, stage));
+                self.submit_stage(item, stage, ready_at);
+                continue;
+            }
+            self.fleet.observe_until(next);
+            self.harvest();
+        }
+    }
+
+    /// Submits one dependency-ready stage to the fleet.
+    fn submit_stage(&mut self, item: usize, stage: usize, ready_at: u64) {
+        let Item::Dag(instance) = &mut self.items[item] else {
+            unreachable!("stages only exist on DAG items");
+        };
+        debug_assert!(!instance.failed, "failed DAGs never submit");
+        instance.submitted[stage] = true;
+        let request = TraceRequest {
+            model: self.templates[instance.template].stages[stage].model,
+            arrival_cycles: ready_at,
+            deadline_cycles: instance.stage_deadlines[stage],
+            slo: instance.effective[stage],
+        };
+        self.submissions.push(SubmissionRef::Stage { item, stage });
+        self.fleet.submit(request);
+    }
+
+    /// Polls the fleet and resolves every completed submission.
+    fn harvest(&mut self) {
+        for fleet_outcome in self.fleet.poll_completions() {
+            let outcome = fleet_outcome.outcome;
+            match self.submissions[outcome.request] {
+                SubmissionRef::Point { item } => {
+                    let Item::Point { resolved } = &mut self.items[item] else {
+                        unreachable!("point submission maps to a point item");
+                    };
+                    debug_assert!(!*resolved, "point resolved twice");
+                    *resolved = true;
+                    self.outcomes.push_back(StageOutcome {
+                        item,
+                        stage: 0,
+                        stages: 1,
+                        dag: false,
+                        model: outcome.model,
+                        class: outcome.slo,
+                        status: StageStatus::Fleet {
+                            shard: fleet_outcome.shard,
+                            status: outcome.status,
+                        },
+                    });
+                }
+                SubmissionRef::Stage { item, stage } => {
+                    self.resolve_fleet_stage(item, stage, fleet_outcome.shard, outcome.status);
+                }
+            }
+        }
+    }
+
+    /// Resolves one fleet-completed stage: bookkeeping, child fan-out on a
+    /// serve, whole-DAG failure on a rejection.
+    fn resolve_fleet_stage(
+        &mut self,
+        item: usize,
+        stage: usize,
+        shard: usize,
+        status: CompletionStatus,
+    ) {
+        let Item::Dag(instance) = &mut self.items[item] else {
+            unreachable!("stage submission maps to a DAG item");
+        };
+        debug_assert!(!instance.resolved[stage], "stage resolved twice");
+        instance.resolved[stage] = true;
+        instance.unresolved -= 1;
+        let stages = instance.submitted.len();
+        self.outcomes.push_back(StageOutcome {
+            item,
+            stage,
+            stages,
+            dag: true,
+            model: self.templates[instance.template].stages[stage].model,
+            class: instance.effective[stage],
+            status: StageStatus::Fleet { shard, status },
+        });
+        match status {
+            CompletionStatus::Served { finish_cycles, .. } => {
+                self.acc.absorb_stage_served();
+                instance.max_finish = instance.max_finish.max(finish_cycles);
+                if !instance.failed {
+                    let children = &self.children[instance.template][stage];
+                    for &child in children {
+                        let ready = finish_cycles.saturating_add(instance.gaps[child]);
+                        instance.child_ready[child] = instance.child_ready[child].max(ready);
+                        instance.pending_parents[child] -= 1;
+                        if instance.pending_parents[child] == 0 {
+                            self.ready
+                                .insert((instance.child_ready[child], item, child));
+                        }
+                    }
+                }
+            }
+            CompletionStatus::Rejected { .. } => {
+                self.acc.absorb_stage_rejected();
+                self.fail_dag(item);
+            }
+        }
+        self.finalize_if_done(item);
+    }
+
+    /// Marks one never-to-run stage `Shed` (exactly once).
+    fn resolve_shed_stage(&mut self, item: usize, stage: usize) {
+        let Item::Dag(instance) = &mut self.items[item] else {
+            unreachable!("stage submission maps to a DAG item");
+        };
+        assert!(!instance.resolved[stage], "stage shed twice");
+        instance.resolved[stage] = true;
+        instance.unresolved -= 1;
+        let stages = instance.submitted.len();
+        self.outcomes.push_back(StageOutcome {
+            item,
+            stage,
+            stages,
+            dag: true,
+            model: self.templates[instance.template].stages[stage].model,
+            class: instance.effective[stage],
+            status: StageStatus::Shed,
+        });
+        self.acc.absorb_stage_shed();
+    }
+
+    /// Fails a DAG: stops all future submissions and sheds every stage that
+    /// was never submitted (in-flight stages still resolve via the fleet).
+    fn fail_dag(&mut self, item: usize) {
+        {
+            let Item::Dag(instance) = &mut self.items[item] else {
+                unreachable!("only DAG items fail");
+            };
+            if instance.failed {
+                return;
+            }
+            instance.failed = true;
+        }
+        self.ready.retain(|&(_, i, _)| i != item);
+        let to_shed: Vec<usize> = {
+            let Item::Dag(instance) = &self.items[item] else {
+                unreachable!()
+            };
+            (0..instance.submitted.len())
+                .filter(|&s| !instance.submitted[s] && !instance.resolved[s])
+                .collect()
+        };
+        for stage in to_shed {
+            self.resolve_shed_stage(item, stage);
+        }
+    }
+
+    /// Absorbs the whole-DAG verdict once every stage has resolved.
+    fn finalize_if_done(&mut self, item: usize) {
+        let Item::Dag(instance) = &self.items[item] else {
+            unreachable!("only DAG items finalize");
+        };
+        if instance.unresolved > 0 {
+            return;
+        }
+        if instance.failed {
+            self.acc.absorb_dag_failed();
+        } else {
+            let e2e = instance.max_finish.saturating_sub(instance.arrival);
+            let missed = instance.max_finish > instance.deadline;
+            let class = instance.class;
+            self.acc.absorb_dag_completed(class, e2e, missed);
+        }
+    }
+}

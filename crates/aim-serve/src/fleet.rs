@@ -62,7 +62,7 @@ use serde::{Deserialize, Serialize};
 use pim_sim::backend::ChipHealth;
 use workloads::inputs::{FaultEvent, FaultKind, FaultPlan, SloClass, TraceRequest};
 
-use crate::report::{ReportAccumulator, ServeReport};
+use crate::report::{DagServeStats, ReportAccumulator, ServeReport};
 use crate::runtime::ServeRuntime;
 use crate::session::{RequestOutcome, ServeSession};
 
@@ -306,6 +306,9 @@ pub struct FleetReport {
     pub serve: ServeReport,
     /// Fault, failover and elasticity accounting.
     pub availability: AvailabilityStats,
+    /// DAG-level accounting when the run was driven by a
+    /// [`crate::dag::DagOrchestrator`]; `None` for a plain fleet drain.
+    pub dag: Option<DagServeStats>,
 }
 
 /// Capacity a chip degraded by `slowdown_percent` loses over `interval`
@@ -503,6 +506,53 @@ impl<'rt> FleetSession<'rt> {
         }
     }
 
+    /// Steps the fleet to `at_cycles` as an **externally scheduled
+    /// observation event**: unlike [`Self::run_until`], the target is not
+    /// clamped to the event horizon — it *extends* the horizon, exactly
+    /// like a submitted arrival or an eviction does.
+    ///
+    /// This is the hook an orchestration layer (e.g.
+    /// [`crate::dag::DagOrchestrator`]) uses to observe completions at
+    /// canonical virtual times of its own: the observation time becomes
+    /// part of the fleet's event history, so faults and scaling checks due
+    /// at or before it fire exactly as they would for any other scheduled
+    /// event, independent of how coarsely the orchestrator's caller steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was drained.
+    pub fn observe_until(&mut self, at_cycles: u64) {
+        assert!(!self.drained, "cannot observe a drained fleet");
+        self.horizon = self.horizon.max(at_cycles);
+        self.advance(at_cycles);
+        for session in &mut self.shards {
+            session.run_until(at_cycles);
+        }
+    }
+
+    /// The next virtual time at which stepping the fleet can resolve or
+    /// re-plan pending work: the earliest shard event
+    /// ([`ServeSession::next_event_cycles`]), lowered to the next unfired
+    /// fault or scaling check if one is due sooner (either can reshape the
+    /// estimated schedule the shard event was derived from).  `None` when
+    /// no shard holds pending work — faults and scaling checks alone cannot
+    /// resolve requests, so a quiescent fleet reports no events and an
+    /// event-walking orchestrator terminates.
+    #[must_use]
+    pub fn next_event_cycles(&self) -> Option<u64> {
+        let work = self
+            .shards
+            .iter()
+            .filter_map(ServeSession::next_event_cycles)
+            .min()?;
+        let mut next = work;
+        if let Some(event) = self.faults.events.get(self.next_fault) {
+            next = next.min(event.at_cycles);
+        }
+        next = next.min(self.next_scale_check);
+        Some(next)
+    }
+
     /// Drains the accumulated per-request outcomes of every shard (shard
     /// order, group-commit order within a shard); request indices are in
     /// fleet submission order (shards are handed the fleet index at
@@ -606,6 +656,7 @@ impl<'rt> FleetSession<'rt> {
         FleetReport {
             serve,
             availability,
+            dag: None,
         }
     }
 

@@ -95,6 +95,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dag;
 pub mod fleet;
 pub mod global;
 pub mod report;
@@ -103,6 +104,7 @@ pub mod scenario;
 pub mod scheduler;
 pub mod session;
 
+pub use dag::{DagOrchestrator, DagOrchestratorConfig, StageOutcome, StageStatus};
 pub use fleet::{
     AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
     ScalingConfig, ShardPolicy,
@@ -113,8 +115,8 @@ pub use global::{
     RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
 };
 pub use report::{
-    ChipServeStats, ClassServeStats, LatencySketch, ReportAccumulator, ServeReport,
-    VerificationStats,
+    ChipServeStats, ClassServeStats, DagClassStats, DagServeStats, LatencySketch,
+    ReportAccumulator, ServeReport, VerificationStats,
 };
 pub use runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};
@@ -124,6 +126,7 @@ pub use session::{CompletionStatus, RequestOutcome, ServeSession};
 /// config builder, report types, and the workload-side request/SLO/fault
 /// vocabulary.
 pub mod prelude {
+    pub use crate::dag::{DagOrchestrator, DagOrchestratorConfig, StageOutcome, StageStatus};
     pub use crate::fleet::{
         AvailabilityStats, ClassAttainment, FleetConfig, FleetOutcome, FleetReport, FleetSession,
         ScalingConfig, ShardPolicy,
@@ -134,13 +137,17 @@ pub mod prelude {
         RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
     };
     pub use crate::report::{
-        ChipServeStats, ClassServeStats, LatencySketch, ReportAccumulator, ServeReport,
-        VerificationStats,
+        ChipServeStats, ClassServeStats, DagClassStats, DagServeStats, LatencySketch,
+        ReportAccumulator, ServeReport, VerificationStats,
     };
     pub use crate::runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
     pub use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy, RequestGroup};
     pub use crate::session::{CompletionStatus, RequestOutcome, ServeSession};
     pub use pim_sim::backend::{BackendKind, ChipHealth};
+    pub use workloads::dag::{
+        standard_templates, DagRequest, DagStage, DagTemplate, SessionConfig, SessionItem,
+        SessionItemKind, SessionStream,
+    };
     pub use workloads::inputs::{
         chaos_fault_plan, region_chaos_plan, with_flash_crowds, ChaosConfig, FaultEvent, FaultKind,
         FaultPlan, RegionChaosConfig, RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloClass,

@@ -686,6 +686,190 @@ impl ReportAccumulator {
     }
 }
 
+/// Per-class DAG accounting row (whole DAGs, not stages).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagClassStats {
+    /// The class the row describes (the DAG instance's class).
+    pub class: SloClass,
+    /// DAG instances of this class submitted.
+    pub total: usize,
+    /// Instances whose every stage was served.
+    pub completed: usize,
+    /// Completed instances whose end-to-end latency broke the DAG deadline.
+    pub deadline_misses: usize,
+    /// Median end-to-end latency of completed instances (cycles,
+    /// sketch-quantized).
+    pub e2e_p50_cycles: u64,
+    /// 99th-percentile end-to-end latency of completed instances.
+    pub e2e_p99_cycles: u64,
+}
+
+/// DAG-level accounting of one orchestrated run, attached to
+/// [`crate::fleet::FleetReport::dag`] by
+/// [`crate::dag::DagOrchestrator::drain`]: whole-DAG conservation and
+/// end-to-end latency on top of the per-request serving report (DAG stages
+/// are ordinary requests there).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagServeStats {
+    /// DAG instances submitted.
+    pub dags: usize,
+    /// Instances whose every stage was served.
+    pub completed: usize,
+    /// Instances that lost at least one stage (per-DAG admission shed, a
+    /// mid-flight stage rejection, or eviction).  `completed + failed ==
+    /// dags` once drained — a DAG either fully completes or counts here.
+    pub failed: usize,
+    /// Completed instances that broke their end-to-end deadline.
+    pub deadline_misses: usize,
+    /// Stages across all instances.
+    pub stages_total: usize,
+    /// Stages executed to completion.
+    pub stages_served: usize,
+    /// Stages bounced by per-stage admission control mid-flight.
+    pub stages_rejected: usize,
+    /// Stages shed without submission (whole-DAG admission, a failed
+    /// sibling stage, or eviction).  `served + rejected + shed ==
+    /// stages_total` once drained — the stage conservation law.
+    pub stages_shed: usize,
+    /// Stages whose class was promoted above their own by priority
+    /// inheritance from a downstream stage.
+    pub inherited_promotions: usize,
+    /// Point (non-DAG) requests routed through the orchestrator.
+    pub points: usize,
+    /// Median end-to-end latency over completed instances (arrival of the
+    /// DAG to the measured finish of its last stage; sketch-quantized).
+    pub e2e_p50_cycles: u64,
+    /// 99th-percentile end-to-end latency over completed instances.
+    pub e2e_p99_cycles: u64,
+    /// Worst end-to-end latency over completed instances.
+    pub e2e_max_cycles: u64,
+    /// Per-class rows, ascending priority order.
+    pub per_class: Vec<DagClassStats>,
+}
+
+/// Per-class running DAG state inside [`DagAccumulator`].
+#[derive(Debug, Clone, Default)]
+struct DagClassAcc {
+    total: usize,
+    completed: usize,
+    deadline_misses: usize,
+    e2e: LatencySketch,
+}
+
+/// Incremental [`DagServeStats`] builder, fed by the DAG orchestrator as
+/// instances resolve.  Latencies go through the same [`LatencySketch`] as
+/// the per-request report, so the frozen percentiles are order-free and
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DagAccumulator {
+    dags: usize,
+    completed: usize,
+    failed: usize,
+    deadline_misses: usize,
+    stages_total: usize,
+    stages_served: usize,
+    stages_rejected: usize,
+    stages_shed: usize,
+    inherited_promotions: usize,
+    points: usize,
+    e2e: LatencySketch,
+    per_class: [DagClassAcc; 3],
+}
+
+impl DagAccumulator {
+    /// A fresh, empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one submitted DAG instance of `class` with `stages` stages.
+    pub fn note_dag(&mut self, class: SloClass, stages: usize) {
+        self.dags += 1;
+        self.stages_total += stages;
+        self.per_class[class.index()].total += 1;
+    }
+
+    /// Notes one point request routed through the orchestrator.
+    pub fn note_point(&mut self) {
+        self.points += 1;
+    }
+
+    /// Notes one stage promoted above its own class by inheritance.
+    pub fn note_promotion(&mut self) {
+        self.inherited_promotions += 1;
+    }
+
+    /// Absorbs one served stage.
+    pub fn absorb_stage_served(&mut self) {
+        self.stages_served += 1;
+    }
+
+    /// Absorbs one admission-rejected stage.
+    pub fn absorb_stage_rejected(&mut self) {
+        self.stages_rejected += 1;
+    }
+
+    /// Absorbs one shed stage.
+    pub fn absorb_stage_shed(&mut self) {
+        self.stages_shed += 1;
+    }
+
+    /// Absorbs a fully served DAG instance: every stage completed,
+    /// end-to-end latency `e2e_cycles`, deadline verdict `missed`.
+    pub fn absorb_dag_completed(&mut self, class: SloClass, e2e_cycles: u64, missed: bool) {
+        self.completed += 1;
+        self.e2e.record(e2e_cycles);
+        let row = &mut self.per_class[class.index()];
+        row.completed += 1;
+        row.e2e.record(e2e_cycles);
+        if missed {
+            self.deadline_misses += 1;
+            row.deadline_misses += 1;
+        }
+    }
+
+    /// Absorbs a failed DAG instance (at least one stage rejected or shed).
+    pub fn absorb_dag_failed(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Freezes the DAG-level stats.
+    #[must_use]
+    pub fn finish(&self) -> DagServeStats {
+        let per_class = SloClass::ALL
+            .iter()
+            .map(|&class| {
+                let acc = &self.per_class[class.index()];
+                DagClassStats {
+                    class,
+                    total: acc.total,
+                    completed: acc.completed,
+                    deadline_misses: acc.deadline_misses,
+                    e2e_p50_cycles: acc.e2e.percentile(0.50),
+                    e2e_p99_cycles: acc.e2e.percentile(0.99),
+                }
+            })
+            .collect();
+        DagServeStats {
+            dags: self.dags,
+            completed: self.completed,
+            failed: self.failed,
+            deadline_misses: self.deadline_misses,
+            stages_total: self.stages_total,
+            stages_served: self.stages_served,
+            stages_rejected: self.stages_rejected,
+            stages_shed: self.stages_shed,
+            inherited_promotions: self.inherited_promotions,
+            points: self.points,
+            e2e_p50_cycles: self.e2e.percentile(0.50),
+            e2e_p99_cycles: self.e2e.percentile(0.99),
+            e2e_max_cycles: self.e2e.max(),
+            per_class,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

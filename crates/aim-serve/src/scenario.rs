@@ -35,16 +35,26 @@
 //!   served after recovery: pins the retry budget and failback.
 //! * **`flash-crowd`** — a best-effort surge on one model overruns the
 //!   shed ceilings: pins the per-class shed order (best-effort first).
+//!
+//! A third, **DAG** catalogue ([`dag_all`]) freezes whole
+//! [`DagOrchestrator`](crate::dag::DagOrchestrator) runs — multi-stage
+//! request DAGs multiplexed with point traffic:
+//!
+//! * **`dag-cascade-chip-death`** — chips die *between the stages* of
+//!   in-flight cascades: pins the dependency-driven resubmission, the
+//!   orphan-stage shed ledger, and priority inheritance under failover.
 
 use aim_core::booster::BoosterConfig;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use pim_sim::backend::BackendKind;
+use workloads::dag::{session_items, standard_templates, SessionConfig};
 use workloads::inputs::{
     synthetic_trace, with_flash_crowds, ArrivalShape, FaultEvent, FaultKind, FaultPlan,
     RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloMix, TrafficConfig,
 };
 use workloads::zoo::Model;
 
+use crate::dag::{DagOrchestrator, DagOrchestratorConfig};
 use crate::fleet::{FleetConfig, FleetReport, FleetSession, ScalingConfig, ShardPolicy};
 use crate::global::{
     GlobalConfig, GlobalReport, GlobalRouter, RegionSpec, RetryConfig, RoutePolicy, ShedPolicy,
@@ -278,6 +288,112 @@ pub fn rolling_degradation() -> ChaosScenario {
             // This one never recovers: open at drain.
             episode(90_000, 1, 2, 120),
         ]),
+    }
+}
+
+// --- the DAG catalogue -------------------------------------------------------
+
+/// One frozen DAG chaos scenario: a mixed point + DAG session workload, a
+/// fleet shape, a fault schedule and the orchestration policy, as plain
+/// data.
+#[derive(Debug, Clone)]
+pub struct DagChaosScenario {
+    /// Stable scenario name (doubles as the golden file stem).
+    pub name: &'static str,
+    /// The session workload: base traffic, user population, DAG share and
+    /// the template catalogue.
+    pub session: SessionConfig,
+    /// Per-shard serving configuration (the backend field is overridden by
+    /// [`Self::run`]).
+    pub serve: ServeConfig,
+    /// Fleet shape.
+    pub fleet: FleetConfig,
+    /// The chip-fault schedule.
+    pub faults: FaultPlan,
+    /// Orchestration policy (inheritance, whole-DAG admission).
+    pub orchestrator: DagOrchestratorConfig,
+}
+
+impl DagChaosScenario {
+    /// Runs the scenario on `plans` under `backend`, submit-all-then-drain
+    /// through a [`DagOrchestrator`].
+    #[must_use]
+    pub fn run(&self, plans: Vec<CompiledPlan>, backend: BackendKind) -> FleetReport {
+        let runtime = ServeRuntime::from_plans(
+            plans,
+            ServeConfig {
+                backend,
+                ..self.serve
+            },
+        );
+        let items = session_items(&self.session);
+        let mut orchestrator = DagOrchestrator::new(
+            &runtime,
+            self.fleet,
+            self.faults.clone(),
+            self.session.templates.clone(),
+            self.orchestrator,
+        );
+        for item in &items {
+            orchestrator.submit_item(item);
+        }
+        orchestrator.drain()
+    }
+}
+
+/// The frozen DAG scenario catalogue, in golden order.
+#[must_use]
+pub fn dag_all() -> Vec<DagChaosScenario> {
+    vec![dag_cascade_chip_death()]
+}
+
+/// Looks a DAG scenario up by name.
+#[must_use]
+pub fn dag_named(name: &str) -> Option<DagChaosScenario> {
+    dag_all().into_iter().find(|s| s.name == name)
+}
+
+/// Chips die between the stages of in-flight cascades: upstream stages
+/// served before the death, downstream stages submitted into the degraded
+/// fleet — failover, orphan-stage sheds and inheritance all live at once.
+#[must_use]
+pub fn dag_cascade_chip_death() -> DagChaosScenario {
+    DagChaosScenario {
+        name: "dag-cascade-chip-death",
+        session: SessionConfig {
+            traffic: TrafficConfig {
+                mean_interarrival_cycles: 300.0,
+                ..scenario_traffic(96, 0xDA6C)
+            },
+            users: 6,
+            dag_share: 0.5,
+            templates: standard_templates(2),
+            dag_deadline_slack_cycles: 500_000,
+        },
+        serve: scenario_serve(),
+        fleet: FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 0,
+            scaling: None,
+        },
+        // Deaths land while early cascade stages have completed and their
+        // children are queued or mid-think-gap: one per shard, spread so
+        // each catches different pipelines mid-flight.
+        faults: FaultPlan::new(vec![
+            FaultEvent {
+                at_cycles: 8_000,
+                kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+            },
+            FaultEvent {
+                at_cycles: 25_000,
+                kind: FaultKind::ChipDeath { shard: 1, chip: 2 },
+            },
+        ]),
+        orchestrator: DagOrchestratorConfig {
+            inherit_priority: true,
+            admission: None,
+        },
     }
 }
 

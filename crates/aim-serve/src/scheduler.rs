@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use workloads::dag::DagTemplate;
 use workloads::inputs::{SloClass, TraceRequest};
 
 /// Policy choosing the chip each request group is dispatched to.
@@ -237,6 +238,65 @@ pub fn dispatch(
         assignment,
         rejected_requests,
     }
+}
+
+/// Splits a whole-DAG deadline into per-stage deadlines, proportionally to
+/// each stage's position on its critical path.
+///
+/// For stage `s` with think gap `gap(s)` and estimated execution
+/// `est(s) = cost.exec_cycles[model(s)]`, the critical-path length through
+/// `s` is
+///
+/// ```text
+/// L(s) = max over parents p of (L(p) + gap(s)) + est(s)      (roots: est(s))
+/// ```
+///
+/// and the stage's deadline is `arrival + slack · L(s) / L_max`, where
+/// `slack = deadline − arrival` and `L_max = max L(s)` — so every tail
+/// stage's budget lands exactly on the DAG deadline and upstream stages get
+/// budgets in proportion to how much of the critical path they consume.
+/// The division runs in `u128`, so huge slacks cannot overflow.  Reload
+/// charges are deliberately excluded: they depend on which chip the group
+/// lands on, and the split must be a pure function of the template.
+///
+/// A degenerate all-zero-cost DAG (every `L(s)` = 0) grants every stage the
+/// full deadline.
+///
+/// # Panics
+///
+/// Panics if `gaps` is not one gap per stage, or a stage's model has no
+/// cost entry.
+#[must_use]
+pub fn split_dag_deadline(
+    template: &DagTemplate,
+    gaps: &[u64],
+    cost: &CostModel,
+    arrival_cycles: u64,
+    deadline_cycles: u64,
+) -> Vec<u64> {
+    assert_eq!(gaps.len(), template.stages.len(), "one think gap per stage");
+    let slack = deadline_cycles.saturating_sub(arrival_cycles);
+    let mut path = vec![0u64; template.stages.len()];
+    for (i, stage) in template.stages.iter().enumerate() {
+        let upstream = stage
+            .parents
+            .iter()
+            .map(|&p| path[p].saturating_add(gaps[i]))
+            .max()
+            .unwrap_or(0);
+        path[i] = upstream.saturating_add(cost.exec_cycles[stage.model]);
+    }
+    let longest = path.iter().copied().max().unwrap_or(0);
+    path.iter()
+        .map(|&l| {
+            if longest == 0 {
+                deadline_cycles
+            } else {
+                let share = u128::from(slack) * u128::from(l) / u128::from(longest);
+                arrival_cycles.saturating_add(share as u64)
+            }
+        })
+        .collect()
 }
 
 /// Virtual-time schedule entry for one executed group.
@@ -531,5 +591,51 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_max_batch_is_rejected() {
         let _ = form_groups(&[], 0, 0);
+    }
+
+    #[test]
+    fn deadline_split_is_critical_path_proportional() {
+        use workloads::dag::DagTemplate;
+        // Cascade of 3 equal-cost stages, no gaps: budgets at 1/3, 2/3, 3/3
+        // of the slack, with the tail landing exactly on the DAG deadline.
+        let template = DagTemplate::cascade("c", &[0, 0, 0]);
+        let cost = flat_cost(1_000, 500, 1);
+        let split = split_dag_deadline(&template, &[0, 0, 0], &cost, 10_000, 40_000);
+        assert_eq!(split, vec![20_000, 30_000, 40_000]);
+    }
+
+    #[test]
+    fn deadline_split_charges_think_gaps_to_the_path() {
+        use workloads::dag::DagTemplate;
+        // Two-turn conversation: exec 1000 each, gap 2000 before turn 2.
+        // Paths are 1000 and 4000, so turn 1 gets 1/4 of the slack.
+        let template = DagTemplate::conversation("chat", 0, 2, 1);
+        let cost = flat_cost(1_000, 0, 1);
+        let split = split_dag_deadline(&template, &[0, 2_000], &cost, 0, 8_000);
+        assert_eq!(split, vec![2_000, 8_000]);
+    }
+
+    #[test]
+    fn deadline_split_follows_the_longest_parent_into_a_join() {
+        use workloads::dag::DagTemplate;
+        // Fan-out with unequal branches (500 vs 2000): the join's path runs
+        // through the slow branch, and the fast branch keeps a small budget.
+        let template = DagTemplate::fan_out_join("f", 0, &[1, 2], 0);
+        let cost = CostModel {
+            exec_cycles: vec![1_000, 500, 2_000],
+            reload_cycles: vec![0, 0, 0],
+        };
+        let split = split_dag_deadline(&template, &[0; 4], &cost, 0, 8_000);
+        // Paths: 1000, 1500, 3000, 4000 -> slack shares 2000/3000/6000/8000.
+        assert_eq!(split, vec![2_000, 3_000, 6_000, 8_000]);
+    }
+
+    #[test]
+    fn zero_cost_dags_grant_every_stage_the_full_deadline() {
+        use workloads::dag::DagTemplate;
+        let template = DagTemplate::cascade("z", &[0, 0]);
+        let cost = flat_cost(0, 0, 1);
+        let split = split_dag_deadline(&template, &[0, 0], &cost, 5, 99);
+        assert_eq!(split, vec![99, 99]);
     }
 }

@@ -545,6 +545,38 @@ impl<'rt> ServeSession<'rt> {
         self.execute_ready(self.clock);
     }
 
+    /// The next virtual time at which stepping this session can change its
+    /// state on its own: the earliest queued window closure (plus one
+    /// cycle, because [`Self::run_until`] processes closures strictly
+    /// *before* its target — stepping to exactly `close_at` would leave the
+    /// window open) or the earliest estimated start among pending front
+    /// slots.  `None` when the session is quiescent — no open-window events
+    /// and nothing queued on any lane.
+    ///
+    /// Orchestration layers that must observe completions at *canonical*
+    /// times (independent of how coarsely their own caller steps) walk this
+    /// event horizon instead of inventing step targets; a stale window
+    /// event processes as a no-op, so stepping to a reported time always
+    /// makes progress.
+    #[must_use]
+    pub fn next_event_cycles(&self) -> Option<u64> {
+        let window = self
+            .events
+            .keys()
+            .next()
+            .map(|&(close_at, _)| close_at.saturating_add(1));
+        let exec = self
+            .lanes
+            .iter()
+            .filter_map(|lane| lane.slots.front().map(|slot| slot.est_start))
+            .min();
+        match (window, exec) {
+            (Some(w), Some(e)) => Some(w.min(e)),
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
+
     /// Drains the accumulated per-request outcomes, in group-commit order
     /// within each harvest.  When `ServeConfig::completion_capacity` is
     /// set, outcomes beyond the cap were dropped oldest-first — see

@@ -202,6 +202,152 @@ fn scenarios_exercise_the_machinery_they_claim_to_pin() {
     );
 }
 
+// --- the DAG golden suite ----------------------------------------------------
+
+use aim_serve::dag::DagOrchestratorConfig;
+use aim_serve::scenario::DagChaosScenario;
+use workloads::dag::SessionConfig;
+
+/// The frozen form of one DAG scenario: everything the run depended on
+/// plus everything it produced (including the [`FleetReport::dag`] stats).
+#[derive(Serialize)]
+struct DagScenarioGolden {
+    name: String,
+    backend: String,
+    session: SessionConfig,
+    serve: ServeConfig,
+    fleet: FleetConfig,
+    faults: workloads::inputs::FaultPlan,
+    orchestrator: DagOrchestratorConfig,
+    report: FleetReport,
+}
+
+fn dag_golden_bytes(
+    scenario: &DagChaosScenario,
+    backend: BackendKind,
+    report: &FleetReport,
+) -> String {
+    let golden = DagScenarioGolden {
+        name: scenario.name.to_string(),
+        backend: backend.name().to_string(),
+        session: scenario.session.clone(),
+        serve: ServeConfig {
+            backend,
+            ..scenario.serve
+        },
+        fleet: scenario.fleet,
+        faults: scenario.faults.clone(),
+        orchestrator: scenario.orchestrator,
+        report: report.clone(),
+    };
+    let mut body = serde_json::to_string_pretty(&golden).expect("DAG goldens serialize");
+    body.push('\n');
+    body
+}
+
+#[test]
+fn dag_scenario_runs_match_their_committed_goldens() {
+    let backend = matrix_backend();
+    let update = std::env::var("UPDATE_CHAOS_GOLDENS").is_ok();
+    let mut failures = Vec::new();
+    for scenario in scenario::dag_all() {
+        let report = scenario.run(scenario::reference_plans(), backend);
+        let bytes = dag_golden_bytes(&scenario, backend, &report);
+        let path = goldens_dir().join(format!("{}.{}.json", scenario.name, backend.name()));
+        if update {
+            fs::write(&path, &bytes).expect("goldens directory is writable");
+            eprintln!("refreshed {}", path.display());
+            continue;
+        }
+        let committed = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if committed != bytes {
+            failures.push(scenario.name);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "DAG chaos scenarios drifted from their goldens: {failures:?}\n\
+         If the change is intentional, rerun with UPDATE_CHAOS_GOLDENS=1 \
+         (under both AIM_SERVE_BACKEND legs), inspect the diff and commit; \
+         otherwise an orchestrator or scheduler change broke deterministic \
+         DAG replay."
+    );
+}
+
+#[test]
+fn dag_scenario_catalogue_is_well_formed() {
+    let scenarios = scenario::dag_all();
+    assert_eq!(scenarios.len(), 1);
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        scenarios.len(),
+        "DAG scenario names must be unique"
+    );
+    for scenario in &scenarios {
+        assert!(scenario::dag_named(scenario.name).is_some());
+        assert!(
+            scenario.session.dag_share > 0.0,
+            "a DAG scenario must actually generate DAGs"
+        );
+        assert!(scenario
+            .faults
+            .events
+            .windows(2)
+            .all(|w| w[0].at_cycles <= w[1].at_cycles));
+    }
+    assert!(scenario::dag_named("no-such-scenario").is_none());
+}
+
+#[test]
+fn dag_scenarios_exercise_the_machinery_they_claim_to_pin() {
+    let backend = matrix_backend();
+    let plans = scenario::reference_plans();
+
+    let cascade = scenario::dag_named("dag-cascade-chip-death")
+        .unwrap()
+        .run(plans.clone(), backend);
+    assert_eq!(cascade.availability.chip_deaths, 2);
+    let dag = cascade
+        .dag
+        .as_ref()
+        .expect("orchestrated drains carry DAG stats");
+    assert!(dag.dags > 0, "the session must generate DAG instances");
+    assert!(dag.points > 0, "the session must keep point traffic too");
+    assert_eq!(dag.completed + dag.failed, dag.dags);
+    assert_eq!(
+        dag.stages_served + dag.stages_rejected + dag.stages_shed,
+        dag.stages_total,
+        "every stage of every DAG resolves exactly once, deaths included"
+    );
+    assert!(
+        dag.inherited_promotions > 0,
+        "the standard templates must trigger priority inheritance"
+    );
+    assert!(
+        cascade.availability.requests_failed_over > 0,
+        "the deaths must catch in-flight stages"
+    );
+
+    // Worker-count independence of the DAG golden bytes.
+    let sequential_scenario = DagChaosScenario {
+        serve: ServeConfig {
+            parallel: false,
+            ..scenario::dag_cascade_chip_death().serve
+        },
+        ..scenario::dag_cascade_chip_death()
+    };
+    let sequential = sequential_scenario.run(plans, backend);
+    assert_eq!(
+        serde_json::to_string(&cascade).unwrap(),
+        serde_json::to_string(&sequential).unwrap(),
+        "DAG golden bytes must not depend on the worker-thread fan-out"
+    );
+}
+
 // --- the multi-region golden suite -----------------------------------------
 
 use aim_serve::global::GlobalReport;

@@ -158,6 +158,106 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The conservation invariant, extended from requests to DAG *stages*:
+    /// driving the same chaotic fleet through a `DagOrchestrator` with a
+    /// mixed point + DAG session workload, every fleet submission is a
+    /// known point or stage, every stage resolves exactly once, and the
+    /// DAG ledger's `served + rejected + shed == stages_total` holds no
+    /// matter which chips die mid-pipeline.
+    #[test]
+    fn dag_stages_are_conserved_like_requests_under_chaos(
+        requests in 2usize..14,
+        chips in 2usize..4,
+        shards in 1usize..3,
+        deaths in 0usize..3,
+        degradations in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let faults = chaos_fault_plan(&ChaosConfig {
+            shards,
+            chips_per_shard: chips,
+            horizon_cycles: 40_000,
+            deaths,
+            degradations,
+            max_slowdown_percent: 150,
+            recovery_prob: 0.5,
+            seed,
+        });
+        let serve = ServeConfig {
+            chips,
+            max_batch: 4,
+            batch_window_cycles: 5_000,
+            backend: matrix_backend(),
+            seed,
+            ..ServeConfig::default()
+        };
+        let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+        let templates = standard_templates(plans().len());
+        let items = workloads::dag::session_items(&SessionConfig {
+            traffic: TrafficConfig {
+                requests,
+                models: plans().len(),
+                mean_interarrival_cycles: 700.0,
+                burst_repeat_prob: 0.5,
+                deadline_slack_cycles: 60_000,
+                shape: ArrivalShape::BurstyExponential,
+                slo_mix: SloMix::Mixed {
+                    latency_share: 0.25,
+                    best_effort_share: 0.25,
+                },
+                seed: seed ^ 0x57A6E5,
+            },
+            users: 3,
+            dag_share: 0.5,
+            templates: templates.clone(),
+            dag_deadline_slack_cycles: 400_000,
+        });
+        let mut orch = DagOrchestrator::new(
+            &runtime,
+            FleetConfig { shards, ..FleetConfig::default() },
+            faults,
+            templates,
+            DagOrchestratorConfig::default(),
+        );
+        for item in &items {
+            orch.submit_item(item);
+        }
+        let report = orch.drain();
+        let outcomes = orch.poll_outcomes();
+        let dag = report.dag.as_ref().expect("orchestrated drains carry DAG stats");
+
+        let expected_stages: usize = items
+            .iter()
+            .map(|i| match &i.kind {
+                SessionItemKind::Point(_) => 0,
+                SessionItemKind::Dag(d) => d.stage_gaps.len(),
+            })
+            .sum();
+        prop_assert_eq!(dag.stages_total, expected_stages);
+        prop_assert_eq!(dag.dags + dag.points, items.len());
+        prop_assert_eq!(dag.completed + dag.failed, dag.dags);
+        prop_assert_eq!(
+            dag.stages_served + dag.stages_rejected + dag.stages_shed,
+            dag.stages_total
+        );
+        // Exactly one resolution per point and per stage.
+        let mut seen: Vec<(usize, usize)> =
+            outcomes.iter().map(|o| (o.item, o.stage)).collect();
+        let before = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before);
+        prop_assert_eq!(before, dag.points + expected_stages);
+        // The fleet-level report never loses a submission either: every
+        // fleet request was a point or a *submitted* stage.
+        prop_assert_eq!(
+            report.serve.total_requests,
+            dag.points + dag.stages_served + dag.stages_rejected
+        );
+    }
+}
+
 #[test]
 fn report_bytes_are_invariant_to_stepping_granularity_and_polling_order() {
     let faults = FaultPlan::new(vec![

@@ -591,3 +591,90 @@ fn retry_backoff_grows_exponentially_and_saturates() {
     };
     assert_eq!(huge.backoff_cycles(u32::MAX), u64::MAX);
 }
+
+// --- DAG stages under region loss --------------------------------------------
+
+proptest! {
+    /// The region-loss analogue at the DAG layer: evicting a fleet's
+    /// committed-but-not-started work mid-pipeline (what losing a region
+    /// does to its resident fleet) must resolve every remaining stage of
+    /// every struck DAG as `Shed` exactly once — conservation counts DAG
+    /// stages, not just requests.
+    #[test]
+    fn region_loss_eviction_sheds_every_orphan_stage_exactly_once(
+        dags in 2usize..10,
+        spacing in 100u64..2_000,
+        evict_at in 1u64..30_000,
+        chips in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let hardware = if seed.is_multiple_of(2) {
+            RegionHardware::LowPower
+        } else {
+            RegionHardware::Sprint
+        };
+        let runtime = ServeRuntime::from_plans(
+            menu(hardware).clone(),
+            ServeConfig {
+                chips,
+                max_batch: 2,
+                backend: matrix_backend(),
+                seed,
+                ..ServeConfig::default()
+            },
+        );
+        let templates = standard_templates(MODELS);
+        let mut orch = DagOrchestrator::new(
+            &runtime,
+            fleet_for(1),
+            FaultPlan::none(),
+            templates,
+            DagOrchestratorConfig::default(),
+        );
+        let mut stages_total = 0usize;
+        for i in 0..dags {
+            let template = i % 3;
+            let stages = [2usize, 4, 3][template];
+            stages_total += stages;
+            orch.submit_dag(&DagRequest {
+                template,
+                arrival_cycles: i as u64 * spacing,
+                deadline_cycles: i as u64 * spacing + 5_000_000,
+                slo: SloClass::Standard,
+                stage_gaps: vec![0; stages],
+            });
+        }
+        let evicted = orch.evict_pending(evict_at);
+        let report = orch.drain();
+        let outcomes = orch.poll_outcomes();
+        let dag = report.dag.as_ref().expect("orchestrated drains carry DAG stats");
+
+        prop_assert_eq!(dag.dags, dags);
+        prop_assert_eq!(dag.stages_total, stages_total);
+        prop_assert_eq!(dag.completed + dag.failed, dags);
+        prop_assert_eq!(
+            dag.stages_served + dag.stages_rejected + dag.stages_shed,
+            stages_total
+        );
+        // Exactly one resolution per stage, shed orphans included.
+        let mut seen: Vec<(usize, usize)> =
+            outcomes.iter().map(|o| (o.item, o.stage)).collect();
+        let before = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before);
+        prop_assert_eq!(before, stages_total);
+        // Eviction implies failure: at least `evicted` stages shed, and a
+        // DAG with any shed stage is never counted completed.
+        if evicted > 0 {
+            prop_assert!(dag.stages_shed >= evicted);
+            prop_assert!(dag.failed > 0);
+        }
+        // A completed DAG served *all* of its stages: no shed or rejected
+        // stage hides inside a "completed" pipeline.
+        prop_assert_eq!(
+            dag.per_class.iter().map(|c| c.completed).sum::<usize>(),
+            dag.completed
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! Usage:
 //! `cargo run --release -p aim-bench --bin serve_smoke [-- --label <name>]
 //!  [--backend cycle-accurate|analytical]
-//!  [--mode offline|online|fleet|global|hyperscale] [--check-regression]
+//!  [--mode offline|online|fleet|dag|global|hyperscale] [--check-regression]
 //!  [--requests <n>]`
 //!
 //! With `--mode hyperscale` the benchmark streams a **million-request**
@@ -29,6 +29,18 @@
 //! firing, byte-determinism across replays, and (with `--check-regression`)
 //! the per-backend virtual throughput under faults
 //! (`serve_fleet_virtual_rps` / `serve_fleet_ana_virtual_rps`).
+//!
+//! With `--mode dag` the benchmark replays a conversational session — a
+//! mixed population of point requests and multi-stage request DAGs
+//! (cascades, fan-out/join ensembles, think-gap conversations) — through
+//! the [`DagOrchestrator`] over a 2-shard fleet with a chip death landing
+//! between cascade stages.  It gates on stage conservation (every stage of
+//! every DAG resolves exactly once; the stage ledger balances), on
+//! byte-determinism across replays, on priority inheritance *measurably
+//! protecting* the latency-sensitive tail: the p99 of tail-stage
+//! completion with inheritance on must beat an inheritance-off control run
+//! of the same session, and (with `--check-regression`) on the per-backend
+//! virtual throughput (`serve_dag_virtual_rps` / `serve_dag_ana_virtual_rps`).
 //!
 //! With `--mode global` the benchmark stands up a two-region
 //! [`GlobalRouter`] deployment — low-power silicon west, sprint silicon
@@ -76,12 +88,14 @@ use aim_bench::{append_bench_record, last_bench_value};
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::scheduler::form_groups;
 use aim_serve::{
-    DispatchPolicy, FleetConfig, FleetReport, FleetSession, GlobalConfig, GlobalReport,
-    GlobalRouter, RegionSpec, RetryConfig, RoutePolicy, ScalingConfig, ServeConfig, ServeReport,
-    ServeRuntime, ShardPolicy, ShedPolicy,
+    CompletionStatus, DagOrchestrator, DagOrchestratorConfig, DispatchPolicy, FleetConfig,
+    FleetReport, FleetSession, GlobalConfig, GlobalReport, GlobalRouter, RegionSpec, RetryConfig,
+    RoutePolicy, ScalingConfig, ServeConfig, ServeReport, ServeRuntime, ShardPolicy, ShedPolicy,
+    StageOutcome, StageStatus,
 };
 use pim_sim::backend::BackendKind;
 use serde::Serialize;
+use workloads::dag::{standard_templates, SessionConfig, SessionItemKind};
 use workloads::inputs::{
     synthetic_trace, with_flash_crowds, ArrivalShape, FaultEvent, FaultKind, FaultPlan,
     RegionFaultEvent, RegionFaultKind, RegionFaultPlan, SloClass, SloMix, TraceRequest,
@@ -750,6 +764,327 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
     ExitCode::SUCCESS
 }
 
+/// Trajectory record of a DAG-mode leg (`--mode dag`).  Field names are
+/// disjoint per backend so the textual `last_bench_value` scan gates each
+/// matrix leg against its own history.
+#[derive(Serialize)]
+struct DagSmokeRecord {
+    label: String,
+    unix_time_s: u64,
+    host_threads: usize,
+    serve_dag_backend: String,
+    /// Fleet-level submissions (points + submitted stages).
+    serve_dag_requests: usize,
+    serve_dag_dags: usize,
+    serve_dag_points: usize,
+    serve_dag_stages: usize,
+    /// Wall-clock ms of one full orchestrated chaos session (best of
+    /// `REPS`).
+    serve_dag_wall_ms: f64,
+    /// Served requests per second of virtual chip time through the
+    /// orchestrator (deterministic; the regression-gated figure).  `None`
+    /// on the analytical leg, which gates on `serve_dag_ana_virtual_rps`.
+    serve_dag_virtual_rps: Option<f64>,
+    /// The analytical leg's gated virtual throughput; `None` elsewhere.
+    serve_dag_ana_virtual_rps: Option<f64>,
+    serve_dag_completed: usize,
+    serve_dag_failed: usize,
+    serve_dag_deadline_misses: usize,
+    /// Whole-DAG end-to-end p99 latency, virtual µs.
+    serve_dag_e2e_p99_us: f64,
+    /// Upstream stages promoted by priority inheritance.
+    serve_dag_inherited_promotions: usize,
+    /// p99 of latency-sensitive tail-stage completion (finish − DAG
+    /// arrival) with inheritance ON — the protected figure.
+    serve_dag_tail_p99_us: f64,
+    /// The same figure from an inheritance-OFF control run — the teeth
+    /// gate requires the protected figure to beat this.
+    serve_dag_tail_p99_no_inherit_us: f64,
+    /// Whether every point and every DAG stage resolved exactly once and
+    /// the stage/DAG ledgers balanced (the conservation gate).
+    serve_dag_conserved: bool,
+    serve_dag_deterministic: bool,
+}
+
+/// The DAG-mode session workload: a heavy standard/best-effort point
+/// backlog with a *minority* of requests upgrading into multi-stage DAGs
+/// (cascades, ensembles, think-gap conversations).  Keeping DAGs a
+/// minority is what gives the inheritance gate teeth: a promoted upstream
+/// stage jumps a large lower-class backlog instead of merely reshuffling
+/// an all-latency-sensitive queue.
+fn dag_session(models: usize) -> SessionConfig {
+    SessionConfig {
+        traffic: TrafficConfig {
+            requests: 160,
+            models,
+            mean_interarrival_cycles: 1_000.0,
+            burst_repeat_prob: 0.3,
+            deadline_slack_cycles: 2_000_000,
+            shape: ArrivalShape::BurstyExponential,
+            slo_mix: SloMix::Mixed {
+                latency_share: 0.05,
+                best_effort_share: 0.35,
+            },
+            seed: 0xDA65,
+        },
+        users: 8,
+        dag_share: 0.25,
+        templates: standard_templates(models),
+        dag_deadline_slack_cycles: 3_000_000,
+    }
+}
+
+/// The DAG-mode chaos: a chip dies between the stages of in-flight
+/// cascades, then a degradation/recovery episode on the other shard.
+fn dag_faults() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_cycles: 30_000,
+            kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+        },
+        FaultEvent {
+            at_cycles: 90_000,
+            kind: FaultKind::Degradation {
+                shard: 1,
+                chip: 0,
+                slowdown_percent: 75,
+            },
+        },
+        FaultEvent {
+            at_cycles: 200_000,
+            kind: FaultKind::Recovery { shard: 1, chip: 0 },
+        },
+    ])
+}
+
+/// Runs the orchestrated session once; returns the drained report, the
+/// streamed outcomes, and the wall-clock milliseconds.
+fn run_dag_session(
+    runtime: &ServeRuntime,
+    session: &SessionConfig,
+    items: &[workloads::dag::SessionItem],
+    inherit_priority: bool,
+) -> (FleetReport, Vec<StageOutcome>, f64) {
+    let start = Instant::now();
+    let mut orch = DagOrchestrator::new(
+        runtime,
+        FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 2,
+            scaling: None,
+        },
+        dag_faults(),
+        session.templates.clone(),
+        DagOrchestratorConfig {
+            inherit_priority,
+            admission: None,
+        },
+    );
+    for item in items {
+        orch.submit_item(item);
+    }
+    let report = orch.drain();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let outcomes = orch.poll_outcomes();
+    (report, outcomes, wall_ms)
+}
+
+/// p99 (virtual µs) of latency-sensitive tail-stage completion measured
+/// from each DAG's arrival — the figure priority inheritance protects.
+/// Tail stages are each template's last stage when pinned
+/// latency-sensitive (the cascade's classify, the ensemble's vote), and
+/// the population is restricted to DAGs whose *own* class sits below
+/// latency-sensitive: those are exactly the instances whose upstream
+/// stages would crawl at standard/best-effort priority without
+/// inheritance, starving the pinned tail.
+fn dag_tail_p99_us(items: &[workloads::dag::SessionItem], outcomes: &[StageOutcome]) -> f64 {
+    let mut tails: Vec<u64> = Vec::new();
+    for outcome in outcomes {
+        if !outcome.dag || outcome.stage + 1 != outcome.stages {
+            continue;
+        }
+        if outcome.class != SloClass::LatencySensitive {
+            continue;
+        }
+        let SessionItemKind::Dag(dag) = &items[outcome.item].kind else {
+            continue;
+        };
+        if dag.slo == SloClass::LatencySensitive {
+            continue;
+        }
+        if let StageStatus::Fleet {
+            status: CompletionStatus::Served { finish_cycles, .. },
+            ..
+        } = outcome.status
+        {
+            tails.push(finish_cycles.saturating_sub(dag.arrival_cycles));
+        }
+    }
+    tails.sort_unstable();
+    if tails.is_empty() {
+        return 0.0;
+    }
+    tails[(tails.len() - 1) * 99 / 100] as f64 / 1e3
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_dag(label: &str, backend: BackendKind, check_regression: bool) -> ExitCode {
+    let gate_field = match backend {
+        BackendKind::CycleAccurate => "serve_dag_virtual_rps",
+        BackendKind::Analytical => "serve_dag_ana_virtual_rps",
+    };
+    let previous_rps = last_bench_value(gate_field);
+
+    let plans = compile_zoo();
+    let serve_models = plans.len();
+    // Same in-band verification cadence as the fleet mode: sampled
+    // cycle-accurate audits on the analytical leg, nothing to verify on
+    // the cycle-accurate one.
+    let verify_every = match backend {
+        BackendKind::Analytical => 8,
+        BackendKind::CycleAccurate => 0,
+    };
+    let config = ServeConfig {
+        backend,
+        chips: 4,
+        verify_every,
+        ..serve_config(4)
+    };
+    let runtime = ServeRuntime::from_plans(plans, config);
+    let session = dag_session(serve_models);
+    let items = workloads::dag::session_items(&session);
+    let stages_expected: usize = items
+        .iter()
+        .map(|i| match &i.kind {
+            SessionItemKind::Point(_) => 1,
+            SessionItemKind::Dag(d) => d.stage_gaps.len(),
+        })
+        .sum();
+
+    let mut wall_ms = f64::INFINITY;
+    let mut reports: Vec<FleetReport> = Vec::new();
+    let mut last_outcomes = Vec::new();
+    let mut conserved = true;
+    for _ in 0..REPS {
+        let (report, outcomes, rep_wall_ms) = run_dag_session(&runtime, &session, &items, true);
+        wall_ms = wall_ms.min(rep_wall_ms);
+        let dag = report
+            .dag
+            .clone()
+            .expect("orchestrated drains carry DAG stats");
+        conserved &= outcomes.len() == stages_expected
+            && dag.completed + dag.failed == dag.dags
+            && dag.stages_served + dag.stages_rejected + dag.stages_shed == dag.stages_total
+            && report.serve.total_requests == dag.points + dag.stages_served + dag.stages_rejected;
+        reports.push(report);
+        last_outcomes = outcomes;
+    }
+    let report = reports.pop().expect("at least one rep");
+    let json = |r: &FleetReport| serde_json::to_string(r).ok();
+    let deterministic = reports.iter().all(|r| json(r) == json(&report));
+    let dag = report
+        .dag
+        .clone()
+        .expect("orchestrated drains carry DAG stats");
+
+    // The inheritance-off control: same items, same chaos, promotions
+    // disabled — the teeth gate compares latency-sensitive tail-stage p99.
+    let (_, control_outcomes, _) = run_dag_session(&runtime, &session, &items, false);
+    let tail_p99_us = dag_tail_p99_us(&items, &last_outcomes);
+    let tail_p99_no_inherit_us = dag_tail_p99_us(&items, &control_outcomes);
+
+    let record = DagSmokeRecord {
+        label: label.to_string(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        serve_dag_backend: backend.name().to_string(),
+        serve_dag_requests: report.serve.total_requests,
+        serve_dag_dags: dag.dags,
+        serve_dag_points: dag.points,
+        serve_dag_stages: dag.stages_total,
+        serve_dag_wall_ms: wall_ms,
+        serve_dag_virtual_rps: (backend == BackendKind::CycleAccurate)
+            .then_some(report.serve.throughput_rps),
+        serve_dag_ana_virtual_rps: (backend == BackendKind::Analytical)
+            .then_some(report.serve.throughput_rps),
+        serve_dag_completed: dag.completed,
+        serve_dag_failed: dag.failed,
+        serve_dag_deadline_misses: dag.deadline_misses,
+        serve_dag_e2e_p99_us: dag.e2e_p99_cycles as f64 / 1e3,
+        serve_dag_inherited_promotions: dag.inherited_promotions,
+        serve_dag_tail_p99_us: tail_p99_us,
+        serve_dag_tail_p99_no_inherit_us: tail_p99_no_inherit_us,
+        serve_dag_conserved: conserved,
+        serve_dag_deterministic: deterministic,
+    };
+
+    println!(
+        "serve_smoke [{}] (dag mode, {} fleet)",
+        record.label, record.serve_dag_backend
+    );
+    println!(
+        "  session            : {} DAGs + {} points -> {} stages, {} fleet submissions",
+        record.serve_dag_dags,
+        record.serve_dag_points,
+        record.serve_dag_stages,
+        record.serve_dag_requests
+    );
+    println!(
+        "  pipelines          : {} completed, {} failed, {} deadline misses, e2e p99 {:.0} us",
+        record.serve_dag_completed,
+        record.serve_dag_failed,
+        record.serve_dag_deadline_misses,
+        record.serve_dag_e2e_p99_us
+    );
+    println!(
+        "  inheritance        : {} upstream promotions, LS tail p99 {:.0} us vs {:.0} us without",
+        record.serve_dag_inherited_promotions,
+        record.serve_dag_tail_p99_us,
+        record.serve_dag_tail_p99_no_inherit_us
+    );
+    println!(
+        "  throughput         : {:>9.0} req/s virtual   ({:.1} ms wall/session)",
+        report.serve.throughput_rps, record.serve_dag_wall_ms
+    );
+    println!(
+        "  conserved          : {} | deterministic: {}",
+        record.serve_dag_conserved, record.serve_dag_deterministic
+    );
+
+    append_bench_record(&record);
+
+    if !record.serve_dag_conserved {
+        eprintln!("error: a DAG stage was lost or double-resolved — conservation contract broken");
+        return ExitCode::FAILURE;
+    }
+    if !record.serve_dag_deterministic {
+        eprintln!("error: orchestrated replays diverged — determinism contract broken");
+        return ExitCode::FAILURE;
+    }
+    if record.serve_dag_inherited_promotions == 0 {
+        eprintln!("error: no upstream stage was promoted — inheritance never engaged");
+        return ExitCode::FAILURE;
+    }
+    if record.serve_dag_tail_p99_us >= record.serve_dag_tail_p99_no_inherit_us {
+        eprintln!(
+            "error: priority inheritance failed to protect the latency-sensitive tail: \
+             p99 {:.0} us with inheritance vs {:.0} us without",
+            record.serve_dag_tail_p99_us, record.serve_dag_tail_p99_no_inherit_us
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_regression {
+        if let Err(msg) = regression_gate(gate_field, report.serve.throughput_rps, previous_rps) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Trajectory record of a global-mode leg (`--mode global`).  Field names
 /// are disjoint per backend so each matrix leg gates against its own
 /// history.
@@ -1355,6 +1690,7 @@ fn main() -> ExitCode {
         None | Some("offline") => {}
         Some("online") => return run_online(&label, backend, check_regression),
         Some("fleet") => return run_fleet(&label, backend, check_regression),
+        Some("dag") => return run_dag(&label, backend, check_regression),
         Some("global") => return run_global(&label, backend, check_regression),
         Some("hyperscale") => {
             let requests = args
@@ -1366,7 +1702,9 @@ fn main() -> ExitCode {
             return run_hyperscale(&label, requests, check_regression);
         }
         Some(other) => {
-            eprintln!("error: unknown --mode {other} (use offline|online|fleet|global|hyperscale)");
+            eprintln!(
+                "error: unknown --mode {other} (use offline|online|fleet|dag|global|hyperscale)"
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -17,6 +17,9 @@
 //! * [`inputs`] — synthetic feature/token streams and their bit-flip
 //!   statistics (image-like inputs are spatially correlated and toggle less;
 //!   token embeddings toggle more).
+//! * [`dag`] — multi-stage request DAGs (cascades, fan-out/join,
+//!   conversational sessions with think-time gaps) layered over the frozen
+//!   trace generator without perturbing its draws.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dag;
 pub mod inputs;
 pub mod operator;
 pub mod weights;

@@ -1,0 +1,169 @@
+//! Request DAGs and conversational sessions: multi-stage pipelines with
+//! per-DAG deadlines and priority inheritance.
+//!
+//! Compiles a small zoo, opens a `DagOrchestrator` over a two-shard fleet,
+//! and replays a conversational session — a mixed population of point
+//! requests and multi-stage DAG instances (detect→classify cascades,
+//! fan-out/join ensembles, think-gap chat turns) — with a chip death
+//! scripted to land between cascade stages.  Child stages are submitted
+//! only when their parents' *measured* finishes (plus think gaps) allow,
+//! the whole-DAG deadline is split into per-stage budgets along the
+//! critical path, and a latency-sensitive tail stage lends its class to
+//! best-effort upstream stages via priority inheritance.  Ends with the
+//! DAG ledger: every stage of every DAG resolves exactly once.
+//!
+//! Run with: `cargo run --release --example dag_pipeline`
+
+use aim::core::pipeline::{AimConfig, CompiledPlan};
+use aim::serve::prelude::*;
+use aim::wl::dag::session_items;
+use aim::wl::inputs::{ArrivalShape, SloMix, TrafficConfig};
+use aim::wl::zoo::Model;
+
+fn main() {
+    let aim_config = AimConfig {
+        operator_stride: Some(13),
+        cycles_per_slice: 40,
+        ..AimConfig::baseline()
+    };
+    let models = [
+        Model::mobilenet_v2(),
+        Model::resnet18(),
+        Model::yolov5(),
+        Model::vit_base(),
+    ];
+    let plans: Vec<CompiledPlan> = models
+        .iter()
+        .map(|m| CompiledPlan::compile(m, &aim_config))
+        .collect();
+    let serve = ServeConfig::builder()
+        .chips(3)
+        .max_batch(4)
+        .batch_window_cycles(10_000)
+        .build();
+    let runtime = ServeRuntime::from_plans(plans, serve);
+
+    // A user session: bursty point traffic where 40 % of requests upgrade
+    // into DAG instances drawn from the standard template catalogue —
+    // cascade, ensemble, and a three-turn conversation with think gaps.
+    let session = SessionConfig {
+        traffic: TrafficConfig {
+            requests: 48,
+            models: models.len(),
+            mean_interarrival_cycles: 400.0,
+            burst_repeat_prob: 0.4,
+            deadline_slack_cycles: 2_000_000,
+            shape: ArrivalShape::BurstyExponential,
+            slo_mix: SloMix::Mixed {
+                latency_share: 0.1,
+                best_effort_share: 0.4,
+            },
+            seed: 0xDA6,
+        },
+        users: 4,
+        dag_share: 0.4,
+        templates: standard_templates(models.len()),
+        dag_deadline_slack_cycles: 2_500_000,
+    };
+    let items = session_items(&session);
+
+    // One chip dies while cascades are mid-flight: their in-flight stages
+    // fail over, and every not-yet-submitted child still launches off the
+    // measured (post-failover) parent finish.
+    let faults = FaultPlan::new(vec![FaultEvent {
+        at_cycles: 10_000,
+        kind: FaultKind::ChipDeath { shard: 0, chip: 1 },
+    }]);
+
+    println!("=== dag pipeline: cascades, ensembles, chat turns over 2 shards ===\n");
+    let mut orchestrator = DagOrchestrator::new(
+        &runtime,
+        FleetConfig {
+            shards: 2,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 2,
+            scaling: None,
+        },
+        faults,
+        session.templates.clone(),
+        DagOrchestratorConfig {
+            inherit_priority: true,
+            admission: None,
+        },
+    );
+    for item in &items {
+        orchestrator.submit_item(item);
+        orchestrator.run_until(item.arrival_cycles());
+        for outcome in orchestrator.poll_outcomes() {
+            if !outcome.dag {
+                continue;
+            }
+            if let StageStatus::Fleet {
+                shard,
+                status:
+                    CompletionStatus::Served {
+                        chip, failed_over, ..
+                    },
+            } = outcome.status
+            {
+                // A stage running above its DAG's own class was either
+                // pinned there by the template or promoted by priority
+                // inheritance from a downstream stage.
+                let promoted = outcome.class > items[outcome.item].slo_class();
+                println!(
+                    "  item {:>2} stage {}/{} served on shard {shard} chip {chip}{}{}",
+                    outcome.item,
+                    outcome.stage + 1,
+                    outcome.stages,
+                    if failed_over { " (failed over)" } else { "" },
+                    if promoted { " (above DAG class)" } else { "" },
+                );
+            }
+        }
+    }
+    let report = orchestrator.drain();
+
+    let dag = report
+        .dag
+        .as_ref()
+        .expect("orchestrated drains carry DAG stats");
+    println!("\ndag ledger:");
+    println!(
+        "  instances           : {} submitted = {} completed + {} failed",
+        dag.dags, dag.completed, dag.failed
+    );
+    println!(
+        "  stages              : {} total = {} served + {} rejected + {} shed",
+        dag.stages_total, dag.stages_served, dag.stages_rejected, dag.stages_shed
+    );
+    println!(
+        "  inheritance         : {} upstream stages promoted by a downstream class",
+        dag.inherited_promotions
+    );
+    println!(
+        "  deadlines           : {} end-to-end misses, e2e p50 {} / p99 {} cycles",
+        dag.deadline_misses, dag.e2e_p50_cycles, dag.e2e_p99_cycles
+    );
+    for row in dag.per_class.iter().rev() {
+        println!(
+            "    {:<18} {} dags, {} completed, {} misses",
+            row.class.name(),
+            row.total,
+            row.completed,
+            row.deadline_misses
+        );
+    }
+    println!(
+        "\nfleet underneath: {} requests ({} points + {} dag stages), {} failed over",
+        report.serve.total_requests,
+        dag.points,
+        dag.stages_served + dag.stages_rejected,
+        report.availability.requests_failed_over
+    );
+    assert_eq!(dag.completed + dag.failed, dag.dags, "every DAG resolves");
+    assert_eq!(
+        dag.stages_served + dag.stages_rejected + dag.stages_shed,
+        dag.stages_total,
+        "every stage resolves exactly once"
+    );
+}
