@@ -125,6 +125,50 @@ impl AnalyticalPlan {
             .expect("analytical backends always report a bound")
     }
 
+    /// The predicted total cycles under an *online* recalibration
+    /// multiplier (1.0 is the fitted prediction itself).  The serving
+    /// layer's calibration loop owns the multiplier per model and applies it
+    /// here on every analytical replay — the fitted [`Calibration`] stays
+    /// frozen, so the loop's state is the session's, not the plan's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjust` is not a positive finite number.
+    #[must_use]
+    pub fn adjusted_cycles(&self, adjust: f64) -> u64 {
+        assert!(
+            adjust.is_finite() && adjust > 0.0,
+            "the recalibration multiplier must be a positive finite number"
+        );
+        (self.execution.cycles as f64 * adjust).round() as u64
+    }
+
+    /// A copy whose cycle calibration (and cached prediction) is scaled by
+    /// `factor` — deliberate mis-calibration, the fault-injection hook the
+    /// serving layer's drift-detection tests and benches use to prove the
+    /// demotion path has teeth.  The self-reported bound is kept, so the
+    /// distorted plan *claims* its original accuracy while predicting
+    /// `factor`× the cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    #[must_use]
+    pub fn with_cycle_scale(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "the cycle-scale distortion must be a positive finite number"
+        );
+        let calibration = self.backend.calibration().recalibrated(factor - 1.0);
+        Self {
+            backend: AnalyticalBackend::with_calibration(calibration),
+            execution: PlanExecution {
+                cycles: (self.execution.cycles as f64 * factor).round() as u64,
+                ..self.execution
+            },
+        }
+    }
+
     /// Measures the realised relative cycle drift of the analytical
     /// prediction against one cycle-accurate replay at `seed_offset`.
     /// Returns `(analytical_cycles, accurate_cycles, relative_drift)`.
@@ -185,6 +229,27 @@ mod tests {
             drift <= ana.error_bound(),
             "drift {drift} exceeds self-reported bound {} (pred {pred}, actual {actual})",
             ana.error_bound()
+        );
+    }
+
+    #[test]
+    fn adjusted_cycles_and_distortion_scale_the_prediction() {
+        let plan = CompiledPlan::compile(&Model::mobilenet_v2(), &quick(AimConfig::baseline()));
+        let ana = AnalyticalPlan::calibrate(&plan);
+        let base = ana.execution().cycles;
+        assert_eq!(ana.adjusted_cycles(1.0), base);
+        assert_eq!(ana.adjusted_cycles(2.0), base * 2);
+        let distorted = ana.with_cycle_scale(1.5);
+        assert_eq!(
+            distorted.execution().cycles,
+            (base as f64 * 1.5).round() as u64
+        );
+        // The distorted plan still claims the original accuracy — that lie
+        // is exactly what drift-triggered demotion must catch.
+        assert_eq!(distorted.error_bound(), ana.error_bound());
+        assert!(
+            (distorted.calibration().cycle_scale - ana.calibration().cycle_scale * 1.5).abs()
+                < 1e-12
         );
     }
 

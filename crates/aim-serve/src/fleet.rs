@@ -586,6 +586,13 @@ impl<'rt> FleetSession<'rt> {
     /// top.  Outcomes not yet polled stay available via
     /// [`Self::poll_completions`].
     ///
+    /// Calibration-loop statistics ride the same path: each shard's drift
+    /// samples, recalibrations, demotions, and promotions merge
+    /// counter-for-counter (per-model entries sum element-wise, EWMA peaks
+    /// take the max), so the fleet-level
+    /// [`CalibrationStats`](crate::report::CalibrationStats) is independent
+    /// of shard count and polling order — pinned by the cross-shard tests.
+    ///
     /// # Panics
     ///
     /// Panics if the fleet was already drained.

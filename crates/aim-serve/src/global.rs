@@ -495,6 +495,15 @@ pub struct GlobalSummary {
     /// Served requests per second of virtual time, at the *first region's*
     /// nominal frequency (a cross-region summary needs one time base).
     pub throughput_rps: f64,
+    /// Drift samples absorbed by the calibration loops, summed over regions
+    /// (zero when no region ran the loop).
+    pub calibration_samples: u64,
+    /// Recalibration events applied across all regions.
+    pub recalibrations: u64,
+    /// Analytical→cycle-accurate demotions across all regions.
+    pub demotions: u64,
+    /// Cycle-accurate→analytical promotions across all regions.
+    pub promotions: u64,
 }
 
 /// Aggregated outcome of one global run.
@@ -886,6 +895,12 @@ impl<'rt> GlobalRouter<'rt> {
             .sum();
         let deadline_misses: usize = regions.iter().map(|r| r.fleet.serve.deadline_misses).sum();
         let shed_requests: usize = self.shed_by_class.iter().sum();
+        let cal_total = |f: fn(&crate::report::CalibrationStats) -> u64| -> u64 {
+            regions
+                .iter()
+                .map(|r| r.fleet.serve.calibration.as_ref().map_or(0, f))
+                .sum()
+        };
         let nominal_ghz = self.regions[0].nominal_ghz;
         let virtual_seconds = makespan as f64 / (nominal_ghz * 1e9);
         let per_model_replicas: Vec<usize> = self.holders.iter().map(Vec::len).collect();
@@ -923,6 +938,10 @@ impl<'rt> GlobalRouter<'rt> {
                 } else {
                     0.0
                 },
+                calibration_samples: cal_total(|c| c.samples),
+                recalibrations: cal_total(|c| c.recalibrations),
+                demotions: cal_total(|c| c.demotions),
+                promotions: cal_total(|c| c.promotions),
             },
             regions,
         }

@@ -115,8 +115,8 @@ pub use global::{
     RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
 };
 pub use report::{
-    ChipServeStats, ClassServeStats, DagClassStats, DagServeStats, LatencySketch,
-    ReportAccumulator, ServeReport, VerificationStats,
+    CalibrationStats, ChipServeStats, ClassServeStats, DagClassStats, DagServeStats, LatencySketch,
+    ModelCalibration, ReportAccumulator, ServeReport, VerificationStats,
 };
 pub use runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
 pub use scheduler::{AdmissionConfig, DispatchPolicy, RequestGroup};
@@ -137,13 +137,13 @@ pub mod prelude {
         RetryConfig, RetryConfigBuilder, RoutePolicy, ShedPolicy, ShedReason,
     };
     pub use crate::report::{
-        ChipServeStats, ClassServeStats, DagClassStats, DagServeStats, LatencySketch,
-        ReportAccumulator, ServeReport, VerificationStats,
+        CalibrationStats, ChipServeStats, ClassServeStats, DagClassStats, DagServeStats,
+        LatencySketch, ModelCalibration, ReportAccumulator, ServeReport, VerificationStats,
     };
     pub use crate::runtime::{ServeConfig, ServeConfigBuilder, ServeRuntime};
     pub use crate::scheduler::{AdmissionConfig, CostModel, DispatchPolicy, RequestGroup};
     pub use crate::session::{CompletionStatus, RequestOutcome, ServeSession};
-    pub use pim_sim::backend::{BackendKind, ChipHealth};
+    pub use pim_sim::backend::{BackendKind, CalibrationLoopConfig, ChipHealth};
     pub use workloads::dag::{
         standard_templates, DagRequest, DagStage, DagTemplate, SessionConfig, SessionItem,
         SessionItemKind, SessionStream,

@@ -43,6 +43,56 @@ pub struct VerificationStats {
     pub within_bound: bool,
 }
 
+/// Activity of the online calibration loop
+/// ([`ServeConfig::calibration`]): drift samples folded into the per-model
+/// EWMAs, recalibrations applied at virtual-time boundaries, and the
+/// demotion/promotion traffic between the analytical fast path and
+/// cycle-accurate execution.  Counters merge counter-for-counter across
+/// shards; the EWMA figure folds through `max` (the worst shard's
+/// excursion).
+///
+/// [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationStats {
+    /// Drift samples folded into the loop (verification replays, audit-chip
+    /// replays, demoted-model executions).
+    pub samples: u64,
+    /// Recalibrations applied (per model, per boundary with fresh samples).
+    pub recalibrations: u64,
+    /// Models demoted to cycle-accurate execution (counting repeats).
+    pub demotions: u64,
+    /// Demoted models promoted back to the analytical fast path.
+    pub promotions: u64,
+    /// Worst absolute EWMA drift observed by any model on any shard.
+    pub max_abs_ewma_drift: f64,
+    /// Per-model loop state, indexed by model id.
+    pub per_model: Vec<ModelCalibration>,
+}
+
+/// One model's row in [`CalibrationStats`]: its drift history against its
+/// own calibrated bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelCalibration {
+    /// Model id the row describes.
+    pub model: usize,
+    /// Drift samples the model's EWMA absorbed.
+    pub samples: u64,
+    /// Recalibrations applied to the model's cycle prediction.
+    pub recalibrations: u64,
+    /// Times the model demoted to cycle-accurate execution.
+    pub demotions: u64,
+    /// Times the model promoted back to the analytical fast path.
+    pub promotions: u64,
+    /// Whether the model was still demoted when the session drained (on any
+    /// merged shard).
+    pub demoted: bool,
+    /// The model's self-reported calibrated error bound — the line its EWMA
+    /// drift is judged against.
+    pub error_bound: f64,
+    /// Worst absolute EWMA drift the model reached on any shard.
+    pub max_abs_ewma_drift: f64,
+}
+
 /// Per-SLO-class serving statistics: the latency split that shows whether
 /// priority scheduling actually protected the latency-sensitive tier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,6 +184,11 @@ pub struct ServeReport {
     /// Sampled-verification drift statistics; `Some` whenever the fleet has
     /// analytical chips and verification was enabled.
     pub verification: Option<VerificationStats>,
+    /// Online calibration-loop activity; `Some` whenever the fleet has
+    /// analytical chips and [`ServeConfig::calibration`] was set.
+    ///
+    /// [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+    pub calibration: Option<CalibrationStats>,
     /// Per-chip statistics, indexed by chip id.
     pub per_chip: Vec<ChipServeStats>,
     /// Per-SLO-class statistics, in ascending priority order
@@ -390,6 +445,74 @@ impl VerifyAgg {
     }
 }
 
+/// Order-free calibration-loop aggregate: per-model counter rows that merge
+/// counter-for-counter, with the EWMA excursion quantized to fixed point and
+/// folded through `max` so shard merges stay associative.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CalAgg {
+    per_model: Vec<ModelCalAgg>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct ModelCalAgg {
+    samples: u64,
+    recalibrations: u64,
+    demotions: u64,
+    promotions: u64,
+    demoted: bool,
+    /// The model's calibrated bound (identical on every shard; max-merged).
+    error_bound: f64,
+    /// Worst |EWMA| in parts per 10^12.
+    max_abs_ewma_fp: u64,
+}
+
+impl CalAgg {
+    fn merge(&mut self, other: &Self) {
+        if self.per_model.len() < other.per_model.len() {
+            self.per_model
+                .resize(other.per_model.len(), ModelCalAgg::default());
+        }
+        for (mine, theirs) in self.per_model.iter_mut().zip(&other.per_model) {
+            mine.samples += theirs.samples;
+            mine.recalibrations += theirs.recalibrations;
+            mine.demotions += theirs.demotions;
+            mine.promotions += theirs.promotions;
+            mine.demoted |= theirs.demoted;
+            mine.error_bound = mine.error_bound.max(theirs.error_bound);
+            mine.max_abs_ewma_fp = mine.max_abs_ewma_fp.max(theirs.max_abs_ewma_fp);
+        }
+    }
+
+    fn finish(&self) -> CalibrationStats {
+        let per_model: Vec<ModelCalibration> = self
+            .per_model
+            .iter()
+            .enumerate()
+            .map(|(model, agg)| ModelCalibration {
+                model,
+                samples: agg.samples,
+                recalibrations: agg.recalibrations,
+                demotions: agg.demotions,
+                promotions: agg.promotions,
+                demoted: agg.demoted,
+                error_bound: agg.error_bound,
+                max_abs_ewma_drift: agg.max_abs_ewma_fp as f64 / DRIFT_FP_SCALE,
+            })
+            .collect();
+        CalibrationStats {
+            samples: per_model.iter().map(|m| m.samples).sum(),
+            recalibrations: per_model.iter().map(|m| m.recalibrations).sum(),
+            demotions: per_model.iter().map(|m| m.demotions).sum(),
+            promotions: per_model.iter().map(|m| m.promotions).sum(),
+            max_abs_ewma_drift: per_model
+                .iter()
+                .map(|m| m.max_abs_ewma_drift)
+                .fold(0.0f64, f64::max),
+            per_model,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct ClassAcc {
     total: usize,
@@ -435,6 +558,9 @@ pub struct ReportAccumulator {
     per_class: Vec<ClassAcc>,
     exec: ExecAgg,
     verify: VerifyAgg,
+    /// `Some` once a session with the online calibration loop reported its
+    /// state ([`Self::record_calibration`]); `None` otherwise.
+    cal: Option<CalAgg>,
 }
 
 impl ReportAccumulator {
@@ -468,6 +594,7 @@ impl ReportAccumulator {
             per_class: vec![ClassAcc::default(); SloClass::ALL.len()],
             exec: ExecAgg::default(),
             verify: VerifyAgg::default(),
+            cal: None,
         }
     }
 
@@ -558,6 +685,33 @@ impl ReportAccumulator {
             .absorb(analytical_cycles, accurate_cycles, error_bound);
     }
 
+    /// Records one session's online calibration-loop state, one row per
+    /// model ([`ModelCalibration::model`] must equal the row's index).  The
+    /// EWMA excursion is quantized to parts per 10^12 on the way in so
+    /// every later fold is an integer/`max` aggregate.  Calling this on an
+    /// accumulator that already holds rows (a merged shard tree) folds the
+    /// new rows in counter-for-counter.
+    pub fn record_calibration(&mut self, per_model: &[ModelCalibration]) {
+        let incoming = CalAgg {
+            per_model: per_model
+                .iter()
+                .map(|row| ModelCalAgg {
+                    samples: row.samples,
+                    recalibrations: row.recalibrations,
+                    demotions: row.demotions,
+                    promotions: row.promotions,
+                    demoted: row.demoted,
+                    error_bound: row.error_bound,
+                    max_abs_ewma_fp: (row.max_abs_ewma_drift * DRIFT_FP_SCALE).round() as u64,
+                })
+                .collect(),
+        };
+        match &mut self.cal {
+            Some(agg) => agg.merge(&incoming),
+            None => self.cal = Some(incoming),
+        }
+    }
+
     /// Folds another shard's accumulator into this one (see the type-level
     /// docs for the sharding semantics).  The merge is associative — the
     /// counters and fixed-point sums add, the sketches add element-wise,
@@ -603,6 +757,11 @@ impl ReportAccumulator {
         }
         self.exec.merge(&other.exec);
         self.verify.merge(&other.verify);
+        match (&mut self.cal, other.cal) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (None, Some(theirs)) => self.cal = Some(theirs),
+            (_, None) => {}
+        }
     }
 
     /// Freezes the accumulated state into a [`ServeReport`].
@@ -680,6 +839,7 @@ impl ReportAccumulator {
             simulated_cycles: self.exec.simulated_cycles,
             analytical_chips: self.analytical_chips,
             verification,
+            calibration: self.cal.as_ref().map(CalAgg::finish),
             per_chip,
             per_class,
         }

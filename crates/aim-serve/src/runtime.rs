@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use aim_core::analytical::AnalyticalPlan;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
-use pim_sim::backend::BackendKind;
+use pim_sim::backend::{BackendKind, CalibrationLoopConfig};
 use workloads::inputs::TraceRequest;
 use workloads::zoo::Model;
 
@@ -44,11 +44,24 @@ pub struct ServeConfig {
     /// cycle-accurate engine — a heterogeneous fleet (e.g. 2 audit chips +
     /// 30 analytical chips) whose audit members keep ground truth flowing.
     pub audit_chips: usize,
-    /// Sampled verification: every Nth group executing on an analytical chip
-    /// (counted over those groups, in commit order) is *additionally*
-    /// replayed cycle-accurately, and the relative cycle drift is aggregated
-    /// into [`ServeReport::verification`].  0 disables.
+    /// Sampled verification: on average one in `verify_every` groups
+    /// executing on an analytical chip (selected by a deterministic hash of
+    /// the group's commit index and the serve seed, so the effective rate is
+    /// independent of sharding) is *additionally* replayed cycle-accurately,
+    /// and the relative cycle drift is aggregated into
+    /// [`ServeReport::verification`].  0 disables.
     pub verify_every: usize,
+    /// Optional online calibration loop: verification and audit-chip drift
+    /// samples feed a per-model EWMA, and at fixed virtual-time boundaries
+    /// the session recalibrates the analytical cycle prediction and
+    /// demotes/promotes models between the fast path and cycle-accurate
+    /// execution.  `None` (the default) keeps the one-shot offline
+    /// calibration.  Only meaningful on fleets with analytical chips.
+    ///
+    /// [`ServeReport::calibration`] reports the loop's activity.
+    ///
+    /// [`ServeReport::calibration`]: crate::report::ServeReport::calibration
+    pub calibration: Option<CalibrationLoopConfig>,
     /// Fan chip workers out across rayon scoped threads.  `false` runs the
     /// fleet on the calling thread; the report is byte-identical either way
     /// (the determinism contract).
@@ -80,6 +93,7 @@ impl Default for ServeConfig {
             backend: BackendKind::CycleAccurate,
             audit_chips: 0,
             verify_every: 0,
+            calibration: None,
             parallel: true,
             seed: 0xF1EE7,
             completion_capacity: 0,
@@ -151,6 +165,9 @@ impl ServeConfigBuilder {
         /// Sets the sampled-verification cadence (see
         /// [`ServeConfig::verify_every`]).
         verify_every: usize,
+        /// Enables the online calibration loop (see
+        /// [`ServeConfig::calibration`]).
+        calibration: Option<CalibrationLoopConfig>,
         /// Toggles the worker-thread fan-out (see [`ServeConfig::parallel`]).
         parallel: bool,
         /// Sets the serve seed (see [`ServeConfig::seed`]).
@@ -176,6 +193,9 @@ impl ServeConfigBuilder {
             self.config.audit_chips <= self.config.chips,
             "audit chips cannot exceed the fleet size"
         );
+        if let Some(calibration) = &self.config.calibration {
+            calibration.validate();
+        }
         self.config
     }
 }
@@ -221,6 +241,9 @@ impl ServeRuntime {
             config.audit_chips <= config.chips,
             "audit chips cannot exceed the fleet size"
         );
+        if let Some(calibration) = &config.calibration {
+            calibration.validate();
+        }
         // Calibrate the analytical views once, up front (a handful of
         // cycle-accurate probe runs per plan); afterwards every analytical
         // replay is a cached lookup.
@@ -269,6 +292,23 @@ impl ServeRuntime {
     )]
     pub fn set_verify_every(&mut self, verify_every: usize) {
         self.config.verify_every = verify_every;
+    }
+
+    /// Deliberately mis-calibrates `model`'s analytical view by scaling its
+    /// predicted cycles (and fitted cycle scale) by `factor` — the
+    /// fault-injection hook drift-detection tests and benches use to prove
+    /// that the online calibration loop demotes a lying model.  No-op on a
+    /// fleet without analytical plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is out of range or `factor` is not a positive
+    /// finite number.
+    pub fn distort_model_calibration(&mut self, model: usize, factor: f64) {
+        assert!(model < self.plans.len(), "model {model} has no plan");
+        if let Some(analytical) = &mut self.analytical {
+            analytical[model] = analytical[model].with_cycle_scale(factor);
+        }
     }
 
     /// The backend chip `chip` executes with: the first

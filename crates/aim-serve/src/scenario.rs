@@ -46,7 +46,7 @@
 
 use aim_core::booster::BoosterConfig;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
-use pim_sim::backend::BackendKind;
+use pim_sim::backend::{BackendKind, CalibrationLoopConfig};
 use workloads::dag::{session_items, standard_templates, SessionConfig};
 use workloads::inputs::{
     synthetic_trace, with_flash_crowds, ArrivalShape, FaultEvent, FaultKind, FaultPlan,
@@ -133,6 +133,7 @@ fn scenario_serve() -> ServeConfig {
         backend: BackendKind::CycleAccurate,
         audit_chips: 0,
         verify_every: 0,
+        calibration: None,
         parallel: true,
         seed: 0xF1EE7,
         completion_capacity: 0,
@@ -254,6 +255,11 @@ pub fn chip_death_at_peak() -> ChaosScenario {
 
 /// A degradation wave sweeps chip to chip; the last chip stays degraded
 /// through drain so the open-interval capacity accounting is exercised.
+///
+/// Sampled verification and the online calibration loop are live here (the
+/// analytical golden leg pins their stats): degraded chips are exactly where
+/// a health-blind verifier would raise false drift alarms, so this golden
+/// doubles as the health-aware-calibration pin.
 #[must_use]
 pub fn rolling_degradation() -> ChaosScenario {
     let episode = |at: u64, shard: usize, chip: usize, slowdown_percent: u32| FaultEvent {
@@ -271,7 +277,11 @@ pub fn rolling_degradation() -> ChaosScenario {
     ChaosScenario {
         name: "rolling-degradation",
         traffic: scenario_traffic(80, 0x0DE64),
-        serve: scenario_serve(),
+        serve: ServeConfig {
+            verify_every: 4,
+            calibration: Some(CalibrationLoopConfig::default()),
+            ..scenario_serve()
+        },
         fleet: FleetConfig {
             shards: 2,
             shard_policy: ShardPolicy::ByModel,

@@ -63,6 +63,27 @@
 //! `run_until` — and the determinism contract below survives chaos
 //! scenarios unchanged.
 //!
+//! ## The online calibration loop
+//!
+//! With [`ServeConfig::calibration`] set (and analytical chips present),
+//! drift samples — sampled verification, audit-chip replays, demoted-model
+//! executions — feed a per-model EWMA of *signed* relative cycle residuals,
+//! absorbed strictly in commit order.  Recalibration points are virtual-time
+//! events: [`run_until`] internally sub-steps at every boundary (multiples
+//! of the configured interval), so recalibrating, demoting and promoting
+//! happen at canonical times — a pure function of the submission/fault
+//! sequence, never of stepping granularity, worker count, shard layout or
+//! polling order, the same discipline window closures follow.  Demotion
+//! never touches the estimated schedule (estimate purity): a demoted
+//! model's groups still schedule from the shared cost model; only their
+//! *measured* execution switches to the cycle-accurate engine, and each
+//! such execution is a free drift sample feeding the promotion streak.
+//! Verification drift is health-aware: both sides of every sample are
+//! derated by the slot's stamped [`ChipHealth`], so a degraded chip
+//! measures its prediction error, not its derate.
+//!
+//! [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+//!
 //! ## Bounded memory
 //!
 //! Session memory is proportional to *in-flight* work, never to the total
@@ -95,11 +116,11 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use aim_core::pipeline::PlanExecution;
-use pim_sim::backend::{BackendKind, ChipHealth};
+use pim_sim::backend::{BackendKind, CalibrationLoopConfig, ChipHealth};
 use pim_sim::chip::SimSession;
 use workloads::inputs::{SloClass, TraceRequest};
 
-use crate::report::{ReportAccumulator, ServeReport};
+use crate::report::{ModelCalibration, ReportAccumulator, ServeReport};
 use crate::runtime::ServeRuntime;
 use crate::scheduler::{group_service_cycles, CostModel, DispatchPolicy};
 
@@ -180,6 +201,22 @@ struct Slot {
     health: ChipHealth,
 }
 
+/// One measured drift observation: the analytical prediction versus a
+/// cycle-accurate replay of the same group, both derated by the slot's
+/// stamped [`ChipHealth`] — service-level cycles on both sides, so a
+/// degraded chip measures calibration error, not its own derate.
+#[derive(Debug, Clone, Copy)]
+struct DriftSample {
+    /// Health-derated predicted execution cycles (online recalibration
+    /// multiplier applied).
+    predicted: u64,
+    /// Health-derated measured cycle-accurate execution cycles.
+    accurate: u64,
+    /// Whether the sample counts toward the sampled-verification stats
+    /// (audit-chip and demotion-only samples feed just the loop).
+    verify: bool,
+}
+
 /// Measured outcome of one executed group.
 #[derive(Debug, Clone, Copy)]
 struct ExecDone {
@@ -187,9 +224,8 @@ struct ExecDone {
     start: u64,
     finish: u64,
     exec: PlanExecution,
-    /// `(analytical_cycles, accurate_cycles)` when the group was sampled for
-    /// verification.
-    verify: Option<(u64, u64)>,
+    /// The group's drift observation, when one was measured.
+    drift: Option<DriftSample>,
 }
 
 /// Everything the session knows about one committed group, including its
@@ -209,6 +245,61 @@ struct GroupRecord {
     /// entirely — their requests are someone else's to serve.
     evicted: bool,
 }
+
+/// Per-model state of the online calibration loop
+/// ([`ServeConfig::calibration`]): the EWMA of signed relative residuals
+/// since the last recalibration, the multiplier recalibration has folded
+/// onto the fitted cycle prediction, the demotion state machine, and the
+/// counters the report surfaces.
+///
+/// [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+#[derive(Debug, Clone, Copy)]
+struct ModelLoopState {
+    /// Online multiplier on the fitted cycle prediction (1.0 untouched).
+    adjust: f64,
+    /// EWMA of signed relative residuals `(accurate - predicted) /
+    /// predicted` since the last recalibration.
+    ewma: f64,
+    /// Worst |EWMA| the model ever reached.
+    max_abs_ewma: f64,
+    samples: u64,
+    /// Samples absorbed since the last applied recalibration; a boundary
+    /// with zero fresh samples is a no-op (which is what keeps stale
+    /// boundaries from perturbing byte-stability).
+    samples_since_recal: u64,
+    out_streak: u32,
+    in_streak: u32,
+    /// Whether the model currently executes cycle-accurately on analytical
+    /// lanes.
+    demoted: bool,
+    recalibrations: u64,
+    demotions: u64,
+    promotions: u64,
+}
+
+impl ModelLoopState {
+    const fn new() -> Self {
+        Self {
+            adjust: 1.0,
+            ewma: 0.0,
+            max_abs_ewma: 0.0,
+            samples: 0,
+            samples_since_recal: 0,
+            out_streak: 0,
+            in_streak: 0,
+            demoted: false,
+            recalibrations: 0,
+            demotions: 0,
+            promotions: 0,
+        }
+    }
+}
+
+/// Caps on the online cycle-prediction multiplier: recalibration follows
+/// the measured residuals but never walks the prediction into a degenerate
+/// regime (a collapsed or exploded scale would poison every later sample).
+const MIN_CYCLE_ADJUST: f64 = 0.05;
+const MAX_CYCLE_ADJUST: f64 = 20.0;
 
 /// Chip health in effect at virtual time `at`: the latest registered change
 /// not after `at`, healthy before the first change.
@@ -359,8 +450,14 @@ pub struct ServeSession<'rt> {
     acc: ReportAccumulator,
     lanes: Vec<ChipLane>,
     next_round_robin: usize,
-    /// Admitted groups seen on analytical chips, for the verify cadence.
-    analytical_seen: usize,
+    /// Per-model online calibration-loop state; empty when the loop is off
+    /// (no [`ServeConfig::calibration`] or no analytical chips).
+    ///
+    /// [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+    cal: Vec<ModelLoopState>,
+    /// The next recalibration boundary (a multiple of the configured
+    /// interval); meaningless while `cal` is empty.
+    next_recal_at: u64,
     completions: VecDeque<RequestOutcome>,
     completions_dropped: u64,
     failed_over_groups: usize,
@@ -388,6 +485,13 @@ impl<'rt> ServeSession<'rt> {
                 sim: SimSession::new(),
             })
             .collect();
+        let cal = if Self::loop_config(runtime).is_some() {
+            vec![ModelLoopState::new(); runtime.plans().len()]
+        } else {
+            Vec::new()
+        };
+        let next_recal_at =
+            Self::loop_config(runtime).map_or(u64::MAX, |cfg| cfg.recalibrate_interval_cycles);
         Self {
             runtime,
             cost: runtime.cost_model(),
@@ -402,7 +506,8 @@ impl<'rt> ServeSession<'rt> {
             acc: Self::fresh_accumulator(runtime),
             lanes,
             next_round_robin: 0,
-            analytical_seen: 0,
+            cal,
+            next_recal_at,
             completions: VecDeque::new(),
             completions_dropped: 0,
             failed_over_groups: 0,
@@ -427,6 +532,15 @@ impl<'rt> ServeSession<'rt> {
         });
         acc.set_analytical_context(runtime.analytical_chip_count(), verify_enabled, fleet_bound);
         acc
+    }
+
+    /// The online calibration loop's configuration when the loop is active:
+    /// it needs both [`ServeConfig::calibration`] and analytical chips to
+    /// close against.
+    ///
+    /// [`ServeConfig::calibration`]: crate::runtime::ServeConfig::calibration
+    fn loop_config(runtime: &ServeRuntime) -> Option<CalibrationLoopConfig> {
+        runtime.analytical_plans().and(runtime.config().calibration)
     }
 
     /// The session's virtual clock (cycles).
@@ -539,10 +653,133 @@ impl<'rt> ServeSession<'rt> {
     /// byte-identical to submit-all-then-drain even when a step target
     /// collides with a window expiry; the batch commits at its closure
     /// time on the next step past it (or at [`Self::drain`]).
+    ///
+    /// With the online calibration loop active the step internally
+    /// sub-steps at every recalibration boundary it crosses, so the loop's
+    /// decisions land at canonical virtual times regardless of how coarsely
+    /// the caller steps.
     pub fn run_until(&mut self, target: u64) {
+        // A target behind the clock still executes everything the clock has
+        // reached (the historical semantics) — normalize first so the
+        // boundary walk sees the true horizon.
+        let target = self.clock.max(target);
+        self.step_recalibrations(target);
+        self.advance_to(target);
+    }
+
+    /// One un-sub-stepped event-loop advance — [`Self::run_until`] without
+    /// the recalibration boundaries.  The execution horizon is exactly
+    /// `target`: when the boundary walk calls this with a boundary behind
+    /// the clock, work estimated after the boundary stays queued for a
+    /// later sub-step (that deferral is what pins each slot's execution to
+    /// the boundary window containing its estimated start).
+    fn advance_to(&mut self, target: u64) {
         self.process_events(target, false);
         self.clock = self.clock.max(target);
-        self.execute_ready(self.clock);
+        self.execute_ready(target);
+    }
+
+    /// Advances through every recalibration boundary at or before `target`,
+    /// applying the calibration loop's decisions at each.  A boundary is
+    /// processed while the session still holds pending work *or* absorbed
+    /// samples await a recalibration — both conditions are pure functions
+    /// of the submission sequence at that boundary, which keeps the
+    /// decision points independent of the caller's stepping granularity.
+    /// Quiet stretches fast-forward: with no fresh samples, a boundary
+    /// before the next session event is provably a no-op and is skipped
+    /// arithmetically rather than stepped.
+    fn step_recalibrations(&mut self, target: u64) {
+        if self.cal.is_empty() {
+            return;
+        }
+        let interval = Self::loop_config(self.runtime)
+            .expect("loop state implies a loop config")
+            .recalibrate_interval_cycles;
+        while self.next_recal_at <= target {
+            let pending_samples = self.cal.iter().any(|s| s.samples_since_recal > 0);
+            if !self.has_pending_work() && !pending_samples {
+                break;
+            }
+            if !pending_samples {
+                match self.next_event_cycles() {
+                    Some(next) if next > self.next_recal_at => {
+                        let steps = (next - self.next_recal_at).div_ceil(interval);
+                        self.next_recal_at = self
+                            .next_recal_at
+                            .saturating_add(steps.saturating_mul(interval));
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            let boundary = self.next_recal_at;
+            self.advance_to(boundary);
+            self.apply_recalibration();
+            self.next_recal_at = boundary.saturating_add(interval);
+            if self.next_recal_at == boundary {
+                break;
+            }
+        }
+    }
+
+    /// Whether anything in the session can still produce drift samples:
+    /// queued window events, open batches, or undispatched/unexecuted
+    /// slots.
+    fn has_pending_work(&self) -> bool {
+        !self.events.is_empty()
+            || self.open.iter().any(Option::is_some)
+            || self.lanes.iter().any(|l| !l.slots.is_empty())
+    }
+
+    /// Applies one recalibration boundary: for every model with fresh
+    /// samples, judge the EWMA against the model's calibrated bound (the
+    /// demotion/promotion streak machine), then fold the EWMA into the
+    /// model's online cycle multiplier and reset it.  Models without fresh
+    /// samples are untouched — no evidence, no decision.
+    fn apply_recalibration(&mut self) {
+        let Some(cfg) = Self::loop_config(self.runtime) else {
+            return;
+        };
+        let plans = self
+            .runtime
+            .analytical_plans()
+            .expect("loop config implies analytical plans");
+        for (model, state) in self.cal.iter_mut().enumerate() {
+            if state.samples_since_recal == 0 {
+                continue;
+            }
+            let out_of_bound = state.ewma.abs() > plans[model].error_bound();
+            if state.demoted {
+                if out_of_bound {
+                    state.in_streak = 0;
+                } else {
+                    state.in_streak += 1;
+                    if state.in_streak >= cfg.promote_streak {
+                        state.demoted = false;
+                        state.promotions += 1;
+                        state.in_streak = 0;
+                    }
+                }
+            } else if out_of_bound {
+                state.out_streak += 1;
+                if state.out_streak >= cfg.demote_streak {
+                    state.demoted = true;
+                    state.demotions += 1;
+                    state.out_streak = 0;
+                }
+            } else {
+                state.out_streak = 0;
+            }
+            // Fold the observed residual into the prediction, then start a
+            // fresh observation window (the correction is assumed applied,
+            // so carrying the old EWMA would double-count it).
+            state.adjust =
+                (state.adjust * (1.0 + state.ewma)).clamp(MIN_CYCLE_ADJUST, MAX_CYCLE_ADJUST);
+            state.recalibrations += 1;
+            state.ewma = 0.0;
+            state.samples_since_recal = 0;
+        }
     }
 
     /// The next virtual time at which stepping this session can change its
@@ -605,6 +842,10 @@ impl<'rt> ServeSession<'rt> {
     /// Like [`Self::drain`], but returns the incremental accumulator so
     /// sharded sessions can [`ReportAccumulator::merge`] before finishing.
     pub fn drain_accumulator(&mut self) -> ReportAccumulator {
+        // Walk every remaining recalibration boundary first, so the loop's
+        // final decisions land at their canonical virtual times no matter
+        // how far the caller had stepped.
+        self.step_recalibrations(u64::MAX);
         self.process_events(u64::MAX, true);
         self.drained = true;
         self.execute_ready(u64::MAX);
@@ -612,6 +853,28 @@ impl<'rt> ServeSession<'rt> {
             self.groups.is_empty(),
             "drain leaves no unresolved group behind"
         );
+        if !self.cal.is_empty() {
+            let plans = self
+                .runtime
+                .analytical_plans()
+                .expect("loop state implies analytical plans");
+            let rows: Vec<ModelCalibration> = self
+                .cal
+                .iter()
+                .enumerate()
+                .map(|(model, state)| ModelCalibration {
+                    model,
+                    samples: state.samples,
+                    recalibrations: state.recalibrations,
+                    demotions: state.demotions,
+                    promotions: state.promotions,
+                    demoted: state.demoted,
+                    error_bound: plans[model].error_bound(),
+                    max_abs_ewma_drift: state.max_abs_ewma,
+                })
+                .collect();
+            self.acc.record_calibration(&rows);
+        }
         std::mem::replace(&mut self.acc, Self::fresh_accumulator(self.runtime))
     }
 
@@ -734,17 +997,21 @@ impl<'rt> ServeSession<'rt> {
             }
         }
 
-        let verify = if config.verify_every > 0
+        // The sample phase derives from the group's commit index and the
+        // serve seed — not from a per-session "seen" counter, which would
+        // always sample group 0 and restart on every shard, making the
+        // fleet-wide effective rate depend on the shard count.
+        let verify = config.verify_every > 0
             && self.runtime.chip_backend(chip) == BackendKind::Analytical
-        {
-            let sampled = self.analytical_seen.is_multiple_of(config.verify_every);
-            self.analytical_seen += 1;
-            sampled
-        } else {
-            false
-        };
+            && verify_sampled(config.seed, gid, config.verify_every);
 
         let lane = &mut self.lanes[chip];
+        // Stamp the chip's health as of the slot's estimated start — NOT a
+        // hard-coded `Healthy`: verification derates the predicted side by
+        // this stamp, so a sample taken on a degraded chip compares derated
+        // prediction against derated measurement instead of raising a false
+        // drift alarm equal to the derate.  (`recompute_est` keeps the
+        // stamp in step when the estimate moves.)
         lane.slots.insert(
             position,
             Slot {
@@ -756,7 +1023,7 @@ impl<'rt> ServeSession<'rt> {
                 est_start: 0,
                 est_finish: 0,
                 verify,
-                health: ChipHealth::Healthy,
+                health: health_at(&lane.health_changes, est_start),
             },
         );
         lane.recompute_est(position, &self.cost);
@@ -1044,27 +1311,79 @@ impl<'rt> ServeSession<'rt> {
         let runtime = self.runtime;
         let reload = self.cost.reload_cycles.clone();
         let seed = runtime.config().seed;
+        // Snapshot the loop state once per harvest: every chip prices this
+        // window's slots under the same `(adjust, demoted)` pair, so the
+        // results cannot depend on worker interleaving, and the next
+        // recalibration boundary only sees samples committed before it.
+        let cal_snapshot: Vec<(f64, bool)> =
+            self.cal.iter().map(|s| (s.adjust, s.demoted)).collect();
+        let loop_on = !cal_snapshot.is_empty();
         let lanes = std::mem::take(&mut self.lanes);
         let run = |mut lane: ChipLane| -> (ChipLane, Vec<SlotResult>) {
             let mut results = Vec::new();
+            let model_cal = |model: usize| cal_snapshot.get(model).copied().unwrap_or((1.0, false));
             while lane.slots.front().is_some_and(|s| s.est_start <= horizon) {
                 let slot = lane.slots[0];
                 let plan = &runtime.plans()[slot.model];
                 let seed_offset = replay_seed_offset(seed, slot.gid);
-                let (exec, verify) = match lane.backend {
+                let (exec, drift) = match lane.backend {
                     BackendKind::CycleAccurate => {
-                        (plan.execute_with_session(&mut lane.sim, seed_offset), None)
+                        let exec = plan.execute_with_session(&mut lane.sim, seed_offset);
+                        // Audit chips replay everything cycle-accurately
+                        // anyway; when the loop is on, each replay doubles as
+                        // a free drift sample against the (adjusted)
+                        // analytical prediction.
+                        let drift = loop_on.then(|| {
+                            let predicted = runtime
+                                .analytical_plans()
+                                .expect("the loop requires calibrated plans")[slot.model]
+                                .adjusted_cycles(model_cal(slot.model).0);
+                            DriftSample {
+                                predicted: slot.health.scale_cycles(predicted),
+                                accurate: slot.health.scale_cycles(exec.cycles),
+                                verify: false,
+                            }
+                        });
+                        (exec, drift)
                     }
                     BackendKind::Analytical => {
-                        let predicted = runtime
+                        let analytical = &runtime
                             .analytical_plans()
-                            .expect("analytical chips imply calibrated plans")[slot.model]
-                            .execution();
-                        let verify = slot.verify.then(|| {
+                            .expect("analytical chips imply calibrated plans")[slot.model];
+                        let base = analytical.execution();
+                        let (adjust, demoted) = model_cal(slot.model);
+                        let predicted_cycles = if loop_on {
+                            analytical.adjusted_cycles(adjust)
+                        } else {
+                            base.cycles
+                        };
+                        if demoted {
+                            // The model lost its analytical trust: serve it
+                            // cycle-accurately while the drift sample keeps
+                            // feeding the promotion streak.
                             let accurate = plan.execute_with_session(&mut lane.sim, seed_offset);
-                            (predicted.cycles, accurate.cycles)
-                        });
-                        (predicted, verify)
+                            let drift = DriftSample {
+                                predicted: slot.health.scale_cycles(predicted_cycles),
+                                accurate: slot.health.scale_cycles(accurate.cycles),
+                                verify: slot.verify,
+                            };
+                            (accurate, Some(drift))
+                        } else {
+                            let exec = PlanExecution {
+                                cycles: predicted_cycles,
+                                ..base
+                            };
+                            let drift = slot.verify.then(|| {
+                                let accurate =
+                                    plan.execute_with_session(&mut lane.sim, seed_offset);
+                                DriftSample {
+                                    predicted: slot.health.scale_cycles(predicted_cycles),
+                                    accurate: slot.health.scale_cycles(accurate.cycles),
+                                    verify: true,
+                                }
+                            });
+                            (exec, drift)
+                        }
                     }
                 };
                 let switching = lane.actual_last_model != Some(slot.model);
@@ -1086,7 +1405,7 @@ impl<'rt> ServeSession<'rt> {
                         start,
                         finish,
                         exec,
-                        verify,
+                        drift,
                     },
                 });
                 lane.actual_free = finish;
@@ -1183,14 +1502,30 @@ impl<'rt> ServeSession<'rt> {
                     done.finish > request.deadline_cycles,
                 );
             }
-            if let Some((analytical_cycles, accurate_cycles)) = done.verify {
-                let bound = self
-                    .runtime
-                    .analytical_plans()
-                    .expect("verified groups are analytical")[record.model]
-                    .error_bound();
-                self.acc
-                    .absorb_verify_sample(analytical_cycles, accurate_cycles, bound);
+            if let Some(sample) = done.drift {
+                if sample.verify {
+                    let bound = self
+                        .runtime
+                        .analytical_plans()
+                        .expect("verified groups are analytical")[record.model]
+                        .error_bound();
+                    self.acc
+                        .absorb_verify_sample(sample.predicted, sample.accurate, bound);
+                }
+                // The EWMA folds samples in commit order — the only order
+                // shared across worker counts and run_until granularities —
+                // over the *signed* post-scaling residual, so systematic
+                // over- and under-prediction pull the next recalibration in
+                // opposite directions instead of both inflating it.
+                if let Some(cfg) = Self::loop_config(self.runtime) {
+                    let state = &mut self.cal[record.model];
+                    let predicted = sample.predicted.max(1) as f64;
+                    let residual = (sample.accurate as f64 - predicted) / predicted;
+                    state.ewma = cfg.ewma_decay * residual + (1.0 - cfg.ewma_decay) * state.ewma;
+                    state.max_abs_ewma = state.max_abs_ewma.max(state.ewma.abs());
+                    state.samples += 1;
+                    state.samples_since_recal += 1;
+                }
             }
         }
     }
@@ -1200,4 +1535,19 @@ impl<'rt> ServeSession<'rt> {
 /// serve seed, independent of chip assignment and worker count.
 pub(crate) fn replay_seed_offset(seed: u64, group_idx: usize) -> u64 {
     seed.wrapping_add((group_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Whether a group's execution is verification-sampled, derived by hashing
+/// the group's fleet-wide commit index with the serve seed (splitmix64
+/// finalizer).  A hash phase — unlike a per-session counter — samples at the
+/// same effective rate whether the fleet runs one shard or many, and never
+/// privileges group 0.
+pub(crate) fn verify_sampled(seed: u64, group_idx: usize, verify_every: usize) -> bool {
+    let mut x = seed ^ (group_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x.is_multiple_of(verify_every as u64)
 }

@@ -184,6 +184,42 @@ fn scenarios_exercise_the_machinery_they_claim_to_pin() {
         rolling.serve.served_requests + rolling.serve.rejected_requests,
         rolling.serve.total_requests
     );
+    // The calibration loop is live on the analytical leg — its stats must
+    // be populated in the pinned report, and the degradation wave must not
+    // trip a single false demotion: verification drift is measured against
+    // health-derated predictions, so a slowed chip reads as slow, not as a
+    // mis-calibrated model.
+    match backend {
+        BackendKind::Analytical => {
+            let cal = rolling
+                .serve
+                .calibration
+                .as_ref()
+                .expect("the analytical rolling-degradation leg runs the loop");
+            assert!(cal.samples > 0, "the loop must absorb drift samples");
+            assert!(cal.recalibrations > 0, "boundaries with samples must fire");
+            assert_eq!(
+                cal.demotions, 0,
+                "a degraded-but-honest model must never be demoted"
+            );
+            let verification = rolling
+                .serve
+                .verification
+                .as_ref()
+                .expect("sampled verification is on");
+            assert!(verification.sampled > 0);
+            assert!(
+                verification.within_bound,
+                "health-derated verification stays within bound under degradation"
+            );
+        }
+        BackendKind::CycleAccurate => {
+            assert!(
+                rolling.serve.calibration.is_none(),
+                "the loop needs analytical plans; the cycle-accurate leg reports none"
+            );
+        }
+    }
 
     // Worker-count independence of the golden bytes: the same scenario on a
     // single-threaded fleet reports identically.

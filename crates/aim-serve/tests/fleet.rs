@@ -719,3 +719,56 @@ fn the_scaling_builder_rejects_zero_check_intervals() {
 fn the_scaling_builder_rejects_zero_worker_floors() {
     let _ = ScalingConfig::builder().min_workers(0).build();
 }
+
+/// The verification-sampling phase derives from a hash of each group's
+/// commit index, not from a per-session counter — a counter always samples
+/// each shard's group 0 and restarts its phase on every shard, so the
+/// fleet-wide effective rate used to climb with the shard count.  Pin the
+/// fleet-wide sample counts for shard counts 1–3 on one fixed trace: the
+/// hash keeps the realised rate flat (22–24 samples out of 64 groups at
+/// 1-in-4), where the counter gave every shard a forced sample at phase
+/// zero and a fresh phase ramp.
+#[test]
+fn verification_sample_counts_stay_flat_across_shard_counts() {
+    let mut observed = Vec::new();
+    for shards in 1..=3usize {
+        let serve = ServeConfig {
+            chips: 3,
+            max_batch: 1,
+            batch_window_cycles: 2_000,
+            backend: BackendKind::Analytical,
+            verify_every: 4,
+            seed: 0xF1EE7,
+            ..ServeConfig::default()
+        };
+        let runtime = ServeRuntime::from_plans(plans().clone(), serve);
+        let fleet_config = FleetConfig {
+            shards,
+            shard_policy: ShardPolicy::RoundRobin,
+            initial_workers: 0,
+            scaling: None,
+        };
+        let report = FleetSession::serve_trace(
+            &runtime,
+            fleet_config,
+            FaultPlan::none(),
+            &trace_for(64, 0xCA11B),
+        );
+        let verification = report.serve.verification.expect("sampling is on");
+        assert_eq!(report.serve.served_requests, 64);
+        observed.push((report.serve.groups_executed, verification.sampled));
+    }
+    let groups: Vec<usize> = observed.iter().map(|&(g, _)| g).collect();
+    let sampled: Vec<usize> = observed.iter().map(|&(_, s)| s).collect();
+    assert!(
+        groups.iter().all(|&g| g == groups[0]),
+        "max_batch 1 fixes the group count regardless of sharding: {groups:?}"
+    );
+    // The pinned counts: flat in the shard count (the counter-phase bug made
+    // these strictly increase with `shards`).
+    assert_eq!(
+        sampled,
+        vec![22, 24, 22],
+        "fleet-wide verification sample counts drifted"
+    );
+}

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use aim_core::booster::BoosterConfig;
 use aim_core::pipeline::{AimConfig, CompiledPlan};
 use aim_serve::{AdmissionConfig, CompletionStatus, DispatchPolicy, ServeConfig, ServeRuntime};
-use pim_sim::backend::BackendKind;
+use pim_sim::backend::{BackendKind, CalibrationLoopConfig};
 use workloads::inputs::{
     synthetic_trace, ArrivalShape, SloClass, SloMix, TraceRequest, TrafficConfig,
 };
@@ -379,6 +379,93 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    /// The calibration loop's determinism contract: recalibration points
+    /// are virtual-time events on a canonical boundary grid, so a runtime
+    /// with the loop ON (and a deliberately mis-calibrated model pushing it
+    /// through demotion and recovery) reports byte-identically across
+    /// `run_until` stepping granularities, submit/step interleavings and
+    /// worker counts — on both execution backends (the CI matrix flips
+    /// `AIM_SERVE_BACKEND`).
+    #[test]
+    fn recalibration_reports_are_invariant_to_stepping_and_workers(
+        requests in 4usize..16,
+        chips in 1usize..4,
+        step in 2_000u64..50_000,
+        interval_bit in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let config = ServeConfig {
+            chips,
+            backend: matrix_backend(),
+            audit_chips: usize::from(chips > 1),
+            verify_every: 2,
+            calibration: Some(
+                CalibrationLoopConfig::builder()
+                    .ewma_decay(0.5)
+                    .demote_streak(1)
+                    .promote_streak(2)
+                    .recalibrate_interval_cycles(if interval_bit == 0 { 5_000 } else { 20_000 })
+                    .build(),
+            ),
+            parallel: true,
+            seed,
+            ..ServeConfig::default()
+        };
+        let distorted = |config: ServeConfig| {
+            let mut runtime = ServeRuntime::from_plans(tiny_plans().clone(), config);
+            // Model 0 predicts 1.35× its true cycles while claiming its
+            // fitted bound: the loop demotes it, recalibrates the lie away
+            // and promotes it back — all of which must land on the same
+            // boundaries no matter how the caller steps virtual time.
+            runtime.distort_model_calibration(0, 1.35);
+            runtime
+        };
+        let runtime = distorted(config);
+        let trace = trace_for(requests, tiny_plans().len(), seed ^ 0xCA1B);
+        let baseline = runtime.serve(&trace);
+
+        // Fine-grained stepping after all submissions.
+        let mut session = runtime.session();
+        for request in &trace {
+            session.submit(*request);
+        }
+        let mut now = session.clock();
+        while let Some(next) = session.next_event_cycles() {
+            now = (now + step).max(next);
+            session.run_until(now);
+        }
+        let stepped = session.drain();
+
+        // Stepping interleaved with submission.
+        let mut interleaved = runtime.session();
+        for request in &trace {
+            interleaved.submit(*request);
+            interleaved.run_until(request.arrival_cycles);
+        }
+        let interleaved_report = interleaved.drain();
+
+        // One worker.
+        let sequential = distorted(ServeConfig { parallel: false, ..config }).serve(&trace);
+
+        let bytes = serde_json::to_string(&baseline).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&bytes, &serde_json::to_string(&stepped).map_err(|e| e.to_string())?);
+        prop_assert_eq!(
+            &bytes,
+            &serde_json::to_string(&interleaved_report).map_err(|e| e.to_string())?
+        );
+        prop_assert_eq!(&bytes, &serde_json::to_string(&sequential).map_err(|e| e.to_string())?);
+        // The stats block rides along exactly when the loop can run (it
+        // needs analytical plans); tiny traces may legitimately hash to
+        // zero verification samples, so only presence is asserted here.
+        if matrix_backend() == BackendKind::Analytical {
+            prop_assert!(baseline.calibration.is_some());
+        } else {
+            prop_assert!(baseline.calibration.is_none());
         }
     }
 }

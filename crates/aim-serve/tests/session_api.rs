@@ -382,6 +382,7 @@ fn builder_matches_struct_literal_and_validates() {
         .backend(BackendKind::Analytical)
         .audit_chips(2)
         .verify_every(5)
+        .calibration(Some(CalibrationLoopConfig::default()))
         .parallel(false)
         .seed(42)
         .completion_capacity(256)
@@ -396,6 +397,7 @@ fn builder_matches_struct_literal_and_validates() {
         backend: BackendKind::Analytical,
         audit_chips: 2,
         verify_every: 5,
+        calibration: Some(CalibrationLoopConfig::default()),
         parallel: false,
         seed: 42,
         completion_capacity: 256,
@@ -436,4 +438,148 @@ fn drained_sessions_reject_further_submissions() {
         panicked.is_err(),
         "submitting to a drained session must panic"
     );
+}
+
+// --- the online calibration loop ---------------------------------------------
+
+/// The headline regression of the health-derate verification fix: a
+/// degraded analytical chip must NOT read as a mis-calibrated model.  Slots
+/// used to be inserted with a hard-coded `ChipHealth::Healthy` stamp, so a
+/// verification sample taken on a chip degraded by 80% compared an
+/// un-derated prediction against a 1.8×-stretched measurement — ~44%
+/// apparent drift against a ~5% bound, a guaranteed false alarm.  With the
+/// chip's live health stamped onto the slot, both sides of the sample carry
+/// the same derate and only genuine calibration error remains.
+#[test]
+fn verification_on_a_degraded_chip_stays_within_bound() {
+    let config = ServeConfig::builder()
+        .chips(1)
+        .max_batch(1)
+        .backend(BackendKind::Analytical)
+        .verify_every(1)
+        .calibration(Some(CalibrationLoopConfig::default()))
+        .build();
+    let runtime = ServeRuntime::from_plans(plans().clone(), config);
+    let mut session = runtime.session();
+    session.set_chip_health(
+        0,
+        ChipHealth::Degraded {
+            slowdown_percent: 80,
+        },
+        0,
+    );
+    for i in 0..8u64 {
+        session.submit(req((i % 2) as usize, i * 500, SloClass::Standard));
+    }
+    let report = session.drain();
+    assert_eq!(report.served_requests, 8);
+
+    let verification = report.verification.expect("every group is sampled");
+    assert!(verification.sampled > 0);
+    let bound = verification.error_bound;
+    assert!(
+        verification.within_bound,
+        "degraded-chip verification must stay within the calibrated bound \
+         (max drift {} vs bound {bound}): the prediction side of each sample \
+         must carry the slot's real health derate, not a hard-coded Healthy",
+        verification.max_cycle_drift,
+    );
+    assert!(verification.max_cycle_drift <= bound);
+
+    // And the loop agrees: an honest model on sick hardware is never demoted.
+    let cal = report.calibration.expect("the loop is on");
+    assert!(cal.samples > 0);
+    assert_eq!(cal.demotions, 0, "no false demotions under degradation");
+    assert!(cal.per_model.iter().all(|m| !m.demoted));
+}
+
+/// The demotion teeth, end to end: distort one model's calibration so its
+/// analytical predictions are a confident lie, and the loop must (a) demote
+/// it to cycle-accurate execution once the drift EWMA leaves the bound, and
+/// (b) — because recalibration keeps folding the residual into the online
+/// multiplier — pull the adjusted prediction back within bound and promote
+/// the model again.  The honest model must ride along untouched.
+#[test]
+fn a_miscalibrated_model_is_demoted_and_heals_back() {
+    let config = ServeConfig::builder()
+        .chips(1)
+        .max_batch(1)
+        .backend(BackendKind::Analytical)
+        .verify_every(1)
+        .calibration(Some(
+            CalibrationLoopConfig::builder()
+                .ewma_decay(0.5)
+                .demote_streak(1)
+                .promote_streak(2)
+                .recalibrate_interval_cycles(20_000)
+                .build(),
+        ))
+        .build();
+    let mut runtime = ServeRuntime::from_plans(plans().clone(), config);
+    // Model 0 now predicts 1.6× its true cycle count while still claiming
+    // its fitted error bound.
+    runtime.distort_model_calibration(0, 1.6);
+    let trace: Vec<TraceRequest> = (0..40u64)
+        .map(|i| req((i % 2) as usize, i * 2_000, SloClass::Standard))
+        .collect();
+    let report = runtime.serve(&trace);
+    assert_eq!(report.served_requests, trace.len());
+
+    let cal = report.calibration.expect("the loop is on");
+    let lying = cal.per_model[0];
+    let honest = cal.per_model[1];
+    assert!(
+        lying.demotions >= 1,
+        "a 60% prediction lie must trigger demotion, got {cal:?}"
+    );
+    assert!(
+        lying.promotions >= 1,
+        "recalibration must heal the lie and promote the model back, got {cal:?}"
+    );
+    assert!(lying.recalibrations > 0);
+    assert!(
+        lying.max_abs_ewma_drift > honest.max_abs_ewma_drift,
+        "the drift excursion must localise to the distorted model"
+    );
+    assert_eq!(honest.demotions, 0, "the honest model must not be demoted");
+    assert_eq!(cal.demotions, lying.demotions);
+    assert_eq!(cal.promotions, lying.promotions);
+}
+
+/// Demotion and recalibration change *measured execution*, never the
+/// pre-execution estimates: the scheduler's placement and batching under a
+/// distorted model with the loop ON must match the same distorted runtime
+/// with the loop OFF group for group.
+#[test]
+fn the_calibration_loop_never_touches_scheduling_estimates() {
+    let build = |calibration| {
+        let config = ServeConfig::builder()
+            .chips(2)
+            .backend(BackendKind::Analytical)
+            .verify_every(2)
+            .calibration(calibration)
+            .build();
+        let mut runtime = ServeRuntime::from_plans(plans().clone(), config);
+        runtime.distort_model_calibration(0, 1.6);
+        runtime
+    };
+    let trace: Vec<TraceRequest> = (0..32u64)
+        .map(|i| req((i % 2) as usize, i * 1_500, SloClass::Standard))
+        .collect();
+    let with_loop = build(Some(
+        CalibrationLoopConfig::builder()
+            .demote_streak(1)
+            .recalibrate_interval_cycles(20_000)
+            .build(),
+    ))
+    .serve(&trace);
+    let without_loop = build(None).serve(&trace);
+    assert!(with_loop.calibration.expect("loop on").demotions >= 1);
+    // Same groups on the same chips: per-chip group and request counts are
+    // pure functions of the estimate path.
+    assert_eq!(with_loop.groups_executed, without_loop.groups_executed);
+    for (a, b) in with_loop.per_chip.iter().zip(&without_loop.per_chip) {
+        assert_eq!(a.groups, b.groups, "placement diverged on chip {}", a.chip);
+        assert_eq!(a.requests, b.requests);
+    }
 }

@@ -93,7 +93,7 @@ use aim_serve::{
     RoutePolicy, ScalingConfig, ServeConfig, ServeReport, ServeRuntime, ShardPolicy, ShedPolicy,
     StageOutcome, StageStatus,
 };
-use pim_sim::backend::BackendKind;
+use pim_sim::backend::{BackendKind, CalibrationLoopConfig};
 use serde::Serialize;
 use workloads::dag::{standard_templates, SessionConfig, SessionItemKind};
 use workloads::inputs::{
@@ -257,6 +257,20 @@ struct FleetSmokeRecord {
     serve_fleet_drift_max: Option<f64>,
     serve_fleet_error_bound: Option<f64>,
     serve_fleet_within_bound: Option<bool>,
+    /// Online calibration-loop figures from the timed (honest) analytical
+    /// leg; `None` on the cycle-accurate leg.  The honest fleet must report
+    /// zero demotions — a demotion here is a false alarm.
+    serve_recal_samples: Option<u64>,
+    serve_recal_recalibrations: Option<u64>,
+    serve_recal_demotions: Option<u64>,
+    /// Figures from the untimed demotion drill: the same chaos session with
+    /// model 0's calibration deliberately distorted 1.6×.  The loop must
+    /// demote the lying model (teeth) and — because recalibration folds the
+    /// lie into the online multiplier — promote it back once the adjusted
+    /// predictions return within bound.
+    serve_recal_drill_demotions: Option<u64>,
+    serve_recal_drill_promotions: Option<u64>,
+    serve_recal_drill_recalibrations: Option<u64>,
 }
 
 const REPS: usize = 3;
@@ -601,13 +615,23 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
         BackendKind::Analytical => 8,
         BackendKind::CycleAccurate => 0,
     };
+    // The analytical leg also closes the calibration loop: the sampled
+    // verification replays double as drift sensors, so the timed chaos
+    // session exercises online recalibration at its default cadence.  An
+    // honest fleet must come out with zero demotions — a demotion here
+    // means health derates or chaos were misread as model drift.
+    let calibration = match backend {
+        BackendKind::Analytical => Some(CalibrationLoopConfig::default()),
+        BackendKind::CycleAccurate => None,
+    };
     let config = ServeConfig {
         backend,
         chips: 4,
         verify_every,
+        calibration,
         ..serve_config(4)
     };
-    let runtime = ServeRuntime::from_plans(plans, config);
+    let runtime = ServeRuntime::from_plans(plans.clone(), config);
     let trace = fleet_trace(serve_models);
 
     let mut wall_ms = f64::INFINITY;
@@ -631,6 +655,37 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
     let report = reports.pop().expect("at least one rep");
     let json = |r: &FleetReport| serde_json::to_string(r).ok();
     let deterministic = reports.iter().all(|r| json(r) == json(&report));
+
+    // Untimed demotion drill (analytical leg only): replay the same chaos
+    // session with model 0's calibration deliberately distorted 1.6x under
+    // an aggressive loop config.  The loop must demote the lying model —
+    // and, because recalibration folds the lie into the online multiplier,
+    // promote it back once adjusted predictions return within bound.  Runs
+    // outside the timed reps so it never pollutes the throughput gate.
+    let drill = (backend == BackendKind::Analytical).then(|| {
+        let drill_config = ServeConfig {
+            verify_every: 4,
+            calibration: Some(
+                CalibrationLoopConfig::builder()
+                    .ewma_decay(0.5)
+                    .demote_streak(1)
+                    .promote_streak(2)
+                    .build(),
+            ),
+            ..config
+        };
+        let mut drill_runtime = ServeRuntime::from_plans(plans, drill_config);
+        drill_runtime.distort_model_calibration(0, 1.6);
+        let mut fleet = FleetSession::new(&drill_runtime, fleet_config(), fleet_faults());
+        for request in &trace {
+            fleet.submit(*request);
+        }
+        let drill_report = fleet.drain();
+        drill_report
+            .serve
+            .calibration
+            .expect("the drill leg runs with the calibration loop on")
+    });
 
     let attainment = |class: SloClass| {
         report
@@ -676,6 +731,12 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
             .map(|v| v.max_cycle_drift),
         serve_fleet_error_bound: report.serve.verification.as_ref().map(|v| v.error_bound),
         serve_fleet_within_bound: report.serve.verification.as_ref().map(|v| v.within_bound),
+        serve_recal_samples: report.serve.calibration.as_ref().map(|c| c.samples),
+        serve_recal_recalibrations: report.serve.calibration.as_ref().map(|c| c.recalibrations),
+        serve_recal_demotions: report.serve.calibration.as_ref().map(|c| c.demotions),
+        serve_recal_drill_demotions: drill.as_ref().map(|c| c.demotions),
+        serve_recal_drill_promotions: drill.as_ref().map(|c| c.promotions),
+        serve_recal_drill_recalibrations: drill.as_ref().map(|c| c.recalibrations),
     };
 
     println!(
@@ -731,6 +792,24 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
             }
         );
     }
+    if let (Some(samples), Some(recals), Some(demotions)) = (
+        record.serve_recal_samples,
+        record.serve_recal_recalibrations,
+        record.serve_recal_demotions,
+    ) {
+        println!(
+            "  calibration loop   : {samples} drift samples, {recals} recalibrations, {demotions} demotions (honest fleet)"
+        );
+    }
+    if let (Some(demotions), Some(promotions), Some(recals)) = (
+        record.serve_recal_drill_demotions,
+        record.serve_recal_drill_promotions,
+        record.serve_recal_drill_recalibrations,
+    ) {
+        println!(
+            "  demotion drill     : 1.6x lie on model 0 -> {demotions} demotions, {promotions} promotions, {recals} recalibrations"
+        );
+    }
 
     append_bench_record(&record);
 
@@ -754,6 +833,27 @@ fn run_fleet(label: &str, backend: BackendKind, check_regression: bool) -> ExitC
             record.serve_fleet_drift_max, record.serve_fleet_error_bound
         );
         return ExitCode::FAILURE;
+    }
+    if record.serve_recal_demotions.is_some_and(|d| d > 0) {
+        eprintln!(
+            "error: the honest fleet demoted {} model(s) — health derates or chaos were misread as calibration drift",
+            record.serve_recal_demotions.unwrap_or(0)
+        );
+        return ExitCode::FAILURE;
+    }
+    if backend == BackendKind::Analytical {
+        if record.serve_recal_drill_demotions.is_none_or(|d| d == 0) {
+            eprintln!(
+                "error: the 1.6x mis-calibrated model was never demoted — the drift loop lost its teeth"
+            );
+            return ExitCode::FAILURE;
+        }
+        if record.serve_recal_drill_promotions.is_none_or(|p| p == 0) {
+            eprintln!(
+                "error: the demoted model never healed back — recalibration failed to fold the lie into the online multiplier"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     if check_regression {
         if let Err(msg) = regression_gate(gate_field, report.serve.throughput_rps, previous_rps) {
@@ -1371,6 +1471,13 @@ struct HyperscaleSmokeRecord {
     /// Byte-identical reports between the parallel coarse-stepped leg and
     /// the sequential fine-stepped leg.
     serve_hyper_deterministic: bool,
+    /// Online calibration-loop figures from the sparse in-band verification
+    /// (every 512th group).  The zoo is honestly calibrated and the chaos
+    /// is health events, not model drift — so demotions must stay 0 across
+    /// a million requests (the false-alarm gate).
+    serve_hyper_recal_samples: Option<u64>,
+    serve_hyper_recalibrations: Option<u64>,
+    serve_hyper_spurious_demotions: Option<u64>,
 }
 
 /// Hyperscale fleet shape: 64 shards of 4 analytical chips = 256 chips.
@@ -1505,10 +1612,15 @@ fn run_hyperscale(label: &str, requests: usize, check_regression: bool) -> ExitC
     let traffic = hyper_traffic(requests);
     // A small completion cap keeps the streamed-outcome buffer bounded
     // between polls; the drained report still accounts every request.
+    // Sparse in-band verification (every 512th group, per-shard) feeds the
+    // calibration loop across the million-request horizon.  The chaos here
+    // is health events on an honestly calibrated zoo, so the loop must log
+    // drift samples and recalibration points yet demote nothing.
     let base_config = ServeConfig {
         backend: BackendKind::Analytical,
         audit_chips: 0,
-        verify_every: 0,
+        verify_every: 512,
+        calibration: Some(CalibrationLoopConfig::default()),
         completion_capacity: 4_096,
         ..serve_config(HYPER_CHIPS_PER_SHARD)
     };
@@ -1562,6 +1674,9 @@ fn run_hyperscale(label: &str, requests: usize, check_regression: bool) -> ExitC
         serve_hyper_scale_downs: report.availability.scale_downs,
         serve_hyper_conserved: conserved,
         serve_hyper_deterministic: deterministic,
+        serve_hyper_recal_samples: report.serve.calibration.as_ref().map(|c| c.samples),
+        serve_hyper_recalibrations: report.serve.calibration.as_ref().map(|c| c.recalibrations),
+        serve_hyper_spurious_demotions: report.serve.calibration.as_ref().map(|c| c.demotions),
     };
 
     println!(
@@ -1605,6 +1720,16 @@ fn run_hyperscale(label: &str, requests: usize, check_regression: bool) -> ExitC
         }
         None => println!("  peak rss           : unavailable on this platform"),
     }
+    if let (Some(samples), Some(recals), Some(demotions)) = (
+        record.serve_hyper_recal_samples,
+        record.serve_hyper_recalibrations,
+        record.serve_hyper_spurious_demotions,
+    ) {
+        println!(
+            "  calibration loop   : every {} groups, {samples} drift samples, {recals} recalibrations, {demotions} demotions",
+            base_config.verify_every
+        );
+    }
     println!(
         "  conserved          : {} | deterministic: {}",
         record.serve_hyper_conserved, record.serve_hyper_deterministic
@@ -1633,6 +1758,14 @@ fn run_hyperscale(label: &str, requests: usize, check_regression: bool) -> ExitC
             );
             return ExitCode::FAILURE;
         }
+    }
+    if record.serve_hyper_spurious_demotions.is_some_and(|d| d > 0) {
+        eprintln!(
+            "error: {} spurious demotion(s) on an honestly calibrated trace — degradation chaos \
+             leaked into the drift signal",
+            record.serve_hyper_spurious_demotions.unwrap_or(0)
+        );
+        return ExitCode::FAILURE;
     }
     if check_regression {
         if let Err(msg) = regression_gate(gate_field, record.serve_hyper_virtual_rps, previous_rps)

@@ -536,6 +536,159 @@ impl Calibration {
             probe_runs: pairs.len(),
         }
     }
+
+    /// Online recalibration: folds an EWMA of observed signed relative cycle
+    /// residuals (`(actual - predicted) / predicted`) back into the cycle
+    /// scale.  A positive EWMA means the calibrated prediction has been
+    /// running short, so the scale grows by exactly that factor; the other
+    /// scales and the self-reported bound are untouched — the bound is a
+    /// *promise*, and the loop's job is to keep the realised drift inside
+    /// it, not to move the goalposts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ewma_residual` is not finite or would drive the cycle
+    /// scale to zero or below.
+    #[must_use]
+    pub fn recalibrated(&self, ewma_residual: f64) -> Self {
+        assert!(
+            ewma_residual.is_finite(),
+            "recalibration needs a finite residual EWMA"
+        );
+        assert!(
+            ewma_residual > -1.0,
+            "a residual EWMA of {ewma_residual} would zero out the cycle scale"
+        );
+        Self {
+            cycle_scale: self.cycle_scale * (1.0 + ewma_residual),
+            ..*self
+        }
+    }
+}
+
+/// Configuration of the *online* calibration loop a serving layer runs on
+/// top of a fitted [`Calibration`]: drift samples (in-band verification,
+/// audit-chip replays) feed an EWMA of signed post-scaling cycle residuals,
+/// and at fixed virtual-time boundaries the loop recalibrates
+/// ([`Calibration::recalibrated`]) and demotes/promotes the model between
+/// the analytical fast path and cycle-accurate execution.
+///
+/// Construct via [`Self::builder`] or a struct literal over
+/// [`Self::default`]; [`Self::validate`] rejects degenerate values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationLoopConfig {
+    /// Weight of each new drift sample in the EWMA (`0 < decay <= 1`):
+    /// `ewma = decay * sample + (1 - decay) * ewma`.
+    pub ewma_decay: f64,
+    /// Consecutive out-of-bound EWMA observations (at recalibration
+    /// boundaries with fresh samples) before a model demotes to
+    /// cycle-accurate execution.
+    pub demote_streak: u32,
+    /// Consecutive in-bound observations before a demoted model promotes
+    /// back to the analytical fast path.
+    pub promote_streak: u32,
+    /// Virtual-time interval between recalibration boundaries (cycles).
+    pub recalibrate_interval_cycles: u64,
+}
+
+impl Default for CalibrationLoopConfig {
+    fn default() -> Self {
+        Self {
+            ewma_decay: 0.25,
+            demote_streak: 2,
+            promote_streak: 3,
+            recalibrate_interval_cycles: 25_000,
+        }
+    }
+}
+
+impl CalibrationLoopConfig {
+    /// Starts a builder from the default configuration.
+    #[must_use]
+    pub fn builder() -> CalibrationLoopConfigBuilder {
+        CalibrationLoopConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks the configuration invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the EWMA decay is zero, negative, above 1 or not finite
+    /// (NaN never converges), or if either streak is zero (a zero streak
+    /// would demote/promote on no evidence at all), or if the recalibration
+    /// interval is zero (the loop must advance virtual time).
+    pub fn validate(&self) {
+        assert!(
+            self.ewma_decay.is_finite() && self.ewma_decay > 0.0 && self.ewma_decay <= 1.0,
+            "the EWMA decay must lie in (0, 1]"
+        );
+        assert!(
+            self.demote_streak >= 1,
+            "the demotion streak must be at least 1"
+        );
+        assert!(
+            self.promote_streak >= 1,
+            "the promotion streak must be at least 1"
+        );
+        assert!(
+            self.recalibrate_interval_cycles >= 1,
+            "the recalibration interval must be at least one cycle"
+        );
+    }
+}
+
+/// Chainable builder for [`CalibrationLoopConfig`]; [`Self::build`]
+/// validates.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationLoopConfigBuilder {
+    config: CalibrationLoopConfig,
+}
+
+impl CalibrationLoopConfigBuilder {
+    /// Sets the EWMA decay (see [`CalibrationLoopConfig::ewma_decay`]).
+    #[must_use]
+    pub fn ewma_decay(mut self, ewma_decay: f64) -> Self {
+        self.config.ewma_decay = ewma_decay;
+        self
+    }
+
+    /// Sets the demotion streak (see
+    /// [`CalibrationLoopConfig::demote_streak`]).
+    #[must_use]
+    pub fn demote_streak(mut self, demote_streak: u32) -> Self {
+        self.config.demote_streak = demote_streak;
+        self
+    }
+
+    /// Sets the promotion streak (see
+    /// [`CalibrationLoopConfig::promote_streak`]).
+    #[must_use]
+    pub fn promote_streak(mut self, promote_streak: u32) -> Self {
+        self.config.promote_streak = promote_streak;
+        self
+    }
+
+    /// Sets the recalibration interval (see
+    /// [`CalibrationLoopConfig::recalibrate_interval_cycles`]).
+    #[must_use]
+    pub fn recalibrate_interval_cycles(mut self, recalibrate_interval_cycles: u64) -> Self {
+        self.config.recalibrate_interval_cycles = recalibrate_interval_cycles;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations — see
+    /// [`CalibrationLoopConfig::validate`].
+    #[must_use]
+    pub fn build(self) -> CalibrationLoopConfig {
+        self.config.validate();
+        self.config
+    }
 }
 
 /// The calibrated closed-form fast path.
@@ -1349,5 +1502,82 @@ mod tests {
             .scale_cycles(u64::MAX),
             u64::MAX / 100
         );
+    }
+
+    #[test]
+    fn recalibration_folds_the_residual_ewma_into_the_cycle_scale_only() {
+        let mut cal = Calibration::identity();
+        cal.cycle_scale = 1.25;
+        cal.error_bound = 0.07;
+        // Prediction ran 10% short: the scale grows by exactly that factor.
+        let updated = cal.recalibrated(0.10);
+        assert!((updated.cycle_scale - 1.375).abs() < 1e-12);
+        assert_eq!(updated.error_bound, cal.error_bound);
+        assert_eq!(updated.power_scale, cal.power_scale);
+        assert_eq!(updated.probe_runs, cal.probe_runs);
+        // A negative residual shrinks it; zero is the identity.
+        assert!(cal.recalibrated(-0.10).cycle_scale < cal.cycle_scale);
+        assert_eq!(cal.recalibrated(0.0), cal);
+    }
+
+    #[test]
+    #[should_panic(expected = "recalibration needs a finite residual EWMA")]
+    fn recalibration_rejects_a_nan_residual() {
+        let _ = Calibration::identity().recalibrated(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "would zero out the cycle scale")]
+    fn recalibration_rejects_a_scale_collapsing_residual() {
+        let _ = Calibration::identity().recalibrated(-1.0);
+    }
+
+    #[test]
+    fn calibration_loop_builder_round_trips_and_validates() {
+        let config = CalibrationLoopConfig::builder()
+            .ewma_decay(0.5)
+            .demote_streak(1)
+            .promote_streak(2)
+            .recalibrate_interval_cycles(10_000)
+            .build();
+        assert_eq!(config.ewma_decay, 0.5);
+        assert_eq!(config.demote_streak, 1);
+        assert_eq!(config.promote_streak, 2);
+        assert_eq!(config.recalibrate_interval_cycles, 10_000);
+        CalibrationLoopConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "the EWMA decay must lie in (0, 1]")]
+    fn calibration_loop_rejects_a_zero_decay() {
+        let _ = CalibrationLoopConfig::builder().ewma_decay(0.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "the EWMA decay must lie in (0, 1]")]
+    fn calibration_loop_rejects_a_nan_decay() {
+        let _ = CalibrationLoopConfig::builder()
+            .ewma_decay(f64::NAN)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "the demotion streak must be at least 1")]
+    fn calibration_loop_rejects_a_zero_demotion_streak() {
+        let _ = CalibrationLoopConfig::builder().demote_streak(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "the promotion streak must be at least 1")]
+    fn calibration_loop_rejects_a_zero_promotion_streak() {
+        let _ = CalibrationLoopConfig::builder().promote_streak(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "the recalibration interval must be at least one cycle")]
+    fn calibration_loop_rejects_a_zero_interval() {
+        let _ = CalibrationLoopConfig::builder()
+            .recalibrate_interval_cycles(0)
+            .build();
     }
 }
